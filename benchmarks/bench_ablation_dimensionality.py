@@ -1,0 +1,35 @@
+"""Benchmark A2 -- dimensionality sweep (CyberHD vs static baseline HDC).
+
+The paper's core efficiency claim in sweep form: CyberHD at a small physical
+dimensionality should track the static baseline run at much larger
+dimensionalities.
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.eval.sweeps import dimensionality_sweep
+
+
+def _run():
+    return dimensionality_sweep(dims=(64, 128, 256, 512, 1024), epochs=12, seed=0)
+
+
+def test_ablation_dimensionality(benchmark, output_dir):
+    """CyberHD at small D competes with the baseline at several times that D."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(output_dir, result)
+    print("\n" + result.to_text())
+
+    cyber = {row["dim"]: row for row in result.filter(model="cyberhd")}
+    baseline = {row["dim"]: row for row in result.filter(model="baseline_hd")}
+
+    # At every dimensionality CyberHD is at least as good as the baseline.
+    for dim in cyber:
+        assert cyber[dim]["accuracy_percent"] >= baseline[dim]["accuracy_percent"] - 1.5
+    # CyberHD at 128 physical dimensions reaches the accuracy class of the
+    # baseline at 1024 dimensions (the paper's 8x claim at reduced scale).
+    assert cyber[128]["accuracy_percent"] >= baseline[1024]["accuracy_percent"] - 3.0
+    # Its effective dimensionality reflects the regenerated capacity.
+    assert cyber[128]["effective_dim"] > 128

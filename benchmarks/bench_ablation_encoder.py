@@ -1,0 +1,30 @@
+"""Benchmark A3 -- encoder ablation (RBF vs linear vs level-ID).
+
+The paper selects an RBF (random Fourier feature) encoder because
+cybersecurity features interact non-linearly; this sweep quantifies that
+choice against the simpler alternatives.
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.eval.sweeps import encoder_sweep
+
+
+def _run():
+    return encoder_sweep(encoders=("rbf", "linear", "level_id"), dim=192, epochs=12, seed=0)
+
+
+def test_ablation_encoder(benchmark, output_dir):
+    """The RBF encoder must be competitive with (or better than) the alternatives."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(output_dir, result)
+    print("\n" + result.to_text())
+
+    by_encoder = {row["encoder"]: row["accuracy_percent"] for row in result.rows}
+    assert set(by_encoder) == {"rbf", "linear", "level_id"}
+    best = max(by_encoder.values())
+    assert by_encoder["rbf"] >= best - 2.0
+    for accuracy in by_encoder.values():
+        assert accuracy > 60.0

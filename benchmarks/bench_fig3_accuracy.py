@@ -1,0 +1,32 @@
+"""Benchmark E1 -- reproduces Fig. 3 (accuracy on the four NIDS datasets).
+
+Paper claim: CyberHD reaches accuracy comparable to the SOTA DNN, ~1.6% above
+the SVM, ~4.3% above the same-dimensionality baseline HDC, and comparable to a
+baseline HDC run at CyberHD's effective dimensionality.
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.eval.experiments import accuracy_experiment
+
+
+def _run_fig3():
+    return accuracy_experiment(scale="fast", seed=0)
+
+
+def test_fig3_accuracy(benchmark, output_dir):
+    """Regenerate Fig. 3 and check the paper's qualitative ordering."""
+    result = benchmark.pedantic(_run_fig3, rounds=1, iterations=1)
+    save_result(output_dir, result)
+    print("\n" + result.to_text())
+
+    for dataset in {row["dataset"] for row in result.rows}:
+        rows = {row["model"]: row["accuracy_percent"] for row in result.filter(dataset=dataset)}
+        # CyberHD must not fall behind the same-dimensionality static baseline.
+        assert rows["cyberhd"] >= rows["baseline_hd_low"] - 1.5, dataset
+        # ...and must stay in the same accuracy class as the large baseline.
+        assert rows["cyberhd"] >= rows["baseline_hd_high"] - 3.0, dataset
+        # ...and close to the DNN.
+        assert rows["cyberhd"] >= rows["dnn"] - 7.0, dataset

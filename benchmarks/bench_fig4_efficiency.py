@@ -1,0 +1,36 @@
+"""Benchmark E2 -- reproduces Fig. 4 (training time and inference latency).
+
+Paper claim: CyberHD trains ~2.5x faster than the DNN, ~1.9x faster than the
+baseline HDC at the effective dimensionality, and infers ~15x faster than that
+baseline; the kernel SVM is the slowest method on large datasets.
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.eval.experiments import efficiency_experiment, efficiency_speedups
+
+
+def _run_fig4():
+    return efficiency_experiment(scale="fast", seed=0)
+
+
+def test_fig4_efficiency(benchmark, output_dir):
+    """Regenerate Fig. 4 and check who wins on training and inference."""
+    result = benchmark.pedantic(_run_fig4, rounds=1, iterations=1)
+    save_result(output_dir, result)
+    print("\n" + result.to_text())
+
+    speedups = efficiency_speedups(result)
+    print(f"\nmean speedups: {speedups}")
+    # CyberHD must train and infer faster than the effective-D baseline HDC...
+    assert speedups["train_vs_baseline_hd"] > 1.0
+    assert speedups["inference_vs_baseline_hd"] > 1.0
+    # ...and train faster than the DNN baseline.
+    assert speedups["train_vs_dnn"] > 1.0
+
+    for dataset in {row["dataset"] for row in result.rows}:
+        rows = {row["model"]: row for row in result.filter(dataset=dataset)}
+        assert rows["cyberhd"]["train_seconds"] < rows["baseline_hd_high"]["train_seconds"]
+        assert rows["cyberhd"]["inference_seconds"] < rows["baseline_hd_high"]["inference_seconds"]

@@ -1,0 +1,48 @@
+"""Benchmark E4 -- reproduces Fig. 5 (robustness against hardware bit flips).
+
+Paper claim: random bit flips barely hurt CyberHD (especially at 1-bit
+precision, on average ~12.9x more robust than the DNN) while the float32 DNN
+collapses; CyberHD's robustness decreases as element precision grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_result
+
+from repro.eval.experiments import robustness_experiment
+
+
+def _run_fig5():
+    return robustness_experiment(scale="fast", trials=3, seed=0)
+
+
+def test_fig5_robustness(benchmark, output_dir):
+    """Regenerate Fig. 5 and check the robustness ordering."""
+    result = benchmark.pedantic(_run_fig5, rounds=1, iterations=1)
+    save_result(output_dir, result)
+    print("\n" + result.to_text())
+
+    def mean_loss(model_substring):
+        losses = [
+            row["accuracy_loss_percent"]
+            for row in result.rows
+            if model_substring in row["model"]
+        ]
+        return float(np.mean(losses))
+
+    mlp_loss = mean_loss("MLP")
+    one_bit_loss = mean_loss("1-bit")
+    eight_bit_loss = mean_loss("8-bit")
+
+    # The DNN must degrade far more than any CyberHD deployment.
+    assert mlp_loss > 3.0 * one_bit_loss
+    assert mlp_loss > eight_bit_loss
+    # 1-bit hypervectors are the most robust precision on average.
+    assert one_bit_loss <= eight_bit_loss + 1.0
+    # Robustness is meaningful in absolute terms: 1-bit loses only a few
+    # points even at 15% bit-error rate.
+    worst_one_bit = max(
+        row["accuracy_loss_percent"] for row in result.rows if "1-bit" in row["model"]
+    )
+    assert worst_one_bit < 20.0

@@ -1,0 +1,54 @@
+"""Microbenchmarks of the HDC primitives (encoding and similarity search).
+
+These are the per-sample operations whose cost the paper's Fig. 4 and Table I
+reason about; the microbenchmarks make the raw Python-substrate throughput
+visible so the analytical hardware models can be sanity-checked against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hdc.encoders import RBFEncoder
+from repro.hdc.similarity import cosine_similarity_matrix
+from repro.core.trainer import adaptive_epoch, adaptive_one_pass_fit
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0.0, 1.0, size=(2000, 64))
+    y = rng.integers(0, 5, size=2000)
+    return X, y
+
+
+def test_bench_rbf_encoding(benchmark, workload):
+    """Throughput of encoding 2000 flows into a 512-dimensional hyperspace."""
+    X, _ = workload
+    encoder = RBFEncoder(in_features=64, dim=512, rng=0)
+    H = benchmark(encoder.encode, X)
+    assert H.shape == (2000, 512)
+
+
+def test_bench_cosine_scoring(benchmark, workload):
+    """Throughput of scoring 2000 encoded queries against 5 class hypervectors."""
+    X, y = workload
+    encoder = RBFEncoder(in_features=64, dim=512, rng=0)
+    H = encoder.encode(X)
+    classes = adaptive_one_pass_fit(H, y, n_classes=5, rng=0)
+    sims = benchmark(cosine_similarity_matrix, H, classes)
+    assert sims.shape == (2000, 5)
+
+
+def test_bench_adaptive_epoch(benchmark, workload):
+    """Throughput of one adaptive retraining epoch over 2000 samples."""
+    X, y = workload
+    encoder = RBFEncoder(in_features=64, dim=512, rng=0)
+    H = encoder.encode(X)
+    classes = adaptive_one_pass_fit(H, y, n_classes=5, rng=0)
+
+    def run():
+        adaptive_epoch(classes, H, y, learning_rate=1.0, rng=0)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

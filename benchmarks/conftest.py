@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``fast`` evaluation scale and writes the resulting table to
+``benchmarks/output/<experiment>.txt`` so the artefacts survive pytest's
+output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Directory collecting the rendered experiment tables."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_result(output_dir: Path, result) -> Path:
+    """Write an ExperimentResult's text table next to the benchmarks."""
+    path = output_dir / f"{result.name}.txt"
+    path.write_text(result.to_text() + "\n")
+    return path

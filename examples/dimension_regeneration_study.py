@@ -1,0 +1,45 @@
+"""Study of CyberHD's dimension regeneration mechanism.
+
+Run with::
+
+    python examples/dimension_regeneration_study.py
+
+Sweeps the regeneration rate ``R`` and the physical dimensionality ``D`` on a
+synthetic UNSW-NB15 workload, printing how test accuracy and the effective
+dimensionality respond -- the paper's Sec. III design choices in numbers.
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset
+from repro.eval.sweeps import dimensionality_sweep, regeneration_rate_sweep
+
+
+def main() -> None:
+    dataset = load_dataset("unsw_nb15", n_train=2000, n_test=600, seed=1)
+    print(f"dataset: {dataset.name} ({dataset.n_classes} classes, {dataset.n_features} features)\n")
+
+    print("--- regeneration-rate sweep (D = 192) ---")
+    rate_result = regeneration_rate_sweep(
+        rates=(0.0, 0.05, 0.10, 0.20, 0.40), dataset=dataset, dim=192, epochs=15, seed=0
+    )
+    print(rate_result.to_text())
+
+    print("\n--- dimensionality sweep (R = 10%) ---")
+    dim_result = dimensionality_sweep(
+        dims=(64, 128, 256, 512, 1024), dataset=dataset, epochs=15, seed=0
+    )
+    print(dim_result.to_text())
+
+    # Summarize the paper's headline relationship.
+    cyber = {row["dim"]: row["accuracy_percent"] for row in dim_result.filter(model="cyberhd")}
+    baseline = {row["dim"]: row["accuracy_percent"] for row in dim_result.filter(model="baseline_hd")}
+    print(
+        f"\nCyberHD at D=128 reaches {cyber[128]:.2f}% accuracy; the static baseline "
+        f"needs D=1024 to reach {baseline[1024]:.2f}% -- the dynamic encoder buys back "
+        f"most of an 8x dimensionality reduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Streaming NIDS deployment: packets in, alerts out.
+
+Run with::
+
+    python examples/nids_streaming_detection.py
+
+This is the deployment sketched in the paper's Fig. 1: synthetic traffic
+(benign browsing plus port scans, SYN floods, SSH brute force and data
+exfiltration) is generated at the packet level, assembled into flows, and
+classified by a CyberHD-backed detection pipeline in streaming micro-batches.
+"""
+
+from __future__ import annotations
+
+from repro import CyberHD
+from repro.nids import DetectionPipeline, StreamingDetector, TrafficGenerator
+
+
+def main() -> None:
+    # 1. Train the pipeline on labeled traffic (e.g. a capture from a lab).
+    training_traffic = TrafficGenerator(seed=7).generate(n_flows=600)
+    pipeline = DetectionPipeline(classifier=CyberHD(dim=256, epochs=10, seed=0))
+    pipeline.fit_packets(training_traffic)
+    print(
+        f"trained on {len(training_traffic)} packets "
+        f"({len(pipeline.class_names)} traffic classes) "
+        f"in {pipeline.train_seconds:.2f}s"
+    )
+
+    # 2. Deploy it as a streaming detector on fresh traffic.
+    detector = StreamingDetector(pipeline, window_size=400)
+    live_traffic = TrafficGenerator(seed=99).generate(n_flows=400)
+    detector.push_many(live_traffic)
+    detector.flush()
+
+    print(
+        f"\nprocessed {detector.total_flows} flows in {len(detector.results)} windows; "
+        f"mean window latency {1000 * detector.mean_latency:.2f} ms"
+    )
+    print(f"raised {detector.total_alerts} alerts "
+          f"({pipeline.alert_manager.suppressed} duplicates suppressed)")
+
+    print("\nalerts by attack class:")
+    for attack, count in sorted(pipeline.alert_manager.count_by_class().items()):
+        print(f"  {attack:<16s} {count}")
+
+    print("\nalerts by severity:")
+    for severity, count in sorted(pipeline.alert_manager.count_by_severity().items()):
+        print(f"  {severity:<10s} {count}")
+
+    print("\nfirst five alerts:")
+    for alert in pipeline.alert_manager.alerts[:5]:
+        print(f"  {alert}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The build metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed in editable mode (``pip install -e .``) on
+environments whose setuptools predates PEP 660 wheel-less editable installs.
+"""
+
+from setuptools import setup
+
+setup()

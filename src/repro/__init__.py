@@ -1,0 +1,61 @@
+"""CyberHD reproduction: hyperdimensional computing for network intrusion detection.
+
+This package reproduces the system described in *"Late Breaking Results:
+Scalable and Efficient Hyperdimensional Computing for Network Intrusion
+Detection"* (DAC 2023).  It contains:
+
+``repro.hdc``
+    The hyperdimensional-computing substrate: hypervector algebra, similarity
+    kernels, encoders (RBF random features, linear projection, level-ID
+    record encoding), item memories and bitwidth quantization.
+
+``repro.core``
+    The paper's primary contribution, :class:`repro.core.CyberHD` -- an HDC
+    classifier with variance-driven dimension dropping and regeneration.
+
+``repro.models`` / ``repro.baselines``
+    The baseline learners the paper compares against: a static-encoder HDC
+    classifier, a NumPy multilayer perceptron and a from-scratch SVM.
+
+``repro.datasets``
+    Schema-faithful synthetic generators for the four NIDS datasets used in
+    the paper's evaluation (NSL-KDD, UNSW-NB15, CIC-IDS-2017, CIC-IDS-2018)
+    plus preprocessing utilities.
+
+``repro.nids``
+    A network-intrusion-detection substrate: synthetic traffic generation,
+    flow assembly, feature extraction, a detection pipeline, alerting and
+    streaming detection.
+
+``repro.hardware``
+    Quantization-aware hardware substrate: bit-flip fault injection,
+    analytical CPU/FPGA performance and energy models, robustness harness.
+
+``repro.eval``
+    The experiment harness that regenerates every table and figure of the
+    paper's evaluation section.
+"""
+
+from repro._version import __version__
+from repro.core.cyberhd import CyberHD, CyberHDConfig
+from repro.models.hdc_classifier import BaselineHDC
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.svm import KernelSVM, LinearSVM, RBFSampleSVM
+from repro.datasets.loaders import available_datasets, load_dataset
+from repro.hdc.encoders import LevelIDEncoder, LinearEncoder, RBFEncoder
+
+__all__ = [
+    "__version__",
+    "CyberHD",
+    "CyberHDConfig",
+    "BaselineHDC",
+    "MLPClassifier",
+    "LinearSVM",
+    "RBFSampleSVM",
+    "KernelSVM",
+    "available_datasets",
+    "load_dataset",
+    "RBFEncoder",
+    "LinearEncoder",
+    "LevelIDEncoder",
+]

@@ -1,0 +1,6 @@
+"""Non-HDC baseline learners the paper compares against (DNN and SVM)."""
+
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.svm import KernelSVM, LinearSVM, RBFSampleSVM
+
+__all__ = ["MLPClassifier", "LinearSVM", "RBFSampleSVM", "KernelSVM"]

@@ -1,0 +1,203 @@
+"""From-scratch NumPy multilayer perceptron (the paper's "SOTA DNN" baseline).
+
+The paper's DNN baseline [8] is a multilayer perceptron.  This implementation
+provides the same computational shape -- dense layers, ReLU activations,
+softmax cross-entropy, Adam optimization, mini-batch training -- in pure
+NumPy, so the efficiency comparison against HDC (Fig. 4) reflects the same
+algorithmic costs the paper measures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.utils import cross_entropy, iterate_minibatches, one_hot, softmax, xavier_init
+from repro.models.base import BaseClassifier, FitResult
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class _AdamState:
+    """Per-parameter Adam moment estimates."""
+
+    def __init__(self, shape: Tuple[int, ...]):
+        self.m = np.zeros(shape)
+        self.v = np.zeros(shape)
+
+    def step(
+        self,
+        grad: np.ndarray,
+        lr: float,
+        t: int,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> np.ndarray:
+        """Return the Adam update for ``grad`` at timestep ``t`` (1-based)."""
+        self.m = beta1 * self.m + (1.0 - beta1) * grad
+        self.v = beta2 * self.v + (1.0 - beta2) * grad**2
+        m_hat = self.m / (1.0 - beta1**t)
+        v_hat = self.v / (1.0 - beta2**t)
+        return lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class MLPClassifier(BaseClassifier):
+    """Multilayer perceptron with ReLU hidden layers and softmax output.
+
+    Parameters
+    ----------
+    hidden_layers:
+        Sizes of the hidden layers, e.g. ``(256, 128)``.
+    epochs:
+        Number of passes over the training set.
+    learning_rate:
+        Adam learning rate.
+    batch_size:
+        Mini-batch size.
+    l2:
+        L2 weight-decay coefficient.
+    early_stop_loss:
+        Stop training once the epoch training loss falls below this value.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        hidden_layers: Sequence[int] = (256, 128),
+        epochs: int = 30,
+        learning_rate: float = 1e-3,
+        batch_size: int = 128,
+        l2: float = 1e-5,
+        early_stop_loss: Optional[float] = None,
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        if any(h <= 0 for h in hidden_layers):
+            raise ValueError("hidden layer sizes must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.hidden_layers = tuple(int(h) for h in hidden_layers)
+        self.epochs = int(epochs)
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+        self.l2 = float(l2)
+        self.early_stop_loss = early_stop_loss
+        self._rng = ensure_rng(seed)
+        self.weights_: Optional[List[np.ndarray]] = None
+        self.biases_: Optional[List[np.ndarray]] = None
+
+    # --------------------------------------------------------------- fitting
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> FitResult:
+        start = time.perf_counter()
+        n_classes = int(y.max()) + 1
+        layer_sizes = [X.shape[1], *self.hidden_layers, n_classes]
+        self.weights_, self.biases_ = [], []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            W, b = xavier_init(fan_in, fan_out, self._rng)
+            self.weights_.append(W)
+            self.biases_.append(b)
+
+        w_states = [_AdamState(W.shape) for W in self.weights_]
+        b_states = [_AdamState(b.shape) for b in self.biases_]
+        targets = one_hot(y, n_classes)
+
+        history = {"loss": [], "train_accuracy": []}
+        step = 0
+        epochs_run = 0
+        for epoch in range(1, self.epochs + 1):
+            epoch_losses = []
+            for idx in iterate_minibatches(X.shape[0], self.batch_size, self._rng):
+                Xb, Tb = X[idx], targets[idx]
+                activations, pre_activations = self._forward(Xb)
+                probs = softmax(activations[-1])
+                epoch_losses.append(cross_entropy(probs, Tb))
+                grads_w, grads_b = self._backward(activations, pre_activations, probs, Tb)
+                step += 1
+                for i, (gw, gb) in enumerate(zip(grads_w, grads_b)):
+                    gw = gw + self.l2 * self.weights_[i]
+                    self.weights_[i] -= w_states[i].step(gw, self.learning_rate, step)
+                    self.biases_[i] -= b_states[i].step(gb, self.learning_rate, step)
+            epochs_run = epoch
+            mean_loss = float(np.mean(epoch_losses))
+            history["loss"].append(mean_loss)
+            history["train_accuracy"].append(
+                float(np.mean(np.argmax(self._predict_scores(X), axis=1) == y))
+            )
+            if self.early_stop_loss is not None and mean_loss <= self.early_stop_loss:
+                break
+
+        elapsed = time.perf_counter() - start
+        return FitResult(train_seconds=elapsed, epochs_run=epochs_run, history=history)
+
+    def _forward(self, X: np.ndarray) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Forward pass; returns (activations per layer, pre-activations)."""
+        activations = [X]
+        pre_activations = []
+        h = X
+        n_layers = len(self.weights_)
+        for i, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = h @ W + b
+            pre_activations.append(z)
+            h = z if i == n_layers - 1 else np.maximum(z, 0.0)
+            activations.append(h)
+        return activations, pre_activations
+
+    def _backward(
+        self,
+        activations: List[np.ndarray],
+        pre_activations: List[np.ndarray],
+        probs: np.ndarray,
+        targets: np.ndarray,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Backward pass for softmax cross-entropy; returns weight/bias grads."""
+        n = targets.shape[0]
+        grads_w: List[np.ndarray] = [None] * len(self.weights_)  # type: ignore[list-item]
+        grads_b: List[np.ndarray] = [None] * len(self.biases_)  # type: ignore[list-item]
+        delta = (probs - targets) / n
+        for i in range(len(self.weights_) - 1, -1, -1):
+            grads_w[i] = activations[i].T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights_[i].T) * (pre_activations[i - 1] > 0.0)
+        return grads_w, grads_b
+
+    # -------------------------------------------------------------- predict
+    def _predict_scores(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "weights_")
+        activations, _ = self._forward(X)
+        return activations[-1]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities via softmax over the output logits."""
+        return softmax(self.predict_scores(X))
+
+    # ----------------------------------------------------------------- misc
+    def parameters(self) -> List[np.ndarray]:
+        """All weight and bias tensors (used by the fault-injection study)."""
+        check_fitted(self, "weights_")
+        return [*self.weights_, *self.biases_]
+
+    def set_parameters(self, params: List[np.ndarray]) -> None:
+        """Replace weights/biases with ``params`` (inverse of :meth:`parameters`)."""
+        check_fitted(self, "weights_")
+        n_w = len(self.weights_)
+        expected = n_w + len(self.biases_)
+        if len(params) != expected:
+            raise ValueError(f"expected {expected} parameter tensors, got {len(params)}")
+        self.weights_ = [np.asarray(p, dtype=np.float64) for p in params[:n_w]]
+        self.biases_ = [np.asarray(p, dtype=np.float64) for p in params[n_w:]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fitted = self.weights_ is not None
+        return (
+            f"MLPClassifier(hidden_layers={self.hidden_layers}, epochs={self.epochs}, "
+            f"fitted={fitted})"
+        )

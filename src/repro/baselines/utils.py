@@ -1,0 +1,55 @@
+"""Shared helpers for the from-scratch baseline learners."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+def one_hot(y: np.ndarray, n_classes: int) -> np.ndarray:
+    """One-hot encode integer class indices into an ``(n, k)`` matrix."""
+    y = np.asarray(y, dtype=np.int64)
+    out = np.zeros((y.shape[0], n_classes))
+    out[np.arange(y.shape[0]), y] = 1.0
+    return out
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(probabilities: np.ndarray, targets: np.ndarray) -> float:
+    """Mean cross-entropy between predicted probabilities and one-hot targets."""
+    eps = 1e-12
+    return float(-np.mean(np.sum(targets * np.log(probabilities + eps), axis=1)))
+
+
+def iterate_minibatches(
+    n_samples: int,
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``0..n_samples-1`` in mini-batches."""
+    order = rng.permutation(n_samples) if shuffle else np.arange(n_samples)
+    for start in range(0, n_samples, batch_size):
+        yield order[start : start + batch_size]
+
+
+def hinge_loss(margins: np.ndarray) -> float:
+    """Mean hinge loss ``max(0, 1 - margin)``."""
+    return float(np.mean(np.maximum(0.0, 1.0 - margins)))
+
+
+def xavier_init(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Xavier/Glorot-uniform weight matrix and zero bias for a dense layer."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    W = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    b = np.zeros(fan_out)
+    return W, b

@@ -1,0 +1,99 @@
+"""Command-line interface for the reproduction.
+
+Exposes the evaluation harness so every paper experiment (and the ablations)
+can be regenerated without writing Python::
+
+    python -m repro list
+    python -m repro run fig3 --scale fast
+    python -m repro run fig3 fig5 --scale paper --json results.json
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+from repro.datasets.loaders import available_datasets, load_dataset
+from repro.eval.harness import ExperimentHarness, HarnessConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser behind ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CyberHD reproduction: regenerate the paper's experiments",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+", help="experiment names (see `repro list`)")
+    run.add_argument("--scale", choices=("fast", "paper"), default="fast")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", metavar="PATH", default=None, help="also write results as JSON")
+
+    datasets = subparsers.add_parser("datasets", help="summarize the synthetic datasets")
+    datasets.add_argument("--n-train", type=int, default=1000)
+    datasets.add_argument("--n-test", type=int, default=300)
+
+    return parser
+
+
+def _command_list() -> int:
+    harness = ExperimentHarness()
+    print("available experiments:")
+    for name in harness.available_experiments():
+        print(f"  {name}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = HarnessConfig(scale=args.scale, seed=args.seed, experiments=tuple(args.experiments))
+    harness = ExperimentHarness(config)
+    available = set(harness.available_experiments())
+    unknown = [name for name in args.experiments if name not in available]
+    if unknown:
+        print(f"unknown experiments: {unknown}; run `repro list`", file=sys.stderr)
+        return 2
+    harness.run_all()
+    print(harness.report())
+    if args.json:
+        path = harness.save_json(args.json)
+        print(f"\nresults written to {path}")
+    return 0
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    for name in available_datasets():
+        dataset = load_dataset(name, n_train=args.n_train, n_test=args.n_test)
+        distribution = dataset.class_distribution("train")
+        print(
+            f"{name}: {dataset.n_features} features, {dataset.n_classes} classes, "
+            f"{100 * dataset.attack_fraction('train'):.1f}% attack flows"
+        )
+        for class_name, count in distribution.items():
+            print(f"    {class_name:<28s} {count}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "datasets":
+        return _command_datasets(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

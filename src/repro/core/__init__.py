@@ -1,0 +1,13 @@
+"""CyberHD: the paper's primary contribution.
+
+``repro.core`` contains the dynamic-encoding HDC classifier itself
+(:class:`CyberHD`), its configuration (:class:`CyberHDConfig`), the shared
+adaptive-training routines (:mod:`repro.core.trainer`) and the
+variance-driven dimension-regeneration logic (:mod:`repro.core.regeneration`).
+"""
+
+from repro.core.config import CyberHDConfig
+from repro.core.cyberhd import CyberHD
+from repro.core.regeneration import RegenerationEvent, select_drop_dimensions
+
+__all__ = ["CyberHD", "CyberHDConfig", "select_drop_dimensions", "RegenerationEvent"]

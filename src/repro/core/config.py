@@ -1,0 +1,77 @@
+"""Configuration dataclass for the CyberHD classifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class CyberHDConfig:
+    """Hyper-parameters of :class:`repro.core.CyberHD`.
+
+    Attributes
+    ----------
+    dim:
+        Physical hypervector dimensionality ``D``.  The paper's headline
+        configuration uses ``D = 500`` (0.5k).
+    encoder:
+        Encoder registry name: ``"rbf"`` (the paper's choice), ``"linear"``
+        or ``"level_id"``.
+    encoder_kwargs:
+        Extra keyword arguments forwarded to the encoder constructor
+        (e.g. ``{"gamma": 0.5}``).
+    epochs:
+        Number of adaptive retraining epochs after the initial one-pass
+        bundling.
+    learning_rate:
+        The ``eta`` of the adaptive update rule.  Because the initial bundling
+        pass uses unit weights, ``eta`` effectively controls how aggressive
+        retraining is *relative* to the initial model; 1.0 works well across
+        the four NIDS datasets.
+    regeneration_rate:
+        Fraction ``R`` of dimensions dropped and regenerated after each
+        retraining epoch.  ``0`` disables regeneration (the model then behaves
+        like the static baseline HDC).
+    regeneration_interval:
+        Regenerate every this-many epochs (1 = after every epoch).
+    batch_size:
+        Mini-batch size of the vectorized adaptive update.
+    early_stop_accuracy:
+        Stop retraining once training accuracy reaches this threshold
+        (``None`` disables early stopping).
+    seed:
+        RNG seed controlling encoder initialization, shuffling and
+        regeneration draws.
+    """
+
+    dim: int = 500
+    encoder: str = "rbf"
+    encoder_kwargs: Dict[str, Any] = field(default_factory=dict)
+    epochs: int = 20
+    learning_rate: float = 1.0
+    regeneration_rate: float = 0.10
+    regeneration_interval: int = 1
+    batch_size: int = 256
+    early_stop_accuracy: Optional[float] = None
+    seed: Optional[int] = None
+
+    def validate(self) -> "CyberHDConfig":
+        """Check parameter ranges and return ``self`` (raises on error)."""
+        if self.dim <= 0:
+            raise ConfigurationError("dim must be positive")
+        if self.epochs < 0:
+            raise ConfigurationError("epochs must be non-negative")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if not 0.0 <= self.regeneration_rate < 1.0:
+            raise ConfigurationError("regeneration_rate must be in [0, 1)")
+        if self.regeneration_interval < 1:
+            raise ConfigurationError("regeneration_interval must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.early_stop_accuracy is not None and not 0.0 < self.early_stop_accuracy <= 1.0:
+            raise ConfigurationError("early_stop_accuracy must be in (0, 1]")
+        return self

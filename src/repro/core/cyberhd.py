@@ -1,0 +1,185 @@
+"""The CyberHD classifier: HDC with dynamic dimension regeneration.
+
+This is the paper's primary contribution.  Compared to a static-encoder HDC
+model, CyberHD interleaves adaptive retraining with a drop-and-regenerate step
+that replaces the least discriminative encoder dimensions with fresh random
+draws, so that a small *physical* dimensionality (``D = 0.5k`` in the paper)
+accumulates the discriminative power of a much larger *effective*
+dimensionality (``D* ~ 4k``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import CyberHDConfig
+from repro.core.regeneration import (
+    RegenerationEvent,
+    apply_regeneration,
+    select_drop_dimensions,
+    warm_start_regenerated,
+)
+from repro.core.trainer import adaptive_epoch, adaptive_one_pass_fit, training_accuracy
+from repro.hdc.encoders import make_encoder
+from repro.hdc.encoders.base import BaseEncoder
+from repro.hdc.similarity import cosine_similarity_matrix
+from repro.models.base import BaseClassifier, FitResult
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fitted
+
+
+class CyberHD(BaseClassifier):
+    """Dynamic-encoding HDC classifier (the CyberHD algorithm).
+
+    Parameters
+    ----------
+    config:
+        A :class:`repro.core.CyberHDConfig`.  Keyword arguments may be passed
+        instead and are used to build a config, e.g.
+        ``CyberHD(dim=500, regeneration_rate=0.1, seed=0)``.
+
+    Attributes
+    ----------
+    class_hypervectors_:
+        ``(k, D)`` trained class matrix.
+    encoder_:
+        The (regenerated) encoder used at inference time.
+    regeneration_events_:
+        One :class:`RegenerationEvent` per drop-and-regenerate step.
+    effective_dim_:
+        ``D* = D + total regenerated dimensions``; the paper's effective
+        dimensionality metric.
+
+    Example
+    -------
+    >>> from repro import CyberHD, load_dataset
+    >>> ds = load_dataset("nsl_kdd", n_train=600, n_test=200, seed=0)
+    >>> model = CyberHD(dim=256, epochs=5, seed=0).fit(ds.X_train, ds.y_train)
+    >>> acc = model.score(ds.X_test, ds.y_test)
+    """
+
+    def __init__(self, config: Optional[CyberHDConfig] = None, **kwargs):
+        super().__init__()
+        if config is None:
+            config = CyberHDConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a CyberHDConfig or keyword arguments, not both")
+        self.config = config.validate()
+        self.encoder_: Optional[BaseEncoder] = None
+        self.class_hypervectors_: Optional[np.ndarray] = None
+        self.regeneration_events_: List[RegenerationEvent] = []
+        self._rng = ensure_rng(self.config.seed)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def dim(self) -> int:
+        """Physical hypervector dimensionality ``D``."""
+        return self.config.dim
+
+    @property
+    def effective_dim_(self) -> int:
+        """Effective dimensionality ``D*`` accumulated during training."""
+        check_fitted(self, "encoder_")
+        return self.encoder_.effective_dim
+
+    @property
+    def total_regenerated_(self) -> int:
+        """Total number of dimensions regenerated during training."""
+        check_fitted(self, "encoder_")
+        return self.encoder_.regenerated_total
+
+    # ------------------------------------------------------------------- fit
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> FitResult:
+        cfg = self.config
+        start = time.perf_counter()
+        n_classes = int(y.max()) + 1
+
+        self.encoder_ = make_encoder(
+            cfg.encoder,
+            in_features=X.shape[1],
+            dim=cfg.dim,
+            rng=self._rng,
+            **cfg.encoder_kwargs,
+        )
+        self.regeneration_events_ = []
+
+        H = self.encoder_.encode(X)
+        self.class_hypervectors_ = adaptive_one_pass_fit(
+            H, y, n_classes, batch_size=cfg.batch_size, rng=self._rng
+        )
+
+        history = {
+            "train_accuracy": [training_accuracy(self.class_hypervectors_, H, y)],
+            "regenerated_dims": [0.0],
+            "effective_dim": [float(self.encoder_.effective_dim)],
+        }
+
+        epochs_run = 0
+        for epoch in range(1, cfg.epochs + 1):
+            _, accuracy = adaptive_epoch(
+                self.class_hypervectors_,
+                H,
+                y,
+                learning_rate=cfg.learning_rate,
+                batch_size=cfg.batch_size,
+                rng=self._rng,
+            )
+            epochs_run = epoch
+            regenerated = 0
+            # Regenerate after every `regeneration_interval`-th epoch, but not
+            # after the final epoch: freshly regenerated (untrained) dimensions
+            # would only add noise to the deployed model.
+            should_regen = (
+                cfg.regeneration_rate > 0.0
+                and epoch % cfg.regeneration_interval == 0
+                and epoch < cfg.epochs
+            )
+            if should_regen:
+                dims, threshold = select_drop_dimensions(
+                    self.class_hypervectors_, cfg.regeneration_rate
+                )
+                if dims.size:
+                    apply_regeneration(self.class_hypervectors_, self.encoder_, dims)
+                    self.regeneration_events_.append(
+                        RegenerationEvent(epoch=epoch, dimensions=dims, variance_threshold=threshold)
+                    )
+                    regenerated = int(dims.size)
+                    # Re-encode: only the regenerated dimensions change, so the
+                    # training matrix stays valid for all other columns.
+                    H = self.encoder_.encode(X)
+                    # Warm-start the new columns so they contribute immediately
+                    # instead of waiting for misclassification-driven updates.
+                    warm_start_regenerated(self.class_hypervectors_, H, y, dims)
+
+            history["train_accuracy"].append(accuracy)
+            history["regenerated_dims"].append(float(regenerated))
+            history["effective_dim"].append(float(self.encoder_.effective_dim))
+
+            if cfg.early_stop_accuracy is not None and accuracy >= cfg.early_stop_accuracy:
+                break
+
+        elapsed = time.perf_counter() - start
+        return FitResult(train_seconds=elapsed, epochs_run=epochs_run, history=history)
+
+    # --------------------------------------------------------------- predict
+    def _predict_scores(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "class_hypervectors_")
+        H = self.encoder_.encode(X)
+        return cosine_similarity_matrix(H, self.class_hypervectors_)
+
+    # ------------------------------------------------------------------ misc
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Encode raw features into hyperspace with the trained encoder."""
+        check_fitted(self, "encoder_")
+        return self.encoder_.encode(X)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fitted = self.class_hypervectors_ is not None
+        return (
+            f"CyberHD(dim={self.config.dim}, encoder={self.config.encoder!r}, "
+            f"epochs={self.config.epochs}, regeneration_rate={self.config.regeneration_rate}, "
+            f"fitted={fitted})"
+        )

@@ -1,0 +1,140 @@
+"""Variance-driven dimension selection and regeneration (steps ``D``-``H``).
+
+CyberHD's key idea: after training, dimensions whose values are similar across
+*all* class hypervectors store common information and contribute little to
+telling classes apart.  Those dimensions are identified by (1) normalizing the
+class matrix row-wise, (2) computing the per-dimension variance across
+classes, (3) taking the ``R%`` lowest-variance dimensions.  The selected
+dimensions are zeroed in the model and their encoder base vectors are redrawn,
+after which retraining continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hdc.encoders.base import BaseEncoder
+from repro.hdc.operations import lowest_variance_dimensions, normalize_rows
+
+
+@dataclass(frozen=True)
+class RegenerationEvent:
+    """Record of one drop-and-regenerate step.
+
+    Attributes
+    ----------
+    epoch:
+        Retraining epoch after which the regeneration happened (1-based).
+    dimensions:
+        Indices of the regenerated dimensions.
+    variance_threshold:
+        Largest cross-class variance among the dropped dimensions (useful for
+        diagnosing whether the regeneration rate is too aggressive).
+    """
+
+    epoch: int
+    dimensions: np.ndarray
+    variance_threshold: float
+
+
+def select_drop_dimensions(
+    class_hypervectors: np.ndarray,
+    regeneration_rate: float,
+) -> Tuple[np.ndarray, float]:
+    """Select the lowest-variance dimensions to drop.
+
+    Parameters
+    ----------
+    class_hypervectors:
+        ``(k, D)`` class matrix (not necessarily normalized; normalization is
+        applied internally as in the paper's workflow step ``D``).
+    regeneration_rate:
+        Fraction ``R`` of dimensions to drop, in ``[0, 1)``.
+
+    Returns
+    -------
+    (dimensions, threshold):
+        Sorted dimension indices to regenerate and the maximum variance among
+        them (0.0 when nothing is selected).
+    """
+    if not 0.0 <= regeneration_rate < 1.0:
+        raise ConfigurationError("regeneration_rate must be in [0, 1)")
+    m = np.asarray(class_hypervectors, dtype=np.float64)
+    if m.ndim != 2:
+        raise ConfigurationError("class_hypervectors must be a (k, D) matrix")
+    dim = m.shape[1]
+    count = int(round(regeneration_rate * dim))
+    if count == 0:
+        return np.empty(0, dtype=np.int64), 0.0
+    normalized = normalize_rows(m)
+    dims = lowest_variance_dimensions(normalized, count)
+    variances = normalized.var(axis=0)
+    threshold = float(variances[dims].max()) if dims.size else 0.0
+    return dims, threshold
+
+
+def warm_start_regenerated(
+    class_hypervectors: np.ndarray,
+    H: np.ndarray,
+    y: np.ndarray,
+    dimensions: np.ndarray,
+) -> np.ndarray:
+    """Warm-start freshly regenerated dimensions from the training data.
+
+    After regeneration the selected class-matrix columns are all zero, so the
+    new dimensions would only start contributing once enough *misclassified*
+    samples update them -- which can take many epochs once the model is
+    already accurate.  Instead, the columns are initialized with a one-pass
+    class bundling of the re-encoded training data restricted to the
+    regenerated dimensions.
+
+    The bundled columns are rescaled **per class** so that each class's new
+    entries match the magnitude of that class's surviving entries.  A single
+    global scale would let the majority classes (whose raw bundles are large)
+    dominate and would effectively erase the rare attack classes from the
+    regenerated dimensions -- exactly the classes NIDS cares most about.
+
+    ``class_hypervectors`` is modified in place and returned.
+    """
+    dimensions = np.asarray(dimensions, dtype=np.int64)
+    if dimensions.size == 0:
+        return class_hypervectors
+    y = np.asarray(y, dtype=np.int64)
+    new_cols = np.zeros((class_hypervectors.shape[0], dimensions.size))
+    np.add.at(new_cols, y, np.asarray(H, dtype=np.float64)[:, dimensions])
+
+    keep_mask = np.ones(class_hypervectors.shape[1], dtype=bool)
+    keep_mask[dimensions] = False
+    surviving = class_hypervectors[:, keep_mask]
+    if surviving.size:
+        target_scale = np.mean(np.abs(surviving), axis=1, keepdims=True)
+    else:
+        target_scale = np.ones((class_hypervectors.shape[0], 1))
+    current_scale = np.mean(np.abs(new_cols), axis=1, keepdims=True)
+    scale = np.where(current_scale > 0.0, target_scale / np.maximum(current_scale, 1e-12), 1.0)
+    class_hypervectors[:, dimensions] = new_cols * scale
+    return class_hypervectors
+
+
+def apply_regeneration(
+    class_hypervectors: np.ndarray,
+    encoder: BaseEncoder,
+    dimensions: np.ndarray,
+) -> np.ndarray:
+    """Zero the dropped dimensions in the model and regenerate the encoder.
+
+    The class-matrix entries of the dropped dimensions are reset to zero so
+    the regenerated dimensions start from a clean slate; the encoder redraws
+    the corresponding base vectors.  ``class_hypervectors`` is modified in
+    place and also returned.
+    """
+    dimensions = np.asarray(dimensions, dtype=np.int64)
+    if dimensions.size == 0:
+        return class_hypervectors
+    encoder.regenerate(dimensions)
+    class_hypervectors[:, dimensions] = 0.0
+    return class_hypervectors

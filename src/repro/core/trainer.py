@@ -1,0 +1,171 @@
+"""Shared HDC training routines (step ``B`` of the CyberHD workflow).
+
+Both :class:`repro.core.CyberHD` and the static
+:class:`repro.models.BaselineHDC` train their class hypervectors with the same
+two-stage procedure:
+
+1. **One-pass bundling** -- every encoded training sample is added to its
+   class hypervector.  This gives a usable model after a single pass.
+2. **Adaptive (similarity-weighted) retraining** -- for every mispredicted
+   sample ``H`` with true class ``l`` and predicted class ``l'``::
+
+       C_l  <- C_l  + eta * (1 - delta_l ) * H
+       C_l' <- C_l' - eta * (1 - delta_l') * H
+
+   where ``delta_c`` is the cosine similarity of ``H`` to class ``c``.  A
+   sample that is already well represented (``delta ~ 1``) barely changes the
+   model, which prevents saturation; a novel pattern (``delta ~ 0``) updates
+   the model strongly.
+
+The implementation is mini-batch vectorized: similarities for a whole batch
+are computed with one matrix product and the per-class updates are aggregated
+with index-accumulation, matching the paper's "highly parallel matrix
+operations" formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.hdc.similarity import cosine_similarity_matrix
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def one_pass_fit(H: np.ndarray, y: np.ndarray, n_classes: int) -> np.ndarray:
+    """Naive initial class hypervectors: bundle every sample into its class.
+
+    Parameters
+    ----------
+    H:
+        ``(n, D)`` encoded training samples.
+    y:
+        ``(n,)`` class indices in ``0..n_classes-1``.
+    n_classes:
+        Number of classes ``k``.
+
+    Returns
+    -------
+    ndarray
+        ``(k, D)`` class hypervector matrix.
+    """
+    H = np.asarray(H, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    classes = np.zeros((n_classes, H.shape[1]))
+    np.add.at(classes, y, H)
+    return classes
+
+
+def adaptive_one_pass_fit(
+    H: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    batch_size: int = 256,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Similarity-weighted initial bundling (the paper's anti-saturation rule).
+
+    Instead of adding every sample at full weight, each sample ``H_i`` is added
+    to its class with weight ``1 - delta_l`` (its cosine similarity to the
+    current class hypervector), and subtracted from a wrongly predicted class
+    with weight ``1 - delta_l'``.  Samples that are already well represented
+    barely change the model, which prevents the class hypervectors from
+    saturating with redundant patterns.
+
+    Returns the ``(k, D)`` class matrix.
+    """
+    H = np.asarray(H, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    classes = np.zeros((n_classes, H.shape[1]))
+    gen = ensure_rng(rng)
+    order = gen.permutation(H.shape[0])
+    for start in range(0, H.shape[0], batch_size):
+        idx = order[start : start + batch_size]
+        Hb = H[idx]
+        yb = y[idx]
+        sims = cosine_similarity_matrix(Hb, classes)
+        pred = np.argmax(sims, axis=1)
+        sim_true = sims[np.arange(idx.size), yb]
+        np.add.at(classes, yb, (1.0 - sim_true)[:, None] * Hb)
+        wrong = pred != yb
+        if np.any(wrong):
+            sim_pred = sims[wrong, pred[wrong]]
+            np.add.at(classes, pred[wrong], -(1.0 - sim_pred)[:, None] * Hb[wrong])
+    return classes
+
+
+def adaptive_epoch(
+    class_hypervectors: np.ndarray,
+    H: np.ndarray,
+    y: np.ndarray,
+    learning_rate: float,
+    batch_size: int = 256,
+    rng: SeedLike = None,
+    shuffle: bool = True,
+) -> Tuple[int, float]:
+    """One epoch of similarity-weighted adaptive retraining (in place).
+
+    Parameters
+    ----------
+    class_hypervectors:
+        ``(k, D)`` class matrix, updated in place.
+    H:
+        ``(n, D)`` encoded training samples.
+    y:
+        ``(n,)`` class indices.
+    learning_rate:
+        Update step ``eta``.
+    batch_size:
+        Samples per vectorized update step.
+    rng:
+        Seed/generator used for shuffling.
+    shuffle:
+        Whether to shuffle sample order each epoch.
+
+    Returns
+    -------
+    (errors, accuracy):
+        Number of mispredicted training samples during the epoch and the
+        corresponding training accuracy.
+    """
+    H = np.asarray(H, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    n = H.shape[0]
+    gen = ensure_rng(rng)
+    order = gen.permutation(n) if shuffle else np.arange(n)
+    errors = 0
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        Hb = H[idx]
+        yb = y[idx]
+        sims = cosine_similarity_matrix(Hb, class_hypervectors)
+        pred = np.argmax(sims, axis=1)
+        wrong = pred != yb
+        n_wrong = int(np.count_nonzero(wrong))
+        errors += n_wrong
+        if n_wrong == 0:
+            continue
+        Hw = Hb[wrong]
+        yw = yb[wrong]
+        pw = pred[wrong]
+        sim_true = sims[wrong, yw]
+        sim_pred = sims[wrong, pw]
+        add_weights = learning_rate * (1.0 - sim_true)
+        sub_weights = learning_rate * (1.0 - sim_pred)
+        np.add.at(class_hypervectors, yw, add_weights[:, None] * Hw)
+        np.add.at(class_hypervectors, pw, -sub_weights[:, None] * Hw)
+    accuracy = 1.0 - errors / n
+    return errors, accuracy
+
+
+def predict_indices(class_hypervectors: np.ndarray, H: np.ndarray) -> np.ndarray:
+    """Class indices with the highest cosine similarity to each query row."""
+    sims = cosine_similarity_matrix(H, class_hypervectors)
+    return np.argmax(sims, axis=1)
+
+
+def training_accuracy(class_hypervectors: np.ndarray, H: np.ndarray, y: np.ndarray) -> float:
+    """Accuracy of the current class matrix on encoded samples ``H``."""
+    pred = predict_indices(class_hypervectors, H)
+    return float(np.mean(pred == np.asarray(y, dtype=np.int64)))

@@ -1,0 +1,32 @@
+"""NIDS dataset substrate.
+
+The paper evaluates on four public intrusion-detection datasets (NSL-KDD,
+UNSW-NB15, CIC-IDS-2017, CIC-IDS-2018).  This environment has no network
+access, so each dataset is replaced by a **schema-faithful synthetic
+generator**: the real dataset's feature names/types, attack taxonomy and class
+imbalance are encoded in a :class:`repro.datasets.schema.DatasetSchema`, and a
+deterministic generator draws flows whose per-class feature distributions are
+controlled (Gaussian mixtures for numeric features, class-conditional
+multinomials for categorical features).  See DESIGN.md section 2 for why this
+substitution preserves the paper's comparisons.
+"""
+
+from repro.datasets.base import NIDSDataset
+from repro.datasets.loaders import available_datasets, load_dataset
+from repro.datasets.preprocessing import MinMaxScaler, OneHotEncoder, Preprocessor, StandardScaler
+from repro.datasets.schema import ClassSpec, DatasetSchema, FeatureSpec
+from repro.datasets.synthetic import SyntheticFlowGenerator
+
+__all__ = [
+    "NIDSDataset",
+    "DatasetSchema",
+    "FeatureSpec",
+    "ClassSpec",
+    "SyntheticFlowGenerator",
+    "Preprocessor",
+    "MinMaxScaler",
+    "StandardScaler",
+    "OneHotEncoder",
+    "load_dataset",
+    "available_datasets",
+]

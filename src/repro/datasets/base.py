@@ -1,0 +1,143 @@
+"""The in-memory dataset container used throughout the evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.schema import DatasetSchema
+from repro.exceptions import DatasetError
+
+
+@dataclass
+class NIDSDataset:
+    """A train/test split of encoded NIDS flows.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (e.g. ``"nsl_kdd"``).
+    X_train, y_train, X_test, y_test:
+        Encoded feature matrices (numeric, post one-hot / scaling) and integer
+        class labels.
+    feature_names:
+        Names of the encoded feature columns (one-hot columns are named
+        ``<feature>=<category>``).
+    class_names:
+        Class label names; ``class_names[label]`` is the human-readable name.
+    schema:
+        The originating :class:`DatasetSchema`, if the dataset was generated
+        from one.
+    metadata:
+        Free-form generation metadata (seed, separability, label noise, ...).
+    """
+
+    name: str
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    feature_names: Tuple[str, ...]
+    class_names: Tuple[str, ...]
+    schema: Optional[DatasetSchema] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.X_train.ndim != 2 or self.X_test.ndim != 2:
+            raise DatasetError("X_train and X_test must be 2-D")
+        if self.X_train.shape[1] != self.X_test.shape[1]:
+            raise DatasetError("train and test must have the same number of features")
+        if self.X_train.shape[0] != self.y_train.shape[0]:
+            raise DatasetError("X_train and y_train lengths differ")
+        if self.X_test.shape[0] != self.y_test.shape[0]:
+            raise DatasetError("X_test and y_test lengths differ")
+        if len(self.feature_names) != self.X_train.shape[1]:
+            raise DatasetError("feature_names length does not match the feature matrix")
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_features(self) -> int:
+        """Number of encoded feature columns."""
+        return int(self.X_train.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes present in the label space."""
+        return len(self.class_names)
+
+    @property
+    def n_train(self) -> int:
+        """Number of training flows."""
+        return int(self.X_train.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        """Number of test flows."""
+        return int(self.X_test.shape[0])
+
+    # ------------------------------------------------------------------- API
+    def class_distribution(self, split: str = "train") -> Dict[str, int]:
+        """Count of flows per class name in the chosen split."""
+        y = self._labels(split)
+        counts = np.bincount(y, minlength=self.n_classes)
+        return {name: int(counts[i]) for i, name in enumerate(self.class_names)}
+
+    def attack_fraction(self, split: str = "train") -> float:
+        """Fraction of flows labeled as an attack class in the chosen split."""
+        if self.schema is None:
+            raise DatasetError("attack_fraction requires a schema with attack flags")
+        mask = np.asarray(self.schema.attack_mask)
+        y = self._labels(split)
+        return float(np.mean(mask[y]))
+
+    def to_binary(self) -> "NIDSDataset":
+        """Collapse labels to benign (0) vs attack (1) using the schema."""
+        if self.schema is None:
+            raise DatasetError("to_binary requires a schema with attack flags")
+        mask = np.asarray(self.schema.attack_mask).astype(np.int64)
+        return NIDSDataset(
+            name=f"{self.name}_binary",
+            X_train=self.X_train,
+            y_train=mask[self.y_train],
+            X_test=self.X_test,
+            y_test=mask[self.y_test],
+            feature_names=self.feature_names,
+            class_names=("benign", "attack"),
+            schema=None,
+            metadata=dict(self.metadata, binary=True),
+        )
+
+    def subsample(self, n_train: int, n_test: int, seed: int = 0) -> "NIDSDataset":
+        """Random stratification-free subsample (used for quick experiments)."""
+        if n_train > self.n_train or n_test > self.n_test:
+            raise DatasetError("cannot subsample more rows than available")
+        rng = np.random.default_rng(seed)
+        train_idx = rng.choice(self.n_train, size=n_train, replace=False)
+        test_idx = rng.choice(self.n_test, size=n_test, replace=False)
+        return NIDSDataset(
+            name=self.name,
+            X_train=self.X_train[train_idx],
+            y_train=self.y_train[train_idx],
+            X_test=self.X_test[test_idx],
+            y_test=self.y_test[test_idx],
+            feature_names=self.feature_names,
+            class_names=self.class_names,
+            schema=self.schema,
+            metadata=dict(self.metadata, subsampled=True),
+        )
+
+    # ----------------------------------------------------------------- utils
+    def _labels(self, split: str) -> np.ndarray:
+        if split == "train":
+            return self.y_train
+        if split == "test":
+            return self.y_test
+        raise DatasetError(f"split must be 'train' or 'test', got {split!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NIDSDataset(name={self.name!r}, n_train={self.n_train}, n_test={self.n_test}, "
+            f"n_features={self.n_features}, n_classes={self.n_classes})"
+        )

@@ -1,0 +1,148 @@
+"""CIC-IDS-2017 synthetic dataset (schema-faithful).
+
+CIC-IDS-2017 (Sharafaldin et al., 2018) is built from five days of captured
+traffic with attacks executed against a victim network.  Flows are described
+by 78 numeric CICFlowMeter features; there are no categorical columns.  The
+class taxonomy below keeps the eight most populous labels of the real dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.datasets.base import NIDSDataset
+from repro.datasets.schema import ClassSpec, DatasetSchema, numeric_feature_specs
+from repro.datasets.synthetic import GenerationConfig, SyntheticFlowGenerator
+from repro.utils.rng import SeedLike
+
+#: The 78 CICFlowMeter flow features used by CIC-IDS-2017.
+NUMERIC_FEATURES: Tuple[str, ...] = (
+    "destination_port",
+    "flow_duration",
+    "total_fwd_packets",
+    "total_backward_packets",
+    "total_length_of_fwd_packets",
+    "total_length_of_bwd_packets",
+    "fwd_packet_length_max",
+    "fwd_packet_length_min",
+    "fwd_packet_length_mean",
+    "fwd_packet_length_std",
+    "bwd_packet_length_max",
+    "bwd_packet_length_min",
+    "bwd_packet_length_mean",
+    "bwd_packet_length_std",
+    "flow_bytes_per_s",
+    "flow_packets_per_s",
+    "flow_iat_mean",
+    "flow_iat_std",
+    "flow_iat_max",
+    "flow_iat_min",
+    "fwd_iat_total",
+    "fwd_iat_mean",
+    "fwd_iat_std",
+    "fwd_iat_max",
+    "fwd_iat_min",
+    "bwd_iat_total",
+    "bwd_iat_mean",
+    "bwd_iat_std",
+    "bwd_iat_max",
+    "bwd_iat_min",
+    "fwd_psh_flags",
+    "bwd_psh_flags",
+    "fwd_urg_flags",
+    "bwd_urg_flags",
+    "fwd_header_length",
+    "bwd_header_length",
+    "fwd_packets_per_s",
+    "bwd_packets_per_s",
+    "min_packet_length",
+    "max_packet_length",
+    "packet_length_mean",
+    "packet_length_std",
+    "packet_length_variance",
+    "fin_flag_count",
+    "syn_flag_count",
+    "rst_flag_count",
+    "psh_flag_count",
+    "ack_flag_count",
+    "urg_flag_count",
+    "cwe_flag_count",
+    "ece_flag_count",
+    "down_up_ratio",
+    "average_packet_size",
+    "avg_fwd_segment_size",
+    "avg_bwd_segment_size",
+    "fwd_avg_bytes_per_bulk",
+    "fwd_avg_packets_per_bulk",
+    "fwd_avg_bulk_rate",
+    "bwd_avg_bytes_per_bulk",
+    "bwd_avg_packets_per_bulk",
+    "bwd_avg_bulk_rate",
+    "subflow_fwd_packets",
+    "subflow_fwd_bytes",
+    "subflow_bwd_packets",
+    "subflow_bwd_bytes",
+    "init_win_bytes_forward",
+    "init_win_bytes_backward",
+    "act_data_pkt_fwd",
+    "min_seg_size_forward",
+    "active_mean",
+    "active_std",
+    "active_max",
+    "active_min",
+    "idle_mean",
+    "idle_std",
+    "idle_max",
+    "idle_min",
+    "fwd_seg_size_min",
+)
+
+#: Volume/timing features with heavy-tailed real-world distributions.
+HEAVY_TAILED = (
+    "flow_duration",
+    "total_length_of_fwd_packets",
+    "total_length_of_bwd_packets",
+    "flow_bytes_per_s",
+    "flow_packets_per_s",
+    "flow_iat_mean",
+    "flow_iat_max",
+    "fwd_iat_total",
+    "bwd_iat_total",
+    "idle_mean",
+    "idle_max",
+    "active_mean",
+)
+
+
+def build_schema() -> DatasetSchema:
+    """The CIC-IDS-2017 schema: 78 numeric features, 8 traffic classes."""
+    features = numeric_feature_specs(NUMERIC_FEATURES, heavy_tailed=HEAVY_TAILED)
+    classes = [
+        ClassSpec("BENIGN", weight=0.68, is_attack=False),
+        ClassSpec("DoS_Hulk", weight=0.12, separability=1.2),
+        ClassSpec("PortScan", weight=0.08, separability=1.3),
+        ClassSpec("DDoS", weight=0.06, separability=1.2),
+        ClassSpec("DoS_GoldenEye", weight=0.02, separability=1.0),
+        ClassSpec("FTP-Patator", weight=0.02, separability=0.95),
+        ClassSpec("SSH-Patator", weight=0.015, separability=0.9),
+        ClassSpec("Web_Attack_Brute_Force", weight=0.005, separability=0.7),
+    ]
+    return DatasetSchema(
+        name="cic_ids_2017",
+        features=tuple(features),
+        classes=tuple(classes),
+        description="CIC-IDS-2017: CICFlowMeter flow statistics (78 features, 8 classes)",
+    )
+
+
+def generate(
+    n_train: int = 8000,
+    n_test: int = 2000,
+    seed: SeedLike = 2,
+    config: Optional[GenerationConfig] = None,
+) -> NIDSDataset:
+    """Generate a synthetic CIC-IDS-2017 train/test split."""
+    if config is None:
+        config = GenerationConfig(separability=3.1, label_noise=0.02)
+    generator = SyntheticFlowGenerator(build_schema(), config=config, seed=seed)
+    return generator.generate(n_train, n_test)

@@ -1,0 +1,83 @@
+"""Dataset registry and the public ``load_dataset`` entry point."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.datasets import cicids2017, cicids2018, nslkdd, unsw_nb15
+from repro.datasets.base import NIDSDataset
+from repro.datasets.synthetic import GenerationConfig
+from repro.exceptions import DatasetError
+from repro.utils.rng import SeedLike
+
+#: Maps dataset name -> generator function.
+_REGISTRY: Dict[str, Callable[..., NIDSDataset]] = {
+    "nsl_kdd": nslkdd.generate,
+    "unsw_nb15": unsw_nb15.generate,
+    "cic_ids_2017": cicids2017.generate,
+    "cic_ids_2018": cicids2018.generate,
+}
+
+#: Common aliases accepted by :func:`load_dataset`.
+_ALIASES: Dict[str, str] = {
+    "nslkdd": "nsl_kdd",
+    "nsl-kdd": "nsl_kdd",
+    "unsw": "unsw_nb15",
+    "unsw-nb15": "unsw_nb15",
+    "cicids2017": "cic_ids_2017",
+    "cic-ids-2017": "cic_ids_2017",
+    "cicids2018": "cic_ids_2018",
+    "cic-ids-2018": "cic_ids_2018",
+}
+
+
+def available_datasets() -> List[str]:
+    """Names of the datasets that can be passed to :func:`load_dataset`."""
+    return sorted(_REGISTRY)
+
+
+def canonical_name(name: str) -> str:
+    """Resolve aliases (``"NSL-KDD"``, ``"cicids2017"`` ...) to registry names."""
+    key = name.strip().lower().replace(" ", "_")
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        )
+    return key
+
+
+def load_dataset(
+    name: str,
+    n_train: int = 8000,
+    n_test: int = 2000,
+    seed: Optional[SeedLike] = None,
+    config: Optional[GenerationConfig] = None,
+) -> NIDSDataset:
+    """Generate one of the four paper datasets.
+
+    Parameters
+    ----------
+    name:
+        ``"nsl_kdd"``, ``"unsw_nb15"``, ``"cic_ids_2017"`` or
+        ``"cic_ids_2018"`` (aliases such as ``"NSL-KDD"`` are accepted).
+    n_train, n_test:
+        Number of flows in each split.
+    seed:
+        RNG seed; ``None`` uses the dataset's default seed so that repeated
+        calls give identical data.
+    config:
+        Optional :class:`GenerationConfig` overriding the per-dataset default
+        separability / label-noise settings.
+
+    Returns
+    -------
+    NIDSDataset
+        The generated, preprocessed train/test split.
+    """
+    key = canonical_name(name)
+    generator = _REGISTRY[key]
+    kwargs = {"n_train": n_train, "n_test": n_test, "config": config}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return generator(**kwargs)

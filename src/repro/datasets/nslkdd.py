@@ -1,0 +1,126 @@
+"""NSL-KDD synthetic dataset (schema-faithful).
+
+NSL-KDD (Tavallaee et al., 2009) is the cleaned successor of KDD Cup 99.  Each
+record has 41 features (38 numeric + 3 categorical: ``protocol_type``,
+``service``, ``flag``) and is labeled normal or one of four attack families:
+DoS, Probe, R2L (remote-to-local) and U2R (user-to-root).  U2R and R2L are
+rare and notoriously hard to detect, which the class weights and separability
+multipliers below reflect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datasets.base import NIDSDataset
+from repro.datasets.schema import ClassSpec, DatasetSchema, FeatureSpec, numeric_feature_specs
+from repro.datasets.synthetic import GenerationConfig, SyntheticFlowGenerator
+from repro.utils.rng import SeedLike
+
+#: Numeric features of an NSL-KDD record (38 of the 41 features).
+NUMERIC_FEATURES = (
+    "duration",
+    "src_bytes",
+    "dst_bytes",
+    "land",
+    "wrong_fragment",
+    "urgent",
+    "hot",
+    "num_failed_logins",
+    "logged_in",
+    "num_compromised",
+    "root_shell",
+    "su_attempted",
+    "num_root",
+    "num_file_creations",
+    "num_shells",
+    "num_access_files",
+    "num_outbound_cmds",
+    "is_host_login",
+    "is_guest_login",
+    "count",
+    "srv_count",
+    "serror_rate",
+    "srv_serror_rate",
+    "rerror_rate",
+    "srv_rerror_rate",
+    "same_srv_rate",
+    "diff_srv_rate",
+    "srv_diff_host_rate",
+    "dst_host_count",
+    "dst_host_srv_count",
+    "dst_host_same_srv_rate",
+    "dst_host_diff_srv_rate",
+    "dst_host_same_src_port_rate",
+    "dst_host_srv_diff_host_rate",
+    "dst_host_serror_rate",
+    "dst_host_srv_serror_rate",
+    "dst_host_rerror_rate",
+    "dst_host_srv_rerror_rate",
+)
+
+#: Features with log-normal (heavy-tailed) distributions in real traffic.
+HEAVY_TAILED = ("duration", "src_bytes", "dst_bytes", "count", "srv_count")
+
+#: protocol_type categories.
+PROTOCOLS = ("tcp", "udp", "icmp")
+
+#: A representative subset of the 70 service values in the real dataset.
+SERVICES = (
+    "http",
+    "smtp",
+    "ftp",
+    "ftp_data",
+    "telnet",
+    "ssh",
+    "dns",
+    "domain_u",
+    "pop_3",
+    "imap4",
+    "finger",
+    "auth",
+    "irc",
+    "eco_i",
+    "ecr_i",
+    "private",
+    "other",
+)
+
+#: TCP connection status flags.
+FLAGS = ("SF", "S0", "REJ", "RSTR", "RSTO", "SH", "S1", "S2", "S3", "OTH", "RSTOS0")
+
+
+def build_schema() -> DatasetSchema:
+    """The NSL-KDD schema: 41 features, 5 traffic classes."""
+    features = [
+        *numeric_feature_specs(NUMERIC_FEATURES, heavy_tailed=HEAVY_TAILED),
+        FeatureSpec("protocol_type", kind="categorical", categories=PROTOCOLS),
+        FeatureSpec("service", kind="categorical", categories=SERVICES),
+        FeatureSpec("flag", kind="categorical", categories=FLAGS),
+    ]
+    classes = [
+        ClassSpec("normal", weight=0.52, is_attack=False),
+        ClassSpec("dos", weight=0.35, separability=1.2),
+        ClassSpec("probe", weight=0.09, separability=1.0),
+        ClassSpec("r2l", weight=0.035, separability=0.7),
+        ClassSpec("u2r", weight=0.005, separability=0.55),
+    ]
+    return DatasetSchema(
+        name="nsl_kdd",
+        features=tuple(features),
+        classes=tuple(classes),
+        description="NSL-KDD: cleaned KDD Cup 99 connection records (41 features, 5 classes)",
+    )
+
+
+def generate(
+    n_train: int = 8000,
+    n_test: int = 2000,
+    seed: SeedLike = 0,
+    config: Optional[GenerationConfig] = None,
+) -> NIDSDataset:
+    """Generate a synthetic NSL-KDD train/test split."""
+    if config is None:
+        config = GenerationConfig(separability=3.2, label_noise=0.01)
+    generator = SyntheticFlowGenerator(build_schema(), config=config, seed=seed)
+    return generator.generate(n_train, n_test)

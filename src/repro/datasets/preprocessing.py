@@ -1,0 +1,172 @@
+"""Feature preprocessing: scaling and categorical encoding.
+
+The real NIDS datasets mix numeric flow statistics with categorical protocol
+fields.  The preprocessing mirrors standard practice for these datasets:
+categorical features are one-hot encoded and numeric features are scaled to
+``[0, 1]`` (min-max) or standardized, with all statistics fitted on the
+training split only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+
+_EPS = 1e-12
+
+
+class MinMaxScaler:
+    """Scale each column to ``[0, 1]`` using training-split minima and maxima."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.max_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Record per-column minima and maxima."""
+        X = np.asarray(X, dtype=np.float64)
+        self.min_ = X.min(axis=0)
+        self.max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the recorded scaling; constant columns map to 0."""
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler.transform called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        span = np.where(self.max_ - self.min_ < _EPS, 1.0, self.max_ - self.min_)
+        return np.clip((X - self.min_) / span, 0.0, 1.0)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+
+class StandardScaler:
+    """Standardize each column to zero mean and unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Record per-column means and standard deviations."""
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        self.std_ = X.std(axis=0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the recorded standardization; constant columns map to 0."""
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler.transform called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        std = np.where(self.std_ < _EPS, 1.0, self.std_)
+        return (X - self.mean_) / std
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+
+class OneHotEncoder:
+    """One-hot encode integer-coded categorical columns.
+
+    The encoder is fitted with the *known* number of categories per column
+    (taken from the dataset schema), so unseen test-time categories cannot
+    silently change the output width.
+    """
+
+    def __init__(self, n_categories: Sequence[int]):
+        if any(n < 2 for n in n_categories):
+            raise ConfigurationError("every categorical column needs >= 2 categories")
+        self.n_categories = tuple(int(n) for n in n_categories)
+
+    @property
+    def n_output_columns(self) -> int:
+        """Total number of one-hot output columns."""
+        return int(sum(self.n_categories))
+
+    def transform(self, X_cat: np.ndarray) -> np.ndarray:
+        """Encode an ``(n, n_cat_columns)`` integer matrix into one-hot columns."""
+        X_cat = np.asarray(X_cat, dtype=np.int64)
+        if X_cat.ndim != 2 or X_cat.shape[1] != len(self.n_categories):
+            raise ConfigurationError(
+                f"expected {len(self.n_categories)} categorical columns, got shape {X_cat.shape}"
+            )
+        pieces = []
+        for col, n_cat in enumerate(self.n_categories):
+            values = X_cat[:, col]
+            if values.min() < 0 or values.max() >= n_cat:
+                raise ConfigurationError(
+                    f"categorical column {col} has values outside [0, {n_cat})"
+                )
+            block = np.zeros((X_cat.shape[0], n_cat))
+            block[np.arange(X_cat.shape[0]), values] = 1.0
+            pieces.append(block)
+        return np.hstack(pieces)
+
+
+class Preprocessor:
+    """Combined numeric-scaling + categorical-one-hot preprocessing pipeline.
+
+    Parameters
+    ----------
+    n_categories:
+        Number of categories for each categorical column (empty for purely
+        numeric datasets).
+    numeric_scaling:
+        ``"minmax"`` (default; matches the ``[0, 1]`` range expected by the
+        level-ID encoder) or ``"standard"``.
+    """
+
+    def __init__(self, n_categories: Sequence[int] = (), numeric_scaling: str = "minmax"):
+        if numeric_scaling not in ("minmax", "standard"):
+            raise ConfigurationError("numeric_scaling must be 'minmax' or 'standard'")
+        self._onehot = OneHotEncoder(n_categories) if n_categories else None
+        self._scaler = MinMaxScaler() if numeric_scaling == "minmax" else StandardScaler()
+        self.numeric_scaling = numeric_scaling
+
+    def fit(self, X_numeric: np.ndarray, X_categorical: Optional[np.ndarray] = None) -> "Preprocessor":
+        """Fit the numeric scaler on the training split."""
+        self._scaler.fit(X_numeric)
+        return self
+
+    def transform(
+        self, X_numeric: np.ndarray, X_categorical: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Scale numerics, one-hot categoricals, and concatenate."""
+        numeric = self._scaler.transform(X_numeric)
+        if self._onehot is None:
+            return numeric
+        if X_categorical is None:
+            raise ConfigurationError("this preprocessor was configured with categorical columns")
+        return np.hstack([numeric, self._onehot.transform(X_categorical)])
+
+    def fit_transform(
+        self, X_numeric: np.ndarray, X_categorical: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Fit on and transform the same (training) split."""
+        return self.fit(X_numeric, X_categorical).transform(X_numeric, X_categorical)
+
+    def output_feature_names(
+        self,
+        numeric_names: Sequence[str],
+        categorical_names: Sequence[str] = (),
+        categories: Sequence[Sequence[str]] = (),
+    ) -> List[str]:
+        """Names of the output columns (one-hot columns become ``name=category``)."""
+        names = list(numeric_names)
+        if self._onehot is None:
+            return names
+        if len(categorical_names) != len(self._onehot.n_categories):
+            raise ConfigurationError("categorical_names length mismatch")
+        for col, cat_name in enumerate(categorical_names):
+            cats = categories[col] if col < len(categories) else None
+            for j in range(self._onehot.n_categories[col]):
+                label = cats[j] if cats else str(j)
+                names.append(f"{cat_name}={label}")
+        return names

@@ -1,0 +1,156 @@
+"""Dataset schemas: feature and class specifications for each NIDS dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Specification of a single flow feature.
+
+    Attributes
+    ----------
+    name:
+        Feature name as it appears in the real dataset.
+    kind:
+        ``"numeric"`` or ``"categorical"``.
+    categories:
+        For categorical features, the list of category labels.
+    heavy_tailed:
+        Numeric features marked heavy-tailed (byte counts, durations,
+        inter-arrival times) are generated with a log-normal profile instead
+        of a plain Gaussian, which mirrors real traffic statistics.
+    """
+
+    name: str
+    kind: str = "numeric"
+    categories: Tuple[str, ...] = ()
+    heavy_tailed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("numeric", "categorical"):
+            raise DatasetError(f"feature kind must be numeric or categorical, got {self.kind!r}")
+        if self.kind == "categorical" and len(self.categories) < 2:
+            raise DatasetError(f"categorical feature {self.name!r} needs >= 2 categories")
+
+    @property
+    def is_categorical(self) -> bool:
+        """True if the feature is categorical."""
+        return self.kind == "categorical"
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """Specification of a traffic class (benign or a specific attack family).
+
+    Attributes
+    ----------
+    name:
+        Class label (e.g. ``"normal"``, ``"dos"``, ``"Exploits"``).
+    weight:
+        Relative frequency of the class in the generated dataset (weights are
+        normalized internally, so they need not sum to 1).
+    is_attack:
+        ``False`` only for benign/normal traffic.
+    separability:
+        Class-specific multiplier on how far the class prototype sits from the
+        global mean.  Rare, hard-to-detect attacks (e.g. U2R, Infiltration)
+        use values below 1 so they remain genuinely harder to classify.
+    """
+
+    name: str
+    weight: float
+    is_attack: bool = True
+    separability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise DatasetError(f"class {self.name!r} must have positive weight")
+        if self.separability <= 0:
+            raise DatasetError(f"class {self.name!r} must have positive separability")
+
+
+@dataclass(frozen=True)
+class DatasetSchema:
+    """Complete schema of a NIDS dataset (features + class taxonomy)."""
+
+    name: str
+    features: Tuple[FeatureSpec, ...]
+    classes: Tuple[ClassSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise DatasetError("a dataset schema needs at least one feature")
+        if len(self.classes) < 2:
+            raise DatasetError("a dataset schema needs at least two classes")
+        names = [f.name for f in self.features]
+        if len(set(names)) != len(names):
+            raise DatasetError(f"duplicate feature names in schema {self.name!r}")
+        class_names = [c.name for c in self.classes]
+        if len(set(class_names)) != len(class_names):
+            raise DatasetError(f"duplicate class names in schema {self.name!r}")
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def n_features(self) -> int:
+        """Number of raw (pre-encoding) features."""
+        return len(self.features)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of traffic classes."""
+        return len(self.classes)
+
+    @property
+    def numeric_features(self) -> Tuple[FeatureSpec, ...]:
+        """The numeric feature specs, in schema order."""
+        return tuple(f for f in self.features if not f.is_categorical)
+
+    @property
+    def categorical_features(self) -> Tuple[FeatureSpec, ...]:
+        """The categorical feature specs, in schema order."""
+        return tuple(f for f in self.features if f.is_categorical)
+
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        """Class labels, in schema order (index = integer label)."""
+        return tuple(c.name for c in self.classes)
+
+    @property
+    def class_weights(self) -> Tuple[float, ...]:
+        """Normalized class frequencies."""
+        total = sum(c.weight for c in self.classes)
+        return tuple(c.weight / total for c in self.classes)
+
+    @property
+    def attack_mask(self) -> Tuple[bool, ...]:
+        """Per-class flag: True for attack classes, False for benign."""
+        return tuple(c.is_attack for c in self.classes)
+
+    def feature_index(self, name: str) -> int:
+        """Index of feature ``name`` in the raw feature order."""
+        for i, f in enumerate(self.features):
+            if f.name == name:
+                return i
+        raise DatasetError(f"unknown feature {name!r} in schema {self.name!r}")
+
+    def class_index(self, name: str) -> int:
+        """Integer label of class ``name``."""
+        for i, c in enumerate(self.classes):
+            if c.name == name:
+                return i
+        raise DatasetError(f"unknown class {name!r} in schema {self.name!r}")
+
+
+def numeric_feature_specs(names: Sequence[str], heavy_tailed: Sequence[str] = ()) -> List[FeatureSpec]:
+    """Build numeric :class:`FeatureSpec` objects for ``names``.
+
+    Features whose name appears in ``heavy_tailed`` are marked log-normal.
+    """
+    heavy = set(heavy_tailed)
+    return [FeatureSpec(name=n, kind="numeric", heavy_tailed=n in heavy) for n in names]

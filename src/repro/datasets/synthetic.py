@@ -1,0 +1,246 @@
+"""Synthetic NIDS flow generation from a dataset schema.
+
+Each dataset's schema describes *what* the flows look like (feature names and
+types, attack taxonomy, class imbalance).  This module describes *how* the
+synthetic flows are drawn:
+
+* Every class gets a **prototype**: a random direction in numeric-feature
+  space, scaled by the dataset-level ``separability`` and the class-specific
+  ``separability`` multiplier.  Rare, stealthy attack families (U2R,
+  Infiltration, Worms, ...) use multipliers below 1 so they remain hard.
+* Numeric features are drawn from a Gaussian around the class prototype;
+  features marked ``heavy_tailed`` are passed through ``exp`` to produce the
+  log-normal byte-count/duration statistics seen in real traffic.
+* Categorical features are drawn from a class-conditional multinomial whose
+  probabilities come from a Dirichlet draw, so each class has "typical"
+  protocols/services/flags.
+* A configurable fraction of labels is flipped (``label_noise``) to mimic the
+  labeling errors known to exist in the CIC datasets.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.base import NIDSDataset
+from repro.datasets.preprocessing import Preprocessor
+from repro.datasets.schema import DatasetSchema
+from repro.exceptions import DatasetError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass
+class GenerationConfig:
+    """Tunable knobs of the synthetic flow generator.
+
+    Attributes
+    ----------
+    separability:
+        Global scale of the distance between class prototypes, in units of the
+        within-class standard deviation.  Around 2.5-3.5 produces accuracy
+        ranges comparable to the paper's (high 80s to high 90s %).
+    noise_scale:
+        Within-class standard deviation of numeric features.
+    label_noise:
+        Fraction of training labels flipped to a random other class.
+    categorical_concentration:
+        Dirichlet concentration of the class-conditional categorical
+        distributions (smaller = more class-typical categories).
+    nonlinear_fraction:
+        Fraction of numeric features whose class signal enters through a
+        squared/interaction term instead of a pure mean shift; this is what
+        gives the RBF encoder (and the DNN) an edge over linear models, as in
+        the real datasets.
+    """
+
+    separability: float = 3.0
+    noise_scale: float = 1.0
+    label_noise: float = 0.01
+    categorical_concentration: float = 0.7
+    nonlinear_fraction: float = 0.3
+
+    def validate(self) -> "GenerationConfig":
+        """Check parameter ranges and return ``self``."""
+        if self.separability <= 0:
+            raise DatasetError("separability must be positive")
+        if self.noise_scale <= 0:
+            raise DatasetError("noise_scale must be positive")
+        check_probability(self.label_noise, "label_noise")
+        if self.categorical_concentration <= 0:
+            raise DatasetError("categorical_concentration must be positive")
+        check_probability(self.nonlinear_fraction, "nonlinear_fraction")
+        return self
+
+
+class SyntheticFlowGenerator:
+    """Draws schema-faithful synthetic flows for one dataset.
+
+    Parameters
+    ----------
+    schema:
+        The dataset schema (features + classes).
+    config:
+        Generation knobs; defaults are calibrated to give the accuracy ranges
+        reported in the paper.
+    seed:
+        Seed controlling prototypes, category distributions and sampling.
+    """
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        config: Optional[GenerationConfig] = None,
+        seed: SeedLike = None,
+    ):
+        self.schema = schema
+        self.config = (config or GenerationConfig()).validate()
+        self._rng = ensure_rng(seed)
+        self._n_numeric = len(schema.numeric_features)
+        self._n_categorical = len(schema.categorical_features)
+        self._build_class_models()
+
+    # ------------------------------------------------------------ internals
+    def _build_class_models(self) -> None:
+        cfg = self.config
+        n_classes = self.schema.n_classes
+        # Class prototypes in numeric-feature space.
+        prototypes = self._rng.standard_normal((n_classes, self._n_numeric))
+        norms = np.linalg.norm(prototypes, axis=1, keepdims=True)
+        prototypes = prototypes / np.where(norms == 0, 1.0, norms)
+        sep = np.array([c.separability for c in self.schema.classes])[:, None]
+        self._prototypes = prototypes * cfg.separability * sep
+
+        # Which numeric features carry their class signal non-linearly.
+        n_nonlinear = int(round(cfg.nonlinear_fraction * self._n_numeric))
+        nonlinear_idx = self._rng.choice(self._n_numeric, size=n_nonlinear, replace=False)
+        self._nonlinear_mask = np.zeros(self._n_numeric, dtype=bool)
+        self._nonlinear_mask[nonlinear_idx] = True
+
+        # Per-class spread multiplier for nonlinear features: the class signal
+        # is carried by the feature's variance rather than its mean.
+        self._nonlinear_spread = 1.0 + np.abs(
+            self._rng.standard_normal((n_classes, self._n_numeric))
+        ) * 0.5 * np.abs(self._prototypes) / max(cfg.separability, 1e-9)
+
+        # Heavy-tailed numeric features.
+        self._heavy_mask = np.array(
+            [f.heavy_tailed for f in self.schema.numeric_features], dtype=bool
+        )
+
+        # Class-conditional categorical distributions.
+        self._categorical_probs = []
+        for feature in self.schema.categorical_features:
+            n_cat = len(feature.categories)
+            probs = self._rng.dirichlet(
+                np.full(n_cat, cfg.categorical_concentration), size=n_classes
+            )
+            self._categorical_probs.append(probs)
+
+    def _sample_class(self, label: int, n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` raw (numeric, categorical) samples of class ``label``."""
+        cfg = self.config
+        mean = self._prototypes[label]
+        numeric = rng.normal(0.0, cfg.noise_scale, size=(n, self._n_numeric))
+        # Linear features: mean shift.  Nonlinear features: variance signal.
+        numeric[:, ~self._nonlinear_mask] += mean[~self._nonlinear_mask]
+        numeric[:, self._nonlinear_mask] *= self._nonlinear_spread[label, self._nonlinear_mask]
+        numeric[:, self._nonlinear_mask] += 0.25 * mean[self._nonlinear_mask] ** 2
+        # Heavy-tailed features become log-normal (always positive).
+        if self._heavy_mask.any():
+            numeric[:, self._heavy_mask] = np.exp(numeric[:, self._heavy_mask] * 0.75)
+
+        if self._n_categorical:
+            categorical = np.empty((n, self._n_categorical), dtype=np.int64)
+            for col, probs in enumerate(self._categorical_probs):
+                categorical[:, col] = rng.choice(probs.shape[1], size=n, p=probs[label])
+        else:
+            categorical = np.empty((n, 0), dtype=np.int64)
+        return numeric, categorical
+
+    def _sample_split(self, n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``n`` raw flows with schema class proportions."""
+        weights = np.array(self.schema.class_weights)
+        counts = rng.multinomial(n, weights)
+        # Guarantee at least one sample of every class so classifiers always
+        # see the full label space even at small n, while keeping the total
+        # exactly n by taking the extra samples from the largest classes.
+        for label in range(len(counts)):
+            if counts[label] == 0:
+                counts[label] = 1
+                counts[int(np.argmax(counts))] -= 1
+        numeric_parts, categorical_parts, labels = [], [], []
+        for label, count in enumerate(counts):
+            num, cat = self._sample_class(label, int(count), rng)
+            numeric_parts.append(num)
+            categorical_parts.append(cat)
+            labels.append(np.full(int(count), label, dtype=np.int64))
+        numeric = np.vstack(numeric_parts)
+        categorical = np.vstack(categorical_parts)
+        y = np.concatenate(labels)
+        order = rng.permutation(y.shape[0])
+        return numeric[order], categorical[order], y[order]
+
+    def _apply_label_noise(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        noise = self.config.label_noise
+        if noise <= 0:
+            return y
+        y = y.copy()
+        n_flip = int(round(noise * y.shape[0]))
+        if n_flip == 0:
+            return y
+        idx = rng.choice(y.shape[0], size=n_flip, replace=False)
+        shifts = rng.integers(1, self.schema.n_classes, size=n_flip)
+        y[idx] = (y[idx] + shifts) % self.schema.n_classes
+        return y
+
+    # ------------------------------------------------------------------- API
+    def generate(self, n_train: int, n_test: int) -> NIDSDataset:
+        """Generate a preprocessed train/test dataset.
+
+        Numeric features are min-max scaled to ``[0, 1]`` (statistics fitted
+        on the training split) and categorical features are one-hot encoded.
+        """
+        if n_train < self.schema.n_classes or n_test < self.schema.n_classes:
+            raise DatasetError(
+                "n_train and n_test must be at least the number of classes "
+                f"({self.schema.n_classes})"
+            )
+        train_num, train_cat, y_train = self._sample_split(n_train, self._rng)
+        test_num, test_cat, y_test = self._sample_split(n_test, self._rng)
+        y_train = self._apply_label_noise(y_train, self._rng)
+
+        n_categories = [len(f.categories) for f in self.schema.categorical_features]
+        preprocessor = Preprocessor(n_categories=n_categories, numeric_scaling="minmax")
+        X_train = preprocessor.fit_transform(train_num, train_cat if n_categories else None)
+        X_test = preprocessor.transform(test_num, test_cat if n_categories else None)
+
+        feature_names = tuple(
+            preprocessor.output_feature_names(
+                [f.name for f in self.schema.numeric_features],
+                [f.name for f in self.schema.categorical_features],
+                [list(f.categories) for f in self.schema.categorical_features],
+            )
+        )
+        metadata: Dict[str, object] = {
+            "separability": self.config.separability,
+            "label_noise": self.config.label_noise,
+            "n_raw_features": self.schema.n_features,
+            "generator": "SyntheticFlowGenerator",
+        }
+        return NIDSDataset(
+            name=self.schema.name,
+            X_train=X_train,
+            y_train=y_train,
+            X_test=X_test,
+            y_test=y_test,
+            feature_names=feature_names,
+            class_names=self.schema.class_names,
+            schema=self.schema,
+            metadata=metadata,
+        )

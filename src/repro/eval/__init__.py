@@ -1,0 +1,44 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+Experiment map (see DESIGN.md section 4):
+
+* :func:`repro.eval.experiments.accuracy_experiment` -- Fig. 3
+* :func:`repro.eval.experiments.efficiency_experiment` -- Fig. 4
+* :func:`repro.eval.experiments.bitwidth_experiment` -- Table I
+* :func:`repro.eval.experiments.robustness_experiment` -- Fig. 5
+* :mod:`repro.eval.sweeps` -- the ablation studies (regeneration rate,
+  dimensionality, encoder choice)
+
+The :class:`repro.eval.harness.ExperimentHarness` runs any subset of these and
+renders plain-text tables via :mod:`repro.eval.reporting`.
+"""
+
+from repro.eval.experiments import (
+    EVALUATION_DATASETS,
+    accuracy_experiment,
+    bitwidth_experiment,
+    efficiency_experiment,
+    required_effective_dimension,
+    robustness_experiment,
+)
+from repro.eval.harness import ExperimentHarness, HarnessConfig
+from repro.eval.reporting import format_table, to_markdown
+from repro.eval.results import ExperimentResult
+from repro.eval.sweeps import dimensionality_sweep, encoder_sweep, regeneration_rate_sweep
+
+__all__ = [
+    "EVALUATION_DATASETS",
+    "accuracy_experiment",
+    "efficiency_experiment",
+    "bitwidth_experiment",
+    "robustness_experiment",
+    "required_effective_dimension",
+    "ExperimentHarness",
+    "HarnessConfig",
+    "ExperimentResult",
+    "format_table",
+    "to_markdown",
+    "dimensionality_sweep",
+    "regeneration_rate_sweep",
+    "encoder_sweep",
+]

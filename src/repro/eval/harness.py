@@ -1,0 +1,122 @@
+"""The top-level experiment harness.
+
+``ExperimentHarness`` runs any subset of the paper's experiments plus the
+ablations, collects their :class:`ExperimentResult` tables, and renders a
+plain-text or JSON report.  The ``examples/`` scripts and the benchmark suite
+are thin wrappers around this class.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.eval import experiments, sweeps
+from repro.eval.results import ExperimentResult
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class HarnessConfig:
+    """Configuration of a harness run.
+
+    Attributes
+    ----------
+    scale:
+        ``"fast"`` or ``"paper"`` (see :mod:`repro.eval.experiments`).
+    seed:
+        Seed shared by all experiments.
+    datasets:
+        Datasets used by the multi-dataset experiments (Figs. 3-4).
+    experiments:
+        Which experiments to run; any of ``fig3``, ``fig4``, ``table1``,
+        ``fig5``, ``ablation_regeneration``, ``ablation_dimensionality``,
+        ``ablation_encoder``.
+    """
+
+    scale: str = "fast"
+    seed: int = 0
+    datasets: Sequence[str] = experiments.EVALUATION_DATASETS
+    experiments: Sequence[str] = ("fig3", "fig4", "table1", "fig5")
+
+
+class ExperimentHarness:
+    """Runs the paper's experiments and collects their results."""
+
+    def __init__(self, config: Optional[HarnessConfig] = None):
+        self.config = config or HarnessConfig()
+        self.results: Dict[str, ExperimentResult] = {}
+        self._runners: Dict[str, Callable[[], ExperimentResult]] = {
+            "fig3": self._run_fig3,
+            "fig4": self._run_fig4,
+            "table1": self._run_table1,
+            "fig5": self._run_fig5,
+            "ablation_regeneration": self._run_ablation_regeneration,
+            "ablation_dimensionality": self._run_ablation_dimensionality,
+            "ablation_encoder": self._run_ablation_encoder,
+        }
+
+    # ------------------------------------------------------------------- API
+    def available_experiments(self) -> List[str]:
+        """Names accepted by :meth:`run`."""
+        return sorted(self._runners)
+
+    def run(self, name: str) -> ExperimentResult:
+        """Run a single experiment by name and store its result."""
+        if name not in self._runners:
+            raise ConfigurationError(
+                f"unknown experiment {name!r}; available: {self.available_experiments()}"
+            )
+        result = self._runners[name]()
+        self.results[name] = result
+        return result
+
+    def run_all(self) -> Dict[str, ExperimentResult]:
+        """Run every experiment listed in the config."""
+        for name in self.config.experiments:
+            self.run(name)
+        return dict(self.results)
+
+    def report(self) -> str:
+        """Plain-text report of all collected results."""
+        if not self.results:
+            return "(no experiments have been run)"
+        sections = [self.results[name].to_text() for name in self.results]
+        return "\n\n".join(sections)
+
+    def save_json(self, path: str) -> Path:
+        """Write all collected results to a JSON file; returns the path."""
+        payload = {name: result.to_dict() for name, result in self.results.items()}
+        out = Path(path)
+        out.write_text(json.dumps(payload, indent=2, default=str))
+        return out
+
+    # ---------------------------------------------------------------- runners
+    def _run_fig3(self) -> ExperimentResult:
+        return experiments.accuracy_experiment(
+            datasets=self.config.datasets, scale=self.config.scale, seed=self.config.seed
+        )
+
+    def _run_fig4(self) -> ExperimentResult:
+        return experiments.efficiency_experiment(
+            datasets=self.config.datasets, scale=self.config.scale, seed=self.config.seed
+        )
+
+    def _run_table1(self) -> ExperimentResult:
+        return experiments.bitwidth_experiment(scale=self.config.scale, seed=self.config.seed)
+
+    def _run_fig5(self) -> ExperimentResult:
+        return experiments.robustness_experiment(
+            scale=self.config.scale, seed=self.config.seed
+        )
+
+    def _run_ablation_regeneration(self) -> ExperimentResult:
+        return sweeps.regeneration_rate_sweep(seed=self.config.seed)
+
+    def _run_ablation_dimensionality(self) -> ExperimentResult:
+        return sweeps.dimensionality_sweep(seed=self.config.seed)
+
+    def _run_ablation_encoder(self) -> ExperimentResult:
+        return sweeps.encoder_sweep(seed=self.config.seed)

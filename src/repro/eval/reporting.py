@@ -1,0 +1,61 @@
+"""Plain-text and markdown table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    """Human-friendly cell formatting (floats get 4 significant digits)."""
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Sequence of rows; each row must have ``len(headers)`` entries.
+    """
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def to_markdown(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a GitHub-flavored markdown table."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_ratio(value: float) -> str:
+    """Format a speedup/efficiency ratio like the paper (``2.47x``)."""
+    return f"{value:.2f}x"
+
+
+def format_percent(value: float) -> str:
+    """Format a fraction as a percentage with one decimal (``93.4%``)."""
+    return f"{100.0 * value:.1f}%"

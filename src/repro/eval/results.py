@@ -1,0 +1,72 @@
+"""Result containers for the evaluation harness."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.eval.reporting import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """A table of experiment measurements (one paper artefact).
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"fig3_accuracy"``).
+    description:
+        One-line description of what the experiment reproduces.
+    columns:
+        Ordered column names of the result rows.
+    rows:
+        One dict per measurement; keys are column names.
+    metadata:
+        Free-form context (dataset sizes, seeds, model settings).
+    """
+
+    name: str
+    description: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------- API
+    def add_row(self, **values: Any) -> None:
+        """Append a measurement row (missing columns are left blank)."""
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of column ``name`` across rows (missing -> None)."""
+        return [row.get(name) for row in self.rows]
+
+    def filter(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows matching all ``column=value`` criteria."""
+        return [
+            row for row in self.rows if all(row.get(k) == v for k, v in criteria.items())
+        ]
+
+    def to_text(self) -> str:
+        """Render the result as an aligned plain-text table."""
+        table_rows = [[row.get(col, "") for col in self.columns] for row in self.rows]
+        header = f"== {self.name}: {self.description} =="
+        return header + "\n" + format_table(list(self.columns), table_rows)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": self.rows,
+            "metadata": self.metadata,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON string of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,136 @@
+"""Ablation sweeps over the design choices CyberHD makes.
+
+These back the A1-A3 experiments in DESIGN.md: the regeneration rate, the
+physical dimensionality, and the encoder family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.cyberhd import CyberHD
+from repro.datasets.base import NIDSDataset
+from repro.datasets.loaders import load_dataset
+from repro.eval.results import ExperimentResult
+from repro.models.hdc_classifier import BaselineHDC
+
+
+def _default_dataset(dataset: Optional[NIDSDataset], n_train: int, n_test: int, seed: int) -> NIDSDataset:
+    if dataset is not None:
+        return dataset
+    return load_dataset("nsl_kdd", n_train=n_train, n_test=n_test, seed=seed)
+
+
+def regeneration_rate_sweep(
+    rates: Sequence[float] = (0.0, 0.05, 0.10, 0.20, 0.40),
+    dataset: Optional[NIDSDataset] = None,
+    dim: int = 128,
+    epochs: int = 10,
+    n_train: int = 1200,
+    n_test: int = 400,
+    seed: int = 0,
+) -> ExperimentResult:
+    """A1: accuracy and effective dimensionality as the regeneration rate varies.
+
+    ``rate = 0`` reduces CyberHD to the static baseline, so this sweep shows
+    directly how much the paper's dynamic regeneration contributes.
+    """
+    ds = _default_dataset(dataset, n_train, n_test, seed)
+    result = ExperimentResult(
+        name="ablation_regeneration_rate",
+        description="CyberHD accuracy vs regeneration rate R",
+        columns=["regeneration_rate", "accuracy_percent", "effective_dim", "train_seconds"],
+        metadata={"dataset": ds.name, "dim": dim, "epochs": epochs, "seed": seed},
+    )
+    for rate in rates:
+        model = CyberHD(dim=dim, epochs=epochs, regeneration_rate=float(rate), seed=seed)
+        model.fit(ds.X_train, ds.y_train)
+        result.add_row(
+            regeneration_rate=float(rate),
+            accuracy_percent=100.0 * model.score(ds.X_test, ds.y_test),
+            effective_dim=model.effective_dim_,
+            train_seconds=model.fit_result_.train_seconds,
+        )
+    return result
+
+
+def dimensionality_sweep(
+    dims: Sequence[int] = (64, 128, 256, 512, 1024, 2048),
+    dataset: Optional[NIDSDataset] = None,
+    epochs: int = 10,
+    regeneration_rate: float = 0.10,
+    n_train: int = 1200,
+    n_test: int = 400,
+    seed: int = 0,
+) -> ExperimentResult:
+    """A2: CyberHD vs static baseline HDC across physical dimensionalities.
+
+    Reproduces the paper's core claim in sweep form: CyberHD at a small
+    physical D should track the baseline at a much larger D.
+    """
+    ds = _default_dataset(dataset, n_train, n_test, seed)
+    result = ExperimentResult(
+        name="ablation_dimensionality",
+        description="Accuracy of CyberHD and baseline HDC vs physical dimensionality",
+        columns=["dim", "model", "accuracy_percent", "effective_dim"],
+        metadata={"dataset": ds.name, "epochs": epochs, "seed": seed},
+    )
+    for dim in dims:
+        cyber = CyberHD(
+            dim=int(dim), epochs=epochs, regeneration_rate=regeneration_rate, seed=seed
+        )
+        cyber.fit(ds.X_train, ds.y_train)
+        result.add_row(
+            dim=int(dim),
+            model="cyberhd",
+            accuracy_percent=100.0 * cyber.score(ds.X_test, ds.y_test),
+            effective_dim=cyber.effective_dim_,
+        )
+        baseline = BaselineHDC(dim=int(dim), epochs=epochs, seed=seed)
+        baseline.fit(ds.X_train, ds.y_train)
+        result.add_row(
+            dim=int(dim),
+            model="baseline_hd",
+            accuracy_percent=100.0 * baseline.score(ds.X_test, ds.y_test),
+            effective_dim=int(dim),
+        )
+    return result
+
+
+def encoder_sweep(
+    encoders: Sequence[str] = ("rbf", "linear", "level_id"),
+    dataset: Optional[NIDSDataset] = None,
+    dim: int = 256,
+    epochs: int = 10,
+    regeneration_rate: float = 0.10,
+    n_train: int = 1200,
+    n_test: int = 400,
+    seed: int = 0,
+) -> ExperimentResult:
+    """A3: CyberHD accuracy with each encoder family.
+
+    The paper motivates the RBF encoder by the non-linear relationships
+    between cybersecurity features; this sweep quantifies that choice.
+    """
+    ds = _default_dataset(dataset, n_train, n_test, seed)
+    result = ExperimentResult(
+        name="ablation_encoder",
+        description="CyberHD accuracy with RBF, linear and level-ID encoders",
+        columns=["encoder", "accuracy_percent", "train_seconds"],
+        metadata={"dataset": ds.name, "dim": dim, "epochs": epochs, "seed": seed},
+    )
+    for encoder in encoders:
+        model = CyberHD(
+            dim=dim,
+            encoder=encoder,
+            epochs=epochs,
+            regeneration_rate=regeneration_rate,
+            seed=seed,
+        )
+        model.fit(ds.X_train, ds.y_train)
+        result.add_row(
+            encoder=encoder,
+            accuracy_percent=100.0 * model.score(ds.X_test, ds.y_test),
+            train_seconds=model.fit_result_.train_seconds,
+        )
+    return result

@@ -1,0 +1,25 @@
+"""Exception hierarchy used across the CyberHD reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a model, encoder or experiment is configured inconsistently."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown datasets or malformed dataset specifications."""
+
+
+class EncodingError(ReproError):
+    """Raised when input data cannot be encoded into hyperspace."""
+
+
+class HardwareModelError(ReproError):
+    """Raised when an analytical hardware model receives invalid parameters."""

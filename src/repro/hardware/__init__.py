@@ -1,0 +1,62 @@
+"""Hardware substrate: quantization-aware fault injection and platform models.
+
+The paper's Table I (CPU vs FPGA energy efficiency across bitwidths) and
+Fig. 5 (robustness to random bit flips) require hardware we do not have (an
+Intel i9-12900 testbed and a Xilinx Alveo U50 FPGA).  This package replaces
+them with:
+
+``fault_injection``
+    Random bit flips injected into the *stored representation* of a model --
+    the integer codes of a quantized HDC model, or the IEEE-754 words of MLP
+    weights -- which is the mathematical definition of the paper's hardware
+    error experiment.
+
+``cpu_model`` / ``fpga_model``
+    Analytical first-principles performance/energy models: operation counts
+    come from the model dimensionality, throughput from lane counts, and
+    energy from published board/CPU power figures.  The Table I *shape*
+    (CPU prefers high bitwidth / low dimensionality; FPGA peaks near 8-bit)
+    emerges from the model structure, not from hard-coded table entries.
+
+``energy``
+    Combines both platform models into the normalized efficiency table.
+
+``robustness``
+    The Fig. 5 harness: quantize a trained model, flip bits at a given rate,
+    and measure accuracy loss for HDC models and the MLP baseline.
+"""
+
+from repro.hardware.cpu_model import CPUModel, CPUSpec
+from repro.hardware.energy import BitwidthEfficiencyRow, bitwidth_efficiency_table
+from repro.hardware.fault_injection import (
+    corrupt_elements_in_quantized,
+    flip_bits_in_float_array,
+    flip_bits_in_quantized,
+    flip_fraction_of_elements,
+)
+from repro.hardware.fpga_model import FPGAModel, FPGASpec
+from repro.hardware.robustness import (
+    RobustnessResult,
+    deployment_class_matrix,
+    evaluate_hdc_robustness,
+    evaluate_mlp_robustness,
+    robustness_sweep,
+)
+
+__all__ = [
+    "CPUModel",
+    "CPUSpec",
+    "FPGAModel",
+    "FPGASpec",
+    "bitwidth_efficiency_table",
+    "BitwidthEfficiencyRow",
+    "flip_bits_in_quantized",
+    "corrupt_elements_in_quantized",
+    "flip_bits_in_float_array",
+    "flip_fraction_of_elements",
+    "RobustnessResult",
+    "deployment_class_matrix",
+    "evaluate_hdc_robustness",
+    "evaluate_mlp_robustness",
+    "robustness_sweep",
+]

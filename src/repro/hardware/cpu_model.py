@@ -1,0 +1,129 @@
+"""Analytical CPU performance/energy model.
+
+The model estimates how long (and how much energy) HDC training/inference
+takes on a desktop CPU as a function of model dimensionality and element
+bitwidth.  It is deliberately simple and first-principles:
+
+* The work per sample is the number of multiply-accumulate operations:
+  encoding (``D x F``) plus class scoring (``D x k``).
+* A CPU executes those MACs in SIMD lanes of at least 32 bits -- narrower
+  elements do **not** increase throughput because scalar/AVX float pipelines
+  do not pack sub-word HDC arithmetic (this is the paper's observation that
+  "CPUs demonstrate more strength for high bitwidth data").
+* Energy is power multiplied by time, with package power taken from the CPU's
+  sustained (PL1) rating.
+
+Consequently a low-bitwidth model is *less* energy-efficient on a CPU exactly
+when it needs a larger effective dimensionality to reach the same accuracy --
+which is the trend of the CPU row of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import HardwareModelError
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Parameters describing a CPU for the analytical model.
+
+    Defaults correspond to the Intel Core i9-12900 used in the paper
+    (publicly documented frequency / power / SIMD width).
+    """
+
+    name: str = "Intel Core i9-12900"
+    frequency_hz: float = 4.9e9
+    simd_width_bits: int = 256
+    power_watts: float = 65.0
+    #: Narrowest element the SIMD pipeline operates on; HDC elements narrower
+    #: than this gain no CPU throughput.
+    min_element_bits: int = 32
+    #: Fraction of peak MAC throughput sustained in practice (cache misses,
+    #: loop overhead).
+    sustained_efficiency: float = 0.45
+
+    def validate(self) -> "CPUSpec":
+        """Check parameter ranges and return ``self``."""
+        if self.frequency_hz <= 0 or self.power_watts <= 0:
+            raise HardwareModelError("frequency and power must be positive")
+        if self.simd_width_bits < self.min_element_bits:
+            raise HardwareModelError("simd_width_bits must be >= min_element_bits")
+        if not 0.0 < self.sustained_efficiency <= 1.0:
+            raise HardwareModelError("sustained_efficiency must be in (0, 1]")
+        return self
+
+
+class CPUModel:
+    """Analytical throughput/energy model of HDC execution on a CPU."""
+
+    def __init__(self, spec: CPUSpec = CPUSpec()):
+        self.spec = spec.validate()
+
+    # ------------------------------------------------------------ primitives
+    def lanes(self, bits: int) -> int:
+        """Parallel MAC lanes available for ``bits``-bit elements."""
+        if bits <= 0:
+            raise HardwareModelError("bits must be positive")
+        effective_bits = max(int(bits), self.spec.min_element_bits)
+        return max(1, self.spec.simd_width_bits // effective_bits)
+
+    def throughput_macs_per_second(self, bits: int) -> float:
+        """Sustained multiply-accumulate throughput for ``bits``-bit elements."""
+        return self.spec.frequency_hz * self.lanes(bits) * self.spec.sustained_efficiency
+
+    @staticmethod
+    def macs_per_sample(dim: int, in_features: int, n_classes: int) -> float:
+        """MAC operations to encode one sample and score it against all classes."""
+        if dim <= 0 or in_features <= 0 or n_classes <= 0:
+            raise HardwareModelError("dim, in_features and n_classes must be positive")
+        return float(dim) * (float(in_features) + float(n_classes))
+
+    # ------------------------------------------------------------------ cost
+    def time_per_sample(self, dim: int, in_features: int, n_classes: int, bits: int) -> float:
+        """Seconds to process one sample (encode + classify)."""
+        macs = self.macs_per_sample(dim, in_features, n_classes)
+        return macs / self.throughput_macs_per_second(bits)
+
+    def energy_per_sample(self, dim: int, in_features: int, n_classes: int, bits: int) -> float:
+        """Joules to process one sample."""
+        return self.time_per_sample(dim, in_features, n_classes, bits) * self.spec.power_watts
+
+    def training_time(
+        self,
+        n_samples: int,
+        epochs: int,
+        dim: int,
+        in_features: int,
+        n_classes: int,
+        bits: int,
+    ) -> float:
+        """Seconds to train: ``epochs`` passes over ``n_samples`` samples."""
+        if n_samples <= 0 or epochs <= 0:
+            raise HardwareModelError("n_samples and epochs must be positive")
+        return n_samples * epochs * self.time_per_sample(dim, in_features, n_classes, bits)
+
+    def training_energy(
+        self,
+        n_samples: int,
+        epochs: int,
+        dim: int,
+        in_features: int,
+        n_classes: int,
+        bits: int,
+    ) -> float:
+        """Joules to train."""
+        return (
+            self.training_time(n_samples, epochs, dim, in_features, n_classes, bits)
+            * self.spec.power_watts
+        )
+
+    def efficiency_samples_per_joule(
+        self, dim: int, in_features: int, n_classes: int, bits: int
+    ) -> float:
+        """Energy efficiency: training samples processed per joule."""
+        return 1.0 / self.energy_per_sample(dim, in_features, n_classes, bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CPUModel(spec={self.spec.name!r})"

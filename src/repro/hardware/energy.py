@@ -1,0 +1,108 @@
+"""Cross-platform energy-efficiency comparison (the Table I harness)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.exceptions import HardwareModelError
+from repro.hardware.cpu_model import CPUModel
+from repro.hardware.fpga_model import FPGAModel
+
+
+@dataclass(frozen=True)
+class BitwidthEfficiencyRow:
+    """One column of the paper's Table I (a single element bitwidth).
+
+    Attributes
+    ----------
+    bits:
+        Element bitwidth.
+    effective_dim:
+        Effective dimensionality the HDC model needs at this bitwidth to reach
+        the accuracy target (lower precision needs more dimensions).
+    cpu_efficiency:
+        CPU training energy efficiency, normalized to the 1-bit CPU
+        configuration (the paper's normalization).
+    fpga_efficiency:
+        FPGA training energy efficiency, normalized the same way.
+    """
+
+    bits: int
+    effective_dim: int
+    cpu_efficiency: float
+    fpga_efficiency: float
+
+
+def bitwidth_efficiency_table(
+    effective_dims: Mapping[int, int],
+    in_features: int,
+    n_classes: int,
+    cpu: Optional[CPUModel] = None,
+    fpga: Optional[FPGAModel] = None,
+    reference_bits: int = 1,
+) -> List[BitwidthEfficiencyRow]:
+    """Build the Table I comparison from per-bitwidth effective dimensionalities.
+
+    Parameters
+    ----------
+    effective_dims:
+        Mapping ``bits -> effective dimensionality`` (typically measured by
+        :func:`repro.eval.experiments.required_effective_dimension` or taken
+        from a dimensionality sweep).
+    in_features, n_classes:
+        Workload shape used for the per-sample operation count.
+    cpu, fpga:
+        Platform models (defaults: i9-12900 and Alveo U50 specs).
+    reference_bits:
+        The configuration both platforms are normalized to (1-bit CPU in the
+        paper).
+
+    Returns
+    -------
+    list of BitwidthEfficiencyRow
+        Sorted by descending bitwidth, matching the paper's column order.
+    """
+    if not effective_dims:
+        raise HardwareModelError("effective_dims must not be empty")
+    if reference_bits not in effective_dims:
+        raise HardwareModelError(
+            f"reference bitwidth {reference_bits} missing from effective_dims"
+        )
+    cpu = cpu or CPUModel()
+    fpga = fpga or FPGAModel()
+
+    reference_dim = int(effective_dims[reference_bits])
+    reference_efficiency = cpu.efficiency_samples_per_joule(
+        reference_dim, in_features, n_classes, reference_bits
+    )
+
+    rows: List[BitwidthEfficiencyRow] = []
+    for bits in sorted(effective_dims, reverse=True):
+        dim = int(effective_dims[bits])
+        cpu_eff = cpu.efficiency_samples_per_joule(dim, in_features, n_classes, bits)
+        fpga_eff = fpga.efficiency_samples_per_joule(dim, in_features, n_classes, bits)
+        rows.append(
+            BitwidthEfficiencyRow(
+                bits=bits,
+                effective_dim=dim,
+                cpu_efficiency=cpu_eff / reference_efficiency,
+                fpga_efficiency=fpga_eff / reference_efficiency,
+            )
+        )
+    return rows
+
+
+def format_efficiency_table(rows: List[BitwidthEfficiencyRow]) -> str:
+    """Render the efficiency rows as the paper's Table I layout (plain text)."""
+    header_bits = " | ".join(f"{row.bits:>5d}b" for row in rows)
+    eff_d = " | ".join(f"{row.effective_dim/1000:>5.1f}k" for row in rows)
+    cpu = " | ".join(f"{row.cpu_efficiency:>5.1f}x" for row in rows)
+    fpga = " | ".join(f"{row.fpga_efficiency:>5.1f}x" for row in rows)
+    lines = [
+        f"{'bitwidth':>12s} | {header_bits}",
+        f"{'effective D':>12s} | {eff_d}",
+        f"{'CPU':>12s} | {cpu}",
+        f"{'FPGA':>12s} | {fpga}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Random bit-flip fault injection.
+
+Hardware faults (radiation upsets, voltage-scaling errors, failing memory
+cells) manifest as random bit flips in a stored model.  The paper's Fig. 5
+studies how much accuracy a DNN loses versus CyberHD when a given percentage
+of stored bits is flipped.  This module implements exactly that corruption
+model for the two storage formats used in the comparison:
+
+* quantized HDC class hypervectors (1/2/4/8-bit integer codes), and
+* IEEE-754 float32 MLP weights.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import HardwareModelError
+from repro.hdc.quantization import QuantizedArray
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_probability
+
+
+def flip_bits_in_quantized(
+    quantized: QuantizedArray,
+    error_rate: float,
+    rng: SeedLike = None,
+) -> QuantizedArray:
+    """Flip each *stored bit* of a quantized tensor independently with ``error_rate``.
+
+    ``error_rate`` is the *hardware error rate* of the paper's Fig. 5: the
+    probability that any given stored bit is flipped.  A model stored at a
+    higher element bitwidth therefore accumulates proportionally more faults
+    per element -- and a flipped most-significant bit produces a large
+    magnitude/sign error -- which is exactly why the paper finds 1-bit
+    hypervectors to be the most robust precision.
+
+    Returns a new :class:`QuantizedArray`; the input is not modified.
+    """
+    check_probability(error_rate, "error_rate")
+    gen = ensure_rng(rng)
+    bits = quantized.bits
+    codes = quantized.codes.copy()
+    if error_rate == 0.0:
+        return QuantizedArray(codes, quantized.scale, bits)
+
+    if bits == 1:
+        flips = gen.random(codes.shape) < error_rate
+        codes = np.where(flips, 1 - codes, codes)
+        return QuantizedArray(codes, quantized.scale, bits)
+
+    qmax = 2 ** (bits - 1) - 1
+    width = 2**bits
+    unsigned = np.mod(codes, width)  # two's complement within `bits` bits
+    flips = gen.random((*codes.shape, bits)) < error_rate
+    if flips.any():
+        bit_values = (2 ** np.arange(bits)).reshape((1,) * codes.ndim + (bits,))
+        xor_mask = np.sum(flips * bit_values, axis=-1).astype(np.int64)
+        unsigned = np.bitwise_xor(unsigned, xor_mask)
+    signed = np.where(unsigned >= width // 2, unsigned - width, unsigned)
+    signed = np.clip(signed, -qmax - 1, qmax)
+    return QuantizedArray(signed.astype(np.int64), quantized.scale, bits)
+
+
+def corrupt_elements_in_quantized(
+    quantized: QuantizedArray,
+    element_rate: float,
+    rng: SeedLike = None,
+) -> QuantizedArray:
+    """Corrupt a random ``element_rate`` fraction of elements with one bit flip each.
+
+    A coarser, word-level fault model (each faulty memory word gets a single
+    flipped bit regardless of its width).  Provided for ablations against the
+    per-bit model used by the Fig. 5 harness.
+    """
+    check_probability(element_rate, "element_rate")
+    gen = ensure_rng(rng)
+    bits = quantized.bits
+    codes = quantized.codes.copy()
+    n_corrupt = int(round(element_rate * codes.size))
+    if n_corrupt == 0:
+        return QuantizedArray(codes, quantized.scale, bits)
+
+    flat = codes.reshape(-1)
+    idx = gen.choice(flat.size, size=n_corrupt, replace=False)
+    if bits == 1:
+        flat[idx] = 1 - flat[idx]
+        return QuantizedArray(codes, quantized.scale, bits)
+
+    qmax = 2 ** (bits - 1) - 1
+    width = 2**bits
+    bit_positions = gen.integers(0, bits, size=n_corrupt)
+    unsigned = np.mod(flat[idx], width)
+    unsigned = np.bitwise_xor(unsigned, (1 << bit_positions).astype(np.int64))
+    signed = np.where(unsigned >= width // 2, unsigned - width, unsigned)
+    flat[idx] = np.clip(signed, -qmax - 1, qmax)
+    return QuantizedArray(codes, quantized.scale, bits)
+
+
+def flip_bits_in_float_array(
+    array: np.ndarray,
+    error_rate: float,
+    rng: SeedLike = None,
+    clip_magnitude: float = 100.0,
+) -> np.ndarray:
+    """Flip each bit of the float32 representation of ``array`` with ``error_rate``.
+
+    This is the DNN corruption model of Fig. 5 under the same per-bit error
+    rate as the HDC models.  A flipped exponent or sign bit can change a
+    weight by orders of magnitude, which is why DNNs degrade so much faster
+    than HDC models at the same hardware error rate.  Corrupted values are
+    clamped to ``clip_magnitude`` (and NaN/inf replaced), mirroring a
+    saturating accelerator datapath; without the clamp a single exponent flip
+    would make the comparison numerically meaningless rather than merely bad.
+    """
+    check_probability(error_rate, "error_rate")
+    gen = ensure_rng(rng)
+    data = np.asarray(array, dtype=np.float32).copy()
+    if error_rate == 0.0:
+        return data.astype(np.float64)
+    flat_int = data.reshape(-1).view(np.uint32)
+    flips = gen.random((flat_int.size, 32)) < error_rate
+    if flips.any():
+        bit_values = (2 ** np.arange(32, dtype=np.uint64)).astype(np.uint32).reshape(1, 32)
+        xor_mask = np.bitwise_xor.reduce(
+            np.where(flips, bit_values, np.uint32(0)), axis=1
+        ).astype(np.uint32)
+        flat_int ^= xor_mask
+    with np.errstate(invalid="ignore", over="ignore"):
+        cleaned = np.nan_to_num(
+            data.astype(np.float64), nan=0.0, posinf=clip_magnitude, neginf=-clip_magnitude
+        )
+    return np.clip(cleaned, -clip_magnitude, clip_magnitude)
+
+
+def flip_fraction_of_elements(
+    array: np.ndarray,
+    fraction: float,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Negate a random ``fraction`` of elements (element-level fault model).
+
+    A coarser fault model sometimes used for bipolar hypervectors: an entire
+    element (rather than an individual bit) is corrupted.  Provided for
+    ablations against the bit-level model.
+    """
+    check_probability(fraction, "fraction")
+    gen = ensure_rng(rng)
+    out = np.asarray(array, dtype=np.float64).copy()
+    n_flip = int(round(fraction * out.size))
+    if n_flip == 0:
+        return out
+    flat = out.reshape(-1)
+    idx = gen.choice(flat.size, size=n_flip, replace=False)
+    flat[idx] = -flat[idx]
+    return out
+
+
+def corrupt_parameter_list(
+    parameters: List[np.ndarray],
+    error_rate: float,
+    rng: SeedLike = None,
+) -> List[np.ndarray]:
+    """Apply :func:`flip_bits_in_float_array` to every tensor in ``parameters``."""
+    gen = ensure_rng(rng)
+    if not parameters:
+        raise HardwareModelError("parameter list must not be empty")
+    return [flip_bits_in_float_array(p, error_rate, rng=gen) for p in parameters]

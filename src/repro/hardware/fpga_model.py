@@ -1,0 +1,143 @@
+"""Analytical FPGA performance/energy model.
+
+Models an HDC accelerator on a data-center FPGA (the paper uses a Xilinx
+Alveo U50 running at 200 MHz under 20 W).  The key difference from the CPU
+model is that the number of parallel MAC lanes is set by the *resource cost of
+one lane at the chosen bitwidth*:
+
+* a wide (16/32-bit) MAC needs one or several DSP slices or a large LUT
+  multiplier -- its cost grows roughly quadratically with bitwidth;
+* a narrow (1-4 bit) MAC is a small LUT/adder structure, but every lane still
+  pays a fixed overhead for its accumulator, control and routing, so lane
+  count saturates instead of growing without bound as bitwidth shrinks.
+
+The lane-cost curve therefore is ``overhead + linear * bits + quadratic *
+bits^2`` (in normalized resource units); with the effective dimensionality a
+low-precision model needs to stay accurate, the resulting efficiency peaks
+around 8-bit elements -- the qualitative shape of Table I's FPGA row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import HardwareModelError
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """Parameters describing an FPGA accelerator for the analytical model.
+
+    The resource-cost coefficients are normalized units calibrated to the
+    relative LUT/DSP cost of MAC units at different precisions on UltraScale+
+    fabric; the budget is chosen so a 1-bit design fits roughly 1.5k lanes,
+    consistent with a mid-size HDC accelerator on an Alveo U50.
+    """
+
+    name: str = "Xilinx Alveo U50"
+    frequency_hz: float = 200e6
+    power_watts: float = 20.0
+    #: Total normalized resource budget available for MAC lanes.
+    resource_budget: float = 700.0
+    #: Fixed per-lane cost (accumulator, control, routing).
+    lane_overhead: float = 0.85
+    #: Cost component linear in element bitwidth (datapath width).
+    lane_cost_linear: float = 0.05
+    #: Cost component quadratic in element bitwidth (multiplier area).
+    lane_cost_quadratic: float = 0.01
+    #: Fraction of the peak lane count usable after placement/routing.
+    utilization: float = 1.0
+
+    def validate(self) -> "FPGASpec":
+        """Check parameter ranges and return ``self``."""
+        if self.frequency_hz <= 0 or self.power_watts <= 0:
+            raise HardwareModelError("frequency and power must be positive")
+        if self.resource_budget <= 0:
+            raise HardwareModelError("resource_budget must be positive")
+        if self.lane_overhead < 0 or self.lane_cost_linear < 0 or self.lane_cost_quadratic < 0:
+            raise HardwareModelError("lane cost coefficients must be non-negative")
+        if not 0.0 < self.utilization <= 1.0:
+            raise HardwareModelError("utilization must be in (0, 1]")
+        return self
+
+
+class FPGAModel:
+    """Analytical throughput/energy model of an HDC accelerator on an FPGA."""
+
+    def __init__(self, spec: FPGASpec = FPGASpec()):
+        self.spec = spec.validate()
+
+    # ------------------------------------------------------------ primitives
+    def lane_cost(self, bits: int) -> float:
+        """Normalized resource cost of one ``bits``-bit MAC lane."""
+        if bits <= 0:
+            raise HardwareModelError("bits must be positive")
+        b = float(bits)
+        return (
+            self.spec.lane_overhead
+            + self.spec.lane_cost_linear * b
+            + self.spec.lane_cost_quadratic * b * b
+        )
+
+    def lanes(self, bits: int) -> int:
+        """Parallel MAC lanes that fit in the resource budget at ``bits`` bits."""
+        return max(1, int(self.spec.resource_budget * self.spec.utilization / self.lane_cost(bits)))
+
+    def throughput_macs_per_second(self, bits: int) -> float:
+        """Sustained MAC throughput at ``bits``-bit precision."""
+        return self.spec.frequency_hz * self.lanes(bits)
+
+    @staticmethod
+    def macs_per_sample(dim: int, in_features: int, n_classes: int) -> float:
+        """MAC operations to encode one sample and score it against all classes."""
+        if dim <= 0 or in_features <= 0 or n_classes <= 0:
+            raise HardwareModelError("dim, in_features and n_classes must be positive")
+        return float(dim) * (float(in_features) + float(n_classes))
+
+    # ------------------------------------------------------------------ cost
+    def time_per_sample(self, dim: int, in_features: int, n_classes: int, bits: int) -> float:
+        """Seconds to process one sample (encode + classify)."""
+        macs = self.macs_per_sample(dim, in_features, n_classes)
+        return macs / self.throughput_macs_per_second(bits)
+
+    def energy_per_sample(self, dim: int, in_features: int, n_classes: int, bits: int) -> float:
+        """Joules to process one sample."""
+        return self.time_per_sample(dim, in_features, n_classes, bits) * self.spec.power_watts
+
+    def training_time(
+        self,
+        n_samples: int,
+        epochs: int,
+        dim: int,
+        in_features: int,
+        n_classes: int,
+        bits: int,
+    ) -> float:
+        """Seconds to train: ``epochs`` passes over ``n_samples`` samples."""
+        if n_samples <= 0 or epochs <= 0:
+            raise HardwareModelError("n_samples and epochs must be positive")
+        return n_samples * epochs * self.time_per_sample(dim, in_features, n_classes, bits)
+
+    def training_energy(
+        self,
+        n_samples: int,
+        epochs: int,
+        dim: int,
+        in_features: int,
+        n_classes: int,
+        bits: int,
+    ) -> float:
+        """Joules to train."""
+        return (
+            self.training_time(n_samples, epochs, dim, in_features, n_classes, bits)
+            * self.spec.power_watts
+        )
+
+    def efficiency_samples_per_joule(
+        self, dim: int, in_features: int, n_classes: int, bits: int
+    ) -> float:
+        """Energy efficiency: training samples processed per joule."""
+        return 1.0 / self.energy_per_sample(dim, in_features, n_classes, bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FPGAModel(spec={self.spec.name!r})"

@@ -1,0 +1,201 @@
+"""Robustness evaluation under random bit flips (the Fig. 5 harness).
+
+The experiment: take a trained model, store it at a given precision, flip a
+fraction of the stored bits, and measure how much test accuracy is lost
+relative to the *uncorrupted* model at the same precision.  HDC models are
+evaluated at 1/2/4/8-bit precision of their class hypervectors; the DNN
+baseline is evaluated on its float32 weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.baselines.mlp import MLPClassifier
+from repro.core.cyberhd import CyberHD
+from repro.exceptions import HardwareModelError
+from repro.hardware.fault_injection import corrupt_parameter_list, flip_bits_in_quantized
+from repro.hdc.operations import normalize_rows
+from repro.hdc.quantization import dequantize, quantize
+from repro.hdc.similarity import cosine_similarity_matrix
+from repro.models.hdc_classifier import BaselineHDC
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_probability
+
+HDCModel = Union[CyberHD, BaselineHDC]
+
+
+def deployment_class_matrix(class_hypervectors: np.ndarray) -> np.ndarray:
+    """The class matrix as it is stored on the edge device.
+
+    Two transformations are applied before quantization, both of which leave
+    the (full-precision) cosine ranking essentially unchanged while making the
+    stored integers far more robust:
+
+    1. **Row normalization** -- cosine scoring is invariant to per-class
+       scaling, and a single quantization scale is only meaningful when the
+       classes share a magnitude.
+    2. **Mean centering across classes** -- the across-class mean of each
+       dimension carries no discriminative information (every class scores it
+       identically), yet it would consume most of the integer range.  Removing
+       it lets the limited integer codes represent the informative per-class
+       differences, which is what gives the low-precision model its
+       holographic robustness.
+    """
+    normalized = normalize_rows(np.asarray(class_hypervectors, dtype=np.float64))
+    return normalized - normalized.mean(axis=0, keepdims=True)
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """Outcome of one robustness measurement.
+
+    Attributes
+    ----------
+    model_name:
+        Human-readable model identifier (e.g. ``"CyberHD 4-bit"``).
+    error_rate:
+        Per-bit flip probability that was injected.
+    clean_accuracy:
+        Accuracy of the uncorrupted model at the evaluated precision.
+    corrupted_accuracy:
+        Mean accuracy over the fault-injection trials.
+    accuracy_loss:
+        ``clean_accuracy - corrupted_accuracy`` (the quantity in Fig. 5).
+    trials:
+        Number of independent fault-injection trials averaged.
+    """
+
+    model_name: str
+    error_rate: float
+    clean_accuracy: float
+    corrupted_accuracy: float
+    accuracy_loss: float
+    trials: int
+
+
+def _hdc_accuracy_with_classes(
+    model: HDCModel, H: np.ndarray, y: np.ndarray, class_matrix: np.ndarray
+) -> float:
+    """Accuracy of an HDC model when its class matrix is replaced."""
+    sims = cosine_similarity_matrix(H, class_matrix)
+    pred = model.classes_[np.argmax(sims, axis=1)]
+    return float(np.mean(pred == y))
+
+
+def evaluate_hdc_robustness(
+    model: HDCModel,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    bits: int,
+    error_rate: float,
+    trials: int = 5,
+    rng: SeedLike = None,
+) -> RobustnessResult:
+    """Measure accuracy loss of a quantized HDC model under random bit flips.
+
+    The class hypervectors are quantized to ``bits`` bits; each trial flips
+    every stored bit independently with probability ``error_rate`` and
+    re-evaluates test accuracy with the corrupted class matrix.  The encoder
+    is assumed to be protected (it can be regenerated from its seed), matching
+    the paper's focus on the stored model.
+    """
+    check_probability(error_rate, "error_rate")
+    if trials < 1:
+        raise HardwareModelError("trials must be >= 1")
+    if model.class_hypervectors_ is None:
+        raise HardwareModelError("the HDC model must be fitted before robustness evaluation")
+    gen = ensure_rng(rng)
+
+    H = model.encode(X_test)
+    quantized = quantize(deployment_class_matrix(model.class_hypervectors_), bits)
+    clean_accuracy = _hdc_accuracy_with_classes(model, H, y_test, dequantize(quantized))
+
+    corrupted_accuracies = []
+    for _ in range(trials):
+        corrupted = flip_bits_in_quantized(quantized, error_rate, rng=gen)
+        corrupted_accuracies.append(
+            _hdc_accuracy_with_classes(model, H, y_test, dequantize(corrupted))
+        )
+    corrupted_accuracy = float(np.mean(corrupted_accuracies))
+    return RobustnessResult(
+        model_name=f"{type(model).__name__} {bits}-bit",
+        error_rate=error_rate,
+        clean_accuracy=clean_accuracy,
+        corrupted_accuracy=corrupted_accuracy,
+        accuracy_loss=clean_accuracy - corrupted_accuracy,
+        trials=trials,
+    )
+
+
+def evaluate_mlp_robustness(
+    model: MLPClassifier,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    error_rate: float,
+    trials: int = 5,
+    rng: SeedLike = None,
+) -> RobustnessResult:
+    """Measure accuracy loss of the float32 MLP baseline under random bit flips."""
+    check_probability(error_rate, "error_rate")
+    if trials < 1:
+        raise HardwareModelError("trials must be >= 1")
+    if model.weights_ is None:
+        raise HardwareModelError("the MLP must be fitted before robustness evaluation")
+    gen = ensure_rng(rng)
+
+    clean_parameters = [p.copy() for p in model.parameters()]
+    clean_accuracy = float(np.mean(model.predict(X_test) == y_test))
+
+    corrupted_accuracies = []
+    for _ in range(trials):
+        corrupted = corrupt_parameter_list(clean_parameters, error_rate, rng=gen)
+        model.set_parameters(corrupted)
+        corrupted_accuracies.append(float(np.mean(model.predict(X_test) == y_test)))
+    # Restore the clean weights so the evaluation has no side effects.
+    model.set_parameters(clean_parameters)
+
+    corrupted_accuracy = float(np.mean(corrupted_accuracies))
+    return RobustnessResult(
+        model_name="MLP float32",
+        error_rate=error_rate,
+        clean_accuracy=clean_accuracy,
+        corrupted_accuracy=corrupted_accuracy,
+        accuracy_loss=clean_accuracy - corrupted_accuracy,
+        trials=trials,
+    )
+
+
+def robustness_sweep(
+    hdc_models: "Mapping[int, HDCModel]",
+    mlp_model: MLPClassifier,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    error_rates: List[float],
+    trials: int = 5,
+    rng: SeedLike = None,
+) -> List[RobustnessResult]:
+    """Full Fig. 5 sweep: the DNN plus one HDC model per deployment precision.
+
+    ``hdc_models`` maps element bitwidth to the HDC model deployed at that
+    precision.  Following the paper's effective-dimensionality methodology, a
+    lower-precision deployment is expected to use a larger dimensionality
+    (Table I), which is precisely what gives 1-bit hypervectors their
+    robustness advantage.
+    """
+    gen = ensure_rng(rng)
+    results: List[RobustnessResult] = []
+    for error_rate in error_rates:
+        results.append(
+            evaluate_mlp_robustness(mlp_model, X_test, y_test, error_rate, trials=trials, rng=gen)
+        )
+        for bits in sorted(hdc_models):
+            results.append(
+                evaluate_hdc_robustness(
+                    hdc_models[bits], X_test, y_test, bits, error_rate, trials=trials, rng=gen
+                )
+            )
+    return results

@@ -1,0 +1,78 @@
+"""Hyperdimensional-computing substrate.
+
+The modules in this package implement the low-level machinery the paper's
+learning framework builds on:
+
+``hypervector``
+    A light :class:`Hypervector` container plus constructors for random,
+    level (thermometer-correlated) and identity hypervectors.
+
+``operations``
+    The MAP (multiply-add-permute) algebra on raw NumPy arrays: bundling,
+    binding, permutation, normalization and sign quantization.
+
+``similarity``
+    Cosine, dot and Hamming similarity kernels for single vectors and for
+    (queries x classes) matrices.
+
+``item_memory``
+    Associative item memory with nearest-neighbour cleanup.
+
+``encoders``
+    Input encoders that map flow-feature vectors into hyperspace: RBF random
+    features (the paper's choice for cybersecurity data), linear projection
+    and level-ID record encoding.
+
+``quantization``
+    Symmetric bitwidth quantization of hypervector models, used by the
+    hardware experiments (Table I and Fig. 5).
+"""
+
+from repro.hdc.hypervector import (
+    Hypervector,
+    identity_hypervector,
+    level_hypervectors,
+    random_hypervector,
+)
+from repro.hdc.item_memory import ItemMemory
+from repro.hdc.operations import (
+    bind,
+    bundle,
+    hard_quantize,
+    normalize,
+    normalize_rows,
+    permute,
+)
+from repro.hdc.quantization import QuantizedArray, dequantize, quantize
+from repro.hdc.similarity import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    dot_similarity,
+    hamming_similarity,
+)
+from repro.hdc.encoders import BaseEncoder, LevelIDEncoder, LinearEncoder, RBFEncoder
+
+__all__ = [
+    "Hypervector",
+    "random_hypervector",
+    "level_hypervectors",
+    "identity_hypervector",
+    "ItemMemory",
+    "bundle",
+    "bind",
+    "permute",
+    "normalize",
+    "normalize_rows",
+    "hard_quantize",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "dot_similarity",
+    "hamming_similarity",
+    "quantize",
+    "dequantize",
+    "QuantizedArray",
+    "BaseEncoder",
+    "RBFEncoder",
+    "LinearEncoder",
+    "LevelIDEncoder",
+]

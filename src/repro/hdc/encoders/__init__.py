@@ -1,0 +1,53 @@
+"""Hyperspace encoders.
+
+An encoder maps a low-dimensional feature vector ``x in R^F`` to a
+hypervector ``H in R^D`` (step ``A`` of the CyberHD workflow).  All encoders
+share the :class:`BaseEncoder` interface and -- crucially for CyberHD --
+support *per-dimension regeneration*: replacing the base vector of a selected
+output dimension with a fresh random draw (step ``H``).
+
+Available encoders
+------------------
+:class:`RBFEncoder`
+    Random Fourier features (Rahimi & Recht 2007): ``H_d = cos(x . b_d + c_d)``
+    with Gaussian base vectors.  This is the encoder the paper selects for
+    cybersecurity data because it captures non-linear feature interactions.
+:class:`LinearEncoder`
+    Plain random projection with an optional ``tanh``/``sign`` nonlinearity.
+:class:`LevelIDEncoder`
+    Classic record-based encoding: quantize each feature into levels, bind the
+    level hypervector with the feature's identity hypervector, bundle across
+    features.
+"""
+
+from repro.hdc.encoders.base import BaseEncoder
+from repro.hdc.encoders.level_id import LevelIDEncoder
+from repro.hdc.encoders.linear import LinearEncoder
+from repro.hdc.encoders.rbf import RBFEncoder
+
+ENCODER_REGISTRY = {
+    "rbf": RBFEncoder,
+    "linear": LinearEncoder,
+    "level_id": LevelIDEncoder,
+}
+
+
+def make_encoder(name: str, in_features: int, dim: int, **kwargs) -> BaseEncoder:
+    """Instantiate an encoder by registry name (``rbf``, ``linear``, ``level_id``)."""
+    try:
+        cls = ENCODER_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown encoder {name!r}; available: {sorted(ENCODER_REGISTRY)}"
+        ) from exc
+    return cls(in_features=in_features, dim=dim, **kwargs)
+
+
+__all__ = [
+    "BaseEncoder",
+    "RBFEncoder",
+    "LinearEncoder",
+    "LevelIDEncoder",
+    "ENCODER_REGISTRY",
+    "make_encoder",
+]

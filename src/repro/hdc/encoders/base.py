@@ -1,0 +1,126 @@
+"""Abstract encoder interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_matrix
+
+
+class BaseEncoder(abc.ABC):
+    """Maps ``(n, F)`` feature matrices to ``(n, D)`` hypervector matrices.
+
+    Subclasses must implement :meth:`_encode` and :meth:`_regenerate`.  The
+    public :meth:`encode` / :meth:`regenerate` wrappers perform validation and
+    book-keeping (regeneration counting for effective-dimensionality
+    accounting) so that subclasses stay focused on the math.
+    """
+
+    def __init__(self, in_features: int, dim: int, rng: SeedLike = None):
+        if in_features <= 0:
+            raise EncodingError("in_features must be positive")
+        if dim <= 0:
+            raise EncodingError("dim must be positive")
+        self._in_features = int(in_features)
+        self._dim = int(dim)
+        self._rng = ensure_rng(rng)
+        self._regenerated_total = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def in_features(self) -> int:
+        """Number of input features ``F``."""
+        return self._in_features
+
+    @property
+    def dim(self) -> int:
+        """Output (physical) dimensionality ``D``."""
+        return self._dim
+
+    @property
+    def regenerated_total(self) -> int:
+        """Cumulative number of dimensions regenerated over the encoder's life.
+
+        The paper's *effective dimensionality* is
+        ``D* = dim + regenerated_total``.
+        """
+        return self._regenerated_total
+
+    @property
+    def effective_dim(self) -> int:
+        """Effective dimensionality ``D* = D + total regenerated dimensions``."""
+        return self._dim + self._regenerated_total
+
+    # ------------------------------------------------------------------- API
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Encode a feature matrix into hyperspace.
+
+        Parameters
+        ----------
+        X:
+            ``(n, F)`` feature matrix (a single sample may be passed as a 1-D
+            array and is promoted to one row).
+
+        Returns
+        -------
+        ndarray
+            ``(n, D)`` encoded hypervectors.
+        """
+        X = check_matrix(X, "X")
+        if X.shape[1] != self._in_features:
+            raise EncodingError(
+                f"encoder expects {self._in_features} features, got {X.shape[1]}"
+            )
+        H = self._encode(X)
+        if H.shape != (X.shape[0], self._dim):
+            raise EncodingError(
+                f"encoder produced shape {H.shape}, expected {(X.shape[0], self._dim)}"
+            )
+        return H
+
+    def regenerate(self, dimensions: Sequence[int]) -> np.ndarray:
+        """Resample the base vectors of the selected output dimensions.
+
+        Parameters
+        ----------
+        dimensions:
+            Indices of output dimensions whose base vectors are replaced with
+            fresh random draws (step ``H`` of the CyberHD workflow).
+
+        Returns
+        -------
+        ndarray
+            The (sorted, de-duplicated) dimension indices actually regenerated.
+        """
+        idx = np.unique(np.asarray(dimensions, dtype=np.int64))
+        if idx.size == 0:
+            return idx
+        if idx.min() < 0 or idx.max() >= self._dim:
+            raise EncodingError(
+                f"regeneration indices must be in [0, {self._dim}), got "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        self._regenerate(idx)
+        self._regenerated_total += int(idx.size)
+        return idx
+
+    # --------------------------------------------------------- subclass API
+    @abc.abstractmethod
+    def _encode(self, X: np.ndarray) -> np.ndarray:
+        """Encode a validated ``(n, F)`` matrix; return ``(n, D)``."""
+
+    @abc.abstractmethod
+    def _regenerate(self, dimensions: np.ndarray) -> None:
+        """Resample base vectors for the validated dimension indices."""
+
+    # ----------------------------------------------------------------- misc
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(in_features={self._in_features}, dim={self._dim}, "
+            f"regenerated_total={self._regenerated_total})"
+        )

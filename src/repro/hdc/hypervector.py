@@ -1,0 +1,168 @@
+"""Hypervector container and random-hypervector constructors."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+from repro.hdc import operations as ops
+from repro.hdc.similarity import cosine_similarity, hamming_similarity
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class Hypervector:
+    """A single hypervector with MAP-algebra convenience methods.
+
+    The learning code operates directly on NumPy arrays for speed; this class
+    exists for the public API, the item memory and the examples, where an
+    object with named operations reads better than raw array math.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Iterable[float]):
+        arr = np.asarray(data, dtype=np.float64).ravel()
+        if arr.size == 0:
+            raise EncodingError("a hypervector must have at least one dimension")
+        self._data = arr
+
+    # ------------------------------------------------------------------ data
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying 1-D float64 array (a direct reference, not a copy)."""
+        return self._data
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the hypervector."""
+        return int(self._data.shape[0])
+
+    def copy(self) -> "Hypervector":
+        """Return an independent copy."""
+        return Hypervector(self._data.copy())
+
+    # ------------------------------------------------------------ operations
+    def bundle(self, other: "Hypervector") -> "Hypervector":
+        """Element-wise addition (superposition)."""
+        return Hypervector(self._data + self._coerce(other))
+
+    def bind(self, other: "Hypervector") -> "Hypervector":
+        """Element-wise multiplication (association)."""
+        return Hypervector(ops.bind(self._data, self._coerce(other)))
+
+    def permute(self, shifts: int = 1) -> "Hypervector":
+        """Cyclic shift by ``shifts`` positions."""
+        return Hypervector(ops.permute(self._data, shifts))
+
+    def normalize(self) -> "Hypervector":
+        """L2-normalized copy."""
+        return Hypervector(ops.normalize(self._data))
+
+    def hard_quantize(self) -> "Hypervector":
+        """Bipolar ``{-1, +1}`` copy."""
+        return Hypervector(ops.hard_quantize(self._data))
+
+    def cosine(self, other: "Hypervector") -> float:
+        """Cosine similarity with ``other``."""
+        return cosine_similarity(self._data, self._coerce(other))
+
+    def hamming(self, other: "Hypervector") -> float:
+        """Normalized Hamming (sign-agreement) similarity with ``other``."""
+        return hamming_similarity(self._data, self._coerce(other))
+
+    # ------------------------------------------------------------- operators
+    def __add__(self, other: "Hypervector") -> "Hypervector":
+        return self.bundle(other)
+
+    def __mul__(self, other: "Hypervector") -> "Hypervector":
+        return self.bind(other)
+
+    def __len__(self) -> int:
+        return self.dim
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypervector):
+            return NotImplemented
+        return self.dim == other.dim and bool(np.allclose(self._data, other._data))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = np.array2string(self._data[:4], precision=3)
+        return f"Hypervector(dim={self.dim}, head={head})"
+
+    @staticmethod
+    def _coerce(other: "Hypervector") -> np.ndarray:
+        if isinstance(other, Hypervector):
+            return other._data
+        return np.asarray(other, dtype=np.float64).ravel()
+
+
+def random_hypervector(
+    dim: int,
+    kind: str = "bipolar",
+    rng: SeedLike = None,
+) -> Hypervector:
+    """Draw a random hypervector.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality (must be positive).
+    kind:
+        ``"bipolar"`` for i.i.d. ``{-1, +1}`` entries, ``"gaussian"`` for
+        i.i.d. standard-normal entries, ``"binary"`` for ``{0, 1}`` entries.
+    rng:
+        Seed or generator for reproducibility.
+    """
+    if dim <= 0:
+        raise EncodingError("dim must be positive")
+    gen = ensure_rng(rng)
+    if kind == "bipolar":
+        data = gen.choice(np.array([-1.0, 1.0]), size=dim)
+    elif kind == "gaussian":
+        data = gen.standard_normal(dim)
+    elif kind == "binary":
+        data = gen.integers(0, 2, size=dim).astype(np.float64)
+    else:
+        raise EncodingError(f"unknown hypervector kind: {kind!r}")
+    return Hypervector(data)
+
+
+def identity_hypervector(dim: int) -> Hypervector:
+    """The multiplicative identity for binding (all ones)."""
+    if dim <= 0:
+        raise EncodingError("dim must be positive")
+    return Hypervector(np.ones(dim))
+
+
+def level_hypervectors(
+    levels: int,
+    dim: int,
+    rng: SeedLike = None,
+) -> List[Hypervector]:
+    """Generate ``levels`` correlated level hypervectors (thermometer code).
+
+    The first level is a random bipolar hypervector.  Each subsequent level
+    flips a fresh slice of ``dim / (levels - 1)`` positions, so that adjacent
+    levels are highly similar and the first/last levels are nearly orthogonal.
+    This is the standard construction used by level-ID record encoders.
+    """
+    if levels < 2:
+        raise EncodingError("level_hypervectors requires at least 2 levels")
+    if dim <= 0:
+        raise EncodingError("dim must be positive")
+    gen = ensure_rng(rng)
+    base = gen.choice(np.array([-1.0, 1.0]), size=dim)
+    flip_order = gen.permutation(dim)
+    vectors = [Hypervector(base.copy())]
+    flips_per_level = dim / (levels - 1)
+    current = base.copy()
+    flipped = 0
+    for level in range(1, levels):
+        target = int(round(level * flips_per_level))
+        idx = flip_order[flipped:target]
+        current[idx] *= -1.0
+        flipped = target
+        vectors.append(Hypervector(current.copy()))
+    return vectors

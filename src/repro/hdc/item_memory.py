@@ -1,0 +1,86 @@
+"""Associative item memory with nearest-neighbour cleanup."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+from repro.hdc.hypervector import Hypervector, random_hypervector
+from repro.hdc.similarity import cosine_similarity_matrix
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class ItemMemory:
+    """Maps symbols to (quasi-)orthogonal hypervectors and cleans up noisy queries.
+
+    The item memory is the HDC analogue of an embedding table: every discrete
+    symbol (protocol name, service, TCP flag, ...) is assigned a random
+    hypervector on first use, and ``cleanup`` maps a noisy hypervector back to
+    the closest stored symbol.
+    """
+
+    def __init__(self, dim: int, kind: str = "bipolar", rng: SeedLike = None):
+        if dim <= 0:
+            raise EncodingError("ItemMemory dimensionality must be positive")
+        self._dim = int(dim)
+        self._kind = kind
+        self._rng = ensure_rng(rng)
+        self._items: Dict[Hashable, Hypervector] = {}
+
+    # -------------------------------------------------------------- protocol
+    @property
+    def dim(self) -> int:
+        """Dimensionality of stored hypervectors."""
+        return self._dim
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, symbol: Hashable) -> bool:
+        return symbol in self._items
+
+    def symbols(self) -> List[Hashable]:
+        """All stored symbols, in insertion order."""
+        return list(self._items.keys())
+
+    # ------------------------------------------------------------------- API
+    def add(self, symbol: Hashable, vector: Optional[Hypervector] = None) -> Hypervector:
+        """Register ``symbol`` (idempotent) and return its hypervector."""
+        if symbol in self._items:
+            return self._items[symbol]
+        if vector is None:
+            vector = random_hypervector(self._dim, kind=self._kind, rng=self._rng)
+        elif vector.dim != self._dim:
+            raise EncodingError(
+                f"vector dimensionality {vector.dim} does not match item memory ({self._dim})"
+            )
+        self._items[symbol] = vector
+        return vector
+
+    def get(self, symbol: Hashable) -> Hypervector:
+        """Return the hypervector for ``symbol``, creating it on first use."""
+        return self.add(symbol)
+
+    def cleanup(self, query: Hypervector) -> Tuple[Hashable, float]:
+        """Return the stored ``(symbol, similarity)`` closest to ``query``.
+
+        Raises
+        ------
+        EncodingError
+            If the memory is empty.
+        """
+        if not self._items:
+            raise EncodingError("cannot clean up against an empty item memory")
+        symbols = list(self._items.keys())
+        matrix = np.stack([self._items[s].data for s in symbols])
+        sims = cosine_similarity_matrix(query.data, matrix)[0]
+        best = int(np.argmax(sims))
+        return symbols[best], float(sims[best])
+
+    def as_matrix(self) -> np.ndarray:
+        """Return all stored hypervectors as a ``(n_items, dim)`` array."""
+        if not self._items:
+            return np.zeros((0, self._dim))
+        return np.stack([hv.data for hv in self._items.values()])

@@ -1,0 +1,145 @@
+"""Core MAP-algebra operations on raw hypervector arrays.
+
+All functions operate on plain :class:`numpy.ndarray` objects (1-D vectors or
+2-D ``(n, D)`` batches) so that the learning code can stay fully vectorized.
+The :class:`repro.hdc.hypervector.Hypervector` wrapper delegates to these
+functions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+
+_EPS = 1e-12
+
+
+def bundle(vectors: Sequence[np.ndarray] | np.ndarray, weights: Sequence[float] | None = None) -> np.ndarray:
+    """Bundle (element-wise add) a collection of hypervectors.
+
+    Bundling produces a hypervector similar to each of its inputs; it is the
+    HDC analogue of set union and is how class hypervectors accumulate
+    training samples.
+
+    Parameters
+    ----------
+    vectors:
+        Sequence of 1-D arrays of equal dimensionality, or a 2-D ``(n, D)``
+        array whose rows are bundled.
+    weights:
+        Optional per-vector scaling factors (e.g. the ``1 - delta`` adaptive
+        weights used by the paper's training rule).
+    """
+    arr = np.asarray(vectors, dtype=np.float64)
+    if arr.ndim == 1:
+        return arr.copy()
+    if arr.ndim != 2:
+        raise EncodingError(f"bundle expects 1-D or 2-D input, got ndim={arr.ndim}")
+    if weights is None:
+        return arr.sum(axis=0)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (arr.shape[0],):
+        raise EncodingError(
+            f"weights must have shape ({arr.shape[0]},), got {w.shape}"
+        )
+    return w @ arr
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind two hypervectors (element-wise multiplication).
+
+    Binding produces a vector dissimilar to both operands and is used to
+    associate key/value pairs (e.g. feature identity with feature level).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape[-1] != b.shape[-1]:
+        raise EncodingError(
+            f"cannot bind hypervectors of dimensionality {a.shape[-1]} and {b.shape[-1]}"
+        )
+    return a * b
+
+
+def permute(a: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """Cyclically permute a hypervector (or batch) by ``shifts`` positions.
+
+    Permutation encodes order/position information; it is its own family of
+    unitary operations and preserves norms.
+    """
+    a = np.asarray(a)
+    return np.roll(a, shifts, axis=-1)
+
+
+def normalize(a: np.ndarray) -> np.ndarray:
+    """L2-normalize a single hypervector (returns zeros for a zero vector)."""
+    a = np.asarray(a, dtype=np.float64)
+    norm = np.linalg.norm(a)
+    if norm < _EPS:
+        return np.zeros_like(a)
+    return a / norm
+
+
+def normalize_rows(a: np.ndarray) -> np.ndarray:
+    """L2-normalize each row of a 2-D array (zero rows stay zero).
+
+    This is step ``D`` of the CyberHD workflow: class hypervectors are
+    normalized before per-dimension variances are computed so that classes
+    with many training samples do not dominate the variance estimate.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim == 1:
+        return normalize(a)
+    norms = np.linalg.norm(a, axis=1, keepdims=True)
+    norms = np.where(norms < _EPS, 1.0, norms)
+    return a / norms
+
+
+def hard_quantize(a: np.ndarray) -> np.ndarray:
+    """Map a real hypervector to the bipolar alphabet ``{-1, +1}``.
+
+    Zero entries map to ``+1`` so the output is always full-rank bipolar.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    return np.where(a >= 0.0, 1.0, -1.0)
+
+
+def dimension_variance(class_hypervectors: np.ndarray) -> np.ndarray:
+    """Per-dimension variance across class hypervectors.
+
+    This is step ``F`` of the CyberHD workflow: dimensions whose values are
+    similar across *all* classes carry common (non-discriminative)
+    information and are candidates for regeneration.
+
+    Parameters
+    ----------
+    class_hypervectors:
+        ``(k, D)`` array of (typically row-normalized) class hypervectors.
+
+    Returns
+    -------
+    ndarray
+        ``(D,)`` array of variances.
+    """
+    m = np.asarray(class_hypervectors, dtype=np.float64)
+    if m.ndim != 2:
+        raise EncodingError("dimension_variance expects a (k, D) class matrix")
+    return m.var(axis=0)
+
+
+def lowest_variance_dimensions(class_hypervectors: np.ndarray, count: int) -> np.ndarray:
+    """Indices of the ``count`` dimensions with the lowest cross-class variance.
+
+    Step ``G`` of the CyberHD workflow (dimension dropping).  Ties are broken
+    deterministically by index so repeated runs with the same model state
+    select the same dimensions.
+    """
+    variances = dimension_variance(class_hypervectors)
+    count = int(count)
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    count = min(count, variances.shape[0])
+    order = np.argsort(variances, kind="stable")
+    return np.sort(order[:count])

@@ -1,0 +1,73 @@
+"""Similarity kernels used for HDC training and inference."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+
+_EPS = 1e-12
+
+
+def dot_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain dot product between two hypervectors."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise EncodingError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(a @ b)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two hypervectors (0 when either is zero)."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise EncodingError(f"shape mismatch: {a.shape} vs {b.shape}")
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na < _EPS or nb < _EPS:
+        return 0.0
+    return float(a @ b / (na * nb))
+
+
+def cosine_similarity_matrix(queries: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Cosine similarity between every query row and every class row.
+
+    Parameters
+    ----------
+    queries:
+        ``(n, D)`` encoded query hypervectors.
+    classes:
+        ``(k, D)`` class hypervectors.
+
+    Returns
+    -------
+    ndarray
+        ``(n, k)`` matrix of cosine similarities; rows/columns whose source
+        vector is all-zero produce zero similarity.
+    """
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    c = np.atleast_2d(np.asarray(classes, dtype=np.float64))
+    if q.shape[1] != c.shape[1]:
+        raise EncodingError(
+            f"query dimensionality {q.shape[1]} != class dimensionality {c.shape[1]}"
+        )
+    qn = np.linalg.norm(q, axis=1, keepdims=True)
+    cn = np.linalg.norm(c, axis=1, keepdims=True)
+    qn = np.where(qn < _EPS, 1.0, qn)
+    cn = np.where(cn < _EPS, 1.0, cn)
+    return (q / qn) @ (c / cn).T
+
+
+def hamming_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalized Hamming similarity between two bipolar/binary hypervectors.
+
+    Returns the fraction of positions where the two vectors agree in sign,
+    in ``[0, 1]``.
+    """
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise EncodingError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.mean(np.sign(a) == np.sign(b)))

@@ -1,0 +1,6 @@
+"""Classifier interfaces and the static-encoder baseline HDC model."""
+
+from repro.models.base import BaseClassifier, FitResult
+from repro.models.hdc_classifier import BaselineHDC
+
+__all__ = ["BaseClassifier", "FitResult", "BaselineHDC"]

@@ -1,0 +1,100 @@
+"""Common classifier interface shared by CyberHD and every baseline.
+
+Keeping every learner behind the same minimal ``fit`` / ``predict`` /
+``predict_scores`` interface lets the evaluation harness treat CyberHD, the
+baseline HDC, the MLP and the SVM uniformly when regenerating the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_feature_count, check_fitted, check_labels, check_matrix
+
+
+@dataclass
+class FitResult:
+    """Summary of a completed ``fit`` call.
+
+    Attributes
+    ----------
+    train_seconds:
+        Wall-clock seconds spent in ``fit``.
+    epochs_run:
+        Number of passes over the training data.
+    history:
+        Free-form per-epoch metrics (e.g. training accuracy, regenerated
+        dimensions) keyed by metric name.
+    """
+
+    train_seconds: float = 0.0
+    epochs_run: int = 0
+    history: Dict[str, List[float]] = field(default_factory=dict)
+
+
+class BaseClassifier(abc.ABC):
+    """Abstract multi-class classifier.
+
+    Subclasses implement :meth:`_fit` and :meth:`_predict_scores`; the public
+    wrappers handle validation, label re-mapping (labels may be arbitrary
+    integers) and the fitted-state checks.
+    """
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+        self.n_features_in_: Optional[int] = None
+        self.fit_result_: Optional[FitResult] = None
+
+    # ------------------------------------------------------------------- API
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaseClassifier":
+        """Fit the classifier on ``(X, y)`` and return ``self``."""
+        X = check_matrix(X, "X")
+        y = check_labels(y, X.shape[0], "y")
+        self.classes_, y_indexed = np.unique(y, return_inverse=True)
+        if self.classes_.shape[0] < 2:
+            raise ValueError("training data must contain at least two classes")
+        self.n_features_in_ = X.shape[1]
+        self.fit_result_ = self._fit(X, y_indexed.astype(np.int64))
+        return self
+
+    def predict_scores(self, X: np.ndarray) -> np.ndarray:
+        """Per-class decision scores, shape ``(n_samples, n_classes)``.
+
+        Higher is better; the meaning of the score is model specific (cosine
+        similarity for HDC models, logits for the MLP, margins for the SVM).
+        """
+        check_fitted(self, "classes_")
+        X = check_matrix(X, "X")
+        check_feature_count(X, int(self.n_features_in_), "X")
+        return self._predict_scores(X)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels (in the original label space)."""
+        scores = self.predict_scores(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy on ``(X, y)``."""
+        X = check_matrix(X, "X")
+        y = check_labels(y, X.shape[0], "y")
+        return float(np.mean(self.predict(X) == y))
+
+    @property
+    def n_classes_(self) -> int:
+        """Number of classes seen during ``fit``."""
+        check_fitted(self, "classes_")
+        return int(self.classes_.shape[0])
+
+    # --------------------------------------------------------- subclass API
+    @abc.abstractmethod
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> FitResult:
+        """Fit on validated data with labels already mapped to ``0..k-1``."""
+
+    @abc.abstractmethod
+    def _predict_scores(self, X: np.ndarray) -> np.ndarray:
+        """Return ``(n, k)`` decision scores for validated input."""

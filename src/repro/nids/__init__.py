@@ -1,0 +1,57 @@
+"""Network-intrusion-detection substrate.
+
+The paper motivates CyberHD with the NIDS deployment sketched in its Fig. 1:
+traffic crosses a firewall, a NIDS watches the LAN, and alerts are raised when
+flows look malicious.  This package provides that surrounding system so the
+classifier can be exercised end to end:
+
+``packets`` / ``flow`` / ``feature_extraction``
+    A synthetic packet generator with benign and attack traffic profiles, a
+    flow table that assembles packets into bidirectional flows, and a flow
+    feature extractor producing the numeric statistics the classifiers
+    consume.
+
+``pipeline``
+    The detection pipeline: train a classifier on a labeled dataset, then
+    classify extracted flow features and raise alerts.
+
+``alerts``
+    Alert records plus an alert manager with de-duplication and severity.
+
+``streaming``
+    A windowed streaming detector that ingests packets continuously and emits
+    alerts in micro-batches, reporting per-batch detection latency.
+
+``metrics``
+    Detection metrics (accuracy, per-class precision/recall/F1, detection
+    rate, false-alarm rate, confusion matrix).
+"""
+
+from repro.nids.alerts import Alert, AlertManager, Severity
+from repro.nids.feature_extraction import FLOW_FEATURE_NAMES, FlowFeatureExtractor
+from repro.nids.flow import FlowKey, FlowRecord, FlowTable
+from repro.nids.metrics import DetectionReport, confusion_matrix, detection_report
+from repro.nids.packets import Packet, TrafficGenerator, TrafficProfile
+from repro.nids.pipeline import DetectionPipeline, DetectionResult
+from repro.nids.streaming import StreamingDetector, WindowResult
+
+__all__ = [
+    "Packet",
+    "TrafficProfile",
+    "TrafficGenerator",
+    "FlowKey",
+    "FlowRecord",
+    "FlowTable",
+    "FlowFeatureExtractor",
+    "FLOW_FEATURE_NAMES",
+    "DetectionPipeline",
+    "DetectionResult",
+    "Alert",
+    "AlertManager",
+    "Severity",
+    "StreamingDetector",
+    "WindowResult",
+    "DetectionReport",
+    "detection_report",
+    "confusion_matrix",
+]

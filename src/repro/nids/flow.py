@@ -1,0 +1,187 @@
+"""Flow assembly: grouping packets into bidirectional flows.
+
+A *flow* is identified by the canonical 5-tuple (both directions map to the
+same flow).  The :class:`FlowTable` ingests time-ordered packets, keeps active
+flows, and expires them on an idle timeout -- the same mechanism CICFlowMeter
+uses to produce the flow records behind the CIC datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.nids.packets import Packet, TCP_FLAGS
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Canonical bidirectional flow identifier.
+
+    The canonical form orders the two endpoints so that packets of both
+    directions hash to the same key.
+    """
+
+    ip_a: str
+    port_a: int
+    ip_b: str
+    port_b: int
+    protocol: str
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "FlowKey":
+        """Build the canonical key for ``packet``."""
+        forward = (packet.src_ip, packet.src_port, packet.dst_ip, packet.dst_port)
+        backward = (packet.dst_ip, packet.dst_port, packet.src_ip, packet.src_port)
+        a, b = (forward, backward) if forward <= backward else (backward, forward)
+        return cls(ip_a=a[0], port_a=a[1], ip_b=a[2], port_b=a[3], protocol=packet.protocol)
+
+
+@dataclass
+class FlowRecord:
+    """Aggregated statistics of one bidirectional flow.
+
+    The *forward* direction is defined by the first packet seen.
+    """
+
+    key: FlowKey
+    initiator_ip: str
+    initiator_port: int
+    start_time: float
+    end_time: float
+    label: str = "benign"
+    fwd_packets: int = 0
+    bwd_packets: int = 0
+    fwd_bytes: int = 0
+    bwd_bytes: int = 0
+    fwd_lengths: List[int] = field(default_factory=list)
+    bwd_lengths: List[int] = field(default_factory=list)
+    timestamps: List[float] = field(default_factory=list)
+    syn_count: int = 0
+    fin_count: int = 0
+    rst_count: int = 0
+    psh_count: int = 0
+    ack_count: int = 0
+    urg_count: int = 0
+    distinct_dst_ports: set = field(default_factory=set)
+
+    # ------------------------------------------------------------------- API
+    def add_packet(self, packet: Packet) -> None:
+        """Fold ``packet`` into the flow statistics."""
+        is_forward = (
+            packet.src_ip == self.initiator_ip and packet.src_port == self.initiator_port
+        )
+        self.end_time = max(self.end_time, packet.timestamp)
+        self.timestamps.append(packet.timestamp)
+        if is_forward:
+            self.fwd_packets += 1
+            self.fwd_bytes += packet.length
+            self.fwd_lengths.append(packet.length)
+            self.distinct_dst_ports.add(packet.dst_port)
+        else:
+            self.bwd_packets += 1
+            self.bwd_bytes += packet.length
+            self.bwd_lengths.append(packet.length)
+        if packet.protocol == "tcp":
+            self.syn_count += bool(packet.tcp_flags & TCP_FLAGS["SYN"])
+            self.fin_count += bool(packet.tcp_flags & TCP_FLAGS["FIN"])
+            self.rst_count += bool(packet.tcp_flags & TCP_FLAGS["RST"])
+            self.psh_count += bool(packet.tcp_flags & TCP_FLAGS["PSH"])
+            self.ack_count += bool(packet.tcp_flags & TCP_FLAGS["ACK"])
+            self.urg_count += bool(packet.tcp_flags & TCP_FLAGS["URG"])
+        # A flow carrying any attack packet is labeled with that attack.
+        if packet.label != "benign" and self.label == "benign":
+            self.label = packet.label
+
+    @property
+    def duration(self) -> float:
+        """Flow duration in seconds (0 for single-packet flows)."""
+        return max(0.0, self.end_time - self.start_time)
+
+    @property
+    def total_packets(self) -> int:
+        """Total packets in both directions."""
+        return self.fwd_packets + self.bwd_packets
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes in both directions."""
+        return self.fwd_bytes + self.bwd_bytes
+
+    @classmethod
+    def from_first_packet(cls, packet: Packet) -> "FlowRecord":
+        """Start a new flow record from its first packet."""
+        record = cls(
+            key=FlowKey.from_packet(packet),
+            initiator_ip=packet.src_ip,
+            initiator_port=packet.src_port,
+            start_time=packet.timestamp,
+            end_time=packet.timestamp,
+        )
+        record.add_packet(packet)
+        return record
+
+
+class FlowTable:
+    """Assembles packets into flows with an idle-timeout expiry policy.
+
+    Parameters
+    ----------
+    idle_timeout:
+        A flow is expired (emitted) once no packet has been seen for this many
+        seconds.
+    max_flow_duration:
+        Long-lived flows are force-expired after this duration so streaming
+        detection does not wait forever.
+    """
+
+    def __init__(self, idle_timeout: float = 5.0, max_flow_duration: float = 120.0):
+        if idle_timeout <= 0 or max_flow_duration <= 0:
+            raise ConfigurationError("timeouts must be positive")
+        self.idle_timeout = float(idle_timeout)
+        self.max_flow_duration = float(max_flow_duration)
+        self._active: Dict[FlowKey, FlowRecord] = {}
+
+    # ------------------------------------------------------------------- API
+    @property
+    def active_flows(self) -> int:
+        """Number of currently active (unexpired) flows."""
+        return len(self._active)
+
+    def add_packet(self, packet: Packet) -> List[FlowRecord]:
+        """Ingest one packet; returns any flows expired by the packet's timestamp."""
+        expired = self._expire(packet.timestamp)
+        key = FlowKey.from_packet(packet)
+        record = self._active.get(key)
+        if record is None:
+            self._active[key] = FlowRecord.from_first_packet(packet)
+        else:
+            record.add_packet(packet)
+        return expired
+
+    def add_packets(self, packets: List[Packet]) -> List[FlowRecord]:
+        """Ingest a time-ordered packet batch; returns flows expired along the way."""
+        completed: List[FlowRecord] = []
+        for packet in packets:
+            completed.extend(self.add_packet(packet))
+        return completed
+
+    def flush(self) -> List[FlowRecord]:
+        """Expire and return all remaining active flows (end of capture)."""
+        flows = list(self._active.values())
+        self._active.clear()
+        return flows
+
+    # ------------------------------------------------------------- internals
+    def _expire(self, now: float) -> List[FlowRecord]:
+        expired: List[FlowRecord] = []
+        stale_keys = [
+            key
+            for key, record in self._active.items()
+            if (now - record.end_time) > self.idle_timeout
+            or (now - record.start_time) > self.max_flow_duration
+        ]
+        for key in stale_keys:
+            expired.append(self._active.pop(key))
+        return expired

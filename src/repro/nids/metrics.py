@@ -1,0 +1,142 @@
+"""Detection metrics for NIDS evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = samples of true class ``i`` predicted as ``j``."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ConfigurationError("y_true and y_pred must have the same shape")
+    if n_classes < 1:
+        raise ConfigurationError("n_classes must be >= 1")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+@dataclass
+class DetectionReport:
+    """Per-class and aggregate detection metrics.
+
+    Attributes
+    ----------
+    accuracy:
+        Overall classification accuracy.
+    macro_precision, macro_recall, macro_f1:
+        Unweighted means of the per-class metrics.
+    detection_rate:
+        Fraction of attack samples assigned to *some* attack class (binary
+        attack-vs-benign recall), if an ``attack_mask`` was provided.
+    false_alarm_rate:
+        Fraction of benign samples flagged as an attack, if an ``attack_mask``
+        was provided.
+    per_class:
+        Mapping class name -> ``{"precision", "recall", "f1", "support"}``.
+    matrix:
+        The confusion matrix.
+    """
+
+    accuracy: float
+    macro_precision: float
+    macro_recall: float
+    macro_f1: float
+    detection_rate: Optional[float]
+    false_alarm_rate: Optional[float]
+    per_class: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    matrix: Optional[np.ndarray] = None
+
+    def summary(self) -> str:
+        """Short human-readable summary (used by the examples)."""
+        lines = [
+            f"accuracy          : {self.accuracy:.4f}",
+            f"macro precision   : {self.macro_precision:.4f}",
+            f"macro recall      : {self.macro_recall:.4f}",
+            f"macro F1          : {self.macro_f1:.4f}",
+        ]
+        if self.detection_rate is not None:
+            lines.append(f"detection rate    : {self.detection_rate:.4f}")
+        if self.false_alarm_rate is not None:
+            lines.append(f"false alarm rate  : {self.false_alarm_rate:.4f}")
+        return "\n".join(lines)
+
+
+def detection_report(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    class_names: Sequence[str],
+    attack_mask: Optional[Sequence[bool]] = None,
+) -> DetectionReport:
+    """Compute the full detection report.
+
+    Parameters
+    ----------
+    y_true, y_pred:
+        Integer labels (indices into ``class_names``).
+    class_names:
+        Names of the classes, index-aligned with the labels.
+    attack_mask:
+        Optional per-class attack flag; enables detection-rate and
+        false-alarm-rate computation.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    n_classes = len(class_names)
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+
+    per_class: Dict[str, Dict[str, float]] = {}
+    precisions, recalls, f1s = [], [], []
+    for i, name in enumerate(class_names):
+        tp = float(matrix[i, i])
+        fp = float(matrix[:, i].sum() - matrix[i, i])
+        fn = float(matrix[i, :].sum() - matrix[i, i])
+        support = float(matrix[i, :].sum())
+        precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+        recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+        per_class[name] = {
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+            "support": support,
+        }
+        # Classes absent from the evaluation split do not drag the macro
+        # averages to zero.
+        if support > 0:
+            precisions.append(precision)
+            recalls.append(recall)
+            f1s.append(f1)
+
+    accuracy = float(np.trace(matrix)) / max(float(matrix.sum()), 1.0)
+
+    detection_rate = None
+    false_alarm_rate = None
+    if attack_mask is not None:
+        mask = np.asarray(attack_mask, dtype=bool)
+        if mask.shape[0] != n_classes:
+            raise ConfigurationError("attack_mask must have one entry per class")
+        true_attack = mask[y_true]
+        pred_attack = mask[y_pred]
+        if true_attack.any():
+            detection_rate = float(np.mean(pred_attack[true_attack]))
+        if (~true_attack).any():
+            false_alarm_rate = float(np.mean(pred_attack[~true_attack]))
+
+    return DetectionReport(
+        accuracy=accuracy,
+        macro_precision=float(np.mean(precisions)) if precisions else 0.0,
+        macro_recall=float(np.mean(recalls)) if recalls else 0.0,
+        macro_f1=float(np.mean(f1s)) if f1s else 0.0,
+        detection_rate=detection_rate,
+        false_alarm_rate=false_alarm_rate,
+        per_class=per_class,
+        matrix=matrix,
+    )

@@ -1,0 +1,266 @@
+"""Synthetic packet-level traffic generation.
+
+Generates packet streams with labeled benign and attack behaviour so the flow
+assembly, feature extraction and detection pipeline can be exercised without
+captured traffic.  Each :class:`TrafficProfile` describes one behaviour
+(web browsing, port scanning, SYN flood, SSH brute force, data exfiltration)
+in terms of how its flows look at the packet level: packet counts, sizes,
+inter-arrival times, port selection and TCP flag usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: TCP flag bit positions used in the synthetic packets.
+TCP_FLAGS = {"FIN": 0x01, "SYN": 0x02, "RST": 0x04, "PSH": 0x08, "ACK": 0x10, "URG": 0x20}
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single synthetic packet.
+
+    Only the header fields the feature extractor needs are modeled.
+    """
+
+    timestamp: float
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: str
+    length: int
+    tcp_flags: int = 0
+    #: Ground-truth label of the flow this packet belongs to (for evaluation).
+    label: str = "benign"
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Statistical description of one traffic behaviour.
+
+    Attributes
+    ----------
+    name:
+        Behaviour label (also used as the ground-truth flow label).
+    is_attack:
+        Whether flows of this profile should trigger alerts.
+    packets_per_flow:
+        ``(mean, std)`` of the number of forward packets in a flow.
+    packet_length:
+        ``(mean, std)`` of packet payload sizes in bytes.
+    inter_arrival:
+        ``(mean, std)`` of intra-flow packet spacing in seconds.
+    dst_ports:
+        Candidate destination ports (one chosen per flow, except for port
+        scans which walk many ports).
+    protocol:
+        ``"tcp"``, ``"udp"`` or ``"icmp"``.
+    syn_only:
+        If True, packets carry only SYN flags (scan / flood behaviour).
+    reply_ratio:
+        Average number of reverse-direction packets per forward packet.
+    port_sweep:
+        If True, each packet targets a different destination port.
+    """
+
+    name: str
+    is_attack: bool
+    packets_per_flow: Tuple[float, float] = (12.0, 4.0)
+    packet_length: Tuple[float, float] = (560.0, 240.0)
+    inter_arrival: Tuple[float, float] = (0.05, 0.02)
+    dst_ports: Tuple[int, ...] = (80, 443)
+    protocol: str = "tcp"
+    syn_only: bool = False
+    reply_ratio: float = 0.9
+    port_sweep: bool = False
+
+
+#: Built-in profiles used by the examples and the streaming tests.
+DEFAULT_PROFILES: Tuple[TrafficProfile, ...] = (
+    TrafficProfile(
+        name="benign",
+        is_attack=False,
+        packets_per_flow=(18.0, 8.0),
+        packet_length=(640.0, 320.0),
+        inter_arrival=(0.08, 0.05),
+        dst_ports=(80, 443, 22, 53, 8080),
+        reply_ratio=0.95,
+    ),
+    TrafficProfile(
+        name="port_scan",
+        is_attack=True,
+        packets_per_flow=(40.0, 10.0),
+        packet_length=(60.0, 4.0),
+        inter_arrival=(0.002, 0.001),
+        dst_ports=tuple(range(1, 1024, 7)),
+        syn_only=True,
+        reply_ratio=0.05,
+        port_sweep=True,
+    ),
+    TrafficProfile(
+        name="syn_flood",
+        is_attack=True,
+        packets_per_flow=(120.0, 30.0),
+        packet_length=(60.0, 2.0),
+        inter_arrival=(0.0005, 0.0002),
+        dst_ports=(80,),
+        syn_only=True,
+        reply_ratio=0.0,
+    ),
+    TrafficProfile(
+        name="ssh_bruteforce",
+        is_attack=True,
+        packets_per_flow=(26.0, 6.0),
+        packet_length=(120.0, 40.0),
+        inter_arrival=(0.3, 0.1),
+        dst_ports=(22,),
+        reply_ratio=0.8,
+    ),
+    TrafficProfile(
+        name="exfiltration",
+        is_attack=True,
+        packets_per_flow=(220.0, 60.0),
+        packet_length=(1380.0, 80.0),
+        inter_arrival=(0.01, 0.004),
+        dst_ports=(8443, 4444),
+        reply_ratio=0.1,
+    ),
+)
+
+
+class TrafficGenerator:
+    """Generates labeled packet streams from a mixture of traffic profiles.
+
+    Parameters
+    ----------
+    profiles:
+        Traffic profiles to mix (defaults to :data:`DEFAULT_PROFILES`).
+    profile_weights:
+        Relative frequency of each profile; defaults to 70% benign with the
+        attack profiles sharing the remainder.
+    n_hosts:
+        Number of distinct internal hosts generating traffic.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[TrafficProfile] = DEFAULT_PROFILES,
+        profile_weights: Optional[Sequence[float]] = None,
+        n_hosts: int = 32,
+        seed: SeedLike = None,
+    ):
+        if not profiles:
+            raise ConfigurationError("at least one traffic profile is required")
+        self.profiles = tuple(profiles)
+        if profile_weights is None:
+            benign_weight = 0.7
+            n_attack = sum(1 for p in self.profiles if p.is_attack)
+            n_benign = len(self.profiles) - n_attack
+            if n_benign == 0 or n_attack == 0:
+                profile_weights = [1.0] * len(self.profiles)
+            else:
+                profile_weights = [
+                    benign_weight / n_benign if not p.is_attack else (1 - benign_weight) / n_attack
+                    for p in self.profiles
+                ]
+        weights = np.asarray(profile_weights, dtype=np.float64)
+        if weights.shape[0] != len(self.profiles) or np.any(weights <= 0):
+            raise ConfigurationError("profile_weights must be positive, one per profile")
+        self._weights = weights / weights.sum()
+        if n_hosts < 2:
+            raise ConfigurationError("n_hosts must be >= 2")
+        self._n_hosts = int(n_hosts)
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------- API
+    def generate_flow_packets(self, profile: TrafficProfile, start_time: float) -> List[Packet]:
+        """Generate the packets of a single flow following ``profile``."""
+        rng = self._rng
+        src_ip = f"10.0.0.{rng.integers(2, self._n_hosts + 2)}"
+        dst_ip = f"192.168.1.{rng.integers(2, 250)}"
+        src_port = int(rng.integers(1024, 65535))
+        base_port = int(rng.choice(profile.dst_ports))
+        n_packets = max(2, int(rng.normal(*profile.packets_per_flow)))
+
+        packets: List[Packet] = []
+        t = start_time
+        for i in range(n_packets):
+            t += max(1e-6, rng.normal(*profile.inter_arrival))
+            length = max(40, int(rng.normal(*profile.packet_length)))
+            if profile.port_sweep:
+                dst_port = int(profile.dst_ports[i % len(profile.dst_ports)])
+            else:
+                dst_port = base_port
+            if profile.protocol == "tcp":
+                if profile.syn_only:
+                    flags = TCP_FLAGS["SYN"]
+                elif i == 0:
+                    flags = TCP_FLAGS["SYN"]
+                elif i == n_packets - 1:
+                    flags = TCP_FLAGS["FIN"] | TCP_FLAGS["ACK"]
+                else:
+                    flags = TCP_FLAGS["ACK"] | (TCP_FLAGS["PSH"] if length > 100 else 0)
+            else:
+                flags = 0
+            packets.append(
+                Packet(
+                    timestamp=t,
+                    src_ip=src_ip,
+                    dst_ip=dst_ip,
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    protocol=profile.protocol,
+                    length=length,
+                    tcp_flags=flags,
+                    label=profile.name,
+                )
+            )
+            # Reverse-direction packets (server replies).
+            if rng.random() < profile.reply_ratio:
+                t += max(1e-6, rng.normal(*profile.inter_arrival) * 0.5)
+                packets.append(
+                    Packet(
+                        timestamp=t,
+                        src_ip=dst_ip,
+                        dst_ip=src_ip,
+                        src_port=dst_port,
+                        dst_port=src_port,
+                        protocol=profile.protocol,
+                        length=max(40, int(rng.normal(*profile.packet_length) * 0.6)),
+                        tcp_flags=TCP_FLAGS["ACK"] if profile.protocol == "tcp" else 0,
+                        label=profile.name,
+                    )
+                )
+        return packets
+
+    def generate(self, n_flows: int, start_time: float = 0.0) -> List[Packet]:
+        """Generate ``n_flows`` flows' worth of packets, time-ordered."""
+        if n_flows < 1:
+            raise ConfigurationError("n_flows must be >= 1")
+        packets: List[Packet] = []
+        t = start_time
+        for _ in range(n_flows):
+            profile = self.profiles[int(self._rng.choice(len(self.profiles), p=self._weights))]
+            flow_packets = self.generate_flow_packets(profile, t)
+            packets.extend(flow_packets)
+            # Flows overlap slightly, as on a real link.
+            t += float(self._rng.exponential(0.05))
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+    def stream(self, n_flows: int, start_time: float = 0.0) -> Iterator[Packet]:
+        """Yield the same packets as :meth:`generate`, one at a time."""
+        yield from self.generate(n_flows, start_time)
+
+    def profile_names(self) -> List[str]:
+        """Names of the configured profiles (the label space of the stream)."""
+        return [p.name for p in self.profiles]

@@ -1,0 +1,126 @@
+"""Saving and loading trained HDC models.
+
+Edge deployment (the paper's motivating scenario) needs the trained model to be
+exported from the training machine and loaded on the device.  For an HDC model
+the deployable state is small and simple: the encoder's base vectors/phases and
+the class hypervector matrix.  This module serializes that state for
+:class:`repro.core.CyberHD` and :class:`repro.models.BaselineHDC` into a single
+NumPy ``.npz`` archive.
+
+Only the RBF and linear encoders are supported for export (they are defined by
+dense base matrices); the level-ID encoder stores per-feature codebooks and is
+rarely the deployment choice for the flow workloads studied here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.config import CyberHDConfig
+from repro.core.cyberhd import CyberHD
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.hdc.encoders.linear import LinearEncoder
+from repro.hdc.encoders.rbf import RBFEncoder
+from repro.models.hdc_classifier import BaselineHDC
+
+HDCModel = Union[CyberHD, BaselineHDC]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: HDCModel, path: Union[str, Path]) -> Path:
+    """Serialize a fitted HDC model to ``path`` (``.npz`` archive).
+
+    Raises
+    ------
+    NotFittedError
+        If the model has not been fitted.
+    ConfigurationError
+        If the model uses an encoder that cannot be exported.
+    """
+    if model.class_hypervectors_ is None or model.encoder_ is None:
+        raise NotFittedError("cannot save an unfitted model")
+    encoder = model.encoder_
+    if isinstance(encoder, RBFEncoder):
+        encoder_kind = "rbf"
+        encoder_arrays = {
+            "encoder_bases": np.asarray(encoder.bases),
+            "encoder_phases": np.asarray(encoder.phases),
+        }
+        encoder_params = np.array([encoder.gamma])
+    elif isinstance(encoder, LinearEncoder):
+        encoder_kind = "linear"
+        encoder_arrays = {"encoder_bases": np.asarray(encoder.bases)}
+        encoder_params = np.array([])
+    else:
+        raise ConfigurationError(
+            f"persistence supports the rbf and linear encoders, not {type(encoder).__name__}"
+        )
+
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.array([_FORMAT_VERSION]),
+        model_kind=np.array([type(model).__name__]),
+        encoder_kind=np.array([encoder_kind]),
+        encoder_params=encoder_params,
+        encoder_activation=np.array(
+            [encoder.activation if isinstance(encoder, LinearEncoder) else ""]
+        ),
+        class_hypervectors=model.class_hypervectors_,
+        classes=model.classes_,
+        n_features_in=np.array([model.n_features_in_]),
+        regenerated_total=np.array([encoder.regenerated_total]),
+        **encoder_arrays,
+    )
+    # np.savez appends .npz only when missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(path: Union[str, Path]) -> HDCModel:
+    """Load a model saved with :func:`save_model`.
+
+    The returned model predicts identically to the saved one; training state
+    that is irrelevant for inference (fit history, regeneration events) is not
+    restored.
+    """
+    archive = np.load(Path(path), allow_pickle=False)
+    version = int(archive["format_version"][0])
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(f"unsupported model file version {version}")
+
+    model_kind = str(archive["model_kind"][0])
+    encoder_kind = str(archive["encoder_kind"][0])
+    class_hypervectors = archive["class_hypervectors"]
+    n_classes, dim = class_hypervectors.shape
+    n_features = int(archive["n_features_in"][0])
+
+    if encoder_kind == "rbf":
+        encoder = RBFEncoder(
+            in_features=n_features, dim=dim, gamma=float(archive["encoder_params"][0])
+        )
+        encoder._bases = archive["encoder_bases"].copy()
+        encoder._phases = archive["encoder_phases"].copy()
+    elif encoder_kind == "linear":
+        activation = str(archive["encoder_activation"][0]) or "tanh"
+        encoder = LinearEncoder(in_features=n_features, dim=dim, activation=activation)
+        encoder._bases = archive["encoder_bases"].copy()
+    else:
+        raise ConfigurationError(f"unknown encoder kind {encoder_kind!r} in model file")
+    encoder._regenerated_total = int(archive["regenerated_total"][0])
+
+    if model_kind == "CyberHD":
+        model: HDCModel = CyberHD(CyberHDConfig(dim=dim, encoder=encoder_kind))
+    elif model_kind == "BaselineHDC":
+        model = BaselineHDC(dim=dim, encoder=encoder_kind)
+    else:
+        raise ConfigurationError(f"unknown model kind {model_kind!r} in model file")
+
+    model.encoder_ = encoder
+    model.class_hypervectors_ = class_hypervectors.copy()
+    model.classes_ = archive["classes"].copy()
+    model.n_features_in_ = n_features
+    return model

@@ -1,0 +1,22 @@
+"""Shared utilities: RNG handling, validation and timing helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_feature_count,
+    check_fitted,
+    check_labels,
+    check_matrix,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "check_matrix",
+    "check_labels",
+    "check_fitted",
+    "check_probability",
+    "check_feature_count",
+]

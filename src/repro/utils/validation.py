@@ -1,0 +1,81 @@
+"""Input validation helpers shared by every estimator in the package."""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+def check_matrix(X: Any, name: str = "X") -> np.ndarray:
+    """Validate and convert ``X`` to a 2-D float64 array.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``X`` is not 2-D, is empty, or contains NaN/inf values.
+    """
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ConfigurationError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_labels(y: Any, n_samples: int, name: str = "y") -> np.ndarray:
+    """Validate ``y`` as a 1-D integer label vector of length ``n_samples``."""
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ConfigurationError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.shape[0] != n_samples:
+        raise ConfigurationError(
+            f"{name} has {arr.shape[0]} entries but X has {n_samples} rows"
+        )
+    if arr.dtype.kind not in "iu":
+        if not np.all(np.equal(np.mod(arr.astype(np.float64), 1), 0)):
+            raise ConfigurationError(f"{name} must contain integer class labels")
+        arr = arr.astype(np.int64)
+    return arr.astype(np.int64)
+
+
+def check_fitted(obj: Any, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``obj.attribute`` exists and is set."""
+    if getattr(obj, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(obj).__name__} is not fitted yet; call fit() before predicting"
+        )
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_feature_count(X: np.ndarray, expected: int, name: str = "X") -> None:
+    """Check that ``X`` has ``expected`` columns."""
+    if X.shape[1] != expected:
+        raise ConfigurationError(
+            f"{name} has {X.shape[1]} features but the model was fitted with {expected}"
+        )
+
+
+def train_test_indices(
+    n_samples: int,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return shuffled (train, test) index arrays for an ``n_samples`` dataset."""
+    check_probability(test_fraction, "test_fraction")
+    order = rng.permutation(n_samples)
+    n_test = int(round(n_samples * test_fraction))
+    return order[n_test:], order[:n_test]

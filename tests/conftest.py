@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are session-scoped where training is involved so the suite stays
+fast: the small synthetic dataset and the trained models are built once and
+reused by every test that only reads them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.mlp import MLPClassifier
+from repro.core.cyberhd import CyberHD
+from repro.datasets.loaders import load_dataset
+from repro.models.hdc_classifier import BaselineHDC
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small NSL-KDD split shared across the suite."""
+    return load_dataset("nsl_kdd", n_train=600, n_test=200, seed=0)
+
+
+@pytest.fixture(scope="session")
+def unsw_dataset():
+    """A small UNSW-NB15 split (10 classes, categorical features)."""
+    return load_dataset("unsw_nb15", n_train=600, n_test=200, seed=1)
+
+
+@pytest.fixture(scope="session")
+def blob_data():
+    """A tiny, clearly separable 3-class blob problem for fast model tests."""
+    rng = np.random.default_rng(42)
+    centers = np.array([[0.2, 0.2, 0.8], [0.8, 0.2, 0.2], [0.5, 0.9, 0.5]])
+    X, y = [], []
+    for label, center in enumerate(centers):
+        X.append(rng.normal(center, 0.08, size=(60, 3)))
+        y.append(np.full(60, label))
+    X = np.clip(np.vstack(X), 0.0, 1.0)
+    y = np.concatenate(y)
+    order = rng.permutation(y.shape[0])
+    return X[order], y[order]
+
+
+@pytest.fixture(scope="session")
+def trained_cyberhd(small_dataset):
+    """A CyberHD model trained on the small dataset."""
+    model = CyberHD(dim=128, epochs=6, regeneration_rate=0.1, seed=0)
+    model.fit(small_dataset.X_train, small_dataset.y_train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_baseline_hdc(small_dataset):
+    """A static-encoder BaselineHDC model trained on the small dataset."""
+    model = BaselineHDC(dim=128, epochs=6, seed=0)
+    model.fit(small_dataset.X_train, small_dataset.y_train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_mlp(small_dataset):
+    """An MLP baseline trained on the small dataset."""
+    model = MLPClassifier(hidden_layers=(32,), epochs=8, seed=0)
+    model.fit(small_dataset.X_train, small_dataset.y_train)
+    return model

@@ -1,0 +1,191 @@
+"""Tests for the baseline learners: BaselineHDC, MLP and the SVM family."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.svm import KernelSVM, LinearSVM, RBFSampleSVM
+from repro.baselines.utils import cross_entropy, hinge_loss, iterate_minibatches, one_hot, softmax, xavier_init
+from repro.exceptions import NotFittedError
+from repro.models.hdc_classifier import BaselineHDC
+
+
+class TestBaselineUtils:
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_softmax_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).standard_normal((5, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert np.all(probs >= 0)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_cross_entropy_perfect_prediction(self):
+        targets = one_hot(np.array([0, 1]), 2)
+        assert cross_entropy(targets, targets) < 1e-6
+
+    def test_hinge_loss(self):
+        assert hinge_loss(np.array([2.0, 0.5])) == pytest.approx(0.25)
+
+    def test_iterate_minibatches_covers_all(self):
+        batches = list(iterate_minibatches(10, 3, np.random.default_rng(0)))
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_xavier_init_shapes(self):
+        W, b = xavier_init(4, 8, np.random.default_rng(0))
+        assert W.shape == (4, 8) and b.shape == (8,)
+        np.testing.assert_allclose(b, 0.0)
+
+
+class TestBaselineHDC:
+    def test_fit_predict(self, blob_data):
+        X, y = blob_data
+        model = BaselineHDC(dim=128, epochs=5, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_more_dimensions_not_worse(self, small_dataset):
+        small = BaselineHDC(dim=32, epochs=5, seed=0).fit(small_dataset.X_train, small_dataset.y_train)
+        large = BaselineHDC(dim=512, epochs=5, seed=0).fit(small_dataset.X_train, small_dataset.y_train)
+        acc_small = small.score(small_dataset.X_test, small_dataset.y_test)
+        acc_large = large.score(small_dataset.X_test, small_dataset.y_test)
+        assert acc_large >= acc_small - 0.03
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BaselineHDC(dim=0)
+        with pytest.raises(ValueError):
+            BaselineHDC(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            BaselineHDC(epochs=-1)
+
+    def test_encoder_choice(self, blob_data):
+        X, y = blob_data
+        model = BaselineHDC(dim=128, encoder="level_id", epochs=5, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_class_hypervector_shape(self, trained_baseline_hdc, small_dataset):
+        assert trained_baseline_hdc.class_hypervectors_.shape == (
+            small_dataset.n_classes,
+            trained_baseline_hdc.dim,
+        )
+
+
+class TestMLP:
+    def test_fit_predict_blobs(self, blob_data):
+        X, y = blob_data
+        model = MLPClassifier(
+            hidden_layers=(16,), epochs=60, learning_rate=0.01, batch_size=32, seed=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_loss_decreases(self, blob_data):
+        X, y = blob_data
+        model = MLPClassifier(
+            hidden_layers=(16,), epochs=30, learning_rate=0.01, batch_size=32, seed=0
+        ).fit(X, y)
+        losses = model.fit_result_.history["loss"]
+        assert losses[-1] < losses[0]
+
+    def test_predict_proba_rows_sum_to_one(self, trained_mlp, small_dataset):
+        probs = trained_mlp.predict_proba(small_dataset.X_test[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), atol=1e-9)
+
+    def test_parameters_roundtrip(self, blob_data):
+        X, y = blob_data
+        model = MLPClassifier(hidden_layers=(8,), epochs=3, seed=0).fit(X, y)
+        params = [p.copy() for p in model.parameters()]
+        preds_before = model.predict(X)
+        model.set_parameters(params)
+        np.testing.assert_array_equal(model.predict(X), preds_before)
+
+    def test_set_parameters_wrong_count(self, trained_mlp):
+        with pytest.raises(ValueError):
+            trained_mlp.set_parameters([np.ones((2, 2))])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layers=(0,))
+        with pytest.raises(ValueError):
+            MLPClassifier(epochs=0)
+        with pytest.raises(ValueError):
+            MLPClassifier(learning_rate=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MLPClassifier().predict(np.ones((2, 3)))
+
+
+class TestSVMs:
+    def test_linear_svm_on_blobs(self, blob_data):
+        X, y = blob_data
+        model = LinearSVM(epochs=20, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_linear_svm_coef_shape(self, blob_data):
+        X, y = blob_data
+        model = LinearSVM(epochs=5, seed=0).fit(X, y)
+        assert model.coef_.shape == (3, X.shape[1])
+        assert model.intercept_.shape == (3,)
+
+    def test_linear_svm_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinearSVM(C=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(epochs=0)
+
+    def test_rbf_sample_svm_on_blobs(self, blob_data):
+        X, y = blob_data
+        model = RBFSampleSVM(n_components=128, epochs=20, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_rbf_sample_svm_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            RBFSampleSVM(gamma=-0.5)
+
+    def test_kernel_svm_on_blobs(self, blob_data):
+        X, y = blob_data
+        model = KernelSVM(epochs=5, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+        assert model.n_support_vectors_ > 0
+
+    def test_kernel_svm_cache_guard(self, blob_data):
+        X, y = blob_data
+        model = KernelSVM(epochs=1, max_kernel_elements=10, seed=0)
+        with pytest.raises(ValueError):
+            model.fit(X, y)
+
+    def test_kernel_svm_invalid_params(self):
+        with pytest.raises(ValueError):
+            KernelSVM(lambda_reg=0.0)
+        with pytest.raises(ValueError):
+            KernelSVM(gamma=-1.0)
+
+    def test_kernel_svm_scores_shape(self, blob_data):
+        X, y = blob_data
+        model = KernelSVM(epochs=3, seed=0).fit(X, y)
+        assert model.predict_scores(X[:7]).shape == (7, 3)
+
+
+class TestSharedClassifierContract:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: BaselineHDC(dim=64, epochs=3, seed=0),
+            lambda: MLPClassifier(hidden_layers=(8,), epochs=5, seed=0),
+            lambda: LinearSVM(epochs=5, seed=0),
+            lambda: KernelSVM(epochs=2, seed=0),
+        ],
+    )
+    def test_fit_returns_self_and_records_result(self, factory, blob_data):
+        X, y = blob_data
+        model = factory()
+        assert model.fit(X, y) is model
+        assert model.fit_result_ is not None
+        assert model.fit_result_.train_seconds >= 0.0
+        assert model.n_classes_ == 3
+        assert model.n_features_in_ == X.shape[1]

@@ -1,0 +1,249 @@
+"""Tests for the dataset substrate: schemas, synthetic generation, preprocessing, loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import cicids2017, cicids2018, nslkdd, unsw_nb15
+from repro.datasets.base import NIDSDataset
+from repro.datasets.loaders import available_datasets, canonical_name, load_dataset
+from repro.datasets.preprocessing import MinMaxScaler, OneHotEncoder, Preprocessor, StandardScaler
+from repro.datasets.schema import ClassSpec, DatasetSchema, FeatureSpec, numeric_feature_specs
+from repro.datasets.synthetic import GenerationConfig, SyntheticFlowGenerator
+from repro.exceptions import ConfigurationError, DatasetError, NotFittedError
+
+
+class TestSchema:
+    def test_feature_spec_validation(self):
+        with pytest.raises(DatasetError):
+            FeatureSpec("x", kind="weird")
+        with pytest.raises(DatasetError):
+            FeatureSpec("x", kind="categorical", categories=("only-one",))
+
+    def test_class_spec_validation(self):
+        with pytest.raises(DatasetError):
+            ClassSpec("dos", weight=0.0)
+        with pytest.raises(DatasetError):
+            ClassSpec("dos", weight=0.1, separability=0.0)
+
+    def test_schema_duplicate_features_rejected(self):
+        features = (FeatureSpec("a"), FeatureSpec("a"))
+        classes = (ClassSpec("normal", 0.5, is_attack=False), ClassSpec("dos", 0.5))
+        with pytest.raises(DatasetError):
+            DatasetSchema("x", features, classes)
+
+    def test_schema_accessors(self):
+        schema = nslkdd.build_schema()
+        assert schema.n_features == 41
+        assert schema.n_classes == 5
+        assert len(schema.numeric_features) == 38
+        assert len(schema.categorical_features) == 3
+        assert schema.class_names[0] == "normal"
+        assert schema.attack_mask[0] is False and all(schema.attack_mask[1:])
+        assert abs(sum(schema.class_weights) - 1.0) < 1e-9
+        assert schema.feature_index("duration") == 0
+        assert schema.class_index("dos") == 1
+
+    def test_schema_unknown_lookups(self):
+        schema = nslkdd.build_schema()
+        with pytest.raises(DatasetError):
+            schema.feature_index("nope")
+        with pytest.raises(DatasetError):
+            schema.class_index("nope")
+
+    def test_numeric_feature_specs_heavy_tail_flag(self):
+        specs = numeric_feature_specs(["a", "b"], heavy_tailed=["b"])
+        assert not specs[0].heavy_tailed and specs[1].heavy_tailed
+
+    @pytest.mark.parametrize(
+        "module, n_features, n_classes",
+        [
+            (nslkdd, 41, 5),
+            (unsw_nb15, 42, 10),
+            (cicids2017, 78, 8),
+            (cicids2018, 79, 8),
+        ],
+    )
+    def test_all_paper_schemas_build(self, module, n_features, n_classes):
+        schema = module.build_schema()
+        assert schema.n_features == n_features
+        assert schema.n_classes == n_classes
+        # Exactly one benign class per dataset.
+        assert sum(1 for c in schema.classes if not c.is_attack) == 1
+
+
+class TestPreprocessing:
+    def test_minmax_range(self):
+        X = np.random.default_rng(0).normal(5.0, 2.0, size=(50, 4))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+
+    def test_minmax_constant_column(self):
+        X = np.ones((10, 2))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+
+    def test_minmax_unfitted(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    def test_standard_scaler_statistics(self):
+        X = np.random.default_rng(1).normal(3.0, 5.0, size=(200, 3))
+        scaled = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_onehot_shape_and_values(self):
+        enc = OneHotEncoder([3, 2])
+        out = enc.transform(np.array([[0, 1], [2, 0]]))
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.sum(axis=1), [2.0, 2.0])
+
+    def test_onehot_out_of_range(self):
+        enc = OneHotEncoder([3])
+        with pytest.raises(ConfigurationError):
+            enc.transform(np.array([[3]]))
+
+    def test_onehot_requires_two_categories(self):
+        with pytest.raises(ConfigurationError):
+            OneHotEncoder([1])
+
+    def test_preprocessor_combines_numeric_and_categorical(self):
+        pre = Preprocessor(n_categories=[3])
+        X_num = np.random.default_rng(0).uniform(size=(10, 2))
+        X_cat = np.random.default_rng(1).integers(0, 3, size=(10, 1))
+        out = pre.fit_transform(X_num, X_cat)
+        assert out.shape == (10, 5)
+        names = pre.output_feature_names(["f1", "f2"], ["proto"], [["tcp", "udp", "icmp"]])
+        assert names == ["f1", "f2", "proto=tcp", "proto=udp", "proto=icmp"]
+
+    def test_preprocessor_missing_categorical_raises(self):
+        pre = Preprocessor(n_categories=[2]).fit(np.ones((3, 2)))
+        with pytest.raises(ConfigurationError):
+            pre.transform(np.ones((3, 2)))
+
+    def test_preprocessor_invalid_scaling(self):
+        with pytest.raises(ConfigurationError):
+            Preprocessor(numeric_scaling="robust")
+
+
+class TestSyntheticGenerator:
+    def test_generation_config_validation(self):
+        with pytest.raises(DatasetError):
+            GenerationConfig(separability=-1.0).validate()
+        with pytest.raises(DatasetError):
+            GenerationConfig(noise_scale=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(label_noise=2.0).validate()
+
+    def test_generated_dataset_structure(self):
+        schema = nslkdd.build_schema()
+        dataset = SyntheticFlowGenerator(schema, seed=0).generate(300, 100)
+        assert isinstance(dataset, NIDSDataset)
+        assert dataset.n_train == 300 and dataset.n_test == 100
+        assert dataset.X_train.min() >= 0.0 and dataset.X_train.max() <= 1.0
+        assert set(np.unique(dataset.y_train)).issubset(set(range(5)))
+        # one-hot expansion: 38 numeric + 3 + 17 + 11 categorical columns
+        assert dataset.n_features == 38 + 3 + 17 + 11
+
+    def test_generation_deterministic(self):
+        schema = nslkdd.build_schema()
+        a = SyntheticFlowGenerator(schema, seed=3).generate(100, 50)
+        b = SyntheticFlowGenerator(schema, seed=3).generate(100, 50)
+        np.testing.assert_allclose(a.X_train, b.X_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_all_classes_present(self):
+        schema = unsw_nb15.build_schema()
+        dataset = SyntheticFlowGenerator(schema, seed=0).generate(400, 100)
+        assert set(np.unique(dataset.y_train)) == set(range(schema.n_classes))
+
+    def test_higher_separability_easier(self):
+        from repro.models.hdc_classifier import BaselineHDC
+
+        schema = nslkdd.build_schema()
+        easy = SyntheticFlowGenerator(
+            schema, config=GenerationConfig(separability=5.0, label_noise=0.0), seed=0
+        ).generate(400, 200)
+        hard = SyntheticFlowGenerator(
+            schema, config=GenerationConfig(separability=0.5, label_noise=0.0), seed=0
+        ).generate(400, 200)
+        model_easy = BaselineHDC(dim=128, epochs=5, seed=0).fit(easy.X_train, easy.y_train)
+        model_hard = BaselineHDC(dim=128, epochs=5, seed=0).fit(hard.X_train, hard.y_train)
+        assert model_easy.score(easy.X_test, easy.y_test) > model_hard.score(hard.X_test, hard.y_test)
+
+    def test_too_few_samples_rejected(self):
+        schema = nslkdd.build_schema()
+        with pytest.raises(DatasetError):
+            SyntheticFlowGenerator(schema, seed=0).generate(2, 100)
+
+
+class TestDatasetContainer:
+    def test_class_distribution_counts(self, small_dataset):
+        dist = small_dataset.class_distribution("train")
+        assert sum(dist.values()) == small_dataset.n_train
+        assert dist["normal"] > dist["u2r"]
+
+    def test_attack_fraction_bounds(self, small_dataset):
+        frac = small_dataset.attack_fraction("test")
+        assert 0.0 < frac < 1.0
+
+    def test_to_binary(self, small_dataset):
+        binary = small_dataset.to_binary()
+        assert binary.class_names == ("benign", "attack")
+        assert set(np.unique(binary.y_train)).issubset({0, 1})
+        assert binary.n_train == small_dataset.n_train
+
+    def test_subsample(self, small_dataset):
+        sub = small_dataset.subsample(100, 50, seed=1)
+        assert sub.n_train == 100 and sub.n_test == 50
+        with pytest.raises(DatasetError):
+            small_dataset.subsample(10**6, 10)
+
+    def test_invalid_split_name(self, small_dataset):
+        with pytest.raises(DatasetError):
+            small_dataset.class_distribution("validation")
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(DatasetError):
+            NIDSDataset(
+                name="broken",
+                X_train=np.ones((5, 3)),
+                y_train=np.zeros(4, dtype=int),
+                X_test=np.ones((2, 3)),
+                y_test=np.zeros(2, dtype=int),
+                feature_names=("a", "b", "c"),
+                class_names=("x", "y"),
+            )
+
+
+class TestLoaders:
+    def test_available_datasets(self):
+        assert available_datasets() == ["cic_ids_2017", "cic_ids_2018", "nsl_kdd", "unsw_nb15"]
+
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("NSL-KDD", "nsl_kdd"),
+            ("cicids2017", "cic_ids_2017"),
+            ("CIC-IDS-2018", "cic_ids_2018"),
+            ("unsw", "unsw_nb15"),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert canonical_name(alias) == expected
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("kdd99")
+
+    def test_load_dataset_default_seed_reproducible(self):
+        a = load_dataset("nsl_kdd", n_train=100, n_test=50)
+        b = load_dataset("nsl_kdd", n_train=100, n_test=50)
+        np.testing.assert_allclose(a.X_train, b.X_train)
+
+    @pytest.mark.parametrize("name", ["nsl_kdd", "unsw_nb15", "cic_ids_2017", "cic_ids_2018"])
+    def test_all_paper_datasets_load(self, name):
+        dataset = load_dataset(name, n_train=150, n_test=60, seed=0)
+        assert dataset.n_train == 150 and dataset.n_test == 60
+        assert dataset.schema is not None
+        assert dataset.name == name

@@ -1,0 +1,173 @@
+"""Tests for the hyperspace encoders (RBF, linear, level-ID)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EncodingError
+from repro.hdc.encoders import ENCODER_REGISTRY, LevelIDEncoder, LinearEncoder, RBFEncoder, make_encoder
+
+
+def _sample_inputs(n=20, f=6, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 1.0, size=(n, f))
+
+
+class TestRegistry:
+    def test_registry_contains_all(self):
+        assert set(ENCODER_REGISTRY) == {"rbf", "linear", "level_id"}
+
+    def test_make_encoder(self):
+        encoder = make_encoder("rbf", in_features=5, dim=32)
+        assert isinstance(encoder, RBFEncoder)
+        assert encoder.dim == 32
+
+    def test_make_encoder_unknown(self):
+        with pytest.raises(KeyError):
+            make_encoder("fourier", in_features=5, dim=32)
+
+
+@pytest.mark.parametrize("name", ["rbf", "linear", "level_id"])
+class TestEncoderContract:
+    """Behaviour every encoder must satisfy."""
+
+    def test_output_shape(self, name):
+        encoder = make_encoder(name, in_features=6, dim=48, rng=0)
+        H = encoder.encode(_sample_inputs())
+        assert H.shape == (20, 48)
+
+    def test_single_sample_promoted(self, name):
+        encoder = make_encoder(name, in_features=6, dim=16, rng=0)
+        H = encoder.encode(np.full(6, 0.5))
+        assert H.shape == (1, 16)
+
+    def test_deterministic_given_seed(self, name):
+        X = _sample_inputs()
+        a = make_encoder(name, in_features=6, dim=32, rng=5).encode(X)
+        b = make_encoder(name, in_features=6, dim=32, rng=5).encode(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_feature_count_mismatch(self, name):
+        encoder = make_encoder(name, in_features=6, dim=16, rng=0)
+        with pytest.raises(EncodingError):
+            encoder.encode(np.ones((3, 7)))
+
+    def test_regenerate_changes_only_selected_dims(self, name):
+        X = _sample_inputs()
+        encoder = make_encoder(name, in_features=6, dim=40, rng=1)
+        before = encoder.encode(X)
+        dims = np.array([0, 5, 13])
+        encoder.regenerate(dims)
+        after = encoder.encode(X)
+        untouched = np.setdiff1d(np.arange(40), dims)
+        np.testing.assert_allclose(before[:, untouched], after[:, untouched])
+        # At least one of the regenerated columns should actually change.
+        assert not np.allclose(before[:, dims], after[:, dims])
+
+    def test_effective_dim_accounting(self, name):
+        encoder = make_encoder(name, in_features=6, dim=40, rng=1)
+        assert encoder.effective_dim == 40
+        encoder.regenerate([1, 2, 3])
+        encoder.regenerate([4])
+        assert encoder.regenerated_total == 4
+        assert encoder.effective_dim == 44
+
+    def test_regenerate_out_of_range(self, name):
+        encoder = make_encoder(name, in_features=6, dim=8, rng=0)
+        with pytest.raises(EncodingError):
+            encoder.regenerate([8])
+
+    def test_regenerate_empty_is_noop(self, name):
+        encoder = make_encoder(name, in_features=6, dim=8, rng=0)
+        out = encoder.regenerate([])
+        assert out.size == 0
+        assert encoder.regenerated_total == 0
+
+
+class TestRBFEncoder:
+    def test_outputs_bounded(self):
+        encoder = RBFEncoder(in_features=4, dim=64, rng=0)
+        H = encoder.encode(_sample_inputs(f=4))
+        assert np.all(H <= 1.0) and np.all(H >= -1.0)
+
+    def test_auto_gamma_scales_with_features(self):
+        small = RBFEncoder(in_features=4, dim=8, rng=0)
+        large = RBFEncoder(in_features=100, dim=8, rng=0)
+        assert small.gamma > large.gamma
+
+    def test_explicit_gamma(self):
+        encoder = RBFEncoder(in_features=4, dim=8, gamma=0.25, rng=0)
+        assert encoder.gamma == 0.25
+
+    def test_invalid_gamma(self):
+        with pytest.raises(EncodingError):
+            RBFEncoder(in_features=4, dim=8, gamma=-1.0)
+
+    def test_kernel_approximation_property(self):
+        # Nearby inputs must stay more similar in hyperspace than distant ones.
+        encoder = RBFEncoder(in_features=8, dim=2048, rng=0)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0.2, 0.8, size=8)
+        near = x + rng.normal(0, 0.01, size=8)
+        far = rng.uniform(0.0, 1.0, size=8)
+        H = encoder.encode(np.stack([x, near, far]))
+        sim_near = np.dot(H[0], H[1])
+        sim_far = np.dot(H[0], H[2])
+        assert sim_near > sim_far
+
+    def test_use_sine_still_bounded(self):
+        encoder = RBFEncoder(in_features=4, dim=64, use_sine=True, rng=0)
+        H = encoder.encode(_sample_inputs(f=4))
+        assert np.all(np.abs(H) <= 1.0)
+
+    def test_bases_read_only(self):
+        encoder = RBFEncoder(in_features=4, dim=8, rng=0)
+        with pytest.raises(ValueError):
+            encoder.bases[0, 0] = 1.0
+
+
+class TestLinearEncoder:
+    def test_tanh_bounded(self):
+        encoder = LinearEncoder(in_features=5, dim=32, activation="tanh", rng=0)
+        H = encoder.encode(_sample_inputs(f=5))
+        assert np.all(np.abs(H) <= 1.0)
+
+    def test_sign_bipolar(self):
+        encoder = LinearEncoder(in_features=5, dim=32, activation="sign", rng=0)
+        H = encoder.encode(_sample_inputs(f=5))
+        assert set(np.unique(H)).issubset({-1.0, 1.0})
+
+    def test_none_activation_is_linear(self):
+        encoder = LinearEncoder(in_features=3, dim=16, activation="none", rng=0)
+        X = _sample_inputs(f=3)
+        np.testing.assert_allclose(encoder.encode(2 * X), 2 * encoder.encode(X))
+
+    def test_invalid_activation(self):
+        with pytest.raises(EncodingError):
+            LinearEncoder(in_features=3, dim=8, activation="relu")
+
+
+class TestLevelIDEncoder:
+    def test_levels_validation(self):
+        with pytest.raises(EncodingError):
+            LevelIDEncoder(in_features=3, dim=16, levels=1)
+        with pytest.raises(EncodingError):
+            LevelIDEncoder(in_features=3, dim=16, low=1.0, high=0.0)
+
+    def test_similar_inputs_similar_encodings(self):
+        encoder = LevelIDEncoder(in_features=6, dim=2048, levels=16, rng=0)
+        x = np.full(6, 0.5)
+        near = x + 0.02
+        far = np.concatenate([np.zeros(3), np.ones(3)])
+        H = encoder.encode(np.stack([x, near, far]))
+        sim = lambda a, b: float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        assert sim(H[0], H[1]) > sim(H[0], H[2])
+
+    def test_values_outside_range_clipped(self):
+        encoder = LevelIDEncoder(in_features=2, dim=64, rng=0)
+        H = encoder.encode(np.array([[-5.0, 10.0]]))
+        assert np.all(np.isfinite(H))
+
+    def test_property_shapes(self):
+        encoder = LevelIDEncoder(in_features=3, dim=32, levels=8, rng=0)
+        assert encoder.id_vectors.shape == (3, 32)
+        assert encoder.level_vectors.shape == (8, 32)
+        assert encoder.levels == 8

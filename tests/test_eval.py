@@ -1,0 +1,215 @@
+"""Tests for the evaluation harness: results, reporting, experiments, sweeps."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    EVALUATION_DATASETS,
+    accuracy_experiment,
+    bitwidth_experiment,
+    build_models,
+    efficiency_experiment,
+    efficiency_speedups,
+    quantized_model_accuracy,
+    required_effective_dimension,
+    robustness_experiment,
+    scale_parameters,
+)
+from repro.eval.harness import ExperimentHarness, HarnessConfig
+from repro.eval.reporting import format_percent, format_ratio, format_table, to_markdown
+from repro.eval.results import ExperimentResult
+from repro.eval.sweeps import dimensionality_sweep, encoder_sweep, regeneration_rate_sweep
+from repro.exceptions import ConfigurationError
+from repro.models.hdc_classifier import BaselineHDC
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+
+    def test_to_markdown(self):
+        md = to_markdown(["a", "b"], [[1, 2]])
+        assert md.startswith("| a | b |")
+        assert "| --- | --- |" in md
+
+    def test_format_helpers(self):
+        assert format_ratio(2.468) == "2.47x"
+        assert format_percent(0.934) == "93.4%"
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(
+            name="demo", description="demo experiment", columns=["dataset", "acc"]
+        )
+        result.add_row(dataset="nsl_kdd", acc=0.9)
+        result.add_row(dataset="unsw_nb15", acc=0.8)
+        return result
+
+    def test_add_and_filter(self):
+        result = self._result()
+        assert len(result) == 2
+        assert result.filter(dataset="nsl_kdd")[0]["acc"] == 0.9
+        assert result.column("acc") == [0.9, 0.8]
+
+    def test_to_text_contains_rows(self):
+        text = self._result().to_text()
+        assert "nsl_kdd" in text and "demo experiment" in text
+
+    def test_json_roundtrip(self):
+        payload = json.loads(self._result().to_json())
+        assert payload["name"] == "demo"
+        assert len(payload["rows"]) == 2
+
+
+class TestExperimentConfigs:
+    def test_scale_parameters(self):
+        fast = scale_parameters("fast")
+        paper = scale_parameters("paper")
+        assert paper["n_train"] > fast["n_train"]
+        assert paper["hdc_dim"] == 500 and paper["hdc_dim_large"] == 4000
+        with pytest.raises(ConfigurationError):
+            scale_parameters("huge")
+
+    def test_build_models_keys(self):
+        factories = build_models("fast")
+        assert set(factories) == {"dnn", "svm", "baseline_hd_low", "baseline_hd_high", "cyberhd"}
+        model = factories["cyberhd"]()
+        assert model.config.dim == scale_parameters("fast")["hdc_dim"]
+
+    def test_evaluation_datasets_are_the_papers(self):
+        assert set(EVALUATION_DATASETS) == {"nsl_kdd", "unsw_nb15", "cic_ids_2017", "cic_ids_2018"}
+
+
+class TestFig3Fig4:
+    @pytest.fixture(scope="class")
+    def fig3(self):
+        return accuracy_experiment(
+            datasets=["nsl_kdd"], models=["cyberhd", "baseline_hd_low", "dnn"], scale="fast", seed=0
+        )
+
+    def test_fig3_rows(self, fig3):
+        assert len(fig3) == 3
+        assert {row["model"] for row in fig3.rows} == {"cyberhd", "baseline_hd_low", "dnn"}
+        for row in fig3.rows:
+            assert 0.0 <= row["accuracy_percent"] <= 100.0
+
+    def test_fig3_cyberhd_tracks_paper_shape(self, fig3):
+        cyber = fig3.filter(model="cyberhd")[0]
+        baseline = fig3.filter(model="baseline_hd_low")[0]
+        assert cyber["accuracy_percent"] >= baseline["accuracy_percent"] - 1.0
+        assert cyber["effective_dim"] > scale_parameters("fast")["hdc_dim"]
+
+    def test_fig3_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            accuracy_experiment(datasets=["nsl_kdd"], models=["transformer"], scale="fast")
+
+    def test_fig4_efficiency_and_speedups(self):
+        result = efficiency_experiment(datasets=["nsl_kdd"], scale="fast", seed=0)
+        assert len(result) == 4
+        speedups = efficiency_speedups(result)
+        assert speedups["train_vs_baseline_hd"] > 1.0
+        assert speedups["inference_vs_baseline_hd"] > 1.0
+        cyber = result.filter(model="cyberhd")[0]
+        baseline = result.filter(model="baseline_hd_high")[0]
+        assert cyber["train_seconds"] < baseline["train_seconds"]
+        assert cyber["inference_seconds"] < baseline["inference_seconds"]
+
+
+class TestTable1Fig5:
+    def test_quantized_model_accuracy(self, trained_baseline_hdc, small_dataset):
+        full = quantized_model_accuracy(trained_baseline_hdc, small_dataset, 32)
+        one_bit = quantized_model_accuracy(trained_baseline_hdc, small_dataset, 1)
+        assert 0.0 <= one_bit <= full + 0.05
+
+    def test_required_effective_dimension_monotone_in_target(self, small_dataset):
+        easy = required_effective_dimension(
+            8, small_dataset, target_accuracy=0.5, candidate_dims=(32, 64, 128), epochs=3
+        )
+        hard = required_effective_dimension(
+            8, small_dataset, target_accuracy=0.99, candidate_dims=(32, 64, 128), epochs=3
+        )
+        assert hard >= easy
+
+    def test_required_effective_dimension_empty_candidates(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            required_effective_dimension(8, small_dataset, 0.9, candidate_dims=())
+
+    def test_bitwidth_experiment_with_supplied_dims(self):
+        effective_dims = {32: 1200, 16: 2100, 8: 3600, 4: 5600, 2: 7500, 1: 8800}
+        result = bitwidth_experiment(scale="fast", effective_dims=effective_dims)
+        assert [row["bits"] for row in result.rows] == [32, 16, 8, 4, 2, 1]
+        one_bit = result.filter(bits=1)[0]
+        assert one_bit["cpu_efficiency"] == pytest.approx(1.0)
+        for row in result.rows:
+            assert row["fpga_efficiency"] > row["cpu_efficiency"]
+
+    def test_robustness_experiment_shape(self):
+        result = robustness_experiment(
+            scale="fast",
+            trials=1,
+            error_rates=(0.02,),
+            bitwidths=(1, 8),
+            deployment_dims={1: 256, 8: 64},
+        )
+        models = {row["model"] for row in result.rows}
+        assert "MLP float32" in models
+        assert any("1-bit" in m for m in models)
+        mlp_row = next(r for r in result.rows if r["model"] == "MLP float32")
+        hdc_rows = [r for r in result.rows if "CyberHD" in r["model"]]
+        assert mlp_row["accuracy_loss_percent"] >= max(
+            r["accuracy_loss_percent"] for r in hdc_rows
+        ) - 5.0
+
+
+class TestSweeps:
+    def test_regeneration_rate_sweep(self, small_dataset):
+        result = regeneration_rate_sweep(
+            rates=(0.0, 0.1), dataset=small_dataset, dim=64, epochs=4
+        )
+        assert len(result) == 2
+        zero = result.filter(regeneration_rate=0.0)[0]
+        ten = result.filter(regeneration_rate=0.1)[0]
+        assert zero["effective_dim"] == 64
+        assert ten["effective_dim"] > 64
+
+    def test_dimensionality_sweep(self, small_dataset):
+        result = dimensionality_sweep(dims=(32, 64), dataset=small_dataset, epochs=3)
+        assert len(result) == 4  # two dims x two models
+        assert {row["model"] for row in result.rows} == {"cyberhd", "baseline_hd"}
+
+    def test_encoder_sweep(self, small_dataset):
+        result = encoder_sweep(encoders=("rbf", "linear"), dataset=small_dataset, dim=64, epochs=3)
+        assert {row["encoder"] for row in result.rows} == {"rbf", "linear"}
+        for row in result.rows:
+            assert row["accuracy_percent"] > 50.0
+
+
+class TestHarness:
+    def test_available_experiments(self):
+        harness = ExperimentHarness()
+        assert "fig3" in harness.available_experiments()
+        assert "ablation_encoder" in harness.available_experiments()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentHarness().run("fig99")
+
+    def test_run_single_and_report(self, tmp_path):
+        config = HarnessConfig(scale="fast", datasets=["nsl_kdd"], experiments=("fig3",))
+        harness = ExperimentHarness(config)
+        harness.run_all()
+        assert "fig3" in harness.results
+        report = harness.report()
+        assert "fig3_accuracy" in report
+        out = harness.save_json(tmp_path / "results.json")
+        payload = json.loads(out.read_text())
+        assert "fig3" in payload
+
+    def test_empty_report(self):
+        assert "no experiments" in ExperimentHarness().report()

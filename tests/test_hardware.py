@@ -1,0 +1,184 @@
+"""Tests for the analytical hardware models and the robustness harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HardwareModelError
+from repro.hardware.cpu_model import CPUModel, CPUSpec
+from repro.hardware.energy import bitwidth_efficiency_table, format_efficiency_table
+from repro.hardware.fpga_model import FPGAModel, FPGASpec
+from repro.hardware.robustness import (
+    deployment_class_matrix,
+    evaluate_hdc_robustness,
+    evaluate_mlp_robustness,
+    robustness_sweep,
+)
+
+
+class TestCPUModel:
+    def test_lanes_independent_of_sub32_bitwidth(self):
+        cpu = CPUModel()
+        assert cpu.lanes(1) == cpu.lanes(8) == cpu.lanes(32)
+
+    def test_macs_per_sample(self):
+        assert CPUModel.macs_per_sample(100, 40, 5) == 100 * 45
+
+    def test_energy_scales_with_dim(self):
+        cpu = CPUModel()
+        small = cpu.energy_per_sample(500, 40, 5, 8)
+        large = cpu.energy_per_sample(4000, 40, 5, 8)
+        assert large == pytest.approx(8 * small)
+
+    def test_training_time_scales_with_epochs(self):
+        cpu = CPUModel()
+        one = cpu.training_time(1000, 1, 500, 40, 5, 32)
+        ten = cpu.training_time(1000, 10, 500, 40, 5, 32)
+        assert ten == pytest.approx(10 * one)
+
+    def test_invalid_spec(self):
+        with pytest.raises(HardwareModelError):
+            CPUSpec(frequency_hz=0).validate()
+        with pytest.raises(HardwareModelError):
+            CPUSpec(sustained_efficiency=0.0).validate()
+
+    def test_invalid_workload(self):
+        cpu = CPUModel()
+        with pytest.raises(HardwareModelError):
+            cpu.macs_per_sample(0, 10, 2)
+        with pytest.raises(HardwareModelError):
+            cpu.training_time(0, 1, 10, 10, 2, 8)
+        with pytest.raises(HardwareModelError):
+            cpu.lanes(0)
+
+
+class TestFPGAModel:
+    def test_lane_cost_increases_with_bits(self):
+        fpga = FPGAModel()
+        costs = [fpga.lane_cost(b) for b in (1, 2, 4, 8, 16, 32)]
+        assert costs == sorted(costs)
+
+    def test_lanes_decrease_with_bits(self):
+        fpga = FPGAModel()
+        lanes = [fpga.lanes(b) for b in (1, 2, 4, 8, 16, 32)]
+        assert lanes == sorted(lanes, reverse=True)
+
+    def test_fpga_more_efficient_than_cpu_at_same_dim(self):
+        cpu, fpga = CPUModel(), FPGAModel()
+        assert fpga.efficiency_samples_per_joule(1000, 40, 5, 8) > cpu.efficiency_samples_per_joule(
+            1000, 40, 5, 8
+        )
+
+    def test_invalid_spec(self):
+        with pytest.raises(HardwareModelError):
+            FPGASpec(resource_budget=0).validate()
+        with pytest.raises(HardwareModelError):
+            FPGASpec(utilization=2.0).validate()
+
+
+class TestEfficiencyTable:
+    #: A paper-like effective-dimensionality curve (bits -> D*).
+    EFFECTIVE_DIMS = {32: 1200, 16: 2100, 8: 3600, 4: 5600, 2: 7500, 1: 8800}
+
+    def test_reference_normalization(self):
+        rows = bitwidth_efficiency_table(self.EFFECTIVE_DIMS, in_features=40, n_classes=5)
+        reference = next(r for r in rows if r.bits == 1)
+        assert reference.cpu_efficiency == pytest.approx(1.0)
+
+    def test_cpu_efficiency_monotone_in_bits(self):
+        rows = bitwidth_efficiency_table(self.EFFECTIVE_DIMS, in_features=40, n_classes=5)
+        ordered = sorted(rows, key=lambda r: r.bits)
+        cpu = [r.cpu_efficiency for r in ordered]
+        assert cpu == sorted(cpu)  # higher bitwidth -> higher CPU efficiency
+
+    def test_fpga_beats_cpu_and_peaks_mid_precision(self):
+        rows = bitwidth_efficiency_table(self.EFFECTIVE_DIMS, in_features=40, n_classes=5)
+        by_bits = {r.bits: r for r in rows}
+        for bits, row in by_bits.items():
+            assert row.fpga_efficiency > row.cpu_efficiency
+        best_bits = max(by_bits.values(), key=lambda r: r.fpga_efficiency).bits
+        assert best_bits in (4, 8, 16)
+
+    def test_rows_sorted_descending_bits(self):
+        rows = bitwidth_efficiency_table(self.EFFECTIVE_DIMS, in_features=40, n_classes=5)
+        assert [r.bits for r in rows] == sorted([r.bits for r in rows], reverse=True)
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(HardwareModelError):
+            bitwidth_efficiency_table({8: 1000}, in_features=40, n_classes=5, reference_bits=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(HardwareModelError):
+            bitwidth_efficiency_table({}, in_features=40, n_classes=5)
+
+    def test_format_table_mentions_all_rows(self):
+        rows = bitwidth_efficiency_table(self.EFFECTIVE_DIMS, in_features=40, n_classes=5)
+        text = format_efficiency_table(rows)
+        assert "CPU" in text and "FPGA" in text and "32" in text
+
+
+class TestRobustness:
+    def test_deployment_matrix_centered_rows_unit_or_less(self, trained_cyberhd):
+        deployed = deployment_class_matrix(trained_cyberhd.class_hypervectors_)
+        np.testing.assert_allclose(deployed.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_hdc_robustness_zero_error_no_loss(self, trained_cyberhd, small_dataset):
+        result = evaluate_hdc_robustness(
+            trained_cyberhd, small_dataset.X_test, small_dataset.y_test, bits=8, error_rate=0.0, trials=1, rng=0
+        )
+        assert result.accuracy_loss == pytest.approx(0.0)
+        assert result.clean_accuracy > 0.5
+
+    def test_hdc_robustness_loss_grows_with_error(self, trained_cyberhd, small_dataset):
+        low = evaluate_hdc_robustness(
+            trained_cyberhd, small_dataset.X_test, small_dataset.y_test, bits=8, error_rate=0.01, trials=3, rng=0
+        )
+        high = evaluate_hdc_robustness(
+            trained_cyberhd, small_dataset.X_test, small_dataset.y_test, bits=8, error_rate=0.3, trials=3, rng=0
+        )
+        assert high.accuracy_loss >= low.accuracy_loss - 0.05
+
+    def test_mlp_robustness_restores_weights(self, trained_mlp, small_dataset):
+        before = [w.copy() for w in trained_mlp.weights_]
+        result = evaluate_mlp_robustness(
+            trained_mlp, small_dataset.X_test, small_dataset.y_test, error_rate=0.05, trials=2, rng=0
+        )
+        after = trained_mlp.weights_
+        for b, a in zip(before, after):
+            np.testing.assert_allclose(b, a)
+        assert result.corrupted_accuracy <= result.clean_accuracy + 0.05
+
+    def test_mlp_less_robust_than_low_bit_hdc(self, trained_cyberhd, trained_mlp, small_dataset):
+        """The paper's Fig. 5 headline: HDC tolerates bit flips far better than the DNN."""
+        error_rate = 0.05
+        hdc = evaluate_hdc_robustness(
+            trained_cyberhd, small_dataset.X_test, small_dataset.y_test, bits=1, error_rate=error_rate, trials=3, rng=1
+        )
+        mlp = evaluate_mlp_robustness(
+            trained_mlp, small_dataset.X_test, small_dataset.y_test, error_rate=error_rate, trials=3, rng=1
+        )
+        assert mlp.accuracy_loss > hdc.accuracy_loss
+
+    def test_robustness_sweep_structure(self, trained_cyberhd, trained_mlp, small_dataset):
+        results = robustness_sweep(
+            {1: trained_cyberhd, 8: trained_cyberhd},
+            trained_mlp,
+            small_dataset.X_test,
+            small_dataset.y_test,
+            error_rates=[0.02, 0.1],
+            trials=1,
+            rng=0,
+        )
+        assert len(results) == 2 * 3  # (1 MLP + 2 HDC precisions) per error rate
+        assert {r.error_rate for r in results} == {0.02, 0.1}
+
+    def test_invalid_inputs(self, trained_cyberhd, trained_mlp, small_dataset):
+        with pytest.raises(HardwareModelError):
+            evaluate_hdc_robustness(
+                trained_cyberhd, small_dataset.X_test, small_dataset.y_test, bits=8, error_rate=0.1, trials=0
+            )
+        from repro.baselines.mlp import MLPClassifier
+
+        with pytest.raises(HardwareModelError):
+            evaluate_mlp_robustness(
+                MLPClassifier(), small_dataset.X_test, small_dataset.y_test, error_rate=0.1
+            )

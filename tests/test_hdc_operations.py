@@ -1,0 +1,166 @@
+"""Tests for the MAP-algebra operations and similarity kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EncodingError
+from repro.hdc.operations import (
+    bind,
+    bundle,
+    dimension_variance,
+    hard_quantize,
+    lowest_variance_dimensions,
+    normalize,
+    normalize_rows,
+    permute,
+)
+from repro.hdc.similarity import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    dot_similarity,
+    hamming_similarity,
+)
+
+
+class TestBundle:
+    def test_bundle_sums_rows(self):
+        vectors = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(bundle(vectors), [4.0, 6.0])
+
+    def test_bundle_single_vector(self):
+        np.testing.assert_allclose(bundle(np.array([1.0, -1.0])), [1.0, -1.0])
+
+    def test_bundle_with_weights(self):
+        vectors = np.array([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(bundle(vectors, weights=[2.0, 3.0]), [2.0, 3.0])
+
+    def test_bundle_weight_shape_mismatch(self):
+        with pytest.raises(EncodingError):
+            bundle(np.eye(3), weights=[1.0, 2.0])
+
+    def test_bundle_preserves_similarity_to_inputs(self):
+        rng = np.random.default_rng(0)
+        a = rng.choice([-1.0, 1.0], size=1000)
+        b = rng.choice([-1.0, 1.0], size=1000)
+        s = bundle(np.stack([a, b]))
+        assert cosine_similarity(s, a) > 0.5
+        assert cosine_similarity(s, b) > 0.5
+
+
+class TestBindPermute:
+    def test_bind_elementwise(self):
+        np.testing.assert_allclose(bind(np.array([1.0, -1.0]), np.array([-1.0, -1.0])), [-1.0, 1.0])
+
+    def test_bind_dissimilar_to_operands(self):
+        rng = np.random.default_rng(1)
+        a = rng.choice([-1.0, 1.0], size=2000)
+        b = rng.choice([-1.0, 1.0], size=2000)
+        bound = bind(a, b)
+        assert abs(cosine_similarity(bound, a)) < 0.1
+        assert abs(cosine_similarity(bound, b)) < 0.1
+
+    def test_bind_shape_mismatch(self):
+        with pytest.raises(EncodingError):
+            bind(np.ones(3), np.ones(4))
+
+    def test_bind_inverse_recovers(self):
+        rng = np.random.default_rng(2)
+        a = rng.choice([-1.0, 1.0], size=500)
+        b = rng.choice([-1.0, 1.0], size=500)
+        recovered = bind(bind(a, b), b)  # b * b = 1 for bipolar vectors
+        np.testing.assert_allclose(recovered, a)
+
+    def test_permute_roundtrip(self):
+        a = np.arange(10.0)
+        np.testing.assert_allclose(permute(permute(a, 3), -3), a)
+
+    def test_permute_preserves_norm(self):
+        a = np.random.default_rng(3).standard_normal(64)
+        assert np.isclose(np.linalg.norm(permute(a, 5)), np.linalg.norm(a))
+
+
+class TestNormalize:
+    def test_normalize_unit_norm(self):
+        out = normalize(np.array([3.0, 4.0]))
+        assert np.isclose(np.linalg.norm(out), 1.0)
+
+    def test_normalize_zero_vector(self):
+        np.testing.assert_allclose(normalize(np.zeros(4)), np.zeros(4))
+
+    def test_normalize_rows_unit_norms(self):
+        m = np.array([[3.0, 4.0], [0.0, 0.0], [1.0, 0.0]])
+        out = normalize_rows(m)
+        assert np.isclose(np.linalg.norm(out[0]), 1.0)
+        np.testing.assert_allclose(out[1], [0.0, 0.0])
+
+    def test_hard_quantize_bipolar(self):
+        out = hard_quantize(np.array([-0.5, 0.0, 2.0]))
+        np.testing.assert_allclose(out, [-1.0, 1.0, 1.0])
+
+
+class TestVarianceSelection:
+    def test_dimension_variance_zero_for_identical_rows(self):
+        m = np.tile(np.array([1.0, 2.0, 3.0]), (4, 1))
+        np.testing.assert_allclose(dimension_variance(m), np.zeros(3))
+
+    def test_lowest_variance_dimensions_picks_constant_columns(self):
+        rng = np.random.default_rng(0)
+        m = rng.standard_normal((5, 10))
+        m[:, 2] = 1.0  # constant -> zero variance
+        m[:, 7] = -0.5
+        dims = lowest_variance_dimensions(m, 2)
+        assert set(dims.tolist()) == {2, 7}
+
+    def test_lowest_variance_count_clamped(self):
+        m = np.random.default_rng(1).standard_normal((3, 4))
+        assert lowest_variance_dimensions(m, 100).shape == (4,)
+
+    def test_lowest_variance_zero_count(self):
+        m = np.random.default_rng(1).standard_normal((3, 4))
+        assert lowest_variance_dimensions(m, 0).size == 0
+
+    def test_dimension_variance_requires_matrix(self):
+        with pytest.raises(EncodingError):
+            dimension_variance(np.ones(5))
+
+
+class TestSimilarity:
+    def test_cosine_identical(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert np.isclose(cosine_similarity(a, a), 1.0)
+
+    def test_cosine_orthogonal(self):
+        assert np.isclose(cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])), 0.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_cosine_shape_mismatch(self):
+        with pytest.raises(EncodingError):
+            cosine_similarity(np.ones(3), np.ones(4))
+
+    def test_dot_similarity(self):
+        assert dot_similarity(np.array([1.0, 2.0]), np.array([3.0, 4.0])) == 11.0
+
+    def test_hamming_similarity(self):
+        a = np.array([1.0, 1.0, -1.0, -1.0])
+        b = np.array([1.0, -1.0, -1.0, -1.0])
+        assert hamming_similarity(a, b) == 0.75
+
+    def test_matrix_shape_and_values(self):
+        queries = np.array([[1.0, 0.0], [0.0, 2.0]])
+        classes = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        sims = cosine_similarity_matrix(queries, classes)
+        assert sims.shape == (2, 3)
+        assert np.isclose(sims[0, 0], 1.0)
+        assert np.isclose(sims[1, 1], 1.0)
+        assert np.isclose(sims[0, 2], 1.0 / np.sqrt(2))
+
+    def test_matrix_dimension_mismatch(self):
+        with pytest.raises(EncodingError):
+            cosine_similarity_matrix(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_matrix_values_bounded(self):
+        rng = np.random.default_rng(0)
+        sims = cosine_similarity_matrix(rng.standard_normal((10, 8)), rng.standard_normal((4, 8)))
+        assert np.all(sims <= 1.0 + 1e-9) and np.all(sims >= -1.0 - 1e-9)

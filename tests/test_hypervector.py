@@ -1,0 +1,154 @@
+"""Tests for the Hypervector container and the item memory."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EncodingError
+from repro.hdc.hypervector import (
+    Hypervector,
+    identity_hypervector,
+    level_hypervectors,
+    random_hypervector,
+)
+from repro.hdc.item_memory import ItemMemory
+
+
+class TestHypervector:
+    def test_construction_and_dim(self):
+        hv = Hypervector([1.0, -1.0, 1.0])
+        assert hv.dim == 3
+        assert len(hv) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            Hypervector([])
+
+    def test_bundle_operator(self):
+        a = Hypervector([1.0, 2.0])
+        b = Hypervector([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+
+    def test_bind_operator(self):
+        a = Hypervector([1.0, -1.0])
+        b = Hypervector([-1.0, -1.0])
+        np.testing.assert_allclose((a * b).data, [-1.0, 1.0])
+
+    def test_permute(self):
+        hv = Hypervector([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(hv.permute(1).data, [3.0, 1.0, 2.0])
+
+    def test_normalize(self):
+        hv = Hypervector([3.0, 4.0]).normalize()
+        assert np.isclose(np.linalg.norm(hv.data), 1.0)
+
+    def test_hard_quantize(self):
+        hv = Hypervector([-0.3, 0.7]).hard_quantize()
+        np.testing.assert_allclose(hv.data, [-1.0, 1.0])
+
+    def test_cosine_and_hamming(self):
+        a = Hypervector([1.0, 1.0, -1.0, -1.0])
+        assert np.isclose(a.cosine(a), 1.0)
+        assert a.hamming(a) == 1.0
+
+    def test_copy_is_independent(self):
+        a = Hypervector([1.0, 2.0])
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+
+    def test_equality(self):
+        assert Hypervector([1.0, 2.0]) == Hypervector([1.0, 2.0])
+        assert Hypervector([1.0, 2.0]) != Hypervector([1.0, 3.0])
+
+
+class TestConstructors:
+    def test_random_bipolar_values(self):
+        hv = random_hypervector(256, kind="bipolar", rng=0)
+        assert set(np.unique(hv.data)).issubset({-1.0, 1.0})
+
+    def test_random_gaussian_statistics(self):
+        hv = random_hypervector(5000, kind="gaussian", rng=0)
+        assert abs(float(hv.data.mean())) < 0.1
+        assert abs(float(hv.data.std()) - 1.0) < 0.1
+
+    def test_random_binary_values(self):
+        hv = random_hypervector(128, kind="binary", rng=0)
+        assert set(np.unique(hv.data)).issubset({0.0, 1.0})
+
+    def test_random_unknown_kind(self):
+        with pytest.raises(EncodingError):
+            random_hypervector(16, kind="ternary")
+
+    def test_random_invalid_dim(self):
+        with pytest.raises(EncodingError):
+            random_hypervector(0)
+
+    def test_identity_is_binding_identity(self):
+        hv = random_hypervector(64, rng=1)
+        ident = identity_hypervector(64)
+        np.testing.assert_allclose(hv.bind(ident).data, hv.data)
+
+    def test_random_hypervectors_quasi_orthogonal(self):
+        a = random_hypervector(4096, rng=0)
+        b = random_hypervector(4096, rng=1)
+        assert abs(a.cosine(b)) < 0.1
+
+    def test_level_hypervectors_correlation_structure(self):
+        levels = level_hypervectors(8, 2048, rng=0)
+        assert len(levels) == 8
+        # Adjacent levels highly similar; extreme levels dissimilar.
+        assert levels[0].cosine(levels[1]) > 0.6
+        assert levels[0].cosine(levels[7]) < 0.1
+
+    def test_level_hypervectors_monotone_decay(self):
+        levels = level_hypervectors(6, 3000, rng=2)
+        sims = [levels[0].cosine(levels[i]) for i in range(6)]
+        assert all(sims[i] >= sims[i + 1] - 0.05 for i in range(5))
+
+    def test_level_hypervectors_validation(self):
+        with pytest.raises(EncodingError):
+            level_hypervectors(1, 100)
+        with pytest.raises(EncodingError):
+            level_hypervectors(4, 0)
+
+
+class TestItemMemory:
+    def test_add_and_get_idempotent(self):
+        memory = ItemMemory(dim=128, rng=0)
+        first = memory.get("tcp")
+        second = memory.get("tcp")
+        assert first is second
+        assert len(memory) == 1
+        assert "tcp" in memory
+
+    def test_cleanup_finds_stored_symbol(self):
+        memory = ItemMemory(dim=512, rng=0)
+        memory.add("http")
+        memory.add("ssh")
+        memory.add("dns")
+        noisy = memory.get("ssh").data.copy()
+        noisy[:40] *= -1  # corrupt a few dimensions
+        symbol, similarity = memory.cleanup(Hypervector(noisy))
+        assert symbol == "ssh"
+        assert similarity > 0.5
+
+    def test_cleanup_empty_memory(self):
+        memory = ItemMemory(dim=16)
+        with pytest.raises(EncodingError):
+            memory.cleanup(random_hypervector(16, rng=0))
+
+    def test_add_wrong_dimension(self):
+        memory = ItemMemory(dim=16)
+        with pytest.raises(EncodingError):
+            memory.add("x", random_hypervector(32, rng=0))
+
+    def test_as_matrix_shape(self):
+        memory = ItemMemory(dim=32, rng=0)
+        memory.add("a")
+        memory.add("b")
+        assert memory.as_matrix().shape == (2, 32)
+        assert memory.symbols() == ["a", "b"]
+
+    def test_invalid_dim(self):
+        with pytest.raises(EncodingError):
+            ItemMemory(dim=0)

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across the whole library."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineHDC,
+    CyberHD,
+    KernelSVM,
+    MLPClassifier,
+    available_datasets,
+    load_dataset,
+)
+from repro.hardware import evaluate_hdc_robustness
+from repro.hdc.quantization import dequantize, quantize
+from repro.nids import DetectionPipeline, StreamingDetector, TrafficGenerator
+
+
+class TestPaperHeadlineClaims:
+    """Small-scale checks of the paper's qualitative claims (Figs. 3-4)."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("nsl_kdd", n_train=1000, n_test=400, seed=0)
+
+    @pytest.fixture(scope="class")
+    def models(self, dataset):
+        trained = {}
+        trained["cyberhd"] = CyberHD(dim=128, epochs=12, regeneration_rate=0.1, seed=0)
+        trained["baseline_low"] = BaselineHDC(dim=128, epochs=12, seed=0)
+        trained["baseline_high"] = BaselineHDC(dim=1024, epochs=12, seed=0)
+        trained["dnn"] = MLPClassifier(hidden_layers=(128, 64), epochs=12, seed=0)
+        for model in trained.values():
+            model.fit(dataset.X_train, dataset.y_train)
+        return trained
+
+    def test_cyberhd_matches_or_beats_same_dim_baseline(self, dataset, models):
+        acc_cyber = models["cyberhd"].score(dataset.X_test, dataset.y_test)
+        acc_low = models["baseline_low"].score(dataset.X_test, dataset.y_test)
+        assert acc_cyber >= acc_low - 0.01
+
+    def test_cyberhd_tracks_large_baseline_with_fraction_of_dims(self, dataset, models):
+        acc_cyber = models["cyberhd"].score(dataset.X_test, dataset.y_test)
+        acc_high = models["baseline_high"].score(dataset.X_test, dataset.y_test)
+        assert acc_cyber >= acc_high - 0.03
+        assert models["cyberhd"].dim * 8 == models["baseline_high"].dim
+
+    def test_cyberhd_close_to_dnn(self, dataset, models):
+        acc_cyber = models["cyberhd"].score(dataset.X_test, dataset.y_test)
+        acc_dnn = models["dnn"].score(dataset.X_test, dataset.y_test)
+        assert acc_cyber >= acc_dnn - 0.06
+
+    def test_cyberhd_trains_faster_than_large_baseline(self, models):
+        assert (
+            models["cyberhd"].fit_result_.train_seconds
+            < models["baseline_high"].fit_result_.train_seconds
+        )
+
+
+class TestQuantizedDeployment:
+    def test_quantized_model_remains_accurate(self, trained_cyberhd, small_dataset):
+        """An 8-bit deployment should track the float model closely."""
+        result = evaluate_hdc_robustness(
+            trained_cyberhd,
+            small_dataset.X_test,
+            small_dataset.y_test,
+            bits=8,
+            error_rate=0.0,
+            trials=1,
+        )
+        float_accuracy = trained_cyberhd.score(small_dataset.X_test, small_dataset.y_test)
+        # The deployment transform trades a little accuracy at this very small
+        # dimensionality (D=128) for the robustness studied in Fig. 5.
+        assert result.clean_accuracy >= float_accuracy - 0.15
+
+    def test_quantize_dequantize_preserves_prediction_majority(self, trained_cyberhd, small_dataset):
+        H = trained_cyberhd.encode(small_dataset.X_test)
+        from repro.hardware.robustness import deployment_class_matrix
+        from repro.hdc.similarity import cosine_similarity_matrix
+
+        deployed = deployment_class_matrix(trained_cyberhd.class_hypervectors_)
+        recon = dequantize(quantize(deployed, 8))
+        pred_float = np.argmax(cosine_similarity_matrix(H, deployed), axis=1)
+        pred_quant = np.argmax(cosine_similarity_matrix(H, recon), axis=1)
+        assert np.mean(pred_float == pred_quant) > 0.9
+
+
+class TestEndToEndNIDS:
+    def test_full_packet_to_alert_pipeline(self):
+        """Generate traffic, train, stream fresh traffic, and raise alerts."""
+        train_packets = TrafficGenerator(seed=21).generate(200)
+        pipeline = DetectionPipeline(classifier=CyberHD(dim=128, epochs=6, seed=0))
+        pipeline.fit_packets(train_packets)
+
+        detector = StreamingDetector(pipeline, window_size=300)
+        detector.push_many(TrafficGenerator(seed=22).generate(150))
+        final = detector.flush()
+
+        assert detector.total_flows > 50
+        # The synthetic mix is ~30% attacks, so a working detector must alert.
+        assert detector.total_alerts > 0
+        assert final.latency_seconds < 5.0
+
+    def test_tabular_dataset_pipeline_for_every_paper_dataset(self):
+        for name in available_datasets():
+            dataset = load_dataset(name, n_train=500, n_test=150, seed=0)
+            pipeline = DetectionPipeline(classifier=BaselineHDC(dim=128, epochs=8, seed=0))
+            pipeline.fit_dataset(dataset)
+            report = pipeline.evaluate_dataset(dataset)
+            # Well above the majority-class rate on every dataset (UNSW-NB15
+            # has 10 imbalanced classes, so its absolute accuracy is lowest).
+            assert report.accuracy > 0.45, name
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_kernel_svm_exported(self):
+        model = KernelSVM(epochs=1, seed=0)
+        assert model.epochs == 1

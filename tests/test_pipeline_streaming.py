@@ -1,0 +1,138 @@
+"""Tests for the detection pipeline and the streaming detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.cyberhd import CyberHD
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.models.hdc_classifier import BaselineHDC
+from repro.nids.flow import FlowTable
+from repro.nids.packets import TrafficGenerator
+from repro.nids.pipeline import DetectionPipeline
+from repro.nids.streaming import StreamingDetector
+
+
+@pytest.fixture(scope="module")
+def labeled_packets():
+    """A labeled packet capture large enough to train the packet-level path."""
+    return TrafficGenerator(seed=7).generate(250)
+
+
+@pytest.fixture(scope="module")
+def packet_trained_pipeline(labeled_packets):
+    pipeline = DetectionPipeline(classifier=CyberHD(dim=128, epochs=6, seed=0))
+    pipeline.fit_packets(labeled_packets)
+    return pipeline
+
+
+class TestPipelineDatasetPath:
+    def test_fit_and_evaluate_dataset(self, small_dataset):
+        pipeline = DetectionPipeline(classifier=BaselineHDC(dim=96, epochs=5, seed=0))
+        pipeline.fit_dataset(small_dataset)
+        assert pipeline.is_fitted
+        assert pipeline.train_seconds > 0.0
+        report = pipeline.evaluate_dataset(small_dataset)
+        assert report.accuracy > 0.7
+        assert report.detection_rate is not None
+
+    def test_class_names_preserved(self, small_dataset):
+        pipeline = DetectionPipeline(classifier=BaselineHDC(dim=64, epochs=3, seed=0))
+        pipeline.fit_dataset(small_dataset)
+        assert pipeline.class_names == tuple(small_dataset.class_names)
+
+    def test_unfitted_pipeline_raises(self, small_dataset):
+        pipeline = DetectionPipeline()
+        with pytest.raises(NotFittedError):
+            pipeline.evaluate_dataset(small_dataset)
+        with pytest.raises(NotFittedError):
+            pipeline.detect_flows([])
+        with pytest.raises(NotFittedError):
+            _ = pipeline.class_names
+
+    def test_is_attack_class(self):
+        pipeline = DetectionPipeline()
+        assert not pipeline.is_attack_class("normal")
+        assert not pipeline.is_attack_class("BENIGN")
+        assert pipeline.is_attack_class("dos")
+
+
+class TestPipelinePacketPath:
+    def test_fit_packets_and_detect(self, packet_trained_pipeline, labeled_packets):
+        result = packet_trained_pipeline.detect_packets(labeled_packets[:400])
+        assert len(result.predictions) == len(result.flows)
+        assert len(result.confidences) == len(result.predictions)
+        assert all(0.0 <= c <= 1.0 for c in result.confidences)
+        assert result.latency_seconds >= 0.0
+
+    def test_alerts_only_for_attack_predictions(self, packet_trained_pipeline, labeled_packets):
+        result = packet_trained_pipeline.detect_packets(labeled_packets)
+        attack_predictions = [
+            p for p in result.predictions if packet_trained_pipeline.is_attack_class(p)
+        ]
+        # Alerts can be suppressed by dedup, so alerts <= attack predictions.
+        assert len(result.alerts) <= len(attack_predictions)
+
+    def test_detection_quality_on_traffic(self, packet_trained_pipeline):
+        """The pipeline should detect most attack flows in fresh traffic."""
+        fresh = TrafficGenerator(seed=99).generate(150)
+        table = FlowTable()
+        flows = table.add_packets(fresh) + table.flush()
+        result = packet_trained_pipeline.detect_flows(flows)
+        truth_attack = [f.label != "benign" for f in flows]
+        predicted_attack = [
+            packet_trained_pipeline.is_attack_class(p) for p in result.predictions
+        ]
+        hits = sum(1 for t, p in zip(truth_attack, predicted_attack) if t and p)
+        total_attacks = sum(truth_attack)
+        assert total_attacks > 0
+        assert hits / total_attacks > 0.6
+
+    def test_fit_flows_requires_two_classes(self):
+        generator = TrafficGenerator(seed=8)
+        benign_profile = generator.profiles[0]
+        packets = generator.generate_flow_packets(benign_profile, 0.0)
+        pipeline = DetectionPipeline()
+        with pytest.raises(ConfigurationError):
+            pipeline.fit_packets(packets)
+
+    def test_fit_flows_empty(self):
+        with pytest.raises(ConfigurationError):
+            DetectionPipeline().fit_flows([])
+
+    def test_detect_empty_flow_list(self, packet_trained_pipeline):
+        result = packet_trained_pipeline.detect_flows([])
+        assert result.predictions == [] and result.alerts == []
+
+
+class TestStreamingDetector:
+    def test_requires_trained_pipeline(self):
+        with pytest.raises(NotFittedError):
+            StreamingDetector(DetectionPipeline())
+
+    def test_window_processing(self, packet_trained_pipeline):
+        detector = StreamingDetector(packet_trained_pipeline, window_size=200)
+        packets = TrafficGenerator(seed=11).generate(120)
+        results = detector.push_many(packets)
+        final = detector.flush()
+        assert final.n_flows >= 0
+        total_windows = len(results) + 1
+        assert len(detector.results) == total_windows
+        assert detector.total_flows >= final.n_flows
+        assert detector.mean_latency >= 0.0
+
+    def test_push_returns_result_at_window_boundary(self, packet_trained_pipeline):
+        detector = StreamingDetector(packet_trained_pipeline, window_size=5)
+        packets = TrafficGenerator(seed=12).generate(3)[:5]
+        outputs = [detector.push(p) for p in packets]
+        assert outputs[-1] is not None
+        assert all(o is None for o in outputs[:-1])
+
+    def test_invalid_window_size(self, packet_trained_pipeline):
+        with pytest.raises(ConfigurationError):
+            StreamingDetector(packet_trained_pipeline, window_size=0)
+
+    def test_alert_counts_consistent(self, packet_trained_pipeline):
+        detector = StreamingDetector(packet_trained_pipeline, window_size=100)
+        detector.push_many(TrafficGenerator(seed=13).generate(80))
+        detector.flush()
+        assert detector.total_alerts == sum(r.n_alerts for r in detector.results)

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hdc.operations import hard_quantize, normalize, normalize_rows, permute
+from repro.hdc.quantization import dequantize, quantize
+from repro.hdc.similarity import cosine_similarity, cosine_similarity_matrix
+from repro.nids.metrics import confusion_matrix
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def float_vectors(draw, min_size=1, max_size=64):
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    return draw(arrays(np.float64, shape=size, elements=finite_floats))
+
+
+@st.composite
+def float_matrices(draw, max_rows=8, max_cols=32):
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    cols = draw(st.integers(min_value=1, max_value=max_cols))
+    return draw(arrays(np.float64, shape=(rows, cols), elements=finite_floats))
+
+
+@settings(deadline=None, max_examples=60)
+@given(float_vectors())
+def test_cosine_similarity_bounded(vector):
+    other = np.roll(vector, 1)
+    sim = cosine_similarity(vector, other)
+    assert -1.0 - 1e-9 <= sim <= 1.0 + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(float_vectors())
+def test_cosine_self_similarity_is_one_or_zero(vector):
+    sim = cosine_similarity(vector, vector)
+    if np.linalg.norm(vector) < 1e-12:
+        assert sim == 0.0
+    else:
+        assert np.isclose(sim, 1.0)
+
+
+@settings(deadline=None, max_examples=60)
+@given(float_vectors(), st.integers(min_value=-100, max_value=100))
+def test_permute_preserves_multiset(vector, shifts):
+    permuted = permute(vector, shifts)
+    np.testing.assert_allclose(np.sort(permuted), np.sort(vector))
+
+
+@settings(deadline=None, max_examples=60)
+@given(float_vectors())
+def test_normalize_output_unit_or_zero(vector):
+    out = normalize(vector)
+    norm = np.linalg.norm(out)
+    assert np.isclose(norm, 1.0) or np.isclose(norm, 0.0)
+
+
+@settings(deadline=None, max_examples=60)
+@given(float_matrices())
+def test_normalize_rows_never_increases_norm_above_one(matrix):
+    out = normalize_rows(matrix)
+    norms = np.linalg.norm(out, axis=1)
+    assert np.all(norms <= 1.0 + 1e-9)
+
+
+@settings(deadline=None, max_examples=60)
+@given(float_vectors())
+def test_hard_quantize_bipolar_alphabet(vector):
+    out = hard_quantize(vector)
+    assert set(np.unique(out)).issubset({-1.0, 1.0})
+
+
+@settings(deadline=None, max_examples=40)
+@given(float_matrices(), st.sampled_from([1, 2, 4, 8, 16, 32]))
+def test_quantize_dequantize_shape_and_finite(matrix, bits):
+    recon = dequantize(quantize(matrix, bits))
+    assert recon.shape == matrix.shape
+    assert np.all(np.isfinite(recon))
+
+
+@settings(deadline=None, max_examples=40)
+@given(float_matrices(), st.sampled_from([4, 8, 16, 32]))
+def test_quantization_error_bounded_by_clip_and_step(matrix, bits):
+    q = quantize(matrix, bits, clip_percentile=100.0)
+    recon = dequantize(q)
+    # With a 100th-percentile clip nothing saturates, so the reconstruction
+    # error of each element is at most half a quantization step.
+    assert np.max(np.abs(recon - matrix)) <= q.scale / 2 + 1e-9
+
+
+@settings(deadline=None, max_examples=40)
+@given(float_matrices(max_rows=6, max_cols=16))
+def test_cosine_matrix_bounded(matrix):
+    sims = cosine_similarity_matrix(matrix, matrix)
+    assert sims.shape == (matrix.shape[0], matrix.shape[0])
+    assert np.all(sims <= 1.0 + 1e-9)
+    assert np.all(sims >= -1.0 - 1e-9)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=200),
+    st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=200),
+)
+def test_confusion_matrix_total_equals_samples(true_labels, predicted):
+    n = min(len(true_labels), len(predicted))
+    y_true = np.asarray(true_labels[:n])
+    y_pred = np.asarray(predicted[:n])
+    matrix = confusion_matrix(y_true, y_pred, n_classes=5)
+    assert matrix.sum() == n
+    assert np.all(matrix >= 0)

@@ -1,0 +1,143 @@
+"""Tests for bitwidth quantization and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.fault_injection import (
+    corrupt_elements_in_quantized,
+    corrupt_parameter_list,
+    flip_bits_in_float_array,
+    flip_bits_in_quantized,
+    flip_fraction_of_elements,
+)
+from repro.hdc.quantization import (
+    SUPPORTED_BITWIDTHS,
+    QuantizedArray,
+    dequantize,
+    quantization_error,
+    quantize,
+    storage_bits,
+)
+
+
+class TestQuantize:
+    @pytest.mark.parametrize("bits", SUPPORTED_BITWIDTHS)
+    def test_roundtrip_error_bounded(self, bits):
+        rng = np.random.default_rng(0)
+        arr = rng.standard_normal((4, 100))
+        recon = dequantize(quantize(arr, bits))
+        assert recon.shape == arr.shape
+        assert np.all(np.isfinite(recon))
+
+    def test_error_decreases_with_bits(self):
+        arr = np.random.default_rng(1).standard_normal(2000)
+        errors = [quantization_error(arr, bits) for bits in (2, 4, 8, 16)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_one_bit_is_sign(self):
+        arr = np.array([-2.0, -0.1, 0.0, 0.5, 3.0])
+        q = quantize(arr, 1)
+        np.testing.assert_array_equal(q.codes, [0, 0, 1, 1, 1])
+        recon = dequantize(q)
+        assert np.all(np.sign(recon) == np.where(arr >= 0, 1.0, -1.0))
+
+    def test_codes_within_range(self):
+        arr = np.random.default_rng(2).standard_normal(500) * 10
+        q = quantize(arr, 4)
+        assert q.codes.max() <= 7 and q.codes.min() >= -7
+
+    def test_unsupported_bits(self):
+        with pytest.raises(ConfigurationError):
+            quantize(np.ones(4), 3)
+
+    def test_empty_array(self):
+        with pytest.raises(ConfigurationError):
+            quantize(np.array([]), 8)
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ConfigurationError):
+            quantize(np.ones(4), 8, clip_percentile=0.0)
+
+    def test_constant_zero_array(self):
+        q = quantize(np.zeros(10), 8)
+        np.testing.assert_array_equal(dequantize(q), np.zeros(10))
+
+    def test_storage_bits(self):
+        q = quantize(np.ones((2, 8)), 4)
+        assert storage_bits(q) == 64
+
+    def test_copy_independent(self):
+        q = quantize(np.ones(4), 8)
+        c = q.copy()
+        c.codes[0] = 99
+        assert q.codes[0] != 99
+
+
+class TestBitFlips:
+    def test_zero_rate_is_identity(self):
+        q = quantize(np.random.default_rng(0).standard_normal(100), 8)
+        flipped = flip_bits_in_quantized(q, 0.0, rng=0)
+        np.testing.assert_array_equal(flipped.codes, q.codes)
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_flip_changes_some_codes(self, bits):
+        q = quantize(np.random.default_rng(0).standard_normal(2000), bits)
+        flipped = flip_bits_in_quantized(q, 0.2, rng=1)
+        assert np.any(flipped.codes != q.codes)
+        # Input must not be modified.
+        assert flipped.codes is not q.codes
+
+    def test_one_bit_flip_rate_statistics(self):
+        q = quantize(np.random.default_rng(0).standard_normal(20000), 1)
+        flipped = flip_bits_in_quantized(q, 0.1, rng=2)
+        rate = float(np.mean(flipped.codes != q.codes))
+        assert 0.07 < rate < 0.13
+
+    def test_flipped_codes_stay_representable(self):
+        q = quantize(np.random.default_rng(3).standard_normal(5000), 4)
+        flipped = flip_bits_in_quantized(q, 0.5, rng=3)
+        assert flipped.codes.max() <= 7 and flipped.codes.min() >= -8
+
+    def test_element_corruption_count(self):
+        q = quantize(np.random.default_rng(0).standard_normal(1000), 8)
+        corrupted = corrupt_elements_in_quantized(q, 0.25, rng=0)
+        n_changed = int(np.count_nonzero(corrupted.codes != q.codes))
+        assert n_changed <= 250
+        assert n_changed > 150  # most single-bit flips change the code
+
+    def test_float_flip_bounded_and_changed(self):
+        weights = np.random.default_rng(0).standard_normal((20, 20))
+        corrupted = flip_bits_in_float_array(weights, 0.05, rng=1, clip_magnitude=50.0)
+        assert corrupted.shape == weights.shape
+        assert np.all(np.isfinite(corrupted))
+        assert np.all(np.abs(corrupted) <= 50.0)
+        assert not np.allclose(corrupted, weights)
+
+    def test_float_zero_rate(self):
+        weights = np.random.default_rng(0).standard_normal(50)
+        out = flip_bits_in_float_array(weights, 0.0, rng=0)
+        np.testing.assert_allclose(out, weights.astype(np.float32).astype(np.float64))
+
+    def test_flip_fraction_of_elements(self):
+        arr = np.ones(1000)
+        out = flip_fraction_of_elements(arr, 0.3, rng=0)
+        assert int(np.sum(out < 0)) == 300
+        np.testing.assert_allclose(np.abs(out), np.ones(1000))
+
+    def test_corrupt_parameter_list(self):
+        params = [np.ones((4, 4)), np.zeros(4)]
+        out = corrupt_parameter_list(params, 0.2, rng=0)
+        assert len(out) == 2
+        assert out[0].shape == (4, 4)
+
+    def test_corrupt_parameter_list_empty(self):
+        from repro.exceptions import HardwareModelError
+
+        with pytest.raises(HardwareModelError):
+            corrupt_parameter_list([], 0.1)
+
+    def test_invalid_rate(self):
+        q = quantize(np.ones(10), 8)
+        with pytest.raises(ConfigurationError):
+            flip_bits_in_quantized(q, 1.5)

@@ -1,0 +1,114 @@
+"""Tests for repro.utils (rng, timing, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_feature_count,
+    check_fitted,
+    check_labels,
+    check_matrix,
+    check_probability,
+    train_test_indices,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert ensure_rng(gen) is gen
+
+    def test_invalid_seed_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_spawn_rng_independent_streams(self):
+        children = spawn_rng(ensure_rng(0), 3)
+        assert len(children) == 3
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rng_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+
+class TestTimer:
+    def test_context_manager_measures_time(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0
+
+    def test_start_stop(self):
+        t = Timer()
+        t.start()
+        elapsed = t.stop()
+        assert elapsed >= 0.0
+        assert t.elapsed == elapsed
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestValidation:
+    def test_check_matrix_promotes_1d(self):
+        out = check_matrix([1.0, 2.0, 3.0])
+        assert out.shape == (1, 3)
+
+    def test_check_matrix_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_matrix(np.array([[1.0, np.nan]]))
+
+    def test_check_matrix_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            check_matrix(np.zeros((0, 3)))
+
+    def test_check_matrix_rejects_3d(self):
+        with pytest.raises(ConfigurationError):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_check_labels_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            check_labels(np.array([0, 1]), n_samples=3)
+
+    def test_check_labels_float_integers_ok(self):
+        out = check_labels(np.array([0.0, 1.0, 2.0]), n_samples=3)
+        assert out.dtype == np.int64
+
+    def test_check_labels_non_integer_floats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_labels(np.array([0.5, 1.0, 2.0]), n_samples=3)
+
+    def test_check_fitted(self):
+        class Dummy:
+            attr = None
+
+        with pytest.raises(NotFittedError):
+            check_fitted(Dummy(), "attr")
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, "p")
+
+    def test_check_feature_count(self):
+        with pytest.raises(ConfigurationError):
+            check_feature_count(np.zeros((2, 3)), expected=4)
+
+    def test_train_test_indices_partition(self):
+        train, test = train_test_indices(100, 0.25, np.random.default_rng(0))
+        assert len(train) == 75 and len(test) == 25
+        assert set(train).isdisjoint(set(test))
+        assert set(train) | set(test) == set(range(100))

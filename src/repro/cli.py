@@ -7,6 +7,7 @@ can be regenerated without writing Python::
     python -m repro run fig3 --scale fast
     python -m repro run fig3 fig5 --scale paper --json results.json
     python -m repro datasets
+    python -m repro bench --json BENCH_hdc_primitives.json
 """
 
 from __future__ import annotations
@@ -40,6 +41,21 @@ def build_parser() -> argparse.ArgumentParser:
     datasets = subparsers.add_parser("datasets", help="summarize the synthetic datasets")
     datasets.add_argument("--n-train", type=int, default=1000)
     datasets.add_argument("--n-test", type=int, default=300)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the HDC perf-regression benchmarks"
+    )
+    bench.add_argument("--dim", type=int, default=500, help="hypervector dimensionality")
+    bench.add_argument("--repeats", type=int, default=3, help="best-of repeat count")
+    bench.add_argument(
+        "--quick", action="store_true", help="small workloads for a fast smoke run"
+    )
+    bench.add_argument(
+        "--json",
+        metavar="PATH",
+        default="BENCH_hdc_primitives.json",
+        help="where to write the machine-readable records (default: %(default)s)",
+    )
 
     return parser
 
@@ -81,6 +97,17 @@ def _command_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.perf import format_table, run_benchmarks, write_bench_json
+
+    records = run_benchmarks(dim=args.dim, repeats=args.repeats, quick=args.quick)
+    print(format_table(records))
+    if args.json:
+        path = write_bench_json(records, args.json)
+        print(f"\nbenchmark records written to {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -91,6 +118,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "datasets":
         return _command_datasets(args)
+    if args.command == "bench":
+        return _command_bench(args)
     parser.print_help()
     return 1
 

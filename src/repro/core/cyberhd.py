@@ -23,6 +23,7 @@ from repro.core.regeneration import (
     warm_start_regenerated,
 )
 from repro.core.trainer import adaptive_epoch, adaptive_one_pass_fit, training_accuracy
+from repro.hdc.backend import QuantizedClassMatrix, resolve_dtype, row_norms
 from repro.hdc.encoders import make_encoder
 from repro.hdc.encoders.base import BaseEncoder
 from repro.hdc.similarity import cosine_similarity_matrix
@@ -72,6 +73,7 @@ class CyberHD(BaseClassifier):
         self.class_hypervectors_: Optional[np.ndarray] = None
         self.regeneration_events_: List[RegenerationEvent] = []
         self._rng = ensure_rng(self.config.seed)
+        self._quantized_classes: Optional[QuantizedClassMatrix] = None
 
     # ------------------------------------------------------------ properties
     @property
@@ -102,17 +104,26 @@ class CyberHD(BaseClassifier):
             in_features=X.shape[1],
             dim=cfg.dim,
             rng=self._rng,
+            dtype=resolve_dtype(cfg.dtype),
             **cfg.encoder_kwargs,
         )
         self.regeneration_events_ = []
+        self._quantized_classes = None
 
         H = self.encoder_.encode(X)
         self.class_hypervectors_ = adaptive_one_pass_fit(
             H, y, n_classes, batch_size=cfg.batch_size, rng=self._rng
         )
+        # Cached-norm fast path: sample norms change only when regeneration
+        # rewrites columns of H; class norms are maintained in place by
+        # adaptive_epoch as updates land.
+        sample_norms = row_norms(H)
+        class_norms = row_norms(self.class_hypervectors_)
 
         history = {
-            "train_accuracy": [training_accuracy(self.class_hypervectors_, H, y)],
+            "train_accuracy": [
+                training_accuracy(self.class_hypervectors_, H, y, class_norms=class_norms)
+            ],
             "regenerated_dims": [0.0],
             "effective_dim": [float(self.encoder_.effective_dim)],
         }
@@ -126,6 +137,8 @@ class CyberHD(BaseClassifier):
                 learning_rate=cfg.learning_rate,
                 batch_size=cfg.batch_size,
                 rng=self._rng,
+                query_norms=sample_norms,
+                class_norms=class_norms,
             )
             epochs_run = epoch
             regenerated = 0
@@ -147,12 +160,15 @@ class CyberHD(BaseClassifier):
                         RegenerationEvent(epoch=epoch, dimensions=dims, variance_threshold=threshold)
                     )
                     regenerated = int(dims.size)
-                    # Re-encode: only the regenerated dimensions change, so the
-                    # training matrix stays valid for all other columns.
-                    H = self.encoder_.encode(X)
+                    # Incremental re-encode: only the regenerated dimensions
+                    # change, so just those columns of the training matrix are
+                    # recomputed in place.
+                    H[:, dims] = self.encoder_.encode_partial(X, dims)
+                    sample_norms = row_norms(H)
                     # Warm-start the new columns so they contribute immediately
                     # instead of waiting for misclassification-driven updates.
                     warm_start_regenerated(self.class_hypervectors_, H, y, dims)
+                    class_norms[:] = row_norms(self.class_hypervectors_)
 
             history["train_accuracy"].append(accuracy)
             history["regenerated_dims"].append(float(regenerated))
@@ -161,6 +177,11 @@ class CyberHD(BaseClassifier):
             if cfg.early_stop_accuracy is not None and accuracy >= cfg.early_stop_accuracy:
                 break
 
+        if cfg.inference_bits is not None:
+            self._quantized_classes = QuantizedClassMatrix.from_matrix(
+                self.class_hypervectors_, bits=cfg.inference_bits
+            )
+
         elapsed = time.perf_counter() - start
         return FitResult(train_seconds=elapsed, epochs_run=epochs_run, history=history)
 
@@ -168,6 +189,12 @@ class CyberHD(BaseClassifier):
     def _predict_scores(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, "class_hypervectors_")
         H = self.encoder_.encode(X)
+        if self.config.inference_bits is not None:
+            if self._quantized_classes is None:
+                self._quantized_classes = QuantizedClassMatrix.from_matrix(
+                    self.class_hypervectors_, bits=self.config.inference_bits
+                )
+            return self._quantized_classes.scores(H)
         return cosine_similarity_matrix(H, self.class_hypervectors_)
 
     # ------------------------------------------------------------------ misc

@@ -17,6 +17,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.hdc.backend import segment_sum
 from repro.hdc.encoders.base import BaseEncoder
 from repro.hdc.operations import lowest_variance_dimensions, normalize_rows
 
@@ -104,8 +105,9 @@ def warm_start_regenerated(
     if dimensions.size == 0:
         return class_hypervectors
     y = np.asarray(y, dtype=np.int64)
-    new_cols = np.zeros((class_hypervectors.shape[0], dimensions.size))
-    np.add.at(new_cols, y, np.asarray(H, dtype=np.float64)[:, dimensions])
+    new_cols = segment_sum(
+        np.asarray(H)[:, dimensions], y, class_hypervectors.shape[0]
+    )
 
     keep_mask = np.ones(class_hypervectors.shape[1], dtype=bool)
     keep_mask[dimensions] = False

@@ -17,10 +17,14 @@ two-stage procedure:
    model, which prevents saturation; a novel pattern (``delta ~ 0``) updates
    the model strongly.
 
-The implementation is mini-batch vectorized: similarities for a whole batch
-are computed with one matrix product and the per-class updates are aggregated
-with index-accumulation, matching the paper's "highly parallel matrix
-operations" formulation.
+The implementation is mini-batch vectorized through
+:mod:`repro.hdc.backend`: similarities for a whole batch are one matrix
+product against the class matrix with *cached* row norms (sample norms are
+computed once per epoch, class norms once per update -- not once per batch),
+and the per-class updates are aggregated with a one-hot GEMM segment sum
+instead of an ``np.add.at`` scatter, matching the paper's "highly parallel
+matrix operations" formulation.  All routines preserve the dtype of the
+encoded matrix ``H`` (float32 under the default backend policy).
 """
 
 from __future__ import annotations
@@ -29,8 +33,17 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.hdc.backend import row_norms, segment_sum, update_row_norms
 from repro.hdc.similarity import cosine_similarity_matrix
 from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _as_float_matrix(H: np.ndarray) -> np.ndarray:
+    """Pass floating matrices through untouched; promote everything else."""
+    H = np.asarray(H)
+    if H.dtype not in (np.float32, np.float64):
+        H = H.astype(np.float64)
+    return H
 
 
 def one_pass_fit(H: np.ndarray, y: np.ndarray, n_classes: int) -> np.ndarray:
@@ -48,13 +61,11 @@ def one_pass_fit(H: np.ndarray, y: np.ndarray, n_classes: int) -> np.ndarray:
     Returns
     -------
     ndarray
-        ``(k, D)`` class hypervector matrix.
+        ``(k, D)`` class hypervector matrix (same dtype as ``H``).
     """
-    H = np.asarray(H, dtype=np.float64)
+    H = _as_float_matrix(H)
     y = np.asarray(y, dtype=np.int64)
-    classes = np.zeros((n_classes, H.shape[1]))
-    np.add.at(classes, y, H)
-    return classes
+    return segment_sum(H, y, n_classes)
 
 
 def adaptive_one_pass_fit(
@@ -73,25 +84,35 @@ def adaptive_one_pass_fit(
     barely change the model, which prevents the class hypervectors from
     saturating with redundant patterns.
 
-    Returns the ``(k, D)`` class matrix.
+    Returns the ``(k, D)`` class matrix (same dtype as ``H``).
     """
-    H = np.asarray(H, dtype=np.float64)
+    H = _as_float_matrix(H)
     y = np.asarray(y, dtype=np.int64)
-    classes = np.zeros((n_classes, H.shape[1]))
+    classes = np.zeros((n_classes, H.shape[1]), dtype=H.dtype)
+    class_norms = np.zeros(n_classes, dtype=H.dtype)
+    sample_norms = row_norms(H)
     gen = ensure_rng(rng)
     order = gen.permutation(H.shape[0])
     for start in range(0, H.shape[0], batch_size):
         idx = order[start : start + batch_size]
         Hb = H[idx]
         yb = y[idx]
-        sims = cosine_similarity_matrix(Hb, classes)
+        sims = cosine_similarity_matrix(
+            Hb, classes, query_norms=sample_norms[idx], class_norms=class_norms
+        )
         pred = np.argmax(sims, axis=1)
         sim_true = sims[np.arange(idx.size), yb]
-        np.add.at(classes, yb, (1.0 - sim_true)[:, None] * Hb)
+        ids = yb
+        rows = (1.0 - sim_true)[:, None].astype(H.dtype) * Hb
         wrong = pred != yb
         if np.any(wrong):
             sim_pred = sims[wrong, pred[wrong]]
-            np.add.at(classes, pred[wrong], -(1.0 - sim_pred)[:, None] * Hb[wrong])
+            ids = np.concatenate([ids, pred[wrong]])
+            rows = np.concatenate(
+                [rows, -(1.0 - sim_pred)[:, None].astype(H.dtype) * Hb[wrong]]
+            )
+        classes += segment_sum(rows, ids, n_classes)
+        update_row_norms(class_norms, classes, np.unique(ids))
     return classes
 
 
@@ -103,6 +124,8 @@ def adaptive_epoch(
     batch_size: int = 256,
     rng: SeedLike = None,
     shuffle: bool = True,
+    query_norms: Optional[np.ndarray] = None,
+    class_norms: Optional[np.ndarray] = None,
 ) -> Tuple[int, float]:
     """One epoch of similarity-weighted adaptive retraining (in place).
 
@@ -122,6 +145,16 @@ def adaptive_epoch(
         Seed/generator used for shuffling.
     shuffle:
         Whether to shuffle sample order each epoch.
+    query_norms:
+        Optional pre-computed ``(n,)`` row norms of ``H``.  Since ``H`` does
+        not change within an epoch (or across epochs, until a regeneration
+        step rewrites columns), callers looping over epochs should compute
+        them once and pass them in.
+    class_norms:
+        Optional ``(k,)`` row norms of ``class_hypervectors``.  **Updated in
+        place** as classes are updated, so a caller can thread the same
+        array through consecutive epochs and the norms are computed once per
+        class *update* rather than once per batch.
 
     Returns
     -------
@@ -129,9 +162,14 @@ def adaptive_epoch(
         Number of mispredicted training samples during the epoch and the
         corresponding training accuracy.
     """
-    H = np.asarray(H, dtype=np.float64)
+    H = _as_float_matrix(H)
     y = np.asarray(y, dtype=np.int64)
     n = H.shape[0]
+    n_classes = class_hypervectors.shape[0]
+    if query_norms is None:
+        query_norms = row_norms(H)
+    if class_norms is None:
+        class_norms = row_norms(class_hypervectors)
     gen = ensure_rng(rng)
     order = gen.permutation(n) if shuffle else np.arange(n)
     errors = 0
@@ -139,7 +177,9 @@ def adaptive_epoch(
         idx = order[start : start + batch_size]
         Hb = H[idx]
         yb = y[idx]
-        sims = cosine_similarity_matrix(Hb, class_hypervectors)
+        sims = cosine_similarity_matrix(
+            Hb, class_hypervectors, query_norms=query_norms[idx], class_norms=class_norms
+        )
         pred = np.argmax(sims, axis=1)
         wrong = pred != yb
         n_wrong = int(np.count_nonzero(wrong))
@@ -151,21 +191,32 @@ def adaptive_epoch(
         pw = pred[wrong]
         sim_true = sims[wrong, yw]
         sim_pred = sims[wrong, pw]
-        add_weights = learning_rate * (1.0 - sim_true)
-        sub_weights = learning_rate * (1.0 - sim_pred)
-        np.add.at(class_hypervectors, yw, add_weights[:, None] * Hw)
-        np.add.at(class_hypervectors, pw, -sub_weights[:, None] * Hw)
+        add_weights = (learning_rate * (1.0 - sim_true)).astype(H.dtype)
+        sub_weights = (learning_rate * (1.0 - sim_pred)).astype(H.dtype)
+        ids = np.concatenate([yw, pw])
+        rows = np.concatenate([add_weights[:, None] * Hw, -sub_weights[:, None] * Hw])
+        class_hypervectors += segment_sum(rows, ids, n_classes)
+        update_row_norms(class_norms, class_hypervectors, np.unique(ids))
     accuracy = 1.0 - errors / n
     return errors, accuracy
 
 
-def predict_indices(class_hypervectors: np.ndarray, H: np.ndarray) -> np.ndarray:
+def predict_indices(
+    class_hypervectors: np.ndarray,
+    H: np.ndarray,
+    class_norms: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Class indices with the highest cosine similarity to each query row."""
-    sims = cosine_similarity_matrix(H, class_hypervectors)
+    sims = cosine_similarity_matrix(H, class_hypervectors, class_norms=class_norms)
     return np.argmax(sims, axis=1)
 
 
-def training_accuracy(class_hypervectors: np.ndarray, H: np.ndarray, y: np.ndarray) -> float:
+def training_accuracy(
+    class_hypervectors: np.ndarray,
+    H: np.ndarray,
+    y: np.ndarray,
+    class_norms: Optional[np.ndarray] = None,
+) -> float:
     """Accuracy of the current class matrix on encoded samples ``H``."""
-    pred = predict_indices(class_hypervectors, H)
+    pred = predict_indices(class_hypervectors, H, class_norms=class_norms)
     return float(np.mean(pred == np.asarray(y, dtype=np.int64)))

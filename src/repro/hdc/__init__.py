@@ -26,7 +26,21 @@ learning framework builds on:
 ``quantization``
     Symmetric bitwidth quantization of hypervector models, used by the
     hardware experiments (Table I and Fig. 5).
+
+``backend``
+    The vectorized compute backend: dtype policy (float32 default), one-hot
+    GEMM / bincount segment sums replacing ``np.add.at`` scatters, cached
+    row-norm bookkeeping, and the low-bitwidth inference path.
 """
+
+from repro.hdc.backend import (
+    DEFAULT_DTYPE,
+    QuantizedClassMatrix,
+    resolve_dtype,
+    row_norms,
+    segment_sum,
+    update_row_norms,
+)
 
 from repro.hdc.hypervector import (
     Hypervector,
@@ -53,6 +67,12 @@ from repro.hdc.similarity import (
 from repro.hdc.encoders import BaseEncoder, LevelIDEncoder, LinearEncoder, RBFEncoder
 
 __all__ = [
+    "DEFAULT_DTYPE",
+    "resolve_dtype",
+    "segment_sum",
+    "row_norms",
+    "update_row_norms",
+    "QuantizedClassMatrix",
     "Hypervector",
     "random_hypervector",
     "level_hypervectors",

@@ -8,6 +8,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.exceptions import EncodingError
+from repro.hdc.backend import DTypeSpec, resolve_dtype
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix
 
@@ -15,13 +16,27 @@ from repro.utils.validation import check_matrix
 class BaseEncoder(abc.ABC):
     """Maps ``(n, F)`` feature matrices to ``(n, D)`` hypervector matrices.
 
-    Subclasses must implement :meth:`_encode` and :meth:`_regenerate`.  The
-    public :meth:`encode` / :meth:`regenerate` wrappers perform validation and
-    book-keeping (regeneration counting for effective-dimensionality
-    accounting) so that subclasses stay focused on the math.
+    Subclasses must implement :meth:`_encode` and :meth:`_regenerate`, and
+    should override :meth:`_encode_partial` with a column-sliced computation.
+    The public :meth:`encode` / :meth:`encode_partial` / :meth:`regenerate`
+    wrappers perform validation and book-keeping (regeneration counting for
+    effective-dimensionality accounting) so that subclasses stay focused on
+    the math.
+
+    Every encoder carries a ``dtype`` (float64 by default for backward
+    compatibility; the CyberHD training pipeline passes the backend policy's
+    float32).  Random parameter draws always happen in float64 and are cast
+    afterwards, so the random stream -- and therefore the *structure* of the
+    encoder -- is identical across dtypes for a given seed.
     """
 
-    def __init__(self, in_features: int, dim: int, rng: SeedLike = None):
+    def __init__(
+        self,
+        in_features: int,
+        dim: int,
+        rng: SeedLike = None,
+        dtype: DTypeSpec = np.float64,
+    ):
         if in_features <= 0:
             raise EncodingError("in_features must be positive")
         if dim <= 0:
@@ -29,6 +44,7 @@ class BaseEncoder(abc.ABC):
         self._in_features = int(in_features)
         self._dim = int(dim)
         self._rng = ensure_rng(rng)
+        self._dtype = resolve_dtype(dtype)
         self._regenerated_total = 0
 
     # ------------------------------------------------------------ properties
@@ -41,6 +57,11 @@ class BaseEncoder(abc.ABC):
     def dim(self) -> int:
         """Output (physical) dimensionality ``D``."""
         return self._dim
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the encoded hypervectors."""
+        return self._dtype
 
     @property
     def regenerated_total(self) -> int:
@@ -69,17 +90,56 @@ class BaseEncoder(abc.ABC):
         Returns
         -------
         ndarray
-            ``(n, D)`` encoded hypervectors.
+            ``(n, D)`` encoded hypervectors in the encoder's dtype.
         """
-        X = check_matrix(X, "X")
-        if X.shape[1] != self._in_features:
-            raise EncodingError(
-                f"encoder expects {self._in_features} features, got {X.shape[1]}"
-            )
+        X = self._check_input(X)
         H = self._encode(X)
         if H.shape != (X.shape[0], self._dim):
             raise EncodingError(
                 f"encoder produced shape {H.shape}, expected {(X.shape[0], self._dim)}"
+            )
+        return H
+
+    def encode_partial(self, X: np.ndarray, dimensions: Sequence[int]) -> np.ndarray:
+        """Encode only the selected output dimensions.
+
+        This is the incremental re-encoding entry point for dimension
+        regeneration: after ``regenerate(dims)`` only the columns in ``dims``
+        of an encoded matrix change, so a caller holding ``H = encode(X)``
+        can refresh it with ``H[:, dims] = encode_partial(X, dims)`` instead
+        of re-encoding all ``D`` columns.
+
+        Contract: ``encode_partial(X, dims)`` is **bitwise identical** to
+        ``encode(X)[:, dims]`` for the encoder's current parameters (the
+        equivalence suite in ``tests/test_backend.py`` enforces this for
+        every bundled encoder).
+
+        Parameters
+        ----------
+        X:
+            ``(n, F)`` feature matrix.
+        dimensions:
+            Output dimension indices to compute, each in ``[0, D)``.
+
+        Returns
+        -------
+        ndarray
+            ``(n, len(dimensions))`` columns of the encoding, in the order
+            the dimensions were given.
+        """
+        X = self._check_input(X)
+        idx = np.asarray(dimensions, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return np.zeros((X.shape[0], 0), dtype=self._dtype)
+        if idx.min() < 0 or idx.max() >= self._dim:
+            raise EncodingError(
+                f"partial-encode indices must be in [0, {self._dim}), got "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        H = self._encode_partial(X, idx)
+        if H.shape != (X.shape[0], idx.size):
+            raise EncodingError(
+                f"encoder produced shape {H.shape}, expected {(X.shape[0], idx.size)}"
             )
         return H
 
@@ -114,13 +174,29 @@ class BaseEncoder(abc.ABC):
     def _encode(self, X: np.ndarray) -> np.ndarray:
         """Encode a validated ``(n, F)`` matrix; return ``(n, D)``."""
 
+    def _encode_partial(self, X: np.ndarray, dimensions: np.ndarray) -> np.ndarray:
+        """Encode a validated ``(n, F)`` matrix restricted to ``dimensions``.
+
+        The fallback computes the full encoding and slices it; subclasses
+        override with a computation proportional to ``len(dimensions)``.
+        """
+        return self._encode(X)[:, dimensions]
+
     @abc.abstractmethod
     def _regenerate(self, dimensions: np.ndarray) -> None:
         """Resample base vectors for the validated dimension indices."""
 
     # ----------------------------------------------------------------- misc
+    def _check_input(self, X: np.ndarray) -> np.ndarray:
+        X = check_matrix(X, "X")
+        if X.shape[1] != self._in_features:
+            raise EncodingError(
+                f"encoder expects {self._in_features} features, got {X.shape[1]}"
+            )
+        return X.astype(self._dtype, copy=False)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"{type(self).__name__}(in_features={self._in_features}, dim={self._dim}, "
-            f"regenerated_total={self._regenerated_total})"
+            f"dtype={self._dtype.name}, regenerated_total={self._regenerated_total})"
         )

@@ -10,8 +10,15 @@ where ``*`` is binding (element-wise multiplication) and the sum is bundling.
 Included here both as a baseline encoder ablation and because the static
 "baseline HDC" systems the paper compares against traditionally use it.
 
+The encoder precomputes the bound pairs ``B[f, l] = ID_f * LEVEL_l`` as an
+``(F, levels, D)`` lookup table, so encoding a batch is a single fancy-index
+gather plus a sum over the feature axis -- no per-feature Python loop.  The
+gather is chunked over samples to keep the ``(chunk, F, D)`` temporary at a
+fixed memory budget.
+
 Regeneration of an output dimension ``d`` resamples column ``d`` of every
-identity hypervector (the level hypervectors keep their thermometer structure).
+identity hypervector (the level hypervectors keep their thermometer
+structure); only the affected columns of the lookup table are rebuilt.
 """
 
 from __future__ import annotations
@@ -21,8 +28,15 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import EncodingError
+from repro.hdc.backend import DTypeSpec
 from repro.hdc.encoders.base import BaseEncoder
 from repro.utils.rng import SeedLike
+
+# Elements per (chunk, F, D) gather temporary: 2**21 elements is 8 MB at
+# float32 / 16 MB at float64.  Larger chunks spill the gather temporary out
+# of cache and measurably slow the encode down; smaller ones pay Python loop
+# overhead per chunk.
+_CHUNK_ELEMENTS = 2**21
 
 
 class LevelIDEncoder(BaseEncoder):
@@ -42,6 +56,9 @@ class LevelIDEncoder(BaseEncoder):
         the min-max scaling used by the dataset preprocessing.
     rng:
         Seed or generator.
+    dtype:
+        Floating dtype of the hypervectors and encodings (the random stream
+        is dtype-independent: draws happen in float64 and are cast).
     """
 
     def __init__(
@@ -52,8 +69,9 @@ class LevelIDEncoder(BaseEncoder):
         low: float = 0.0,
         high: float = 1.0,
         rng: SeedLike = None,
+        dtype: DTypeSpec = np.float64,
     ):
-        super().__init__(in_features=in_features, dim=dim, rng=rng)
+        super().__init__(in_features=in_features, dim=dim, rng=rng, dtype=dtype)
         if levels < 2:
             raise EncodingError("levels must be at least 2")
         if high <= low:
@@ -64,9 +82,17 @@ class LevelIDEncoder(BaseEncoder):
         # Identity hypervectors: one bipolar row per feature.
         self._id_vectors = self._rng.choice(
             np.array([-1.0, 1.0]), size=(self._in_features, self._dim)
-        )
+        ).astype(self._dtype, copy=False)
         # Level hypervectors built with the thermometer construction.
         self._level_vectors = self._build_levels()
+        # Bound-pair lookup table B[f, l] = ID_f * LEVEL_l, flattened over
+        # (f, l) so a batch encodes as one gather over row indices.
+        self._bound_table = (
+            self._id_vectors[:, None, :] * self._level_vectors[None, :, :]
+        )
+        self._level_offsets = (
+            np.arange(self._in_features, dtype=np.int64) * self._levels
+        )
 
     # ------------------------------------------------------------ properties
     @property
@@ -102,7 +128,7 @@ class LevelIDEncoder(BaseEncoder):
             current[flip_order[flipped:target]] *= -1.0
             flipped = target
             levels[level] = current
-        return levels
+        return levels.astype(self._dtype, copy=False)
 
     def _quantize_levels(self, X: np.ndarray) -> np.ndarray:
         clipped = np.clip(X, self._low, self._high)
@@ -111,16 +137,30 @@ class LevelIDEncoder(BaseEncoder):
 
     # --------------------------------------------------------------- encoding
     def _encode(self, X: np.ndarray) -> np.ndarray:
-        level_idx = self._quantize_levels(X)  # (n, F)
+        return self._gather_encode(X, self._bound_table, self._dim)
+
+    def _encode_partial(self, X: np.ndarray, dimensions: np.ndarray) -> np.ndarray:
+        # Slicing the table keeps the gather + pairwise-sum order identical
+        # to the full encode, so the partial columns are bitwise equal.
+        return self._gather_encode(
+            X, np.ascontiguousarray(self._bound_table[:, :, dimensions]), dimensions.size
+        )
+
+    def _gather_encode(self, X: np.ndarray, table: np.ndarray, width: int) -> np.ndarray:
+        flat_rows = self._quantize_levels(X) + self._level_offsets  # (n, F)
+        flat_table = table.reshape(self._in_features * self._levels, width)
         n = X.shape[0]
-        H = np.zeros((n, self._dim))
-        # Bundle bound (ID * LEVEL) pairs feature by feature; looping over the
-        # (small) feature axis keeps memory at O(n * D).
-        for f in range(self._in_features):
-            H += self._id_vectors[f] * self._level_vectors[level_idx[:, f]]
+        H = np.empty((n, width), dtype=self._dtype)
+        chunk = max(1, _CHUNK_ELEMENTS // max(1, self._in_features * width))
+        for start in range(0, n, chunk):
+            rows = flat_rows[start : start + chunk]
+            H[start : start + chunk] = flat_table[rows].sum(axis=1)
         return H
 
     def _regenerate(self, dimensions: np.ndarray) -> None:
         self._id_vectors[:, dimensions] = self._rng.choice(
             np.array([-1.0, 1.0]), size=(self._in_features, dimensions.size)
+        )
+        self._bound_table[:, :, dimensions] = (
+            self._id_vectors[:, None, dimensions] * self._level_vectors[None, :, dimensions]
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import EncodingError
+from repro.hdc.backend import DTypeSpec
 from repro.hdc.encoders.base import BaseEncoder
 from repro.utils.rng import SeedLike
 
@@ -33,6 +34,10 @@ class LinearEncoder(BaseEncoder):
         Standard deviation of the Gaussian projection entries.
     rng:
         Seed or generator.
+    dtype:
+        Floating dtype of the projection matrix and the encodings (the
+        random stream is dtype-independent: draws happen in float64 and are
+        cast).
     """
 
     def __init__(
@@ -42,8 +47,9 @@ class LinearEncoder(BaseEncoder):
         activation: str = "tanh",
         scale: float = 1.0,
         rng: SeedLike = None,
+        dtype: DTypeSpec = np.float64,
     ):
-        super().__init__(in_features=in_features, dim=dim, rng=rng)
+        super().__init__(in_features=in_features, dim=dim, rng=rng, dtype=dtype)
         if activation not in _ACTIVATIONS:
             raise EncodingError(
                 f"activation must be one of {_ACTIVATIONS}, got {activation!r}"
@@ -52,7 +58,9 @@ class LinearEncoder(BaseEncoder):
             raise EncodingError("scale must be positive")
         self._activation = activation
         self._scale = float(scale)
-        self._bases = self._rng.normal(0.0, self._scale, size=(self._dim, self._in_features))
+        self._bases = self._rng.normal(
+            0.0, self._scale, size=(self._dim, self._in_features)
+        ).astype(self._dtype, copy=False)
 
     @property
     def activation(self) -> str:
@@ -67,11 +75,17 @@ class LinearEncoder(BaseEncoder):
         return view
 
     def _encode(self, X: np.ndarray) -> np.ndarray:
-        projected = X @ self._bases.T
+        return self._activate(X @ self._bases.T)
+
+    def _encode_partial(self, X: np.ndarray, dimensions: np.ndarray) -> np.ndarray:
+        return self._activate(X @ self._bases[dimensions].T)
+
+    def _activate(self, projected: np.ndarray) -> np.ndarray:
         if self._activation == "tanh":
             return np.tanh(projected)
         if self._activation == "sign":
-            return np.where(projected >= 0.0, 1.0, -1.0)
+            one = self._dtype.type(1.0)
+            return np.where(projected >= 0.0, one, -one)
         return projected
 
     def _regenerate(self, dimensions: np.ndarray) -> None:

@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import EncodingError
+from repro.hdc.backend import DTypeSpec
 from repro.hdc.encoders.base import BaseEncoder
 from repro.utils.rng import SeedLike
 
@@ -43,6 +44,10 @@ class RBFEncoder(BaseEncoder):
         which reduces the variance of the kernel approximation.
     rng:
         Seed or generator.
+    dtype:
+        Floating dtype of the base vectors, phases and encodings (the
+        random stream is dtype-independent: draws happen in float64 and are
+        cast).
     """
 
     def __init__(
@@ -52,16 +57,21 @@ class RBFEncoder(BaseEncoder):
         gamma: float | str = "auto",
         use_sine: bool = False,
         rng: SeedLike = None,
+        dtype: DTypeSpec = np.float64,
     ):
-        super().__init__(in_features=in_features, dim=dim, rng=rng)
+        super().__init__(in_features=in_features, dim=dim, rng=rng, dtype=dtype)
         if gamma == "auto":
             gamma = 1.0 / np.sqrt(in_features)
         if not isinstance(gamma, (int, float)) or gamma <= 0:
             raise EncodingError("gamma must be positive or 'auto'")
         self._gamma = float(gamma)
         self._use_sine = bool(use_sine)
-        self._bases = self._rng.normal(0.0, self._gamma, size=(self._dim, self._in_features))
-        self._phases = self._rng.uniform(0.0, 2.0 * np.pi, size=self._dim)
+        self._bases = self._rng.normal(
+            0.0, self._gamma, size=(self._dim, self._in_features)
+        ).astype(self._dtype, copy=False)
+        self._phases = self._rng.uniform(0.0, 2.0 * np.pi, size=self._dim).astype(
+            self._dtype, copy=False
+        )
         if self._use_sine:
             self._sine_mask = np.arange(self._dim) % 2 == 1
         else:
@@ -93,6 +103,14 @@ class RBFEncoder(BaseEncoder):
         H = np.cos(projected)
         if self._use_sine:
             H[:, self._sine_mask] = np.sin(projected[:, self._sine_mask])
+        return H
+
+    def _encode_partial(self, X: np.ndarray, dimensions: np.ndarray) -> np.ndarray:
+        projected = X @ self._bases[dimensions].T + self._phases[dimensions]
+        H = np.cos(projected)
+        if self._use_sine:
+            mask = self._sine_mask[dimensions]
+            H[:, mask] = np.sin(projected[:, mask])
         return H
 
     def _regenerate(self, dimensions: np.ndarray) -> None:

@@ -31,8 +31,23 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     return float(a @ b / (na * nb))
 
 
-def cosine_similarity_matrix(queries: np.ndarray, classes: np.ndarray) -> np.ndarray:
+def cosine_similarity_matrix(
+    queries: np.ndarray,
+    classes: np.ndarray,
+    query_norms: np.ndarray | None = None,
+    class_norms: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Cosine similarity between every query row and every class row.
+
+    The kernel computes the raw ``(n, k)`` Gram matrix first and rescales it
+    by the row norms afterwards, so -- unlike the naive formulation -- it
+    never allocates normalized ``(n, D)`` / ``(k, D)`` copies of the
+    operands.  Callers that score many batches against a slowly changing
+    class matrix (the adaptive trainer, the models' predict path) can pass
+    pre-computed ``query_norms`` / ``class_norms`` to skip the norm
+    computation entirely; see :func:`repro.hdc.backend.update_row_norms` for
+    the matching cache-invalidation helper.
 
     Parameters
     ----------
@@ -40,24 +55,38 @@ def cosine_similarity_matrix(queries: np.ndarray, classes: np.ndarray) -> np.nda
         ``(n, D)`` encoded query hypervectors.
     classes:
         ``(k, D)`` class hypervectors.
+    query_norms, class_norms:
+        Optional pre-computed Euclidean row norms (``(n,)`` / ``(k,)``).
+        Must correspond to the current contents of the operands; zero norms
+        are handled the same way as when computed internally.
+    out:
+        Optional pre-allocated ``(n, k)`` output buffer for the Gram matrix
+        (must match the matmul result dtype).
 
     Returns
     -------
     ndarray
         ``(n, k)`` matrix of cosine similarities; rows/columns whose source
-        vector is all-zero produce zero similarity.
+        vector is all-zero produce zero similarity.  Floating inputs keep
+        their dtype (float32 in, float32 out); other dtypes compute in
+        float64.
     """
-    q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    c = np.atleast_2d(np.asarray(classes, dtype=np.float64))
+    q = np.atleast_2d(np.asarray(queries))
+    c = np.atleast_2d(np.asarray(classes))
+    if q.dtype not in (np.float32, np.float64):
+        q = q.astype(np.float64)
+    if c.dtype not in (np.float32, np.float64):
+        c = c.astype(np.float64)
     if q.shape[1] != c.shape[1]:
         raise EncodingError(
             f"query dimensionality {q.shape[1]} != class dimensionality {c.shape[1]}"
         )
-    qn = np.linalg.norm(q, axis=1, keepdims=True)
-    cn = np.linalg.norm(c, axis=1, keepdims=True)
-    qn = np.where(qn < _EPS, 1.0, qn)
-    cn = np.where(cn < _EPS, 1.0, cn)
-    return (q / qn) @ (c / cn).T
+    grams = np.matmul(q, c.T, out=out)
+    qn = np.linalg.norm(q, axis=1) if query_norms is None else np.asarray(query_norms)
+    cn = np.linalg.norm(c, axis=1) if class_norms is None else np.asarray(class_norms)
+    grams /= np.where(qn < _EPS, 1.0, qn)[:, None]
+    grams /= np.where(cn < _EPS, 1.0, cn)[None, :]
+    return grams
 
 
 def hamming_similarity(a: np.ndarray, b: np.ndarray) -> float:

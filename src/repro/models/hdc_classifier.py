@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.core.trainer import adaptive_epoch, adaptive_one_pass_fit, training_accuracy
+from repro.hdc.backend import QuantizedClassMatrix, resolve_dtype, row_norms
 from repro.hdc.encoders import make_encoder
 from repro.hdc.encoders.base import BaseEncoder
 from repro.hdc.similarity import cosine_similarity_matrix
@@ -45,6 +46,12 @@ class BaselineHDC(BaseClassifier):
         Stop retraining once training accuracy reaches this threshold.
     seed:
         RNG seed.
+    dtype:
+        Backend dtype policy (``"float32"`` default, ``"float64"`` opt-in);
+        see ``PERFORMANCE.md``.
+    inference_bits:
+        When set, predictions score against a quantized class matrix
+        (:class:`repro.hdc.backend.QuantizedClassMatrix`).
     """
 
     def __init__(
@@ -57,6 +64,8 @@ class BaselineHDC(BaseClassifier):
         batch_size: int = 256,
         early_stop_accuracy: Optional[float] = None,
         seed: Optional[int] = None,
+        dtype: str = "float32",
+        inference_bits: Optional[int] = None,
     ):
         super().__init__()
         if dim <= 0:
@@ -72,9 +81,12 @@ class BaselineHDC(BaseClassifier):
         self.learning_rate = float(learning_rate)
         self.batch_size = int(batch_size)
         self.early_stop_accuracy = early_stop_accuracy
+        self.dtype = resolve_dtype(dtype)
+        self.inference_bits = inference_bits
         self._rng = ensure_rng(seed)
         self.encoder_: Optional[BaseEncoder] = None
         self.class_hypervectors_: Optional[np.ndarray] = None
+        self._quantized_classes: Optional[QuantizedClassMatrix] = None
 
     # ------------------------------------------------------------------- fit
     def _fit(self, X: np.ndarray, y: np.ndarray) -> FitResult:
@@ -85,14 +97,20 @@ class BaselineHDC(BaseClassifier):
             in_features=X.shape[1],
             dim=self.dim,
             rng=self._rng,
+            dtype=self.dtype,
             **self.encoder_kwargs,
         )
+        self._quantized_classes = None
         H = self.encoder_.encode(X)
         self.class_hypervectors_ = adaptive_one_pass_fit(
             H, y, n_classes, batch_size=self.batch_size, rng=self._rng
         )
+        sample_norms = row_norms(H)
+        class_norms = row_norms(self.class_hypervectors_)
         history = {
-            "train_accuracy": [training_accuracy(self.class_hypervectors_, H, y)],
+            "train_accuracy": [
+                training_accuracy(self.class_hypervectors_, H, y, class_norms=class_norms)
+            ],
         }
         epochs_run = 0
         for epoch in range(1, self.epochs + 1):
@@ -103,11 +121,17 @@ class BaselineHDC(BaseClassifier):
                 learning_rate=self.learning_rate,
                 batch_size=self.batch_size,
                 rng=self._rng,
+                query_norms=sample_norms,
+                class_norms=class_norms,
             )
             epochs_run = epoch
             history["train_accuracy"].append(accuracy)
             if self.early_stop_accuracy is not None and accuracy >= self.early_stop_accuracy:
                 break
+        if self.inference_bits is not None:
+            self._quantized_classes = QuantizedClassMatrix.from_matrix(
+                self.class_hypervectors_, bits=self.inference_bits
+            )
         elapsed = time.perf_counter() - start
         return FitResult(train_seconds=elapsed, epochs_run=epochs_run, history=history)
 
@@ -115,6 +139,12 @@ class BaselineHDC(BaseClassifier):
     def _predict_scores(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, "class_hypervectors_")
         H = self.encoder_.encode(X)
+        if self.inference_bits is not None:
+            if self._quantized_classes is None:
+                self._quantized_classes = QuantizedClassMatrix.from_matrix(
+                    self.class_hypervectors_, bits=self.inference_bits
+                )
+            return self._quantized_classes.scores(H)
         return cosine_similarity_matrix(H, self.class_hypervectors_)
 
     def encode(self, X: np.ndarray) -> np.ndarray:

@@ -74,6 +74,14 @@ def save_model(model: HDCModel, path: Union[str, Path]) -> Path:
         classes=model.classes_,
         n_features_in=np.array([model.n_features_in_]),
         regenerated_total=np.array([encoder.regenerated_total]),
+        # 0 encodes "no quantized inference" (bitwidths are always >= 1).
+        inference_bits=np.array(
+            [
+                model.config.inference_bits or 0
+                if isinstance(model, CyberHD)
+                else model.inference_bits or 0
+            ]
+        ),
         **encoder_arrays,
     )
     # np.savez appends .npz only when missing; normalize the returned path.
@@ -98,24 +106,49 @@ def load_model(path: Union[str, Path]) -> HDCModel:
     n_classes, dim = class_hypervectors.shape
     n_features = int(archive["n_features_in"][0])
 
+    # Restore the dtype policy the model was trained with, so the rebuilt
+    # encoder casts inputs to the same precision as the saved base vectors.
+    encoder_dtype = archive["encoder_bases"].dtype
     if encoder_kind == "rbf":
         encoder = RBFEncoder(
-            in_features=n_features, dim=dim, gamma=float(archive["encoder_params"][0])
+            in_features=n_features,
+            dim=dim,
+            gamma=float(archive["encoder_params"][0]),
+            dtype=encoder_dtype,
         )
         encoder._bases = archive["encoder_bases"].copy()
         encoder._phases = archive["encoder_phases"].copy()
     elif encoder_kind == "linear":
         activation = str(archive["encoder_activation"][0]) or "tanh"
-        encoder = LinearEncoder(in_features=n_features, dim=dim, activation=activation)
+        encoder = LinearEncoder(
+            in_features=n_features, dim=dim, activation=activation, dtype=encoder_dtype
+        )
         encoder._bases = archive["encoder_bases"].copy()
     else:
         raise ConfigurationError(f"unknown encoder kind {encoder_kind!r} in model file")
     encoder._regenerated_total = int(archive["regenerated_total"][0])
 
+    # Older archives predate the quantized-inference option.
+    inference_bits = None
+    if "inference_bits" in archive and int(archive["inference_bits"][0]) > 0:
+        inference_bits = int(archive["inference_bits"][0])
+
     if model_kind == "CyberHD":
-        model: HDCModel = CyberHD(CyberHDConfig(dim=dim, encoder=encoder_kind))
+        model: HDCModel = CyberHD(
+            CyberHDConfig(
+                dim=dim,
+                encoder=encoder_kind,
+                dtype=encoder_dtype.name,
+                inference_bits=inference_bits,
+            )
+        )
     elif model_kind == "BaselineHDC":
-        model = BaselineHDC(dim=dim, encoder=encoder_kind)
+        model = BaselineHDC(
+            dim=dim,
+            encoder=encoder_kind,
+            dtype=encoder_dtype.name,
+            inference_bits=inference_bits,
+        )
     else:
         raise ConfigurationError(f"unknown model kind {model_kind!r} in model file")
 

@@ -24,8 +24,14 @@ Detection"* (DAC 2023).  It contains:
 
 ``repro.nids``
     A network-intrusion-detection substrate: synthetic traffic generation,
-    flow assembly, feature extraction, a detection pipeline, alerting and
-    streaming detection.
+    columnar flow assembly, vectorized feature extraction, a detection
+    pipeline composed of serving stages, alerting and streaming detection.
+
+``repro.serving``
+    The production streaming subsystem: a batched inference engine
+    (micro-batch scheduling, bounded queues with backpressure policies,
+    per-stage telemetry) plus online learning (``partial_fit`` label
+    feedback and drift-triggered dimension regeneration).
 
 ``repro.hardware``
     Quantization-aware hardware substrate: bit-flip fault injection,

@@ -1,18 +1,21 @@
 """Command-line interface for the reproduction.
 
 Exposes the evaluation harness so every paper experiment (and the ablations)
-can be regenerated without writing Python::
+can be regenerated without writing Python, plus the serving subsystem::
 
     python -m repro list
     python -m repro run fig3 --scale fast
     python -m repro run fig3 fig5 --scale paper --json results.json
     python -m repro datasets
     python -m repro bench --json BENCH_hdc_primitives.json
+    python -m repro bench --suite streaming --json BENCH_streaming.json
+    python -m repro serve --flows 600 --online
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -43,19 +46,58 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--n-test", type=int, default=300)
 
     bench = subparsers.add_parser(
-        "bench", help="run the HDC perf-regression benchmarks"
+        "bench", help="run the perf-regression benchmarks"
     )
-    bench.add_argument("--dim", type=int, default=500, help="hypervector dimensionality")
+    bench.add_argument(
+        "--suite",
+        choices=("hdc", "streaming"),
+        default="hdc",
+        help="hdc: compute-backend primitives; streaming: packets->alerts serving path",
+    )
+    bench.add_argument("--dim", type=int, default=None, help="hypervector dimensionality")
     bench.add_argument("--repeats", type=int, default=3, help="best-of repeat count")
+    bench.add_argument(
+        "--packets", type=int, default=50_000, help="streaming suite: packets in the workload"
+    )
+    bench.add_argument(
+        "--window", type=int, default=1000, help="streaming suite: packets per micro-batch"
+    )
     bench.add_argument(
         "--quick", action="store_true", help="small workloads for a fast smoke run"
     )
     bench.add_argument(
         "--json",
         metavar="PATH",
-        default="BENCH_hdc_primitives.json",
-        help="where to write the machine-readable records (default: %(default)s)",
+        default=None,
+        help="where to write the machine-readable records "
+        "(default: BENCH_hdc_primitives.json / BENCH_streaming.json per suite)",
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the streaming serving subsystem on synthetic traffic",
+    )
+    serve.add_argument("--flows", type=int, default=600, help="flows in the served stream")
+    serve.add_argument("--train-flows", type=int, default=300, help="flows used for training")
+    serve.add_argument("--window", type=int, default=500, help="packets per micro-batch")
+    serve.add_argument("--dim", type=int, default=256, help="CyberHD dimensionality")
+    serve.add_argument("--epochs", type=int, default=8, help="training epochs")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--backpressure", choices=("block", "drop_oldest"), default="block"
+    )
+    serve.add_argument(
+        "--online",
+        action="store_true",
+        help="enable online learning (partial_fit + drift-triggered regeneration)",
+    )
+    serve.add_argument(
+        "--model", metavar="PATH", default=None, help="load a saved pipeline instead of training"
+    )
+    serve.add_argument(
+        "--save", metavar="PATH", default=None, help="save the (possibly adapted) pipeline"
+    )
+    serve.add_argument("--json", metavar="PATH", default=None, help="write a JSON summary")
 
     return parser
 
@@ -98,13 +140,128 @@ def _command_datasets(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.perf import format_table, run_benchmarks, write_bench_json
+    from repro.perf import (
+        BENCH_JSON_NAME,
+        BENCH_STREAMING_JSON_NAME,
+        format_table,
+        run_benchmarks,
+        run_streaming_benchmarks,
+        write_bench_json,
+    )
 
-    records = run_benchmarks(dim=args.dim, repeats=args.repeats, quick=args.quick)
+    if args.suite == "streaming":
+        records = run_streaming_benchmarks(
+            n_packets=args.packets,
+            window=args.window,
+            dim=args.dim or 256,
+            repeats=args.repeats,
+            quick=args.quick,
+        )
+        default_json = BENCH_STREAMING_JSON_NAME
+    else:
+        records = run_benchmarks(
+            dim=args.dim or 500, repeats=args.repeats, quick=args.quick
+        )
+        default_json = BENCH_JSON_NAME
     print(format_table(records))
-    if args.json:
-        path = write_bench_json(records, args.json)
+    json_path = args.json or default_json
+    if json_path:
+        path = write_bench_json(records, json_path)
         print(f"\nbenchmark records written to {path}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.core.cyberhd import CyberHD
+    from repro.nids.packets import TrafficGenerator
+    from repro.nids.pipeline import DetectionPipeline
+    from repro.nids.streaming import StreamingDetector
+    from repro.persistence import load_pipeline, save_pipeline
+    from repro.serving import DriftMonitor, OnlineLearner
+
+    generator = TrafficGenerator(seed=args.seed)
+    if args.model:
+        pipeline = load_pipeline(args.model)
+        print(f"loaded pipeline from {args.model} ({len(pipeline.class_names)} classes)")
+        start_time = 0.0
+    else:
+        train_packets = generator.generate(args.train_flows)
+        pipeline = DetectionPipeline(
+            classifier=CyberHD(
+                dim=args.dim, epochs=args.epochs, regeneration_rate=0.1, seed=args.seed
+            )
+        ).fit_packets(train_packets)
+        start_time = train_packets[-1].timestamp + 60.0
+        print(
+            f"trained on {len(train_packets)} packets "
+            f"({args.train_flows} flows) in {pipeline.train_seconds:.2f}s"
+        )
+
+    learner = None
+    if args.online:
+        learner = OnlineLearner(
+            pipeline.classifier,
+            passes=2,
+            replay_rows=512,
+            monitor=DriftMonitor(),
+        )
+    detector = StreamingDetector(
+        pipeline,
+        window_size=args.window,
+        backpressure=args.backpressure,
+        online=learner,
+    )
+    stream = TrafficGenerator(seed=args.seed + 1).generate(args.flows, start_time=start_time)
+    detector.push_many(stream)
+    detector.flush()
+
+    print(
+        f"\nserved {detector.total_packets} packets / {detector.total_flows} flows "
+        f"in {len(detector.results)} windows; {detector.total_alerts} alerts"
+    )
+    print(
+        f"mean window latency {1e3 * detector.mean_latency:.3f} ms; "
+        f"per-flow {1e6 * detector.mean_latency_per_flow:.1f} us"
+    )
+    severities = detector.pipeline.alert_manager.count_by_severity()
+    if severities:
+        print("alerts by severity: " + ", ".join(f"{k}={v}" for k, v in sorted(severities.items())))
+    if learner is not None:
+        print(
+            f"online: {learner.updates} partial_fit windows, "
+            f"{learner.regenerations} drift regenerations"
+        )
+    print("\nper-stage telemetry:")
+    print(detector.telemetry.summary())
+    stats = detector.backpressure_stats
+    print(
+        f"\nbackpressure: submitted={stats.submitted} accepted={stats.accepted} "
+        f"dropped={stats.dropped_oldest} forced_flushes={stats.forced_flushes} "
+        f"high_watermark={stats.high_watermark}"
+    )
+
+    if args.save:
+        path = save_pipeline(pipeline, args.save)
+        print(f"\npipeline saved to {path}")
+    if args.json:
+        payload = {
+            "packets": detector.total_packets,
+            "flows": detector.total_flows,
+            "windows": len(detector.results),
+            "alerts": detector.total_alerts,
+            "mean_window_latency_s": detector.mean_latency,
+            "mean_flow_latency_s": detector.mean_latency_per_flow,
+            "stages": detector.telemetry.to_dict(),
+            "backpressure": stats.to_dict(),
+            "online": {
+                "enabled": learner is not None,
+                "partial_fit_windows": learner.updates if learner else 0,
+                "regenerations": learner.regenerations if learner else 0,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"summary written to {args.json}")
     return 0
 
 
@@ -120,6 +277,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_datasets(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.print_help()
     return 1
 

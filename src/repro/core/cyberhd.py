@@ -22,7 +22,12 @@ from repro.core.regeneration import (
     select_drop_dimensions,
     warm_start_regenerated,
 )
-from repro.core.trainer import adaptive_epoch, adaptive_one_pass_fit, training_accuracy
+from repro.core.trainer import (
+    adaptive_epoch,
+    adaptive_one_pass_fit,
+    online_update,
+    training_accuracy,
+)
 from repro.hdc.backend import QuantizedClassMatrix, resolve_dtype, row_norms
 from repro.hdc.encoders import make_encoder
 from repro.hdc.encoders.base import BaseEncoder
@@ -74,6 +79,9 @@ class CyberHD(BaseClassifier):
         self.regeneration_events_: List[RegenerationEvent] = []
         self._rng = ensure_rng(self.config.seed)
         self._quantized_classes: Optional[QuantizedClassMatrix] = None
+        self._class_norms: Optional[np.ndarray] = None
+        self.online_batches_ = 0
+        self.online_samples_ = 0
 
     # ------------------------------------------------------------ properties
     @property
@@ -182,13 +190,112 @@ class CyberHD(BaseClassifier):
                 self.class_hypervectors_, bits=cfg.inference_bits
             )
 
+        self._class_norms = class_norms
         elapsed = time.perf_counter() - start
         return FitResult(train_seconds=elapsed, epochs_run=epochs_run, history=history)
+
+    # -------------------------------------------------------- online learning
+    def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """One online pass through the PR 1 backend (segment-sum updates).
+
+        Cold-starting through ``partial_fit`` builds the dynamic encoder and
+        a zero class matrix on the first batch; drift-triggered dimension
+        regeneration is a separate, explicit step
+        (:meth:`regenerate_online`), typically driven by a
+        ``repro.serving.DriftMonitor``.
+        """
+        cfg = self.config
+        if self.encoder_ is None:
+            self.encoder_ = make_encoder(
+                cfg.encoder,
+                in_features=X.shape[1],
+                dim=cfg.dim,
+                rng=self._rng,
+                dtype=resolve_dtype(cfg.dtype),
+                **cfg.encoder_kwargs,
+            )
+            n_classes = int(self.classes_.shape[0])
+            dtype = resolve_dtype(cfg.dtype)
+            self.class_hypervectors_ = np.zeros((n_classes, cfg.dim), dtype=dtype)
+            self._class_norms = np.zeros(n_classes, dtype=dtype)
+            self.regeneration_events_ = []
+            self.fit_result_ = FitResult()
+        if self._class_norms is None:
+            self._class_norms = row_norms(self.class_hypervectors_)
+        H = self.encoder_.encode(X)
+        online_update(
+            self.class_hypervectors_,
+            H,
+            y,
+            learning_rate=cfg.learning_rate,
+            batch_size=cfg.batch_size,
+            class_norms=self._class_norms,
+        )
+        # The quantized inference cache is stale after any online update.
+        self._quantized_classes = None
+        self.online_batches_ += 1
+        self.online_samples_ += int(X.shape[0])
+
+    def regenerate_online(
+        self,
+        X_recent: Optional[np.ndarray] = None,
+        y_recent: Optional[np.ndarray] = None,
+        rate: Optional[float] = None,
+    ) -> Optional[RegenerationEvent]:
+        """Drift-triggered drop-and-regenerate on a deployed model.
+
+        Selects the lowest-variance dimensions of the current class matrix,
+        redraws their encoder base vectors, and (when a recent labeled
+        buffer is supplied) warm-starts the fresh columns from
+        ``encode_partial`` -- only the regenerated columns of the buffer are
+        ever encoded, the same incremental re-encode contract the offline
+        ``fit`` uses.  Dimensions that are *not* selected keep their encoder
+        parameters and class-matrix columns bit-for-bit, so predictions
+        restricted to the surviving dimensions are unchanged.
+
+        Returns the :class:`RegenerationEvent` (with ``online=True`` and
+        ``epoch=-1``), or None when the configured rate selects nothing.
+        """
+        check_fitted(self, "class_hypervectors_")
+        rate = self.config.regeneration_rate if rate is None else float(rate)
+        dims, threshold = select_drop_dimensions(self.class_hypervectors_, rate)
+        if dims.size == 0:
+            return None
+        apply_regeneration(self.class_hypervectors_, self.encoder_, dims)
+        if X_recent is not None and y_recent is not None and len(X_recent):
+            X_recent = np.asarray(X_recent)
+            y_idx = np.searchsorted(self.classes_, np.asarray(y_recent))
+            y_idx = np.clip(y_idx, 0, self.classes_.shape[0] - 1)
+            if not np.array_equal(self.classes_[y_idx], np.asarray(y_recent)):
+                raise ValueError(
+                    "regenerate_online received labels outside the known class set"
+                )
+            columns = self.encoder_.encode_partial(X_recent, dims)
+            warm_start_regenerated(
+                self.class_hypervectors_, columns, y_idx, dims, H_is_partial=True
+            )
+        if self._class_norms is not None:
+            self._class_norms[:] = row_norms(self.class_hypervectors_)
+        self._quantized_classes = None
+        event = RegenerationEvent(
+            epoch=-1, dimensions=dims, variance_threshold=threshold, online=True
+        )
+        self.regeneration_events_.append(event)
+        return event
 
     # --------------------------------------------------------------- predict
     def _predict_scores(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, "class_hypervectors_")
-        H = self.encoder_.encode(X)
+        return self.scores_from_encoded(self.encoder_.encode(X))
+
+    def scores_from_encoded(self, H: np.ndarray) -> np.ndarray:
+        """Per-class scores for already-encoded queries.
+
+        The serving path uses this to time encoding and classification as
+        separate stages; ``predict_scores(X)`` is equivalent to
+        ``scores_from_encoded(encode(X))``.
+        """
+        check_fitted(self, "class_hypervectors_")
         if self.config.inference_bits is not None:
             if self._quantized_classes is None:
                 self._quantized_classes = QuantizedClassMatrix.from_matrix(

@@ -40,6 +40,9 @@ class RegenerationEvent:
     epoch: int
     dimensions: np.ndarray
     variance_threshold: float
+    #: True for drift-triggered regenerations on a deployed model (the
+    #: streaming path); such events carry ``epoch = -1``.
+    online: bool = False
 
 
 def select_drop_dimensions(
@@ -83,6 +86,7 @@ def warm_start_regenerated(
     H: np.ndarray,
     y: np.ndarray,
     dimensions: np.ndarray,
+    H_is_partial: bool = False,
 ) -> np.ndarray:
     """Warm-start freshly regenerated dimensions from the training data.
 
@@ -100,14 +104,23 @@ def warm_start_regenerated(
     regenerated dimensions -- exactly the classes NIDS cares most about.
 
     ``class_hypervectors`` is modified in place and returned.
+
+    When ``H_is_partial`` is True, ``H`` holds only the regenerated columns
+    (shape ``(n, len(dimensions))``, the output of ``encode_partial``) --
+    the online regeneration path uses this to avoid ever materializing a
+    full re-encode of its replay buffer.
     """
     dimensions = np.asarray(dimensions, dtype=np.int64)
     if dimensions.size == 0:
         return class_hypervectors
     y = np.asarray(y, dtype=np.int64)
-    new_cols = segment_sum(
-        np.asarray(H)[:, dimensions], y, class_hypervectors.shape[0]
-    )
+    H = np.asarray(H)
+    columns = H if H_is_partial else H[:, dimensions]
+    if columns.shape[1] != dimensions.size:
+        raise ConfigurationError(
+            f"warm start expected {dimensions.size} encoded columns, got {columns.shape[1]}"
+        )
+    new_cols = segment_sum(columns, y, class_hypervectors.shape[0])
 
     keep_mask = np.ones(class_hypervectors.shape[1], dtype=bool)
     keep_mask[dimensions] = False

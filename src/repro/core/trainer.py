@@ -201,6 +201,40 @@ def adaptive_epoch(
     return errors, accuracy
 
 
+def online_update(
+    class_hypervectors: np.ndarray,
+    H: np.ndarray,
+    y: np.ndarray,
+    learning_rate: float,
+    batch_size: int = 256,
+    query_norms: Optional[np.ndarray] = None,
+    class_norms: Optional[np.ndarray] = None,
+) -> Tuple[int, float]:
+    """One deterministic online pass over a streaming mini-batch (in place).
+
+    This is the ``partial_fit`` kernel: exactly one :func:`adaptive_epoch`
+    with shuffling disabled, so samples are consumed in arrival order and a
+    ``partial_fit(X, y)`` call is bitwise-equivalent to one batched
+    ``adaptive_epoch`` over the same encoded samples.  ``class_norms`` should
+    be the model's cached norm vector; it is invalidated/updated in place as
+    class hypervectors change (the cached-norm cosine fast path).
+
+    Returns ``(errors, accuracy)`` measured *before* each update step
+    (prequential: a sample is scored against the model state that had not
+    yet seen it).
+    """
+    return adaptive_epoch(
+        class_hypervectors,
+        H,
+        y,
+        learning_rate=learning_rate,
+        batch_size=batch_size,
+        shuffle=False,
+        query_norms=query_norms,
+        class_norms=class_norms,
+    )
+
+
 def predict_indices(
     class_hypervectors: np.ndarray,
     H: np.ndarray,

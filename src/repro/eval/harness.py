@@ -32,8 +32,8 @@ class HarnessConfig:
         Datasets used by the multi-dataset experiments (Figs. 3-4).
     experiments:
         Which experiments to run; any of ``fig3``, ``fig4``, ``table1``,
-        ``fig5``, ``ablation_regeneration``, ``ablation_dimensionality``,
-        ``ablation_encoder``.
+        ``fig5``, ``streaming_drift``, ``ablation_regeneration``,
+        ``ablation_dimensionality``, ``ablation_encoder``.
     """
 
     scale: str = "fast"
@@ -53,6 +53,7 @@ class ExperimentHarness:
             "fig4": self._run_fig4,
             "table1": self._run_table1,
             "fig5": self._run_fig5,
+            "streaming_drift": self._run_streaming_drift,
             "ablation_regeneration": self._run_ablation_regeneration,
             "ablation_dimensionality": self._run_ablation_dimensionality,
             "ablation_encoder": self._run_ablation_encoder,
@@ -109,6 +110,11 @@ class ExperimentHarness:
 
     def _run_fig5(self) -> ExperimentResult:
         return experiments.robustness_experiment(
+            scale=self.config.scale, seed=self.config.seed
+        )
+
+    def _run_streaming_drift(self) -> ExperimentResult:
+        return experiments.streaming_drift_experiment(
             scale=self.config.scale, seed=self.config.seed
         )
 

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_feature_count, check_fitted, check_labels, check_matrix
 
 
@@ -62,6 +63,56 @@ class BaseClassifier(abc.ABC):
         self.fit_result_ = self._fit(X, y_indexed.astype(np.int64))
         return self
 
+    def partial_fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        classes: Optional[Sequence] = None,
+    ) -> "BaseClassifier":
+        """Fold one labeled mini-batch into the model (online learning).
+
+        Unlike :meth:`fit`, this does not reset the model: the batch updates
+        the current state in place, which is what the streaming serving path
+        uses to track concept drift without retraining from scratch.
+
+        Parameters
+        ----------
+        X, y:
+            The mini-batch, with labels in the original label space.
+        classes:
+            The full label set.  Required on the first call when the model
+            has not been fitted yet (an online model must know its label
+            space up front); ignored afterwards except for a consistency
+            check.
+        """
+        X = check_matrix(X, "X")
+        y = check_labels(y, X.shape[0], "y")
+        if self.classes_ is None:
+            if classes is None:
+                raise ConfigurationError(
+                    "partial_fit on an unfitted model requires the `classes` argument"
+                )
+            class_array = np.unique(np.asarray(classes))
+            if class_array.shape[0] < 2:
+                raise ValueError("classes must contain at least two labels")
+            self.classes_ = class_array
+            self.n_features_in_ = X.shape[1]
+        else:
+            check_feature_count(X, int(self.n_features_in_), "X")
+            if classes is not None and not np.array_equal(
+                np.unique(np.asarray(classes)), self.classes_
+            ):
+                raise ConfigurationError(
+                    "partial_fit received a `classes` set that differs from the "
+                    "label space the model was initialized with"
+                )
+        indices = np.searchsorted(self.classes_, y)
+        indices = np.clip(indices, 0, self.classes_.shape[0] - 1)
+        if not np.array_equal(self.classes_[indices], y):
+            raise ValueError("partial_fit received labels outside the known class set")
+        self._partial_fit(X, indices.astype(np.int64))
+        return self
+
     def predict_scores(self, X: np.ndarray) -> np.ndarray:
         """Per-class decision scores, shape ``(n_samples, n_classes)``.
 
@@ -98,3 +149,13 @@ class BaseClassifier(abc.ABC):
     @abc.abstractmethod
     def _predict_scores(self, X: np.ndarray) -> np.ndarray:
         """Return ``(n, k)`` decision scores for validated input."""
+
+    def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Incrementally update on a validated batch with indexed labels.
+
+        Subclasses that support online learning override this; the default
+        declares the capability absent.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support online updates (partial_fit)"
+        )

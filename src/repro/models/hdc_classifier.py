@@ -15,7 +15,12 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.core.trainer import adaptive_epoch, adaptive_one_pass_fit, training_accuracy
+from repro.core.trainer import (
+    adaptive_epoch,
+    adaptive_one_pass_fit,
+    online_update,
+    training_accuracy,
+)
 from repro.hdc.backend import QuantizedClassMatrix, resolve_dtype, row_norms
 from repro.hdc.encoders import make_encoder
 from repro.hdc.encoders.base import BaseEncoder
@@ -87,6 +92,9 @@ class BaselineHDC(BaseClassifier):
         self.encoder_: Optional[BaseEncoder] = None
         self.class_hypervectors_: Optional[np.ndarray] = None
         self._quantized_classes: Optional[QuantizedClassMatrix] = None
+        self._class_norms: Optional[np.ndarray] = None
+        self.online_batches_ = 0
+        self.online_samples_ = 0
 
     # ------------------------------------------------------------------- fit
     def _fit(self, X: np.ndarray, y: np.ndarray) -> FitResult:
@@ -132,13 +140,59 @@ class BaselineHDC(BaseClassifier):
             self._quantized_classes = QuantizedClassMatrix.from_matrix(
                 self.class_hypervectors_, bits=self.inference_bits
             )
+        self._class_norms = class_norms
         elapsed = time.perf_counter() - start
         return FitResult(train_seconds=elapsed, epochs_run=epochs_run, history=history)
+
+    def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """One online pass: encode the batch and fold it into the class matrix.
+
+        Cold-starting through ``partial_fit`` (no prior ``fit``) builds the
+        static encoder and a zero class matrix on the first batch, so a
+        streaming deployment can learn from scratch.
+        """
+        if self.encoder_ is None:
+            self.encoder_ = make_encoder(
+                self.encoder_name,
+                in_features=X.shape[1],
+                dim=self.dim,
+                rng=self._rng,
+                dtype=self.dtype,
+                **self.encoder_kwargs,
+            )
+            n_classes = int(self.classes_.shape[0])
+            self.class_hypervectors_ = np.zeros((n_classes, self.dim), dtype=self.dtype)
+            self._class_norms = np.zeros(n_classes, dtype=self.dtype)
+            self.fit_result_ = FitResult()
+        if self._class_norms is None:
+            self._class_norms = row_norms(self.class_hypervectors_)
+        H = self.encoder_.encode(X)
+        online_update(
+            self.class_hypervectors_,
+            H,
+            y,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            class_norms=self._class_norms,
+        )
+        # The quantized inference cache is stale after any online update.
+        self._quantized_classes = None
+        self.online_batches_ += 1
+        self.online_samples_ += int(X.shape[0])
 
     # --------------------------------------------------------------- predict
     def _predict_scores(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, "class_hypervectors_")
-        H = self.encoder_.encode(X)
+        return self.scores_from_encoded(self.encoder_.encode(X))
+
+    def scores_from_encoded(self, H: np.ndarray) -> np.ndarray:
+        """Per-class scores for already-encoded queries.
+
+        The serving path uses this to time encoding and classification as
+        separate stages; ``predict_scores(X)`` is equivalent to
+        ``scores_from_encoded(encode(X))``.
+        """
+        check_fitted(self, "class_hypervectors_")
         if self.inference_bits is not None:
             if self._quantized_classes is None:
                 self._quantized_classes = QuantizedClassMatrix.from_matrix(

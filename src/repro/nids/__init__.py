@@ -32,8 +32,28 @@ from repro.nids.feature_extraction import FLOW_FEATURE_NAMES, FlowFeatureExtract
 from repro.nids.flow import FlowKey, FlowRecord, FlowTable
 from repro.nids.metrics import DetectionReport, confusion_matrix, detection_report
 from repro.nids.packets import Packet, TrafficGenerator, TrafficProfile
-from repro.nids.pipeline import DetectionPipeline, DetectionResult
-from repro.nids.streaming import StreamingDetector, WindowResult
+
+# The pipeline and streaming layers are composed from repro.serving stages,
+# which in turn import the leaf modules above; importing them lazily (PEP
+# 562) keeps `repro.serving` and `repro.nids` importable in either order.
+_LAZY_IMPORTS = {
+    "DetectionPipeline": ("repro.nids.pipeline", "DetectionPipeline"),
+    "DetectionResult": ("repro.nids.pipeline", "DetectionResult"),
+    "StreamingDetector": ("repro.nids.streaming", "StreamingDetector"),
+    "WindowResult": ("repro.nids.streaming", "WindowResult"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY_IMPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
 
 __all__ = [
     "Packet",

@@ -1,4 +1,13 @@
-"""Flow feature extraction (a compact CICFlowMeter-style feature set)."""
+"""Flow feature extraction (a compact CICFlowMeter-style feature set).
+
+The extractor works from the running aggregates kept on
+:class:`repro.nids.flow.FlowRecord` (counts, sums, sums of squares,
+extrema), so a batch of flows becomes a single ``(n_flows, F)`` matrix via
+column-wise array arithmetic -- one Python pass to gather the aggregates,
+then vectorized math.  The serving path consumes the float32 output directly
+(the HDC encoders run float32 under the default backend policy); pass
+``dtype`` to opt out.
+"""
 
 from __future__ import annotations
 
@@ -42,6 +51,41 @@ FLOW_FEATURE_NAMES: Tuple[str, ...] = (
     "is_udp",
 )
 
+#: Aggregate fields gathered from each record before the vectorized math.
+_AGG_FIELDS: Tuple[str, ...] = (
+    "fwd_packets",
+    "bwd_packets",
+    "fwd_bytes",
+    "bwd_bytes",
+    "fwd_len_sumsq",
+    "fwd_len_min",
+    "fwd_len_max",
+    "bwd_len_sumsq",
+    "iat_count",
+    "iat_sum",
+    "iat_sumsq",
+    "iat_min",
+    "iat_max",
+    "syn_count",
+    "fin_count",
+    "rst_count",
+    "psh_count",
+    "ack_count",
+    "urg_count",
+)
+
+
+def _moment_stats(count, total, sumsq, vmin, vmax):
+    """Mean/std/max/min from running moments; empty groups report zeros."""
+    present = count > 0
+    safe = np.maximum(count, 1)
+    mean = np.where(present, total / safe, 0.0)
+    var = np.maximum(sumsq / safe - mean * mean, 0.0)
+    std = np.where(present, np.sqrt(var), 0.0)
+    vmax = np.where(present, vmax, 0.0)
+    vmin = np.where(present, vmin, 0.0)
+    return mean, std, vmax, vmin
+
 
 class FlowFeatureExtractor:
     """Converts :class:`FlowRecord` objects into fixed-length feature vectors.
@@ -64,65 +108,24 @@ class FlowFeatureExtractor:
 
     # ------------------------------------------------------------------- API
     def extract(self, flow: FlowRecord) -> np.ndarray:
-        """Extract the feature vector of a single flow."""
-        duration = flow.duration
-        safe_duration = max(duration, 1e-6)
-        fwd_lengths = np.asarray(flow.fwd_lengths, dtype=np.float64)
-        bwd_lengths = np.asarray(flow.bwd_lengths, dtype=np.float64)
-        timestamps = np.sort(np.asarray(flow.timestamps, dtype=np.float64))
-        iats = np.diff(timestamps) if timestamps.size > 1 else np.zeros(1)
+        """Extract the feature vector of a single flow (float64)."""
+        X, _ = self.extract_batch([flow], dtype=np.float64)
+        return X[0]
 
-        def stats(values: np.ndarray) -> Tuple[float, float, float, float]:
-            if values.size == 0:
-                return 0.0, 0.0, 0.0, 0.0
-            return (
-                float(values.mean()),
-                float(values.std()),
-                float(values.max()),
-                float(values.min()),
-            )
+    def extract_batch(
+        self,
+        flows: Sequence[FlowRecord],
+        dtype: np.dtype = np.float32,
+    ) -> Tuple[np.ndarray, List[str]]:
+        """Extract features for many flows in one vectorized pass.
 
-        fwd_mean, fwd_std, fwd_max, fwd_min = stats(fwd_lengths)
-        bwd_mean, bwd_std, _, _ = stats(bwd_lengths)
-        iat_mean, iat_std, iat_max, iat_min = stats(iats)
-        total_packets = flow.total_packets
-
-        features = [
-            duration,
-            float(total_packets),
-            float(flow.total_bytes),
-            float(flow.fwd_packets),
-            float(flow.bwd_packets),
-            float(flow.fwd_bytes),
-            float(flow.bwd_bytes),
-            flow.total_bytes / safe_duration,
-            total_packets / safe_duration,
-            flow.bwd_packets / max(flow.fwd_packets, 1),
-            fwd_mean,
-            fwd_std,
-            fwd_max,
-            fwd_min,
-            bwd_mean,
-            bwd_std,
-            iat_mean,
-            iat_std,
-            iat_max,
-            iat_min,
-            float(flow.syn_count),
-            float(flow.fin_count),
-            float(flow.rst_count),
-            float(flow.psh_count),
-            float(flow.ack_count),
-            float(flow.urg_count),
-            flow.syn_count / max(total_packets, 1),
-            float(len(flow.distinct_dst_ports)),
-            1.0 if flow.key.protocol == "tcp" else 0.0,
-            1.0 if flow.key.protocol == "udp" else 0.0,
-        ]
-        return np.asarray(features, dtype=np.float64)
-
-    def extract_batch(self, flows: Sequence[FlowRecord]) -> Tuple[np.ndarray, List[str]]:
-        """Extract features for many flows.
+        Parameters
+        ----------
+        flows:
+            Flow records to featurize.
+        dtype:
+            Output dtype; float32 by default (the serving path's working
+            precision).
 
         Returns
         -------
@@ -130,8 +133,116 @@ class FlowFeatureExtractor:
             ``(n_flows, n_features)`` feature matrix and the ground-truth
             label string of each flow.
         """
-        if not flows:
-            return np.zeros((0, self.n_features)), []
-        X = np.stack([self.extract(flow) for flow in flows])
-        labels = [flow.label for flow in flows]
-        return X, labels
+        n = len(flows)
+        if n == 0:
+            return np.zeros((0, self.n_features), dtype=dtype), []
+
+        # One Python pass gathering scalar aggregates; everything after this
+        # is column arithmetic.
+        agg = np.empty((n, len(_AGG_FIELDS)), dtype=np.float64)
+        duration = np.empty(n, dtype=np.float64)
+        is_tcp = np.empty(n, dtype=np.float64)
+        is_udp = np.empty(n, dtype=np.float64)
+        n_ports = np.empty(n, dtype=np.float64)
+        labels: List[str] = []
+        for i, flow in enumerate(flows):
+            agg[i] = (
+                flow.fwd_packets,
+                flow.bwd_packets,
+                flow.fwd_bytes,
+                flow.bwd_bytes,
+                flow.fwd_len_sumsq,
+                flow.fwd_len_min,
+                flow.fwd_len_max,
+                flow.bwd_len_sumsq,
+                flow.iat_count,
+                flow.iat_sum,
+                flow.iat_sumsq,
+                flow.iat_min,
+                flow.iat_max,
+                flow.syn_count,
+                flow.fin_count,
+                flow.rst_count,
+                flow.psh_count,
+                flow.ack_count,
+                flow.urg_count,
+            )
+            duration[i] = flow.end_time - flow.start_time
+            protocol = flow.key.protocol
+            is_tcp[i] = 1.0 if protocol == "tcp" else 0.0
+            is_udp[i] = 1.0 if protocol == "udp" else 0.0
+            n_ports[i] = len(flow.distinct_dst_ports)
+            labels.append(flow.label)
+
+        (
+            fwd_packets,
+            bwd_packets,
+            fwd_bytes,
+            bwd_bytes,
+            fwd_sumsq,
+            fwd_min,
+            fwd_max,
+            bwd_sumsq,
+            iat_count,
+            iat_sum,
+            iat_sumsq,
+            iat_min,
+            iat_max,
+            syn,
+            fin,
+            rst,
+            psh,
+            ack,
+            urg,
+        ) = agg.T
+
+        duration = np.maximum(duration, 0.0)
+        safe_duration = np.maximum(duration, 1e-6)
+        total_packets = fwd_packets + bwd_packets
+        total_bytes = fwd_bytes + bwd_bytes
+
+        fwd_mean, fwd_std, fwd_pl_max, fwd_pl_min = _moment_stats(
+            fwd_packets, fwd_bytes, fwd_sumsq, fwd_min, fwd_max
+        )
+        bwd_mean, bwd_std, _, _ = _moment_stats(
+            bwd_packets, bwd_bytes, bwd_sumsq, np.zeros(n), np.zeros(n)
+        )
+        iat_mean, iat_std, iat_hi, iat_lo = _moment_stats(
+            iat_count, iat_sum, iat_sumsq, iat_min, iat_max
+        )
+
+        X = np.column_stack(
+            [
+                duration,
+                total_packets,
+                total_bytes,
+                fwd_packets,
+                bwd_packets,
+                fwd_bytes,
+                bwd_bytes,
+                total_bytes / safe_duration,
+                total_packets / safe_duration,
+                bwd_packets / np.maximum(fwd_packets, 1),
+                fwd_mean,
+                fwd_std,
+                fwd_pl_max,
+                fwd_pl_min,
+                bwd_mean,
+                bwd_std,
+                iat_mean,
+                iat_std,
+                iat_hi,
+                iat_lo,
+                syn,
+                fin,
+                rst,
+                psh,
+                ack,
+                urg,
+                syn / np.maximum(total_packets, 1),
+                n_ports,
+                is_tcp,
+                is_udp,
+            ]
+        )
+        return X.astype(dtype, copy=False), labels

@@ -4,15 +4,38 @@ A *flow* is identified by the canonical 5-tuple (both directions map to the
 same flow).  The :class:`FlowTable` ingests time-ordered packets, keeps active
 flows, and expires them on an idle timeout -- the same mechanism CICFlowMeter
 uses to produce the flow records behind the CIC datasets.
+
+Two ingestion paths share identical semantics:
+
+``FlowTable.add_packet``
+    The scalar path: one packet at a time, used by interactive pushes.
+
+``FlowTable.add_packets``
+    The columnar path: a time-ordered batch is factorized into per-flow
+    packet groups in a single Python pass, then every per-flow statistic
+    (byte/packet counters, length moments, inter-arrival moments, TCP flag
+    counts, port diversity) is filled with array reductions -- no per-packet
+    Python dict churn on the hot path.  Flow records store *running
+    aggregates* (sums, sums of squares, extrema) rather than per-packet
+    ``List[int]`` buffers, so a record costs O(1) memory regardless of flow
+    length and batch aggregation is a handful of ``bincount`` calls.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.hdc.backend import segment_min_max
 from repro.nids.packets import Packet, TCP_FLAGS
+
+#: Batches smaller than this are cheaper through the scalar path (array
+#: setup costs more than it saves).
+_COLUMNAR_MIN_BATCH = 32
 
 
 @dataclass(frozen=True)
@@ -42,7 +65,14 @@ class FlowKey:
 class FlowRecord:
     """Aggregated statistics of one bidirectional flow.
 
-    The *forward* direction is defined by the first packet seen.
+    The *forward* direction is defined by the first packet seen.  All
+    statistics are running aggregates (counts, sums, sums of squares,
+    extrema), so folding a packet -- or a whole pre-reduced packet batch --
+    into the record is O(1); the feature extractor derives means and standard
+    deviations from the moments.  Packets are assumed to arrive in time
+    order (the :class:`FlowTable` contract), which is what makes the
+    inter-arrival aggregates equal to the sorted-timestamp differences the
+    original list-based implementation computed.
     """
 
     key: FlowKey
@@ -55,16 +85,23 @@ class FlowRecord:
     bwd_packets: int = 0
     fwd_bytes: int = 0
     bwd_bytes: int = 0
-    fwd_lengths: List[int] = field(default_factory=list)
-    bwd_lengths: List[int] = field(default_factory=list)
-    timestamps: List[float] = field(default_factory=list)
+    fwd_len_sumsq: float = 0.0
+    fwd_len_min: float = math.inf
+    fwd_len_max: float = -math.inf
+    bwd_len_sumsq: float = 0.0
+    iat_count: int = 0
+    iat_sum: float = 0.0
+    iat_sumsq: float = 0.0
+    iat_min: float = math.inf
+    iat_max: float = -math.inf
+    last_packet_time: float = 0.0
     syn_count: int = 0
     fin_count: int = 0
     rst_count: int = 0
     psh_count: int = 0
     ack_count: int = 0
     urg_count: int = 0
-    distinct_dst_ports: set = field(default_factory=set)
+    distinct_dst_ports: Set[int] = field(default_factory=set)
 
     # ------------------------------------------------------------------- API
     def add_packet(self, packet: Packet) -> None:
@@ -72,24 +109,39 @@ class FlowRecord:
         is_forward = (
             packet.src_ip == self.initiator_ip and packet.src_port == self.initiator_port
         )
+        if self.total_packets > 0:
+            iat = packet.timestamp - self.last_packet_time
+            self.iat_count += 1
+            self.iat_sum += iat
+            self.iat_sumsq += iat * iat
+            if iat < self.iat_min:
+                self.iat_min = iat
+            if iat > self.iat_max:
+                self.iat_max = iat
+        self.last_packet_time = packet.timestamp
         self.end_time = max(self.end_time, packet.timestamp)
-        self.timestamps.append(packet.timestamp)
+        length = packet.length
         if is_forward:
             self.fwd_packets += 1
-            self.fwd_bytes += packet.length
-            self.fwd_lengths.append(packet.length)
+            self.fwd_bytes += length
+            self.fwd_len_sumsq += float(length) * length
+            if length < self.fwd_len_min:
+                self.fwd_len_min = length
+            if length > self.fwd_len_max:
+                self.fwd_len_max = length
             self.distinct_dst_ports.add(packet.dst_port)
         else:
             self.bwd_packets += 1
-            self.bwd_bytes += packet.length
-            self.bwd_lengths.append(packet.length)
+            self.bwd_bytes += length
+            self.bwd_len_sumsq += float(length) * length
         if packet.protocol == "tcp":
-            self.syn_count += bool(packet.tcp_flags & TCP_FLAGS["SYN"])
-            self.fin_count += bool(packet.tcp_flags & TCP_FLAGS["FIN"])
-            self.rst_count += bool(packet.tcp_flags & TCP_FLAGS["RST"])
-            self.psh_count += bool(packet.tcp_flags & TCP_FLAGS["PSH"])
-            self.ack_count += bool(packet.tcp_flags & TCP_FLAGS["ACK"])
-            self.urg_count += bool(packet.tcp_flags & TCP_FLAGS["URG"])
+            flags = packet.tcp_flags
+            self.syn_count += bool(flags & TCP_FLAGS["SYN"])
+            self.fin_count += bool(flags & TCP_FLAGS["FIN"])
+            self.rst_count += bool(flags & TCP_FLAGS["RST"])
+            self.psh_count += bool(flags & TCP_FLAGS["PSH"])
+            self.ack_count += bool(flags & TCP_FLAGS["ACK"])
+            self.urg_count += bool(flags & TCP_FLAGS["URG"])
         # A flow carrying any attack packet is labeled with that attack.
         if packet.label != "benign" and self.label == "benign":
             self.label = packet.label
@@ -160,12 +212,19 @@ class FlowTable:
             record.add_packet(packet)
         return expired
 
-    def add_packets(self, packets: List[Packet]) -> List[FlowRecord]:
-        """Ingest a time-ordered packet batch; returns flows expired along the way."""
-        completed: List[FlowRecord] = []
-        for packet in packets:
-            completed.extend(self.add_packet(packet))
-        return completed
+    def add_packets(self, packets: Sequence[Packet]) -> List[FlowRecord]:
+        """Ingest a time-ordered packet batch; returns flows expired along the way.
+
+        Large batches take the columnar path: per-flow statistics are filled
+        with array reductions over the whole batch instead of per-packet
+        Python updates.  The returned flow set is identical to feeding the
+        packets one at a time through :meth:`add_packet` (ordering of the
+        returned list may differ).
+        """
+        packets = list(packets)
+        if len(packets) < _COLUMNAR_MIN_BATCH:
+            return self._add_packets_scalar(packets)
+        return self._add_packets_columnar(packets)
 
     def flush(self) -> List[FlowRecord]:
         """Expire and return all remaining active flows (end of capture)."""
@@ -174,6 +233,12 @@ class FlowTable:
         return flows
 
     # ------------------------------------------------------------- internals
+    def _add_packets_scalar(self, packets: List[Packet]) -> List[FlowRecord]:
+        completed: List[FlowRecord] = []
+        for packet in packets:
+            completed.extend(self.add_packet(packet))
+        return completed
+
     def _expire(self, now: float) -> List[FlowRecord]:
         expired: List[FlowRecord] = []
         stale_keys = [
@@ -185,3 +250,310 @@ class FlowTable:
         for key in stale_keys:
             expired.append(self._active.pop(key))
         return expired
+
+    def _fold_key_scalar(self, key: FlowKey, packets: List[Packet]) -> List[FlowRecord]:
+        """Scalar fold of one key's packets, without touching other flows.
+
+        Used by the columnar path for the rare keys that need sequential
+        duration splitting (a segment overrunning ``max_flow_duration``
+        restarts the flow mid-stream, which has a loop-carried dependency).
+        """
+        completed: List[FlowRecord] = []
+        record = self._active.pop(key, None)
+        for packet in packets:
+            if record is not None and (
+                (packet.timestamp - record.end_time) > self.idle_timeout
+                or (packet.timestamp - record.start_time) > self.max_flow_duration
+            ):
+                completed.append(record)
+                record = None
+            if record is None:
+                record = FlowRecord.from_first_packet(packet)
+            else:
+                record.add_packet(packet)
+        if record is not None:
+            self._active[key] = record
+        return completed
+
+    def _add_packets_columnar(self, packets: List[Packet]) -> List[FlowRecord]:
+        n = len(packets)
+        idle = self.idle_timeout
+        max_dur = self.max_flow_duration
+
+        # ---- pass 1: columnarize fields and factorize flow keys -----------
+        slot_of: Dict[Tuple[str, int, str, int, str], int] = {}
+        keys: List[Tuple[str, int, str, int, str]] = []
+        slots = np.empty(n, dtype=np.int64)
+        ts = np.empty(n, dtype=np.float64)
+        lengths = np.empty(n, dtype=np.float64)
+        flags = np.empty(n, dtype=np.int64)
+        dports = np.empty(n, dtype=np.int64)
+        sports = np.empty(n, dtype=np.int64)
+        sips: List[str] = []
+        labels: List[str] = []
+        for i, p in enumerate(packets):
+            forward = (p.src_ip, p.src_port, p.dst_ip, p.dst_port)
+            backward = (p.dst_ip, p.dst_port, p.src_ip, p.src_port)
+            a = forward if forward <= backward else backward
+            kt = (a[0], a[1], a[2], a[3], p.protocol)
+            slot = slot_of.setdefault(kt, len(keys))
+            if slot == len(keys):
+                keys.append(kt)
+            slots[i] = slot
+            ts[i] = p.timestamp
+            lengths[i] = p.length
+            flags[i] = p.tcp_flags if p.protocol == "tcp" else 0
+            dports[i] = p.dst_port
+            sports[i] = p.src_port
+            sips.append(p.src_ip)
+            labels.append(p.label)
+
+        # The columnar semantics rely on time-ordered input (the documented
+        # FlowTable contract); fall back to the scalar path otherwise.
+        if np.any(np.diff(ts) < 0):
+            return self._add_packets_scalar(packets)
+
+        n_slots = len(keys)
+        flow_keys = [FlowKey(*kt) for kt in keys]
+
+        # ---- group by flow, preserving time order within each flow --------
+        order = np.argsort(slots, kind="stable")
+        g_slot = slots[order]
+        g_ts = ts[order]
+        slot_first = np.r_[True, g_slot[1:] != g_slot[:-1]]
+        gap = np.empty(n, dtype=np.float64)
+        gap[0] = np.inf
+        gap[1:] = g_ts[1:] - g_ts[:-1]
+        gap[slot_first] = np.inf
+
+        # ---- merge-with-active decisions ----------------------------------
+        slot_start_pos = np.flatnonzero(slot_first)
+        merged_record: List[Optional[FlowRecord]] = [None] * n_slots
+        completed: List[FlowRecord] = []
+        for pos in slot_start_pos:
+            j = int(g_slot[pos])
+            record = self._active.get(flow_keys[j])
+            if record is None:
+                continue
+            t0 = g_ts[pos]
+            if (t0 - record.end_time) <= idle and (t0 - record.start_time) <= max_dur:
+                merged_record[j] = record
+                gap[pos] = t0 - record.last_packet_time
+            else:
+                # The active flow is superseded by this batch's first packet.
+                completed.append(self._active.pop(flow_keys[j]))
+
+        # ---- candidate segments (gap splits) ------------------------------
+        def derive_segments(g_slot, g_ts, gap):
+            """Segment structure for grouped arrays whose ``gap`` already
+            carries merge-bridge values at merged slot firsts.  Segment 0 of
+            a slot whose active record merges continues that record (its
+            start time is the record's, and it is flagged in ``seg_merge``)."""
+            slot_first = np.r_[True, g_slot[1:] != g_slot[:-1]]
+            seg_break = slot_first | (gap > idle)
+            seg = np.cumsum(seg_break) - 1
+            seg_start_pos = np.flatnonzero(seg_break)
+            seg_end_pos = np.r_[seg_start_pos[1:] - 1, g_ts.size - 1]
+            seg_slot = g_slot[seg_start_pos]
+            seg_merge = np.zeros(seg_start_pos.size, dtype=bool)
+            seg_start_time = g_ts[seg_start_pos].copy()
+            for s in np.flatnonzero(slot_first[seg_start_pos]):
+                record = merged_record[int(seg_slot[s])]
+                if record is not None:
+                    seg_merge[s] = True
+                    seg_start_time[s] = record.start_time
+            return seg_break, seg, seg_start_pos, seg_end_pos, seg_slot, seg_merge, seg_start_time
+
+        seg_break, seg, seg_start_pos, seg_end_pos, seg_slot, seg_merge, seg_start_time = (
+            derive_segments(g_slot, g_ts, gap)
+        )
+        seg_t0 = g_ts[seg_start_pos]
+        seg_t1 = g_ts[seg_end_pos]
+        n_seg = seg_start_pos.size
+
+        # ---- duration-overrun slots take the scalar fold ------------------
+        overrun = (seg_t1 - seg_start_time) > max_dur
+        if np.any(overrun):
+            bad_slots = set(int(j) for j in np.unique(seg_slot[overrun]))
+            keep = ~np.isin(g_slot, list(bad_slots))
+            for j in sorted(bad_slots):
+                key = flow_keys[j]
+                record = merged_record[j]
+                if record is not None:
+                    # _fold_key_scalar resumes from the active record.
+                    self._active[key] = record
+                slot_packets = [packets[i] for i in order[g_slot == j]]
+                completed.extend(self._fold_key_scalar(key, slot_packets))
+            if not np.any(keep):
+                completed.extend(self._expire(float(ts[-1])))
+                return completed
+            # Restrict the columnar arrays to the surviving slots and
+            # re-derive.  Whole slots are removed together, so gaps
+            # (including merge-bridge values at slot firsts) survive the
+            # masking unchanged.
+            g_slot = g_slot[keep]
+            g_ts = g_ts[keep]
+            order = order[keep]
+            gap = gap[keep]
+            seg_break, seg, seg_start_pos, seg_end_pos, seg_slot, seg_merge, _ = (
+                derive_segments(g_slot, g_ts, gap)
+            )
+            seg_t0 = g_ts[seg_start_pos]
+            seg_t1 = g_ts[seg_end_pos]
+            n_seg = seg_start_pos.size
+
+        n_kept = g_ts.size
+
+        # ---- per-packet derived arrays ------------------------------------
+        g_len = lengths[order]
+        g_flags = flags[order]
+        g_dport = dports[order]
+        g_sport = sports[order]
+        g_sip = np.array(sips, dtype=object)[order]
+        g_label = np.array(labels, dtype=object)[order]
+
+        # Direction: forward packets match the segment initiator.
+        init_ip = np.empty(n_seg, dtype=object)
+        init_port = np.empty(n_seg, dtype=np.int64)
+        for s in range(n_seg):
+            if seg_merge[s]:
+                record = merged_record[int(seg_slot[s])]
+                init_ip[s] = record.initiator_ip
+                init_port[s] = record.initiator_port
+            else:
+                pos = seg_start_pos[s]
+                init_ip[s] = g_sip[pos]
+                init_port[s] = g_sport[pos]
+        seg_sizes = np.r_[seg_start_pos[1:], n_kept] - seg_start_pos
+        fwd = (g_sip == np.repeat(init_ip, seg_sizes)) & (
+            g_sport == np.repeat(init_port, seg_sizes)
+        )
+
+        # Inter-arrival times: every non-first packet of a segment, plus the
+        # bridge from a merged record's last packet to the segment's first.
+        iat = gap.copy()
+        iat_valid = ~seg_break
+        for s in np.flatnonzero(seg_merge):
+            pos = seg_start_pos[s]
+            iat_valid[pos] = True
+            # gap[pos] already holds t0 - last_packet_time from the merge pass
+
+        # ---- array reductions into per-segment aggregates -----------------
+        fwd_seg = seg[fwd]
+        bwd_seg = seg[~fwd]
+        fwd_len = g_len[fwd]
+        bwd_len = g_len[~fwd]
+        agg_fwd_packets = np.bincount(fwd_seg, minlength=n_seg).astype(np.int64)
+        agg_bwd_packets = np.bincount(bwd_seg, minlength=n_seg).astype(np.int64)
+        agg_fwd_bytes = np.bincount(fwd_seg, weights=fwd_len, minlength=n_seg)
+        agg_bwd_bytes = np.bincount(bwd_seg, weights=bwd_len, minlength=n_seg)
+        agg_fwd_sumsq = np.bincount(fwd_seg, weights=fwd_len * fwd_len, minlength=n_seg)
+        agg_bwd_sumsq = np.bincount(bwd_seg, weights=bwd_len * bwd_len, minlength=n_seg)
+        agg_fwd_min, agg_fwd_max = segment_min_max(fwd_len, fwd_seg, n_seg)
+
+        iat_seg = seg[iat_valid]
+        iat_vals = iat[iat_valid]
+        agg_iat_count = np.bincount(iat_seg, minlength=n_seg).astype(np.int64)
+        agg_iat_sum = np.bincount(iat_seg, weights=iat_vals, minlength=n_seg)
+        agg_iat_sumsq = np.bincount(iat_seg, weights=iat_vals * iat_vals, minlength=n_seg)
+        agg_iat_min, agg_iat_max = segment_min_max(iat_vals, iat_seg, n_seg)
+
+        flag_counts = {}
+        for name, bit in TCP_FLAGS.items():
+            flag_counts[name] = np.bincount(
+                seg, weights=((g_flags & bit) != 0).astype(np.float64), minlength=n_seg
+            ).astype(np.int64)
+
+        # Distinct destination ports of forward packets, per segment (ports
+        # fit in 16 bits, so (segment, port) pairs pack into one integer).
+        port_pairs = np.unique(fwd_seg * (1 << 17) + g_dport[fwd])
+        ports_per_seg: Dict[int, np.ndarray] = {}
+        if port_pairs.size:
+            pair_seg = port_pairs >> 17
+            pair_port = port_pairs & ((1 << 17) - 1)
+            splits = np.flatnonzero(np.diff(pair_seg)) + 1
+            for sid, arr in zip(pair_seg[np.r_[0, splits]], np.split(pair_port, splits)):
+                ports_per_seg[int(sid)] = arr
+
+        # First attack label per segment (if any).
+        attack_pos = np.flatnonzero(g_label != "benign")
+        first_attack = np.full(n_seg, n_kept, dtype=np.int64)
+        if attack_pos.size:
+            np.minimum.at(first_attack, seg[attack_pos], attack_pos)
+
+        # ---- build / update flow records ----------------------------------
+        slot_last_seg = {}
+        for s in range(n_seg):
+            slot_last_seg[int(seg_slot[s])] = s
+        for s in range(n_seg):
+            j = int(seg_slot[s])
+            label = "benign"
+            if first_attack[s] < n_kept:
+                label = str(g_label[first_attack[s]])
+            ports = ports_per_seg.get(s)
+            if seg_merge[s]:
+                record = merged_record[j]
+                record.end_time = max(record.end_time, float(seg_t1[s]))
+                record.last_packet_time = float(seg_t1[s])
+                record.fwd_packets += int(agg_fwd_packets[s])
+                record.bwd_packets += int(agg_bwd_packets[s])
+                record.fwd_bytes += int(agg_fwd_bytes[s])
+                record.bwd_bytes += int(agg_bwd_bytes[s])
+                record.fwd_len_sumsq += float(agg_fwd_sumsq[s])
+                record.bwd_len_sumsq += float(agg_bwd_sumsq[s])
+                record.fwd_len_min = min(record.fwd_len_min, float(agg_fwd_min[s]))
+                record.fwd_len_max = max(record.fwd_len_max, float(agg_fwd_max[s]))
+                record.iat_count += int(agg_iat_count[s])
+                record.iat_sum += float(agg_iat_sum[s])
+                record.iat_sumsq += float(agg_iat_sumsq[s])
+                record.iat_min = min(record.iat_min, float(agg_iat_min[s]))
+                record.iat_max = max(record.iat_max, float(agg_iat_max[s]))
+                record.syn_count += int(flag_counts["SYN"][s])
+                record.fin_count += int(flag_counts["FIN"][s])
+                record.rst_count += int(flag_counts["RST"][s])
+                record.psh_count += int(flag_counts["PSH"][s])
+                record.ack_count += int(flag_counts["ACK"][s])
+                record.urg_count += int(flag_counts["URG"][s])
+                if ports is not None:
+                    record.distinct_dst_ports.update(int(p) for p in ports)
+                if label != "benign" and record.label == "benign":
+                    record.label = label
+            else:
+                record = FlowRecord(
+                    key=flow_keys[j],
+                    initiator_ip=str(init_ip[s]),
+                    initiator_port=int(init_port[s]),
+                    start_time=float(seg_t0[s]),
+                    end_time=float(seg_t1[s]),
+                    label=label,
+                    fwd_packets=int(agg_fwd_packets[s]),
+                    bwd_packets=int(agg_bwd_packets[s]),
+                    fwd_bytes=int(agg_fwd_bytes[s]),
+                    bwd_bytes=int(agg_bwd_bytes[s]),
+                    fwd_len_sumsq=float(agg_fwd_sumsq[s]),
+                    fwd_len_min=float(agg_fwd_min[s]),
+                    fwd_len_max=float(agg_fwd_max[s]),
+                    bwd_len_sumsq=float(agg_bwd_sumsq[s]),
+                    iat_count=int(agg_iat_count[s]),
+                    iat_sum=float(agg_iat_sum[s]),
+                    iat_sumsq=float(agg_iat_sumsq[s]),
+                    iat_min=float(agg_iat_min[s]),
+                    iat_max=float(agg_iat_max[s]),
+                    last_packet_time=float(seg_t1[s]),
+                    syn_count=int(flag_counts["SYN"][s]),
+                    fin_count=int(flag_counts["FIN"][s]),
+                    rst_count=int(flag_counts["RST"][s]),
+                    psh_count=int(flag_counts["PSH"][s]),
+                    ack_count=int(flag_counts["ACK"][s]),
+                    urg_count=int(flag_counts["URG"][s]),
+                    distinct_dst_ports=set(int(p) for p in ports) if ports is not None else set(),
+                )
+            if slot_last_seg[j] == s:
+                self._active[flow_keys[j]] = record
+            else:
+                # A later packet of the same key superseded this segment.
+                completed.append(record)
+
+        # ---- batch-end expiry (the last packet's arrival time) ------------
+        completed.extend(self._expire(float(ts[-1])))
+        return completed

@@ -1,10 +1,18 @@
 """End-to-end detection pipeline.
 
-Glues the substrate together: flow features are scaled with a training-time
-scaler, classified by any :class:`repro.models.base.BaseClassifier` (CyberHD
-by default), and predictions mapped to alerts.  The pipeline can be trained
-either from a :class:`repro.datasets.NIDSDataset` (the paper's tabular
-workloads) or directly from labeled packet traffic via the flow substrate.
+The pipeline is a *composition of serving stages*
+(:mod:`repro.serving.stages`): feature extraction (+ training-time scaling),
+classification and alerting each live in a swappable component, and
+``detect_flows`` simply runs the stage chain over a
+:class:`~repro.serving.stages.ServingBatch`.  The streaming detector and the
+batched inference engine reuse exactly the same stages, so behaviour and
+telemetry are identical whether flows arrive from a file, a dataset or a
+live micro-batched stream.
+
+The pipeline can be trained either from a
+:class:`repro.datasets.NIDSDataset` (the paper's tabular workloads) or
+directly from labeled packet traffic via the flow substrate, and supports
+online updates through :meth:`partial_fit_flows`.
 """
 
 from __future__ import annotations
@@ -25,6 +33,20 @@ from repro.nids.feature_extraction import FlowFeatureExtractor
 from repro.nids.flow import FlowRecord, FlowTable
 from repro.nids.metrics import DetectionReport, detection_report
 from repro.nids.packets import Packet
+from repro.serving.stages import (
+    AlertStage,
+    ClassifyStage,
+    FeatureExtractionStage,
+    FlowAssemblyStage,
+    ServingBatch,
+    Stage,
+    run_stages,
+    score_confidences,
+)
+from repro.serving.telemetry import TelemetryRecorder
+
+#: Stage names whose per-batch time constitutes the detection latency.
+_LATENCY_STAGES = ("extract", "encode", "classify", "alert")
 
 
 @dataclass
@@ -40,9 +62,17 @@ class DetectionResult:
     alerts:
         Alerts raised for flows predicted as attacks.
     latency_seconds:
-        Wall-clock time spent on feature scaling + classification.
+        Wall-clock time spent on the detection stages (sum of
+        ``stage_latencies``).
     flows:
         The classified flow records (same order as predictions).
+    stage_latencies:
+        Per-stage wall-clock seconds (extract / encode / classify / alert).
+    features:
+        The scaled feature matrix the classifier saw (used by the online
+        learning path as its replay/input data).
+    labels:
+        Ground-truth label strings of the flows (from the packet labels).
     """
 
     predictions: List[str]
@@ -50,10 +80,35 @@ class DetectionResult:
     alerts: List[Alert]
     latency_seconds: float
     flows: List[FlowRecord] = field(default_factory=list)
+    stage_latencies: Dict[str, float] = field(default_factory=dict)
+    features: Optional[np.ndarray] = None
+    labels: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_batch(cls, batch: ServingBatch) -> "DetectionResult":
+        """Build a result from a processed :class:`ServingBatch`."""
+        stage_latencies = {
+            name: batch.stage_seconds[name]
+            for name in _LATENCY_STAGES
+            if name in batch.stage_seconds
+        }
+        confidences = (
+            [] if batch.confidences is None else [float(c) for c in batch.confidences]
+        )
+        return cls(
+            predictions=list(batch.predictions),
+            confidences=confidences,
+            alerts=list(batch.alerts),
+            latency_seconds=float(sum(stage_latencies.values())),
+            flows=list(batch.flows),
+            stage_latencies=stage_latencies,
+            features=batch.features,
+            labels=list(batch.labels),
+        )
 
 
 class DetectionPipeline:
-    """Train-once, classify-many NIDS pipeline.
+    """Train-once, classify-many NIDS pipeline built from serving stages.
 
     Parameters
     ----------
@@ -65,6 +120,9 @@ class DetectionPipeline:
         label spellings).
     alert_manager:
         Alert manager to use; a default one is created if omitted.
+    telemetry:
+        Optional :class:`TelemetryRecorder`; when provided, every
+        ``detect_flows`` call feeds the aggregate per-stage telemetry.
     """
 
     DEFAULT_BENIGN_NAMES = ("normal", "benign", "background")
@@ -74,6 +132,7 @@ class DetectionPipeline:
         classifier: Optional[BaseClassifier] = None,
         benign_classes: Optional[Sequence[str]] = None,
         alert_manager: Optional[AlertManager] = None,
+        telemetry: Optional[TelemetryRecorder] = None,
     ):
         self.classifier = classifier if classifier is not None else CyberHD(dim=500, epochs=10, seed=0)
         self._benign = tuple(
@@ -81,9 +140,11 @@ class DetectionPipeline:
         )
         self.alert_manager = alert_manager or AlertManager()
         self.extractor = FlowFeatureExtractor()
+        self.telemetry = telemetry
         self._scaler: Optional[MinMaxScaler] = None
         self._class_names: Optional[Tuple[str, ...]] = None
         self._train_seconds: Optional[float] = None
+        self._stages: Optional[List[Stage]] = None
 
     # ------------------------------------------------------------ properties
     @property
@@ -103,6 +164,38 @@ class DetectionPipeline:
         """Wall-clock training time of the last ``fit`` call."""
         return self._train_seconds
 
+    @property
+    def stages(self) -> List[Stage]:
+        """The detection stage chain (extract -> classify -> alert).
+
+        The list is rebuilt lazily after (re)training; callers may replace
+        entries (or the whole list via :meth:`set_stages`) to swap
+        components in.
+        """
+        if self._class_names is None:
+            raise NotFittedError("the detection pipeline is not trained yet")
+        if self._stages is None:
+            self._stages = [
+                FeatureExtractionStage(self.extractor, self._scaler),
+                ClassifyStage(self.classifier, self._class_names),
+                AlertStage(self.is_attack_class, self.alert_manager),
+            ]
+        return self._stages
+
+    def set_stages(self, stages: Sequence[Stage]) -> "DetectionPipeline":
+        """Replace the detection stage chain with a custom composition."""
+        self._stages = list(stages)
+        return self
+
+    def build_serving_stages(
+        self,
+        flow_table: Optional[FlowTable] = None,
+        idle_timeout: float = 5.0,
+    ) -> List[Stage]:
+        """The full packets->alerts chain (assembly prepended), for engines."""
+        table = flow_table if flow_table is not None else FlowTable(idle_timeout=idle_timeout)
+        return [FlowAssemblyStage(table), *self.stages]
+
     def is_attack_class(self, name: str) -> bool:
         """Whether class ``name`` should raise an alert."""
         return name.lower() not in self._benign
@@ -115,6 +208,7 @@ class DetectionPipeline:
         self._train_seconds = time.perf_counter() - start
         self._scaler = None  # dataset features are already preprocessed
         self._class_names = tuple(dataset.class_names)
+        self._stages = None
         return self
 
     def fit_flows(self, flows: Sequence[FlowRecord]) -> "DetectionPipeline":
@@ -133,6 +227,7 @@ class DetectionPipeline:
         self.classifier.fit(self._scaler.transform(X_raw), y)
         self._train_seconds = time.perf_counter() - start
         self._class_names = class_names
+        self._stages = None
         return self
 
     def fit_packets(
@@ -143,6 +238,30 @@ class DetectionPipeline:
         flows = table.add_packets(list(packets)) + table.flush()
         return self.fit_flows(flows)
 
+    # ------------------------------------------------------ online learning
+    def partial_fit_flows(self, flows: Sequence[FlowRecord]) -> int:
+        """Fold labeled flows into the classifier online (no retraining).
+
+        Labels must belong to the training-time class set; returns the
+        number of samples learned from.
+        """
+        if self._class_names is None:
+            raise NotFittedError("the detection pipeline is not trained yet")
+        flows = list(flows)
+        if not flows:
+            return 0
+        X_raw, labels = self.extractor.extract_batch(flows)
+        name_to_index = {name: i for i, name in enumerate(self._class_names)}
+        unknown = sorted(set(labels) - set(name_to_index))
+        if unknown:
+            raise ConfigurationError(
+                f"partial_fit_flows received labels outside the trained class set: {unknown}"
+            )
+        y = np.asarray([name_to_index[label] for label in labels], dtype=np.int64)
+        X = self._scaler.transform(X_raw) if self._scaler is not None else X_raw
+        self.classifier.partial_fit(X, y)
+        return len(flows)
+
     # --------------------------------------------------------------- detect
     def detect_flows(self, flows: Sequence[FlowRecord]) -> DetectionResult:
         """Classify flow records and raise alerts for predicted attacks."""
@@ -151,29 +270,9 @@ class DetectionPipeline:
         flows = list(flows)
         if not flows:
             return DetectionResult([], [], [], 0.0, [])
-        X_raw, _ = self.extractor.extract_batch(flows)
-        start = time.perf_counter()
-        X = self._scaler.transform(X_raw) if self._scaler is not None else X_raw
-        scores = self.classifier.predict_scores(X)
-        latency = time.perf_counter() - start
-
-        pred_idx = np.argmax(scores, axis=1)
-        confidences = self._confidences(scores)
-        predictions = [self._class_names[self.classifier.classes_[i]] for i in pred_idx]
-
-        alerts: List[Alert] = []
-        for flow, prediction, confidence in zip(flows, predictions, confidences):
-            if self.is_attack_class(prediction):
-                alert = self.alert_manager.raise_alert(flow, prediction, confidence)
-                if alert is not None:
-                    alerts.append(alert)
-        return DetectionResult(
-            predictions=predictions,
-            confidences=list(confidences),
-            alerts=alerts,
-            latency_seconds=latency,
-            flows=flows,
-        )
+        batch = ServingBatch(flows=flows)
+        run_stages(self.stages, batch, self.telemetry)
+        return DetectionResult.from_batch(batch)
 
     def detect_packets(self, packets: Sequence[Packet], idle_timeout: float = 5.0) -> DetectionResult:
         """Assemble packets into flows and classify them."""
@@ -194,11 +293,5 @@ class DetectionPipeline:
     # ------------------------------------------------------------- internals
     @staticmethod
     def _confidences(scores: np.ndarray) -> np.ndarray:
-        """Normalized margin between the best and runner-up class scores."""
-        if scores.shape[1] < 2:
-            return np.ones(scores.shape[0])
-        part = np.partition(scores, -2, axis=1)
-        best = part[:, -1]
-        second = part[:, -2]
-        span = np.maximum(np.abs(best) + np.abs(second), 1e-12)
-        return np.clip((best - second) / span, 0.0, 1.0)
+        """Normalized best-vs-runner-up margin (see ``score_confidences``)."""
+        return score_confidences(scores)

@@ -1,4 +1,4 @@
-"""Saving and loading trained HDC models.
+"""Saving and loading trained HDC models and detection pipelines.
 
 Edge deployment (the paper's motivating scenario) needs the trained model to be
 exported from the training machine and loaded on the device.  For an HDC model
@@ -6,6 +6,12 @@ the deployable state is small and simple: the encoder's base vectors/phases and
 the class hypervector matrix.  This module serializes that state for
 :class:`repro.core.CyberHD` and :class:`repro.models.BaselineHDC` into a single
 NumPy ``.npz`` archive.
+
+For the serving path, :func:`save_pipeline` / :func:`load_pipeline` extend the
+same archive with the pipeline-level deployment state -- the training-time
+feature scaler, the class-name table and the benign class set -- so a
+``DetectionPipeline`` restored on the edge device classifies (and keeps
+learning online via ``partial_fit``) identically to the one that was trained.
 
 Only the RBF and linear encoders are supported for export (they are defined by
 dense base matrices); the level-ID encoder stores per-feature codebooks and is
@@ -15,7 +21,7 @@ rarely the deployment choice for the flow workloads studied here.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -25,22 +31,15 @@ from repro.exceptions import ConfigurationError, NotFittedError
 from repro.hdc.encoders.linear import LinearEncoder
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.models.hdc_classifier import BaselineHDC
+from repro.nids.pipeline import DetectionPipeline
 
 HDCModel = Union[CyberHD, BaselineHDC]
 
 _FORMAT_VERSION = 1
 
 
-def save_model(model: HDCModel, path: Union[str, Path]) -> Path:
-    """Serialize a fitted HDC model to ``path`` (``.npz`` archive).
-
-    Raises
-    ------
-    NotFittedError
-        If the model has not been fitted.
-    ConfigurationError
-        If the model uses an encoder that cannot be exported.
-    """
+def _model_payload(model: HDCModel) -> Dict[str, np.ndarray]:
+    """The array payload describing a fitted model (shared by both savers)."""
     if model.class_hypervectors_ is None or model.encoder_ is None:
         raise NotFittedError("cannot save an unfitted model")
     encoder = model.encoder_
@@ -59,43 +58,33 @@ def save_model(model: HDCModel, path: Union[str, Path]) -> Path:
         raise ConfigurationError(
             f"persistence supports the rbf and linear encoders, not {type(encoder).__name__}"
         )
-
-    path = Path(path)
-    np.savez_compressed(
-        path,
-        format_version=np.array([_FORMAT_VERSION]),
-        model_kind=np.array([type(model).__name__]),
-        encoder_kind=np.array([encoder_kind]),
-        encoder_params=encoder_params,
-        encoder_activation=np.array(
+    payload = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "model_kind": np.array([type(model).__name__]),
+        "encoder_kind": np.array([encoder_kind]),
+        "encoder_params": encoder_params,
+        "encoder_activation": np.array(
             [encoder.activation if isinstance(encoder, LinearEncoder) else ""]
         ),
-        class_hypervectors=model.class_hypervectors_,
-        classes=model.classes_,
-        n_features_in=np.array([model.n_features_in_]),
-        regenerated_total=np.array([encoder.regenerated_total]),
+        "class_hypervectors": model.class_hypervectors_,
+        "classes": model.classes_,
+        "n_features_in": np.array([model.n_features_in_]),
+        "regenerated_total": np.array([encoder.regenerated_total]),
         # 0 encodes "no quantized inference" (bitwidths are always >= 1).
-        inference_bits=np.array(
+        "inference_bits": np.array(
             [
                 model.config.inference_bits or 0
                 if isinstance(model, CyberHD)
                 else model.inference_bits or 0
             ]
         ),
-        **encoder_arrays,
-    )
-    # np.savez appends .npz only when missing; normalize the returned path.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    }
+    payload.update(encoder_arrays)
+    return payload
 
 
-def load_model(path: Union[str, Path]) -> HDCModel:
-    """Load a model saved with :func:`save_model`.
-
-    The returned model predicts identically to the saved one; training state
-    that is irrelevant for inference (fit history, regeneration events) is not
-    restored.
-    """
-    archive = np.load(Path(path), allow_pickle=False)
+def _model_from_archive(archive) -> HDCModel:
+    """Rebuild a model from its archive payload."""
     version = int(archive["format_version"][0])
     if version != _FORMAT_VERSION:
         raise ConfigurationError(f"unsupported model file version {version}")
@@ -157,3 +146,96 @@ def load_model(path: Union[str, Path]) -> HDCModel:
     model.classes_ = archive["classes"].copy()
     model.n_features_in_ = n_features
     return model
+
+
+def _normalized_npz_path(path: Path) -> Path:
+    # np.savez appends .npz only when missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def save_model(model: HDCModel, path: Union[str, Path]) -> Path:
+    """Serialize a fitted HDC model to ``path`` (``.npz`` archive).
+
+    Raises
+    ------
+    NotFittedError
+        If the model has not been fitted.
+    ConfigurationError
+        If the model uses an encoder that cannot be exported.
+    """
+    path = Path(path)
+    np.savez_compressed(path, **_model_payload(model))
+    return _normalized_npz_path(path)
+
+
+def load_model(path: Union[str, Path]) -> HDCModel:
+    """Load a model saved with :func:`save_model`.
+
+    The returned model predicts identically to the saved one; training state
+    that is irrelevant for inference (fit history, regeneration events) is not
+    restored.
+    """
+    archive = np.load(Path(path), allow_pickle=False)
+    if "artifact_kind" in archive and str(archive["artifact_kind"][0]) != "model":
+        raise ConfigurationError(
+            "this archive holds a detection pipeline; use load_pipeline()"
+        )
+    return _model_from_archive(archive)
+
+
+def save_pipeline(pipeline: DetectionPipeline, path: Union[str, Path]) -> Path:
+    """Serialize a trained :class:`DetectionPipeline` for serving deployment.
+
+    The archive contains the classifier payload plus the pipeline state the
+    serving path needs: the fitted feature scaler (when the pipeline was
+    trained from flows), the ordered class-name table, and the benign class
+    set.  Restore with :func:`load_pipeline`.
+    """
+    if not pipeline.is_fitted:
+        raise NotFittedError("cannot save an untrained pipeline")
+    classifier = pipeline.classifier
+    if not isinstance(classifier, (CyberHD, BaselineHDC)):
+        raise ConfigurationError(
+            f"pipeline persistence supports HDC classifiers, not {type(classifier).__name__}"
+        )
+    payload = _model_payload(classifier)
+    payload["artifact_kind"] = np.array(["pipeline"])
+    payload["class_names"] = np.array(list(pipeline.class_names))
+    payload["benign_classes"] = np.array(list(pipeline._benign))
+    scaler = pipeline._scaler
+    if scaler is not None and scaler.min_ is not None:
+        payload["scaler_min"] = np.asarray(scaler.min_)
+        payload["scaler_max"] = np.asarray(scaler.max_)
+    path = Path(path)
+    np.savez_compressed(path, **payload)
+    return _normalized_npz_path(path)
+
+
+def load_pipeline(path: Union[str, Path]) -> DetectionPipeline:
+    """Load a pipeline saved with :func:`save_pipeline`.
+
+    The restored pipeline detects identically to the saved one and remains
+    online-updatable (``partial_fit_flows``); alert-manager state (dedup
+    history) is not carried over.
+    """
+    from repro.datasets.preprocessing import MinMaxScaler
+
+    archive = np.load(Path(path), allow_pickle=False)
+    if "artifact_kind" not in archive or str(archive["artifact_kind"][0]) != "pipeline":
+        raise ConfigurationError(
+            "this archive holds a bare model; use load_model(), or re-save the "
+            "pipeline with save_pipeline()"
+        )
+    model = _model_from_archive(archive)
+    pipeline = DetectionPipeline(
+        classifier=model,
+        benign_classes=[str(name) for name in archive["benign_classes"]],
+    )
+    pipeline._class_names = tuple(str(name) for name in archive["class_names"])
+    if "scaler_min" in archive:
+        scaler = MinMaxScaler()
+        scaler.min_ = archive["scaler_min"].copy()
+        scaler.max_ = archive["scaler_max"].copy()
+        pipeline._scaler = scaler
+    pipeline._train_seconds = None
+    return pipeline

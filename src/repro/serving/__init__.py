@@ -1,0 +1,57 @@
+"""Production streaming subsystem: the vectorized flow->alert serving path.
+
+This package turns the trained classifiers into a serving system:
+
+``stages``
+    Swappable pipeline stages (flow assembly, feature extraction,
+    classification, alerting) sharing one :class:`ServingBatch` payload.
+
+``engine``
+    :class:`InferenceEngine` -- micro-batch scheduling (max-batch-size /
+    max-wait), bounded ingest queues with explicit backpressure policies,
+    and per-stage latency/throughput telemetry.
+
+``online``
+    Online learning: a :class:`DriftMonitor` watching rolling confidence /
+    prequential accuracy, and an :class:`OnlineLearner` driving
+    ``partial_fit`` updates and drift-triggered dimension regeneration.
+
+``telemetry`` / ``backpressure``
+    The shared measurement and queueing substrate.
+
+See ``docs/serving.md`` for the architecture walkthrough.
+"""
+
+from repro.serving.backpressure import BackpressureStats, BoundedQueue
+from repro.serving.engine import InferenceEngine
+from repro.serving.online import DriftEvent, DriftMonitor, OnlineLearner
+from repro.serving.stages import (
+    AlertStage,
+    ClassifyStage,
+    FeatureExtractionStage,
+    FlowAssemblyStage,
+    ServingBatch,
+    Stage,
+    run_stages,
+    score_confidences,
+)
+from repro.serving.telemetry import StageStats, TelemetryRecorder
+
+__all__ = [
+    "BackpressureStats",
+    "BoundedQueue",
+    "InferenceEngine",
+    "DriftEvent",
+    "DriftMonitor",
+    "OnlineLearner",
+    "Stage",
+    "ServingBatch",
+    "FlowAssemblyStage",
+    "FeatureExtractionStage",
+    "ClassifyStage",
+    "AlertStage",
+    "run_stages",
+    "score_confidences",
+    "StageStats",
+    "TelemetryRecorder",
+]

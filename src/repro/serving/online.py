@@ -1,0 +1,323 @@
+"""Online learning for the streaming serving path.
+
+Two cooperating pieces:
+
+``DriftMonitor``
+    Watches rolling windows of prediction confidence (and, when ground
+    truth becomes available, prequential accuracy), freezes a reference
+    level once warmed up, and signals when the rolling level falls more
+    than a configured drop below the reference -- the operational symptom
+    of concept drift in live traffic.
+
+``OnlineLearner``
+    Drives a classifier from the stream: folds labeled batches in through
+    ``partial_fit`` (incremental class-hypervector updates), keeps a small
+    labeled replay buffer, and when the monitor fires triggers CyberHD's
+    drift-time dimension regeneration (``regenerate_online``), warm-started
+    from the replay buffer through the incremental ``encode_partial`` path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import BaseClassifier
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """Record of one drift trigger."""
+
+    sample_index: int
+    rolling_confidence: float
+    reference_confidence: float
+    rolling_accuracy: Optional[float]
+    reference_accuracy: Optional[float]
+
+
+class DriftMonitor:
+    """Rolling confidence/accuracy window with drop-based drift detection.
+
+    Parameters
+    ----------
+    window:
+        Number of recent samples in the rolling window.
+    min_samples:
+        Observations required both to freeze the reference level and to
+        evaluate a trigger.
+    confidence_drop:
+        Trigger when rolling mean confidence falls this far below the
+        reference.
+    accuracy_drop:
+        Trigger when rolling prequential accuracy falls this far below the
+        reference (only evaluated when ground truth has been supplied).
+    cooldown:
+        Samples that must pass after a trigger before the next one.
+    """
+
+    def __init__(
+        self,
+        window: int = 500,
+        min_samples: int = 100,
+        confidence_drop: float = 0.15,
+        accuracy_drop: float = 0.10,
+        cooldown: int = 500,
+    ):
+        if window < 1 or min_samples < 1:
+            raise ConfigurationError("window and min_samples must be >= 1")
+        if min_samples > window:
+            raise ConfigurationError("min_samples cannot exceed window")
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.confidence_drop = float(confidence_drop)
+        self.accuracy_drop = float(accuracy_drop)
+        self.cooldown = int(cooldown)
+        self._confidences: deque = deque(maxlen=self.window)
+        self._correct: deque = deque(maxlen=self.window)
+        self.reference_confidence: Optional[float] = None
+        self.reference_accuracy: Optional[float] = None
+        self.samples_seen = 0
+        self._last_trigger: Optional[int] = None
+        self.events: List[DriftEvent] = []
+
+    # ------------------------------------------------------------------- API
+    def observe(
+        self,
+        confidences: np.ndarray,
+        correct: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fold one batch of confidences (and optional correctness flags)."""
+        confidences = np.atleast_1d(np.asarray(confidences, dtype=np.float64))
+        self._confidences.extend(confidences.tolist())
+        if correct is not None:
+            correct = np.atleast_1d(np.asarray(correct))
+            if correct.shape[0] != confidences.shape[0]:
+                raise ConfigurationError(
+                    "correct flags must align with confidences "
+                    f"({correct.shape[0]} vs {confidences.shape[0]})"
+                )
+            self._correct.extend(bool(c) for c in correct)
+        self.samples_seen += int(confidences.shape[0])
+        if self.reference_confidence is None and len(self._confidences) >= self.min_samples:
+            self.freeze_reference()
+
+    def freeze_reference(self) -> None:
+        """Capture the current rolling levels as the healthy reference."""
+        self.reference_confidence = self.rolling_confidence
+        self.reference_accuracy = self.rolling_accuracy
+
+    @property
+    def rolling_confidence(self) -> Optional[float]:
+        """Mean confidence over the window (None before any data)."""
+        if not self._confidences:
+            return None
+        return float(np.mean(self._confidences))
+
+    @property
+    def rolling_accuracy(self) -> Optional[float]:
+        """Prequential accuracy over the window (None without ground truth)."""
+        if not self._correct:
+            return None
+        return float(np.mean(self._correct))
+
+    def should_regenerate(self) -> bool:
+        """Whether the rolling level has dropped far enough to act."""
+        if self.reference_confidence is None:
+            return False
+        if len(self._confidences) < self.min_samples:
+            return False
+        if (
+            self._last_trigger is not None
+            and (self.samples_seen - self._last_trigger) < self.cooldown
+        ):
+            return False
+        conf_drifted = (
+            self.rolling_confidence < self.reference_confidence - self.confidence_drop
+        )
+        acc_drifted = (
+            self.reference_accuracy is not None
+            and self.rolling_accuracy is not None
+            and self.rolling_accuracy < self.reference_accuracy - self.accuracy_drop
+        )
+        return bool(conf_drifted or acc_drifted)
+
+    def notify_regenerated(self, reset_reference: bool = False) -> DriftEvent:
+        """Record a trigger; starts the cooldown and clears the windows."""
+        event = DriftEvent(
+            sample_index=self.samples_seen,
+            rolling_confidence=self.rolling_confidence or 0.0,
+            reference_confidence=self.reference_confidence or 0.0,
+            rolling_accuracy=self.rolling_accuracy,
+            reference_accuracy=self.reference_accuracy,
+        )
+        self.events.append(event)
+        self._last_trigger = self.samples_seen
+        self._confidences.clear()
+        self._correct.clear()
+        if reset_reference:
+            self.reference_confidence = None
+            self.reference_accuracy = None
+        return event
+
+
+class OnlineLearner:
+    """Feeds a stream of (features, labels) into a classifier online.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`BaseClassifier` supporting ``partial_fit``; drift-time
+        regeneration additionally requires ``regenerate_online`` (CyberHD).
+    monitor:
+        Drift monitor; omit to disable drift-triggered regeneration.
+    buffer_size:
+        Rows of recent labeled data kept for warm-starting regenerated
+        dimensions.
+    learn:
+        Fold labeled batches in through ``partial_fit``.
+    passes:
+        ``partial_fit`` passes over each fresh labeled batch.  One pass is
+        the pure streaming rule; a second pass measurably tightens the gap
+        to offline refit at negligible cost (the batch is already encoded
+        hot in cache).
+    replay_rows:
+        When positive, each labeled window is followed by one
+        ``partial_fit`` pass over the newest ``replay_rows`` rows of the
+        replay buffer -- a background-replay epoch amortized across the
+        stream.  This is what keeps online accuracy within the offline-refit
+        band on drifting traffic.
+    regenerate:
+        Allow drift-triggered regeneration.
+    replay_after_regeneration:
+        Run one ``partial_fit`` pass over the whole replay buffer right
+        after a regeneration, so the warm-started dimensions are trained
+        (not just bundled) before they serve traffic.
+    min_buffer_for_regeneration:
+        Do not regenerate until the replay buffer holds this many rows
+        (warm starting from a near-empty buffer would zero out the fresh
+        dimensions for most classes).
+    """
+
+    def __init__(
+        self,
+        model: BaseClassifier,
+        monitor: Optional[DriftMonitor] = None,
+        buffer_size: int = 2048,
+        learn: bool = True,
+        passes: int = 1,
+        replay_rows: int = 0,
+        regenerate: bool = True,
+        replay_after_regeneration: bool = True,
+        min_buffer_for_regeneration: int = 64,
+    ):
+        if buffer_size < 1:
+            raise ConfigurationError("buffer_size must be >= 1")
+        if passes < 1:
+            raise ConfigurationError("passes must be >= 1")
+        if replay_rows < 0:
+            raise ConfigurationError("replay_rows must be non-negative")
+        self.model = model
+        self.monitor = monitor
+        self.buffer_size = int(buffer_size)
+        self.learn = bool(learn)
+        self.passes = int(passes)
+        self.replay_rows = int(replay_rows)
+        self.regenerate = bool(regenerate)
+        self.replay_after_regeneration = bool(replay_after_regeneration)
+        self.min_buffer_for_regeneration = int(min_buffer_for_regeneration)
+        self._buf_X: deque = deque()
+        self._buf_y: deque = deque()
+        self._buf_rows = 0
+        self.updates = 0
+        self.samples_seen = 0
+        self.regenerations = 0
+
+    # ------------------------------------------------------------------- API
+    @property
+    def buffer_rows(self) -> int:
+        """Rows currently held in the replay buffer."""
+        return self._buf_rows
+
+    def replay_buffer(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The replay buffer as ``(X, y)`` arrays (may be empty)."""
+        if not self._buf_X:
+            return np.zeros((0, 0)), np.zeros(0, dtype=np.int64)
+        return np.concatenate(list(self._buf_X)), np.concatenate(list(self._buf_y))
+
+    def observe(
+        self,
+        X: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        confidences: Optional[np.ndarray] = None,
+        correct: Optional[np.ndarray] = None,
+    ) -> Dict[str, Any]:
+        """Fold one streamed batch in; returns what happened.
+
+        Parameters
+        ----------
+        X:
+            Scaled feature rows (the model's input space).
+        y:
+            Ground-truth labels in the model's label space, when available
+            (label feedback).  Enables ``partial_fit`` and buffering.
+        confidences / correct:
+            Per-row prediction confidence and correctness flags for the
+            drift monitor (typically computed *before* the model update:
+            prequential evaluation).
+        """
+        outcome: Dict[str, Any] = {"partial_fit": False, "drift_event": None, "regeneration": None}
+        # Monitoring is independent of learning: confidences flow in even
+        # when the batch carries no (known-label) rows to learn from.
+        if self.monitor is not None and confidences is not None:
+            confidences = np.atleast_1d(np.asarray(confidences))
+            if confidences.shape[0]:
+                self.monitor.observe(confidences, correct)
+        X = np.asarray(X)
+        n = int(X.shape[0]) if X.ndim == 2 else 0
+        if n:
+            self.samples_seen += n
+            if y is not None:
+                y = np.asarray(y)
+                if self.learn:
+                    for _ in range(self.passes):
+                        self.model.partial_fit(X, y)
+                    self.updates += 1
+                    outcome["partial_fit"] = True
+                self._buffer(X, y)
+                if self.learn and self.replay_rows and self._buf_rows:
+                    X_buf, y_buf = self.replay_buffer()
+                    if X_buf.shape[0] > self.replay_rows:
+                        X_buf = X_buf[-self.replay_rows :]
+                        y_buf = y_buf[-self.replay_rows :]
+                    self.model.partial_fit(X_buf, y_buf)
+        if (
+            self.regenerate
+            and self.monitor is not None
+            and self.monitor.should_regenerate()
+            and hasattr(self.model, "regenerate_online")
+            and self._buf_rows >= self.min_buffer_for_regeneration
+        ):
+            X_buf, y_buf = self.replay_buffer()
+            event = self.model.regenerate_online(X_buf, y_buf)
+            outcome["regeneration"] = event
+            outcome["drift_event"] = self.monitor.notify_regenerated()
+            if event is not None:
+                self.regenerations += 1
+                if self.replay_after_regeneration and self.learn:
+                    self.model.partial_fit(X_buf, y_buf)
+        return outcome
+
+    # ------------------------------------------------------------- internals
+    def _buffer(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._buf_X.append(np.array(X, copy=True))
+        self._buf_y.append(np.array(y, copy=True))
+        self._buf_rows += int(X.shape[0])
+        while self._buf_rows - (len(self._buf_X[0]) if self._buf_X else 0) >= self.buffer_size:
+            dropped = self._buf_X.popleft()
+            self._buf_y.popleft()
+            self._buf_rows -= int(dropped.shape[0])

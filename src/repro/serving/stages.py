@@ -1,0 +1,265 @@
+"""Composable serving stages for the packets->alerts path.
+
+The seed ``DetectionPipeline`` hard-coded its sequence (assemble, extract,
+scale, classify, alert) inside method bodies.  Here each step is a
+:class:`Stage` that mutates a shared :class:`ServingBatch` payload, so the
+pipeline, the streaming detector and the inference engine all compose the
+same swappable components -- and every stage is timed individually by the
+serving telemetry.
+
+The standard chain::
+
+    FlowAssemblyStage -> FeatureExtractionStage -> ClassifyStage -> AlertStage
+
+``ClassifyStage`` times hypervector encoding and class scoring separately
+when the classifier exposes the split HDC interface
+(``encode`` / ``scores_from_encoded``); other classifiers are timed as one
+``classify`` stage.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.preprocessing import MinMaxScaler
+from repro.exceptions import ConfigurationError
+from repro.models.base import BaseClassifier
+from repro.nids.alerts import Alert, AlertManager
+from repro.nids.feature_extraction import FlowFeatureExtractor
+from repro.nids.flow import FlowRecord, FlowTable
+from repro.nids.packets import Packet
+from repro.serving.telemetry import TelemetryRecorder
+
+
+def score_confidences(scores: np.ndarray) -> np.ndarray:
+    """Normalized margin between the best and runner-up class scores.
+
+    Raises
+    ------
+    ConfigurationError
+        If the score matrix has fewer than two classes -- a single-class
+        classifier has no margin, and silently reporting confidence 1.0
+        would make every alert look certain.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 2:
+        raise ConfigurationError(f"scores must be a 2-D matrix, got shape {scores.shape}")
+    if scores.shape[0] == 0:
+        return np.zeros(0, dtype=np.float64)
+    if scores.shape[1] < 2:
+        raise ConfigurationError(
+            "confidence scoring requires at least two classes; got a "
+            f"{scores.shape[1]}-class score matrix (single-class classifiers "
+            "cannot produce a decision margin)"
+        )
+    part = np.partition(scores, -2, axis=1)
+    best = part[:, -1]
+    second = part[:, -2]
+    span = np.maximum(np.abs(best) + np.abs(second), 1e-12)
+    return np.clip((best - second) / span, 0.0, 1.0)
+
+
+@dataclass
+class ServingBatch:
+    """Mutable payload threaded through the stage chain.
+
+    Each stage fills the fields it is responsible for; later stages read
+    them.  ``stage_seconds`` accumulates the per-stage wall-clock latency of
+    this batch (the per-batch view of the recorder's aggregate telemetry).
+    """
+
+    packets: List[Packet] = field(default_factory=list)
+    flows: List[FlowRecord] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+    features: Optional[np.ndarray] = None
+    scores: Optional[np.ndarray] = None
+    predictions: List[str] = field(default_factory=list)
+    confidences: Optional[np.ndarray] = None
+    alerts: List[Alert] = field(default_factory=list)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_flows(self) -> int:
+        """Flows carried by this batch."""
+        return len(self.flows)
+
+
+class Stage(abc.ABC):
+    """One step of the serving path.
+
+    Subclasses implement :meth:`process`; :meth:`run` wraps it with
+    telemetry under the stage's ``name``.  Stages with internal state (the
+    flow table) also implement :meth:`flush`.
+    """
+
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def process(self, batch: ServingBatch) -> None:
+        """Mutate ``batch`` in place."""
+
+    def items(self, batch: ServingBatch) -> int:
+        """Work units this stage processes (for throughput accounting)."""
+        return batch.n_flows
+
+    def run(self, batch: ServingBatch, telemetry: Optional[TelemetryRecorder] = None) -> None:
+        """Execute the stage with timing."""
+        if telemetry is None:
+            import time
+
+            start = time.perf_counter()
+            self.process(batch)
+            batch.stage_seconds[self.name] = (
+                batch.stage_seconds.get(self.name, 0.0) + time.perf_counter() - start
+            )
+            return
+        start = telemetry.clock()
+        with telemetry.time_stage(self.name, items=self.items(batch)):
+            self.process(batch)
+        batch.stage_seconds[self.name] = (
+            batch.stage_seconds.get(self.name, 0.0) + telemetry.clock() - start
+        )
+
+    def flush(self, batch: ServingBatch) -> None:
+        """Release any internal state into ``batch`` (end of stream)."""
+
+
+def run_stages(
+    stages: Sequence[Stage],
+    batch: ServingBatch,
+    telemetry: Optional[TelemetryRecorder] = None,
+) -> ServingBatch:
+    """Run ``batch`` through ``stages`` in order; returns the batch."""
+    for stage in stages:
+        stage.run(batch, telemetry)
+    return batch
+
+
+class FlowAssemblyStage(Stage):
+    """Folds the batch's packets into the flow table; emits expired flows."""
+
+    name = "assemble"
+
+    def __init__(self, table: Optional[FlowTable] = None, **table_kwargs):
+        self.table = table if table is not None else FlowTable(**table_kwargs)
+
+    def items(self, batch: ServingBatch) -> int:
+        return len(batch.packets)
+
+    def process(self, batch: ServingBatch) -> None:
+        if batch.packets:
+            batch.flows.extend(self.table.add_packets(batch.packets))
+
+    def flush(self, batch: ServingBatch) -> None:
+        batch.flows.extend(self.table.flush())
+
+
+class FeatureExtractionStage(Stage):
+    """Extracts the columnar feature matrix and applies the training scaler."""
+
+    name = "extract"
+
+    def __init__(
+        self,
+        extractor: Optional[FlowFeatureExtractor] = None,
+        scaler: Optional[MinMaxScaler] = None,
+        dtype: np.dtype = np.float32,
+    ):
+        self.extractor = extractor if extractor is not None else FlowFeatureExtractor()
+        self.scaler = scaler
+        self.dtype = np.dtype(dtype)
+
+    def process(self, batch: ServingBatch) -> None:
+        X, labels = self.extractor.extract_batch(batch.flows, dtype=self.dtype)
+        if self.scaler is not None and X.shape[0]:
+            X = self.scaler.transform(X).astype(self.dtype, copy=False)
+        batch.features = X
+        batch.labels = labels
+
+
+class ClassifyStage(Stage):
+    """Scores flow features with the classifier and names the predictions.
+
+    Splits telemetry into ``encode`` and ``classify`` when the classifier
+    exposes the HDC two-step interface; otherwise everything is timed as
+    ``classify``.
+    """
+
+    name = "classify"
+
+    def __init__(self, classifier: BaseClassifier, class_names: Sequence[str]):
+        self.classifier = classifier
+        self.class_names = tuple(class_names)
+
+    def run(self, batch: ServingBatch, telemetry: Optional[TelemetryRecorder] = None) -> None:
+        import time
+
+        clock = telemetry.clock if telemetry is not None else time.perf_counter
+        X = batch.features
+        n = 0 if X is None else X.shape[0]
+        if n == 0:
+            batch.scores = np.zeros((0, len(self.class_names)))
+            batch.confidences = np.zeros(0)
+            batch.predictions = []
+            return
+        split = hasattr(self.classifier, "encode") and hasattr(
+            self.classifier, "scores_from_encoded"
+        )
+        if split:
+            start = clock()
+            H = self.classifier.encode(X)
+            encode_seconds = clock() - start
+            if telemetry is not None:
+                telemetry.stage("encode").observe(encode_seconds, n)
+            batch.stage_seconds["encode"] = batch.stage_seconds.get("encode", 0.0) + encode_seconds
+            start = clock()
+            scores = self.classifier.scores_from_encoded(H)
+        else:
+            start = clock()
+            scores = self.classifier.predict_scores(X)
+        self._finalize(batch, scores)
+        classify_seconds = clock() - start
+        if telemetry is not None:
+            telemetry.stage(self.name).observe(classify_seconds, n)
+        batch.stage_seconds[self.name] = (
+            batch.stage_seconds.get(self.name, 0.0) + classify_seconds
+        )
+
+    def process(self, batch: ServingBatch) -> None:  # pragma: no cover - run() overrides
+        self.run(batch, None)
+
+    def _finalize(self, batch: ServingBatch, scores: np.ndarray) -> None:
+        batch.scores = scores
+        batch.confidences = score_confidences(scores)
+        pred_idx = np.argmax(scores, axis=1)
+        classes = self.classifier.classes_
+        batch.predictions = [self.class_names[classes[i]] for i in pred_idx]
+
+
+class AlertStage(Stage):
+    """Raises alerts for flows predicted as attack classes."""
+
+    name = "alert"
+
+    def __init__(
+        self,
+        is_attack: Callable[[str], bool],
+        alert_manager: Optional[AlertManager] = None,
+    ):
+        self.is_attack = is_attack
+        self.alert_manager = alert_manager or AlertManager()
+
+    def process(self, batch: ServingBatch) -> None:
+        if batch.confidences is None:
+            return
+        for flow, prediction, confidence in zip(
+            batch.flows, batch.predictions, batch.confidences
+        ):
+            if self.is_attack(prediction):
+                alert = self.alert_manager.raise_alert(flow, prediction, float(confidence))
+                if alert is not None:
+                    batch.alerts.append(alert)

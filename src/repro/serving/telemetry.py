@@ -1,0 +1,156 @@
+"""Per-stage serving telemetry.
+
+The seed pipeline reported one lump ``latency_seconds`` per detection call;
+the serving subsystem instead times every stage of the packets->alerts path
+(ingest queue wait, flow assembly, feature extraction, encoding,
+classification, alerting) and keeps bounded latency reservoirs so p50/p95
+summaries and rolling throughput are available at any point of a run without
+unbounded memory growth.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+#: Stage ordering used when rendering summaries.
+CANONICAL_STAGES = ("ingest", "assemble", "extract", "encode", "classify", "alert")
+
+
+class StageStats:
+    """Latency/throughput accumulator for one serving stage.
+
+    Keeps exact totals (count, items, busy seconds) plus a bounded sample
+    reservoir of per-batch latencies for percentile estimates.
+    """
+
+    def __init__(self, name: str, max_samples: int = 4096):
+        self.name = name
+        self.batches = 0
+        self.items = 0
+        self.total_seconds = 0.0
+        self._samples: deque = deque(maxlen=max_samples)
+
+    # ------------------------------------------------------------------- API
+    def observe(self, seconds: float, items: int = 1) -> None:
+        """Record one batch taking ``seconds`` to process ``items`` units."""
+        self.batches += 1
+        self.items += int(items)
+        self.total_seconds += float(seconds)
+        self._samples.append(float(seconds))
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean per-batch latency."""
+        return self.total_seconds / self.batches if self.batches else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile (``q`` in [0, 100]) over the sample reservoir."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    @property
+    def throughput(self) -> float:
+        """Items per busy-second through this stage."""
+        return self.items / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-friendly summary."""
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "p50_seconds": self.percentile(50),
+            "p95_seconds": self.percentile(95),
+            "items_per_second": self.throughput,
+        }
+
+
+class TelemetryRecorder:
+    """Collects :class:`StageStats` for every stage plus rolling throughput.
+
+    Parameters
+    ----------
+    window_seconds:
+        Width of the rolling-throughput window.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+        max_samples: int = 4096,
+    ):
+        self.window_seconds = float(window_seconds)
+        self.clock = clock
+        self._max_samples = int(max_samples)
+        self._stages: Dict[str, StageStats] = {}
+        self._events: deque = deque()  # (timestamp, items) for rolling throughput
+
+    # ------------------------------------------------------------------- API
+    def stage(self, name: str) -> StageStats:
+        """The accumulator for stage ``name`` (created on first use)."""
+        stats = self._stages.get(name)
+        if stats is None:
+            stats = self._stages[name] = StageStats(name, max_samples=self._max_samples)
+        return stats
+
+    @contextmanager
+    def time_stage(self, name: str, items: int = 1) -> Iterator[None]:
+        """Context manager timing one batch of ``items`` through ``name``."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.stage(name).observe(self.clock() - start, items)
+
+    def record_items(self, items: int) -> None:
+        """Count ``items`` toward the rolling end-to-end throughput."""
+        now = self.clock()
+        self._events.append((now, int(items)))
+        cutoff = now - self.window_seconds
+        while self._events and self._events[0][0] < cutoff:
+            self._events.popleft()
+
+    @property
+    def rolling_throughput(self) -> float:
+        """Items per second over the trailing window."""
+        if not self._events:
+            return 0.0
+        now = self.clock()
+        cutoff = now - self.window_seconds
+        items = sum(n for t, n in self._events if t >= cutoff)
+        span = min(self.window_seconds, max(now - self._events[0][0], 1e-9))
+        return items / span
+
+    @property
+    def stage_names(self) -> List[str]:
+        """Stage names, canonical stages first."""
+        known = [s for s in CANONICAL_STAGES if s in self._stages]
+        extra = [s for s in self._stages if s not in CANONICAL_STAGES]
+        return known + extra
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage summaries keyed by stage name."""
+        return {name: self._stages[name].to_dict() for name in self.stage_names}
+
+    def summary(self) -> str:
+        """Aligned plain-text report of every stage."""
+        header = f"{'stage':<10} {'batches':>8} {'items':>9} {'mean_ms':>9} {'p50_ms':>8} {'p95_ms':>8} {'items/s':>12}"
+        lines = [header, "-" * len(header)]
+        for name in self.stage_names:
+            s = self._stages[name]
+            lines.append(
+                f"{name:<10} {s.batches:>8} {s.items:>9} {1e3 * s.mean_seconds:>9.3f} "
+                f"{1e3 * s.percentile(50):>8.3f} {1e3 * s.percentile(95):>8.3f} "
+                f"{s.throughput:>12.1f}"
+            )
+        return "\n".join(lines)

@@ -70,3 +70,37 @@ class TestCLI:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 1
         assert "usage" in capsys.readouterr().out
+
+
+class TestServeCLI:
+    def test_serve_smoke(self, capsys):
+        assert main([
+            "serve", "--flows", "60", "--train-flows", "80",
+            "--dim", "64", "--epochs", "2", "--window", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage telemetry" in out
+        assert "backpressure" in out
+
+    def test_serve_online_save_load(self, tmp_path, capsys):
+        saved = str(tmp_path / "pipeline.npz")
+        assert main([
+            "serve", "--flows", "60", "--train-flows", "80",
+            "--dim", "64", "--epochs", "2", "--online", "--save", saved,
+            "--json", str(tmp_path / "summary.json"),
+        ]) == 0
+        assert main(["serve", "--flows", "40", "--model", saved]) == 0
+        out = capsys.readouterr().out
+        assert "loaded pipeline" in out
+
+    def test_bench_streaming_suite(self, tmp_path, capsys):
+        json_path = str(tmp_path / "BENCH_streaming.json")
+        assert main([
+            "bench", "--suite", "streaming", "--quick", "--repeats", "1",
+            "--json", json_path,
+        ]) == 0
+        import json as _json
+
+        payload = _json.load(open(json_path))
+        ops = {record["op"] for record in payload["records"]}
+        assert {"streaming_serve", "streaming_seed_equivalent", "streaming_speedup"} <= ops

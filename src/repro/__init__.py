@@ -31,7 +31,14 @@ Detection"* (DAC 2023).  It contains:
     The production streaming subsystem: a batched inference engine
     (micro-batch scheduling, bounded queues with backpressure policies,
     per-stage telemetry) plus online learning (``partial_fit`` label
-    feedback and drift-triggered dimension regeneration).
+    feedback and drift-triggered dimension regeneration) and graceful
+    shutdown.
+
+``repro.cluster``
+    Sharded multi-worker serving: consistent-hash flow routing, worker
+    processes attached zero-copy to a shared-memory model publication,
+    additive delta-merged online learning, and a scenario-driven load
+    generator (``serve --workers N``, ``bench --suite cluster``).
 
 ``repro.hardware``
     Quantization-aware hardware substrate: bit-flip fault injection,

@@ -9,7 +9,13 @@ can be regenerated without writing Python, plus the serving subsystem::
     python -m repro datasets
     python -m repro bench --json BENCH_hdc_primitives.json
     python -m repro bench --suite streaming --json BENCH_streaming.json
+    python -m repro bench --suite cluster --workers 4 --json BENCH_cluster.json
     python -m repro serve --flows 600 --online
+    python -m repro serve --workers 4 --scenario ddos_burst --online
+
+``serve`` installs SIGINT/SIGTERM handlers: Ctrl-C stops ingest, drains the
+queues (classifying still-active flows), prints the telemetry summary, and
+exits 0.
 """
 
 from __future__ import annotations
@@ -50,9 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("hdc", "streaming"),
+        choices=("hdc", "streaming", "cluster"),
         default="hdc",
-        help="hdc: compute-backend primitives; streaming: packets->alerts serving path",
+        help="hdc: compute-backend primitives; streaming: packets->alerts "
+        "serving path; cluster: sharded multi-worker scaling",
     )
     bench.add_argument("--dim", type=int, default=None, help="hypervector dimensionality")
     bench.add_argument("--repeats", type=int, default=3, help="best-of repeat count")
@@ -66,16 +73,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small workloads for a fast smoke run"
     )
     bench.add_argument(
+        "--workers", type=int, default=4, help="cluster suite: worker processes"
+    )
+    bench.add_argument(
+        "--scenario",
+        default="mixed_benign",
+        help="cluster suite: load scenario (see repro.cluster.loadgen)",
+    )
+    bench.add_argument(
+        "--flows-scale",
+        type=float,
+        default=2.0,
+        help="cluster suite: scenario flow-count multiplier",
+    )
+    bench.add_argument(
         "--json",
         metavar="PATH",
         default=None,
         help="where to write the machine-readable records "
-        "(default: BENCH_hdc_primitives.json / BENCH_streaming.json per suite)",
+        "(default: BENCH_<suite>.json)",
     )
 
     serve = subparsers.add_parser(
         "serve",
         help="run the streaming serving subsystem on synthetic traffic",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 serves through the sharded cluster",
+    )
+    serve.add_argument(
+        "--scenario",
+        default=None,
+        help="serve a named load scenario instead of the default mix "
+        "(see repro.cluster.loadgen)",
+    )
+    serve.add_argument(
+        "--sync-interval",
+        type=int,
+        default=8,
+        help="cluster mode: batches per worker between delta-merge syncs",
     )
     serve.add_argument("--flows", type=int, default=600, help="flows in the served stream")
     serve.add_argument("--train-flows", type=int, default=300, help="flows used for training")
@@ -141,10 +180,12 @@ def _command_datasets(args: argparse.Namespace) -> int:
 
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
+        BENCH_CLUSTER_JSON_NAME,
         BENCH_JSON_NAME,
         BENCH_STREAMING_JSON_NAME,
         format_table,
         run_benchmarks,
+        run_cluster_benchmarks,
         run_streaming_benchmarks,
         write_bench_json,
     )
@@ -158,6 +199,15 @@ def _command_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
         )
         default_json = BENCH_STREAMING_JSON_NAME
+    elif args.suite == "cluster":
+        records = run_cluster_benchmarks(
+            scenario=args.scenario,
+            workers=args.workers,
+            flows_scale=args.flows_scale,
+            dim=args.dim or 256,
+            quick=args.quick,
+        )
+        default_json = BENCH_CLUSTER_JSON_NAME
     else:
         records = run_benchmarks(
             dim=args.dim or 500, repeats=args.repeats, quick=args.quick
@@ -171,21 +221,19 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve(args: argparse.Namespace) -> int:
+def _serve_pipeline(args: argparse.Namespace):
+    """Train (or load) the pipeline and build the packet stream to serve."""
     from repro.core.cyberhd import CyberHD
     from repro.nids.packets import TrafficGenerator
     from repro.nids.pipeline import DetectionPipeline
-    from repro.nids.streaming import StreamingDetector
-    from repro.persistence import load_pipeline, save_pipeline
-    from repro.serving import DriftMonitor, OnlineLearner
+    from repro.persistence import load_pipeline
 
-    generator = TrafficGenerator(seed=args.seed)
     if args.model:
         pipeline = load_pipeline(args.model)
         print(f"loaded pipeline from {args.model} ({len(pipeline.class_names)} classes)")
         start_time = 0.0
     else:
-        train_packets = generator.generate(args.train_flows)
+        train_packets = TrafficGenerator(seed=args.seed).generate(args.train_flows)
         pipeline = DetectionPipeline(
             classifier=CyberHD(
                 dim=args.dim, epochs=args.epochs, regeneration_rate=0.1, seed=args.seed
@@ -197,23 +245,111 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"({args.train_flows} flows) in {pipeline.train_seconds:.2f}s"
         )
 
-    learner = None
-    if args.online:
-        learner = OnlineLearner(
-            pipeline.classifier,
-            passes=2,
-            replay_rows=512,
-            monitor=DriftMonitor(),
+    if args.scenario:
+        from repro.cluster.loadgen import get_scenario
+
+        scenario = get_scenario(args.scenario)
+        # Scale the scenario so it carries roughly the requested flow count.
+        scale = max(args.flows / scenario.total_flows(), 1e-3)
+        stream = scenario.build_packets(
+            seed=args.seed + 1, flows_scale=scale, start_time=start_time
         )
-    detector = StreamingDetector(
-        pipeline,
-        window_size=args.window,
-        backpressure=args.backpressure,
-        online=learner,
+        print(f"scenario {scenario.name}: {scenario.description}")
+    else:
+        stream = TrafficGenerator(seed=args.seed + 1).generate(
+            args.flows, start_time=start_time
+        )
+    return pipeline, stream
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """``repro serve --workers N`` (N > 1): the sharded cluster path."""
+    import json as json_module
+
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+    from repro.persistence import save_pipeline
+    from repro.serving import GracefulShutdown
+
+    with GracefulShutdown() as stop:
+        pipeline, stream = _serve_pipeline(args)
+        coordinator = ClusterCoordinator(
+            pipeline,
+            ClusterConfig(
+                n_workers=args.workers,
+                batch_size=args.window,
+                sync_interval=args.sync_interval,
+                online=args.online,
+            ),
+        )
+        report = coordinator.serve(stream, shutdown=stop)
+    if report.interrupted:
+        print(f"\n{stop.signal_name or 'shutdown'}: ingest stopped, queues drained")
+    print(
+        f"\ncluster served {report.total_packets} packets / {report.total_flows} flows "
+        f"across {args.workers} workers in {report.wall_seconds:.2f}s; "
+        f"{report.total_alerts} alerts"
     )
-    stream = TrafficGenerator(seed=args.seed + 1).generate(args.flows, start_time=start_time)
-    detector.push_many(stream)
-    detector.flush()
+    print(
+        f"aggregate capacity {report.aggregate_flow_throughput:.0f} flows/s "
+        f"(wall {report.wall_flow_throughput:.0f} flows/s); "
+        f"{report.sync_rounds} sync rounds, model generation {report.generation}"
+    )
+    for worker in report.workers:
+        print(
+            f"  worker {worker.worker_id}: {worker.packets} packets, "
+            f"{worker.flows} flows, {worker.alerts} alerts, "
+            f"{worker.flow_throughput:.0f} flows/cpu-s, "
+            f"{worker.online_updates} online updates"
+        )
+    if args.save:
+        path = save_pipeline(pipeline, args.save)
+        print(f"\ncluster-adapted pipeline saved to {path}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json_module.dump(report.to_dict(), fh, indent=2)
+        print(f"summary written to {args.json}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.nids.streaming import StreamingDetector
+    from repro.persistence import save_pipeline
+    from repro.serving import DriftMonitor, GracefulShutdown, OnlineLearner, chunked
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return _serve_cluster(args)
+
+    # The shutdown handler is installed before training/stream generation so
+    # a Ctrl-C anywhere in the serve lifecycle drains instead of tracebacking.
+    with GracefulShutdown() as stop:
+        pipeline, stream = _serve_pipeline(args)
+        learner = None
+        if args.online:
+            learner = OnlineLearner(
+                pipeline.classifier,
+                passes=2,
+                replay_rows=512,
+                monitor=DriftMonitor(),
+            )
+        detector = StreamingDetector(
+            pipeline,
+            window_size=args.window,
+            backpressure=args.backpressure,
+            online=learner,
+        )
+        # Chunked ingest so a shutdown signal is observed with bounded
+        # latency: stop accepting, drain what is queued (flush classifies
+        # still-active flows), report, exit 0.
+        for chunk in chunked(stream, args.window):
+            if stop.triggered:
+                break
+            detector.push_many(chunk)
+        detector.flush()
+    if stop.triggered:
+        print(f"\n{stop.signal_name or 'shutdown'}: ingest stopped, queue drained")
 
     print(
         f"\nserved {detector.total_packets} packets / {detector.total_flows} flows "
@@ -258,6 +394,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                 "partial_fit_windows": learner.updates if learner else 0,
                 "regenerations": learner.regenerations if learner else 0,
             },
+            "interrupted": stop.triggered,
+            "shutdown_signal": stop.signal_name,
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)

@@ -1,0 +1,73 @@
+"""Sharded multi-worker cluster serving.
+
+The layer above the single-process serving engine: the flow->alert path runs
+as N worker processes, each a complete pipeline replica attached zero-copy to
+a shared-memory model publication, with flows sharded by their canonical
+5-tuple so every flow's state lives on exactly one worker.  Online learning
+works across the cluster because HDC class vectors aggregate additively:
+per-worker ``partial_fit`` deltas merge exactly (``repro.hdc.backend.
+merge_class_deltas``) and the merged model is republished to every replica.
+
+``router``
+    :class:`ShardRouter` -- process-stable consistent hashing of the
+    bidirectional flow key onto the worker ring.
+
+``shared_model``
+    :class:`ModelPublication` / :class:`AttachedPublication` -- the
+    encoder-projection and class-vector tensors in
+    ``multiprocessing.shared_memory``, with a republish generation counter.
+
+``worker``
+    :class:`WorkerRuntime` and the process entry point: shard-guarded flow
+    table, full stage chain, private-replica online learning, delta
+    reporting.
+
+``coordinator``
+    :class:`ClusterCoordinator` -- dispatch, sync rounds (collect deltas,
+    merge, republish), graceful drain, aggregate reporting.
+
+``loadgen``
+    The scenario library (DDoS burst, port-scan sweep, low-and-slow
+    exfiltration, gradual drift, mixed benign) behind ``bench --suite
+    cluster`` and ``serve --scenario``.
+
+See ``docs/cluster.md`` for the topology and the delta-merge semantics.
+"""
+
+from repro.cluster.coordinator import ClusterConfig, ClusterCoordinator, ClusterReport
+from repro.cluster.loadgen import (
+    SCENARIOS,
+    LoadScenario,
+    ScenarioPhase,
+    get_scenario,
+    interpolate_profile,
+    scenario_names,
+)
+from repro.cluster.router import ShardRouter, flow_key_token, stable_hash64
+from repro.cluster.shared_model import (
+    AttachedPublication,
+    ModelPublication,
+    PublicationSpec,
+)
+from repro.cluster.worker import WorkerConfig, WorkerRuntime, WorkerSummary
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterReport",
+    "ShardRouter",
+    "flow_key_token",
+    "stable_hash64",
+    "ModelPublication",
+    "AttachedPublication",
+    "PublicationSpec",
+    "WorkerConfig",
+    "WorkerRuntime",
+    "WorkerSummary",
+    "LoadScenario",
+    "ScenarioPhase",
+    "SCENARIOS",
+    "get_scenario",
+    "interpolate_profile",
+    "scenario_names",
+]

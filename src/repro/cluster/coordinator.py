@@ -1,0 +1,464 @@
+"""Cluster coordinator: sharded dispatch, delta merging, model republish.
+
+The coordinator owns the cluster:
+
+* it publishes the trained pipeline's tensors in shared memory
+  (:mod:`repro.cluster.shared_model`) and spawns N worker processes, each a
+  full serving replica;
+* it routes every packet to the worker owning its flow's shard
+  (:class:`repro.cluster.router.ShardRouter`) and dispatches bounded batches
+  over per-worker queues;
+* on a **sync round** it collects each worker's class-vector delta (the
+  ``partial_fit`` updates accumulated against the round-start model), merges
+  them additively through :func:`repro.hdc.backend.merge_class_deltas` --
+  with row-granular cached-norm invalidation -- republishes the merged
+  matrix, and lets every replica rebase.  Because HDC class vectors are sums
+  of weighted sample hypervectors, this merge is *exact*: the published model
+  equals single-process ``partial_fit`` of every shard's stream applied
+  against the round-start state (see ``docs/cluster.md``).
+
+Queue FIFO ordering is the only synchronization primitive: a sync request
+lands behind every batch dispatched before it, so a round is a consistent
+cut of the stream.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.cluster.router import ShardRouter
+from repro.cluster.shared_model import ModelPublication
+from repro.cluster.worker import (
+    DeltaReport,
+    FinalReport,
+    PacketBatch,
+    Rebase,
+    Stop,
+    SyncRequest,
+    WorkerConfig,
+    WorkerSummary,
+    cluster_worker_main,
+)
+from repro.exceptions import ConfigurationError
+from repro.hdc.backend import merge_class_deltas
+from repro.nids.packets import Packet
+from repro.nids.pipeline import DetectionPipeline
+from repro.serving.shutdown import GracefulShutdown, chunked
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Deployment knobs of a serving cluster.
+
+    Attributes
+    ----------
+    n_workers:
+        Worker processes (shards).
+    batch_size:
+        Packets per dispatched batch (the cluster's micro-batch unit).
+    sync_interval:
+        Approximate batches *per worker* between delta-merge syncs when
+        online learning is on (``0`` merges only at shutdown).
+    online:
+        Enable distributed online learning (per-worker ``partial_fit`` +
+        additive delta merging).
+    idle_timeout:
+        Flow-table idle timeout inside each worker.
+    queue_capacity:
+        Bound of each worker's inbox, in batches; a full inbox blocks the
+        coordinator (producer-pays backpressure, as in the single-process
+        engine's ``block`` policy).
+    vnodes:
+        Virtual nodes per worker on the router's hash ring.
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks ``fork`` when the
+        platform offers it (fastest replica bootstrap) and ``spawn``
+        otherwise.
+    """
+
+    n_workers: int = 4
+    batch_size: int = 512
+    sync_interval: int = 8
+    online: bool = False
+    idle_timeout: float = 5.0
+    queue_capacity: int = 64
+    vnodes: int = 64
+    start_method: Optional[str] = None
+
+    def validate(self) -> "ClusterConfig":
+        """Check parameter ranges and return ``self``."""
+        if self.n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.sync_interval < 0:
+            raise ConfigurationError("sync_interval must be non-negative")
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        return self
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate outcome of one cluster serving run."""
+
+    workers: List[WorkerSummary]
+    wall_seconds: float
+    sync_rounds: int
+    generation: int
+    interrupted: bool = False
+    #: CPU seconds the coordinator spent routing/dispatching/merging.  The
+    #: router is the cluster's other scarce resource: aggregate worker
+    #: capacity only materializes while one core can route packets at least
+    #: as fast as the shards drain them.
+    coordinator_cpu_seconds: float = 0.0
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def total_packets(self) -> int:
+        """Packets ingested across all workers."""
+        return sum(w.packets for w in self.workers)
+
+    @property
+    def total_flows(self) -> int:
+        """Flows served across all workers."""
+        return sum(w.flows for w in self.workers)
+
+    @property
+    def total_alerts(self) -> int:
+        """Alerts raised across all workers."""
+        return sum(w.alerts for w in self.workers)
+
+    @property
+    def aggregate_flow_throughput(self) -> float:
+        """Sum of per-replica sustained rates (flows per busy *CPU* second).
+
+        This is the cluster's *capacity*: what the shards deliver together
+        when each has a core to itself (per-core CPU seconds equal wall
+        seconds exactly then).  On a host with fewer cores than workers the
+        wall-clock rate (``total_flows / wall_seconds``) is the lower,
+        contended number; benchmark records carry both plus the host CPU
+        count so the two are never conflated.
+        """
+        return sum(w.flow_throughput for w in self.workers)
+
+    @property
+    def aggregate_packet_throughput(self) -> float:
+        """Sum of per-replica packet ingest rates."""
+        return sum(w.packet_throughput for w in self.workers)
+
+    @property
+    def wall_flow_throughput(self) -> float:
+        """Flows per wall-clock second for the whole run."""
+        return self.total_flows / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def routing_packets_per_cpu_second(self) -> float:
+        """Packets the coordinator routes per CPU second (the fan-out bound)."""
+        if self.coordinator_cpu_seconds <= 0:
+            return 0.0
+        return self.total_packets / self.coordinator_cpu_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view."""
+        return {
+            "workers": [w.to_dict() for w in self.workers],
+            "wall_seconds": self.wall_seconds,
+            "sync_rounds": self.sync_rounds,
+            "generation": self.generation,
+            "interrupted": self.interrupted,
+            "total_packets": self.total_packets,
+            "total_flows": self.total_flows,
+            "total_alerts": self.total_alerts,
+            "aggregate_flows_per_second": self.aggregate_flow_throughput,
+            "aggregate_packets_per_second": self.aggregate_packet_throughput,
+            "wall_flows_per_second": self.wall_flow_throughput,
+            "coordinator_cpu_seconds": self.coordinator_cpu_seconds,
+            "routing_packets_per_cpu_second": self.routing_packets_per_cpu_second,
+        }
+
+
+class ClusterCoordinator:
+    """Runs a trained pipeline as a sharded multi-process serving cluster.
+
+    Parameters
+    ----------
+    pipeline:
+        A trained :class:`DetectionPipeline`; its classifier state is
+        published to the workers and, after :meth:`shutdown`, updated in
+        place with the cluster-adapted merged model (so ``save_pipeline``
+        on it persists what the cluster learned).
+    config:
+        A :class:`ClusterConfig`.
+    """
+
+    def __init__(self, pipeline: DetectionPipeline, config: Optional[ClusterConfig] = None):
+        self.pipeline = pipeline
+        self.config = (config or ClusterConfig()).validate()
+        self.router = ShardRouter(self.config.n_workers, vnodes=self.config.vnodes)
+        self.publication: Optional[ModelPublication] = None
+        self._processes: List[mp.process.BaseProcess] = []
+        self._inboxes: List[Any] = []
+        self._outbox: Optional[Any] = None
+        self._seq = 0
+        self._dispatches_since_sync = 0
+        self.sync_rounds = 0
+        self._started = False
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Publish the model and launch the worker processes.
+
+        If publishing or spawning fails partway, everything already created
+        (shared-memory blocks, spawned workers) is torn down before the
+        error propagates.
+        """
+        if self._started:
+            return
+        cfg = self.config
+        method = cfg.start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        try:
+            self.publication = ModelPublication(self.pipeline)
+            spec = self.publication.spec()
+            self._outbox = ctx.Queue()
+            self._inboxes = []
+            self._processes = []
+            for worker_id in range(cfg.n_workers):
+                inbox = ctx.Queue(maxsize=cfg.queue_capacity)
+                worker_config = WorkerConfig(
+                    worker_id=worker_id,
+                    n_workers=cfg.n_workers,
+                    spec=spec,
+                    online=cfg.online,
+                    idle_timeout=cfg.idle_timeout,
+                    vnodes=cfg.vnodes,
+                )
+                process = ctx.Process(
+                    target=cluster_worker_main,
+                    args=(worker_config, inbox, self._outbox),
+                    name=f"repro-cluster-worker-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                self._inboxes.append(inbox)
+                self._processes.append(process)
+        except BaseException:
+            self._abort()
+            raise
+        self._started = True
+
+    def serve_packets(
+        self,
+        packets: Iterable[Packet],
+        shutdown: Optional[GracefulShutdown] = None,
+    ) -> None:
+        """Route and dispatch a packet stream (stops early on ``shutdown``).
+
+        Packets accumulate in per-worker buffers and each worker is
+        dispatched *full* ``batch_size`` micro-batches: every replica then
+        amortizes its vectorized stages over the same batch size as the
+        single-process engine, instead of receiving 1/N-sized fragments of a
+        shared batch.
+        """
+        if not self._started:
+            self.start()
+        cfg = self.config
+        buffers: List[List[Packet]] = [[] for _ in range(cfg.n_workers)]
+        for chunk in chunked(packets, cfg.batch_size):
+            if shutdown is not None and shutdown.triggered:
+                break
+            for worker_id, shard in enumerate(self.router.partition_packets(chunk)):
+                buffer = buffers[worker_id]
+                buffer.extend(shard)
+                while len(buffer) >= cfg.batch_size:
+                    self._dispatch(worker_id, buffer[: cfg.batch_size])
+                    del buffer[: cfg.batch_size]
+            if (
+                cfg.online
+                and cfg.sync_interval
+                and self._dispatches_since_sync >= cfg.sync_interval * cfg.n_workers
+            ):
+                self.sync_models()
+        for worker_id, buffer in enumerate(buffers):
+            if buffer:
+                self._dispatch(worker_id, list(buffer))
+                buffer.clear()
+
+    def _dispatch(self, worker_id: int, packets: List[Packet]) -> None:
+        self._put(worker_id, PacketBatch(seq=self._seq, packets=packets))
+        self._seq += 1
+        self._dispatches_since_sync += 1
+
+    def _put(self, worker_id: int, message: Any) -> None:
+        """Producer-pays put with a liveness watchdog.
+
+        A dead worker's inbox stops draining; a plain blocking ``put`` would
+        then hang the coordinator forever once the queue fills.  Waiting in
+        bounded slices and checking the process turns that into a fast,
+        diagnosable failure.
+        """
+        inbox = self._inboxes[worker_id]
+        while True:
+            try:
+                inbox.put(message, timeout=1.0)
+                return
+            except queue_module.Full:
+                process = self._processes[worker_id]
+                if not process.is_alive():
+                    raise RuntimeError(
+                        f"cluster worker {worker_id} died (exit code "
+                        f"{process.exitcode}); its queue stopped draining"
+                    )
+
+    def sync_models(self) -> int:
+        """One delta-merge round; returns the new published generation."""
+        if not self._started:
+            raise ConfigurationError("cluster is not running")
+        round_id = self.sync_rounds
+        for worker_id in range(self.config.n_workers):
+            self._put(worker_id, SyncRequest(round_id=round_id))
+        deltas = [
+            report.delta
+            for report in self._collect(DeltaReport, self.config.n_workers, round_id)
+        ]
+        merge_class_deltas(
+            self.publication.class_matrix, deltas, self.publication.class_norms
+        )
+        generation = self.publication.bump_generation()
+        for worker_id in range(self.config.n_workers):
+            self._put(worker_id, Rebase(round_id=round_id, generation=generation))
+        self.sync_rounds += 1
+        self._dispatches_since_sync = 0
+        return generation
+
+    def shutdown(self) -> ClusterReport:
+        """Drain every worker, merge final deltas, and tear the cluster down.
+
+        On failure mid-drain (a worker died), the cluster is aborted -- the
+        publication's shared-memory blocks are freed and surviving processes
+        reaped -- before the error propagates.
+        """
+        if not self._started:
+            raise ConfigurationError("cluster is not running")
+        start = time.perf_counter()
+        try:
+            for worker_id in range(self.config.n_workers):
+                self._put(worker_id, Stop())
+            reports: List[FinalReport] = self._collect(
+                FinalReport, self.config.n_workers, None
+            )
+        except BaseException:
+            self._abort()
+            raise
+        final_deltas = [r.final_delta for r in reports if r.final_delta is not None]
+        if final_deltas:
+            merge_class_deltas(
+                self.publication.class_matrix, final_deltas, self.publication.class_norms
+            )
+            self.publication.bump_generation()
+        # Fold the cluster-adapted model back into the coordinator's pipeline.
+        self.pipeline.classifier.set_class_vectors(self.publication.class_matrix)
+        generation = self.publication.generation
+        for process in self._processes:
+            process.join(timeout=10.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - hung worker
+                # Workers ignore SIGTERM (shutdown is the coordinator's
+                # message-driven decision), so a hung one needs SIGKILL.
+                process.kill()
+                process.join(timeout=5.0)
+        self.publication.close()
+        self.publication = None
+        self._started = False
+        summaries = sorted((r.summary for r in reports), key=lambda s: s.worker_id)
+        return ClusterReport(
+            workers=list(summaries),
+            wall_seconds=time.perf_counter() - start,
+            sync_rounds=self.sync_rounds,
+            generation=generation,
+        )
+
+    def serve(
+        self,
+        packets: Iterable[Packet],
+        shutdown: Optional[GracefulShutdown] = None,
+    ) -> ClusterReport:
+        """End-to-end convenience: start, serve the stream, drain, report.
+
+        ``wall_seconds`` on the returned report covers dispatch through
+        drain -- the number the scaling benchmark compares against the
+        single-process path.  Any mid-run failure aborts the cluster
+        (shared memory freed, processes reaped) before propagating.
+        """
+        self.start()
+        start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            self.serve_packets(packets, shutdown=shutdown)
+            report = self.shutdown()
+        except BaseException:
+            self._abort()
+            raise
+        report.wall_seconds = time.perf_counter() - start
+        report.coordinator_cpu_seconds = time.process_time() - cpu_start
+        report.interrupted = shutdown is not None and shutdown.triggered
+        return report
+
+    # ------------------------------------------------------------- internals
+    def _abort(self) -> None:
+        """Tear the cluster down after a failure: reap processes, free shm.
+
+        Idempotent; safe to call after a partial ``shutdown``.  Uses
+        SIGKILL: workers ignore SIGTERM by design (shutdown is normally the
+        coordinator's message-driven decision).
+        """
+        for process in self._processes:
+            if process.is_alive():
+                process.kill()
+        for process in self._processes:
+            process.join(timeout=5.0)
+        if self.publication is not None:
+            self.publication.close()
+            self.publication = None
+        self._processes = []
+        self._inboxes = []
+        self._started = False
+
+    def _collect(self, kind, count: int, round_id: Optional[int]) -> List[Any]:
+        """Gather ``count`` messages of ``kind`` from the outbox, watching
+        worker liveness so a crashed replica fails fast instead of hanging
+        the coordinator forever."""
+        results: List[Any] = []
+        while len(results) < count:
+            try:
+                message = self._outbox.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [
+                    p.name
+                    for p in self._processes
+                    if not p.is_alive() and p.exitcode not in (0, None)
+                ]
+                if dead:
+                    raise RuntimeError(
+                        f"cluster worker(s) died during a collect: {dead}"
+                    )
+                continue
+            if not isinstance(message, kind):  # pragma: no cover - protocol bug
+                raise RuntimeError(
+                    f"expected {kind.__name__}, got {type(message).__name__}"
+                )
+            if round_id is not None and message.round_id != round_id:  # pragma: no cover
+                raise RuntimeError(
+                    f"round mismatch: expected {round_id}, got {message.round_id}"
+                )
+            results.append(message)
+        return results

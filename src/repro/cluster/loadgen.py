@@ -1,0 +1,310 @@
+"""Scenario-driven load generation for cluster (and single-process) serving.
+
+A benchmark number is only meaningful against a named workload.  This module
+defines a small library of packet-level traffic scenarios -- each a sequence
+of phases mixing :class:`repro.nids.packets.TrafficProfile` behaviours at
+controlled rates -- that the serving benchmarks and ``repro serve`` replay
+deterministically:
+
+``mixed_benign``
+    The steady-state baseline: the default profile mix, mostly benign.
+``ddos_burst``
+    Calm benign traffic, then a SYN-flood burst dominating the link, then
+    recovery -- the load-shedding/backpressure stressor.
+``port_scan_sweep``
+    A scanner walking thousands of ports; port-sweep flows fan out across
+    shards and exercise the port-diversity features.
+``low_and_slow_exfiltration``
+    Rare exfiltration flows stretched thin (long inter-arrivals, moderate
+    sizes) inside benign cover traffic -- the hard-to-spot class.
+``gradual_drift``
+    Benign and attack statistics morph phase by phase; the online-learning
+    stressor.  Its tabular companion preset is ``"drift_onset"``
+    (:data:`repro.datasets.synthetic.GENERATION_PRESETS`), so the eval
+    harness can study the same shift offline.
+
+Scenario profiles reuse the *names* of the default profiles (a ``replace()``
+of their statistics), so a pipeline trained on the default mix serves every
+scenario with a known label space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.base import NIDSDataset
+from repro.datasets.loaders import load_dataset
+from repro.datasets.synthetic import GenerationConfig
+from repro.exceptions import ConfigurationError
+from repro.nids.packets import DEFAULT_PROFILES, Packet, TrafficGenerator, TrafficProfile
+
+_PROFILE_BY_NAME: Dict[str, TrafficProfile] = {p.name: p for p in DEFAULT_PROFILES}
+
+
+def interpolate_profile(a: TrafficProfile, b: TrafficProfile, t: float) -> TrafficProfile:
+    """Linear interpolation of a profile's numeric statistics (``t=0`` -> a).
+
+    The drifted profile keeps ``a``'s name and flag behaviour: drift means
+    the *statistics* of a known behaviour move, not that a new label
+    appears.
+    """
+    if not 0.0 <= t <= 1.0:
+        raise ConfigurationError("interpolation factor t must be in [0, 1]")
+
+    def mix2(x: Tuple[float, float], y: Tuple[float, float]) -> Tuple[float, float]:
+        return ((1 - t) * x[0] + t * y[0], (1 - t) * x[1] + t * y[1])
+
+    return replace(
+        a,
+        packets_per_flow=mix2(a.packets_per_flow, b.packets_per_flow),
+        packet_length=mix2(a.packet_length, b.packet_length),
+        inter_arrival=mix2(a.inter_arrival, b.inter_arrival),
+        reply_ratio=(1 - t) * a.reply_ratio + t * b.reply_ratio,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioPhase:
+    """One contiguous stretch of a scenario's traffic.
+
+    Attributes
+    ----------
+    name:
+        Phase label (shows up in summaries).
+    flows:
+        Flows generated in this phase at ``flows_scale=1.0``.
+    profiles:
+        Traffic behaviours active during the phase.
+    weights:
+        Relative frequency per profile (defaults to the generator's
+        benign-heavy split).
+    gap_seconds:
+        Idle time appended after the phase, letting its flows expire before
+        the next phase starts (so phase boundaries are observable).
+    """
+
+    name: str
+    flows: int
+    profiles: Tuple[TrafficProfile, ...]
+    weights: Optional[Tuple[float, ...]] = None
+    gap_seconds: float = 30.0
+
+
+@dataclass(frozen=True)
+class LoadScenario:
+    """A named, phased, deterministic traffic workload.
+
+    Attributes
+    ----------
+    name, description:
+        Identity and one-line intent.
+    phases:
+        The phase sequence.
+    tabular_preset:
+        The :data:`~repro.datasets.synthetic.GENERATION_PRESETS` name of the
+        scenario's tabular companion (see :meth:`tabular_dataset`).
+    """
+
+    name: str
+    description: str
+    phases: Tuple[ScenarioPhase, ...]
+    tabular_preset: str = "paper"
+
+    # ------------------------------------------------------------------- API
+    def total_flows(self, flows_scale: float = 1.0) -> int:
+        """Flows the scenario generates at ``flows_scale``."""
+        return sum(max(1, round(p.flows * flows_scale)) for p in self.phases)
+
+    def build_packets(
+        self, seed: int = 0, flows_scale: float = 1.0, start_time: float = 0.0
+    ) -> List[Packet]:
+        """The scenario's time-ordered packet stream.
+
+        Deterministic given ``seed``; ``flows_scale`` scales every phase's
+        flow count (benchmarks use it to grow the workload without changing
+        its shape).
+        """
+        if flows_scale <= 0:
+            raise ConfigurationError("flows_scale must be positive")
+        packets: List[Packet] = []
+        t = float(start_time)
+        for index, phase in enumerate(self.phases):
+            generator = TrafficGenerator(
+                profiles=phase.profiles,
+                profile_weights=list(phase.weights) if phase.weights else None,
+                seed=seed * 1009 + index,
+            )
+            phase_packets = generator.generate(
+                max(1, round(phase.flows * flows_scale)), start_time=t
+            )
+            packets.extend(phase_packets)
+            t = phase_packets[-1].timestamp + phase.gap_seconds
+        return packets
+
+    def training_packets(self, n_flows: int = 300, seed: int = 0) -> List[Packet]:
+        """Training traffic covering the full default label space.
+
+        Training always uses the *default* profiles: a deployed detector is
+        trained on known behaviours, then confronted with the scenario's
+        shifted mix.
+        """
+        return TrafficGenerator(seed=seed).generate(n_flows)
+
+    def tabular_dataset(
+        self,
+        dataset: str = "nsl_kdd",
+        n_train: int = 2000,
+        n_test: int = 600,
+        seed: int = 0,
+    ) -> NIDSDataset:
+        """The scenario's tabular companion (same preset, offline workload)."""
+        return load_dataset(
+            dataset,
+            n_train=n_train,
+            n_test=n_test,
+            seed=seed,
+            config=GenerationConfig.preset(self.tabular_preset),
+        )
+
+
+def _benign_heavy(*names: str, benign_weight: float = 0.85) -> Tuple[Tuple[TrafficProfile, ...], Tuple[float, ...]]:
+    """The benign profile plus the named attacks, benign-dominated."""
+    attacks = [_PROFILE_BY_NAME[name] for name in names]
+    profiles = (_PROFILE_BY_NAME["benign"], *attacks)
+    weights = (benign_weight, *([(1 - benign_weight) / len(attacks)] * len(attacks)))
+    return profiles, weights
+
+
+def _build_scenarios() -> Dict[str, LoadScenario]:
+    benign = _PROFILE_BY_NAME["benign"]
+    syn_flood = _PROFILE_BY_NAME["syn_flood"]
+    port_scan = _PROFILE_BY_NAME["port_scan"]
+    exfiltration = _PROFILE_BY_NAME["exfiltration"]
+    bruteforce = _PROFILE_BY_NAME["ssh_bruteforce"]
+
+    calm_profiles, calm_weights = _benign_heavy(
+        "port_scan", "ssh_bruteforce", benign_weight=0.9
+    )
+
+    mixed_benign = LoadScenario(
+        name="mixed_benign",
+        description="steady-state default mix, mostly benign",
+        phases=(
+            ScenarioPhase(
+                name="steady",
+                flows=400,
+                profiles=DEFAULT_PROFILES,
+            ),
+        ),
+        tabular_preset="paper",
+    )
+
+    ddos_burst = LoadScenario(
+        name="ddos_burst",
+        description="benign baseline, SYN-flood burst, recovery",
+        phases=(
+            ScenarioPhase("baseline", 120, calm_profiles, calm_weights),
+            ScenarioPhase(
+                "burst",
+                200,
+                (benign, syn_flood),
+                (0.15, 0.85),
+                gap_seconds=10.0,
+            ),
+            ScenarioPhase("recovery", 80, calm_profiles, calm_weights),
+        ),
+        tabular_preset="paper",
+    )
+
+    sweep_scan = replace(port_scan, dst_ports=tuple(range(1, 4096, 3)))
+    port_scan_sweep = LoadScenario(
+        name="port_scan_sweep",
+        description="scanner sweeping thousands of ports under benign cover",
+        phases=(
+            ScenarioPhase("cover", 100, calm_profiles, calm_weights),
+            ScenarioPhase("sweep", 180, (benign, sweep_scan), (0.45, 0.55)),
+        ),
+        tabular_preset="clean",
+    )
+
+    slow_exfil = replace(
+        exfiltration,
+        packets_per_flow=(70.0, 18.0),
+        packet_length=(900.0, 180.0),
+        inter_arrival=(0.8, 0.3),
+    )
+    low_and_slow = LoadScenario(
+        name="low_and_slow_exfiltration",
+        description="rare, slow exfiltration flows hidden in benign traffic",
+        phases=(
+            ScenarioPhase(
+                "covert",
+                320,
+                (benign, bruteforce, slow_exfil),
+                (0.9, 0.04, 0.06),
+            ),
+        ),
+        tabular_preset="hard",
+    )
+
+    drifted_benign = replace(
+        benign,
+        packet_length=(980.0, 400.0),
+        inter_arrival=(0.03, 0.015),
+        packets_per_flow=(26.0, 10.0),
+    )
+    drifted_bruteforce = replace(
+        bruteforce,
+        packet_length=(220.0, 70.0),
+        inter_arrival=(0.12, 0.05),
+        packets_per_flow=(40.0, 9.0),
+    )
+    drift_phases = []
+    for index, t in enumerate((0.0, 0.33, 0.67, 1.0)):
+        drift_phases.append(
+            ScenarioPhase(
+                name=f"drift_{index}",
+                flows=110,
+                profiles=(
+                    interpolate_profile(benign, drifted_benign, t),
+                    interpolate_profile(bruteforce, drifted_bruteforce, t),
+                    port_scan,
+                ),
+                weights=(0.75, 0.15, 0.10),
+            )
+        )
+    gradual_drift = LoadScenario(
+        name="gradual_drift",
+        description="benign and attack statistics morph phase by phase",
+        phases=tuple(drift_phases),
+        tabular_preset="drift_onset",
+    )
+
+    scenarios = (
+        mixed_benign,
+        ddos_burst,
+        port_scan_sweep,
+        low_and_slow,
+        gradual_drift,
+    )
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+#: The scenario registry, keyed by name.
+SCENARIOS: Dict[str, LoadScenario] = _build_scenarios()
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> LoadScenario:
+    """Look a scenario up by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown load scenario {name!r}; available: {scenario_names()}"
+        ) from exc

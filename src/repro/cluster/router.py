@@ -1,0 +1,118 @@
+"""Shard routing: the flow 5-tuple -> worker mapping.
+
+Sharded serving only works if *every* packet of a flow reaches the same
+worker: flow assembly is stateful (the :class:`repro.nids.flow.FlowTable`
+accumulates running aggregates per 5-tuple), so splitting one flow across
+replicas would corrupt its statistics.  The :class:`ShardRouter` therefore
+hashes the **canonical bidirectional flow key** -- both directions of a
+connection map to the same worker -- with a hash that is stable across
+processes and interpreter runs (Python's builtin ``hash`` is salted per
+process and is useless here).
+
+Routing uses a consistent-hash ring with virtual nodes: each worker owns
+``vnodes`` pseudo-random points on a 64-bit ring, and a key belongs to the
+worker owning the first ring point clockwise of the key's hash.  Compared to
+``hash(key) % n_workers``, resizing the cluster from ``n`` to ``n+1`` workers
+remaps only ``~1/(n+1)`` of the keyspace instead of nearly all of it -- the
+property that lets a deployment scale workers without re-homing (and
+re-assembling) every active flow.
+"""
+
+from __future__ import annotations
+
+import bisect
+from hashlib import blake2b
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.nids.flow import FlowKey
+from repro.nids.packets import Packet
+
+_HASH_BITS = 64
+
+
+def stable_hash64(text: str) -> int:
+    """A process-stable 64-bit hash of ``text`` (blake2b, not salted)."""
+    return int.from_bytes(blake2b(text.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+def flow_key_token(key: FlowKey) -> str:
+    """The canonical string hashed for routing (direction-independent)."""
+    return f"{key.ip_a}:{key.port_a}|{key.ip_b}:{key.port_b}|{key.protocol}"
+
+
+class ShardRouter:
+    """Consistent-hash router from flow keys to worker shards.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of shards.
+    vnodes:
+        Virtual nodes per worker.  More vnodes smooth the load distribution
+        (the standard deviation of shard sizes shrinks roughly with
+        ``1/sqrt(vnodes)``) at a small memory cost in the ring.
+    """
+
+    def __init__(self, n_workers: int, vnodes: int = 64):
+        if n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        if vnodes < 1:
+            raise ConfigurationError("vnodes must be >= 1")
+        self.n_workers = int(n_workers)
+        self.vnodes = int(vnodes)
+        points: List[Tuple[int, int]] = []
+        for worker in range(self.n_workers):
+            for replica in range(self.vnodes):
+                points.append((stable_hash64(f"shard:{worker}:vnode:{replica}"), worker))
+        points.sort()
+        self._ring_hashes = [h for h, _ in points]
+        self._ring_workers = [w for _, w in points]
+
+    # ------------------------------------------------------------------- API
+    def shard_for_key(self, key: FlowKey) -> int:
+        """The worker owning ``key``'s state."""
+        return self._shard_for_hash(stable_hash64(flow_key_token(key)))
+
+    def shard_for_packet(self, packet: Packet) -> int:
+        """The worker that must receive ``packet`` (via its canonical key)."""
+        return self.shard_for_key(FlowKey.from_packet(packet))
+
+    def partition_packets(self, packets: Sequence[Packet]) -> List[List[Packet]]:
+        """Split a time-ordered packet batch into per-worker sub-batches.
+
+        Relative packet order is preserved within each shard, which is all
+        the flow tables need (their time-order contract is per flow, and a
+        flow lives entirely inside one shard).
+        """
+        shards: List[List[Packet]] = [[] for _ in range(self.n_workers)]
+        # Memoize per unique flow key: streams revisit the same flows
+        # constantly, and the token formatting + blake2b hash are the
+        # expensive part (this is the coordinator's fan-out hot path).
+        cache: Dict[FlowKey, int] = {}
+        for packet in packets:
+            key = FlowKey.from_packet(packet)
+            shard = cache.get(key)
+            if shard is None:
+                shard = cache[key] = self.shard_for_key(key)
+            shards[shard].append(packet)
+        return shards
+
+    def owns(self, worker_id: int):
+        """An ownership predicate for ``FlowTable(shard_guard=...)``."""
+        if not 0 <= worker_id < self.n_workers:
+            raise ConfigurationError(
+                f"worker_id must be in [0, {self.n_workers}), got {worker_id}"
+            )
+
+        def guard(key: FlowKey) -> bool:
+            return self.shard_for_key(key) == worker_id
+
+        return guard
+
+    # ------------------------------------------------------------- internals
+    def _shard_for_hash(self, h: int) -> int:
+        idx = bisect.bisect_right(self._ring_hashes, h)
+        if idx == len(self._ring_hashes):
+            idx = 0  # wrap around the ring
+        return self._ring_workers[idx]

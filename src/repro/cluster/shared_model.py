@@ -1,0 +1,289 @@
+"""Zero-copy model publication over ``multiprocessing.shared_memory``.
+
+The heavy tensors of a trained HDC pipeline -- the encoder projection
+(``(D, F)`` bases plus phases) and the ``(k, D)`` class-hypervector matrix --
+are identical in every worker replica.  Instead of pickling them to each
+worker process, the coordinator publishes them once in named shared-memory
+blocks; workers attach and build their pipeline replica with NumPy views
+directly over the shared buffers (:func:`repro.persistence.pipeline_from_state`
+with ``copy_arrays=False``), so N workers cost one copy of the encoder no
+matter how large ``D`` grows.
+
+Ownership rules (enforced by convention + the replica build):
+
+* **Encoder tensors** are shared read-only.  Workers never regenerate
+  dimensions locally -- drift-time regeneration is a coordinator-level
+  operation (it would rewrite the shared bases under every replica's feet).
+* **The published class matrix** is written only by the coordinator (merge
+  rounds).  Each worker's classifier trains on a *private copy*; the
+  attach path re-copies the published matrix into the replica so
+  ``partial_fit`` never touches the shared block.
+* **The generation counter** (a one-int64 meta block) increments on every
+  republish; replicas record the generation they rebased from, which makes
+  staleness observable end to end.
+
+Lifecycle: the coordinator ``close()``es *and* ``unlink()``s; workers only
+``close()``.  Attaching unregisters the segment from the worker's
+``resource_tracker`` (CPython < 3.13 registers on attach as well as create,
+which would otherwise tear shared blocks down when the first worker exits).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hdc.backend import row_norms
+from repro.nids.pipeline import DetectionPipeline
+from repro.persistence import pipeline_from_state, pipeline_state_dict
+
+#: State-dict keys whose arrays are published in shared memory; everything
+#: else (string tables, scalar params, the scaler's two small vectors) rides
+#: along by value in the picklable spec.  The aliases keep block names well
+#: under macOS's 31-character POSIX shared-memory name limit.
+_SHARED_KEYS = {
+    "class_hypervectors": "chv",
+    "encoder_bases": "eb",
+    "encoder_phases": "ep",
+}
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker ownership.
+
+    CPython < 3.13 registers *attachments* with the resource tracker as if
+    they were creations (gh-82300); under the ``fork`` start method the
+    tracker process is shared with the coordinator, so letting the
+    attachment register -- or unregistering it afterwards -- corrupts the
+    creator's bookkeeping.  Suppressing registration for the duration of the
+    attach leaves exactly one owner: the coordinator's publication.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    except ImportError:  # pragma: no cover - non-posix fallback
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class SharedBlockSpec:
+    """Addressing information for one published array."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    def view(self, block: shared_memory.SharedMemory) -> np.ndarray:
+        """A NumPy view over the block's buffer."""
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=block.buf)
+
+
+@dataclass(frozen=True)
+class PublicationSpec:
+    """Everything a worker needs to attach and build its replica (picklable)."""
+
+    blocks: Dict[str, SharedBlockSpec]
+    norms_block: SharedBlockSpec
+    meta_block_name: str
+    small_state: Dict[str, np.ndarray] = field(repr=False)
+
+
+class ModelPublication:
+    """Coordinator-side owner of the shared-memory model blocks.
+
+    Parameters
+    ----------
+    pipeline:
+        The trained :class:`DetectionPipeline` to publish.
+    name_prefix:
+        Optional shared-memory name prefix (a random token is appended so
+        concurrent clusters never collide).
+    """
+
+    def __init__(self, pipeline: DetectionPipeline, name_prefix: str = "rp"):
+        state = pipeline_state_dict(pipeline)
+        # Short names: macOS limits POSIX shm names to 31 chars (incl. the
+        # leading slash); "rp-<6 hex>-chv" stays comfortably inside.
+        token = f"{name_prefix}-{secrets.token_hex(3)}"
+        self._blocks: Dict[str, shared_memory.SharedMemory] = {}
+        self._specs: Dict[str, SharedBlockSpec] = {}
+        created: list = []
+
+        def create_block(name: str, size: int) -> shared_memory.SharedMemory:
+            block = shared_memory.SharedMemory(create=True, size=max(1, size), name=name)
+            created.append(block)
+            return block
+
+        small: Dict[str, np.ndarray] = {}
+        try:
+            for key, array in state.items():
+                alias = _SHARED_KEYS.get(key)
+                if alias is not None:
+                    array = np.ascontiguousarray(array)
+                    block = create_block(f"{token}-{alias}", array.nbytes)
+                    spec = SharedBlockSpec(block.name, array.shape, array.dtype.name)
+                    spec.view(block)[...] = array
+                    self._blocks[key] = block
+                    self._specs[key] = spec
+                else:
+                    small[key] = np.asarray(array)
+            classes = self.class_matrix
+            norms = row_norms(classes).astype(classes.dtype, copy=False)
+            self._norms_block = create_block(f"{token}-cn", norms.nbytes)
+            self._norms_spec = SharedBlockSpec(
+                self._norms_block.name, norms.shape, norms.dtype.name
+            )
+            self._norms_spec.view(self._norms_block)[...] = norms
+            self._meta_block = create_block(f"{token}-mt", 8)
+        except BaseException:
+            # A partial publication must not outlive its constructor --
+            # /dev/shm exhaustion would otherwise compound on every retry.
+            for block in created:
+                block.close()
+                try:
+                    block.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            raise
+        self._meta_view = np.ndarray((1,), dtype=np.int64, buffer=self._meta_block.buf)
+        self._meta_view[0] = 0
+        self._small_state = small
+        self._closed = False
+
+    # ------------------------------------------------------------------- API
+    @property
+    def class_matrix(self) -> np.ndarray:
+        """Writable view of the published ``(k, D)`` class matrix."""
+        return self._specs["class_hypervectors"].view(
+            self._blocks["class_hypervectors"]
+        )
+
+    @property
+    def class_norms(self) -> np.ndarray:
+        """Writable view of the published cached class norms."""
+        return self._norms_spec.view(self._norms_block)
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter incremented on every republish."""
+        return int(self._meta_view[0])
+
+    def spec(self) -> PublicationSpec:
+        """The picklable attach handle shipped to worker processes."""
+        return PublicationSpec(
+            blocks=dict(self._specs),
+            norms_block=self._norms_spec,
+            meta_block_name=self._meta_block.name,
+            small_state=dict(self._small_state),
+        )
+
+    def bump_generation(self) -> int:
+        """Mark the published model as updated; returns the new generation."""
+        self._meta_view[0] += 1
+        return int(self._meta_view[0])
+
+    def close(self, unlink: bool = True) -> None:
+        """Detach (and, as the owner, destroy) every shared block."""
+        if self._closed:
+            return
+        self._closed = True
+        self._meta_view = None
+        for block in [*self._blocks.values(), self._norms_block, self._meta_block]:
+            block.close()
+            if unlink:
+                try:
+                    block.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def __enter__(self) -> "ModelPublication":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AttachedPublication:
+    """Worker-side attachment to a :class:`ModelPublication`."""
+
+    def __init__(self, spec: PublicationSpec):
+        self.spec = spec
+        self._blocks = {key: _attach_block(b.name) for key, b in spec.blocks.items()}
+        self._norms_block = _attach_block(spec.norms_block.name)
+        self._meta_block = _attach_block(spec.meta_block_name)
+        self._meta_view = np.ndarray((1,), dtype=np.int64, buffer=self._meta_block.buf)
+
+    # ------------------------------------------------------------------- API
+    @property
+    def class_matrix(self) -> np.ndarray:
+        """Read-only view of the published class matrix."""
+        view = self.spec.blocks["class_hypervectors"].view(
+            self._blocks["class_hypervectors"]
+        )
+        view.flags.writeable = False
+        return view
+
+    @property
+    def class_norms(self) -> np.ndarray:
+        """Read-only view of the published class norms."""
+        view = self.spec.norms_block.view(self._norms_block)
+        view.flags.writeable = False
+        return view
+
+    @property
+    def generation(self) -> int:
+        """Current published generation."""
+        return int(self._meta_view[0])
+
+    def build_replica(self) -> DetectionPipeline:
+        """A full pipeline replica over the shared tensors.
+
+        The encoder's projection tensors are zero-copy views of the shared
+        blocks; the classifier's class matrix (the part ``partial_fit``
+        mutates) is re-copied into private memory, as are its cached norms.
+        """
+        state: Dict[str, np.ndarray] = dict(self.spec.small_state)
+        for key, block_spec in self.spec.blocks.items():
+            state[key] = block_spec.view(self._blocks[key])
+        pipeline = pipeline_from_state(state, copy_arrays=False)
+        classifier = pipeline.classifier
+        # Privatize the trainable state; everything else stays shared.
+        classifier.class_hypervectors_ = np.array(self.class_matrix, copy=True)
+        classifier._class_norms = np.array(self.class_norms, copy=True)
+        return pipeline
+
+    def refresh_replica(self, classifier) -> int:
+        """Rebase a replica's classifier onto the currently published model.
+
+        Returns the generation the replica is now based on.
+        """
+        classifier.set_class_vectors(self.class_matrix)
+        if getattr(classifier, "_class_norms", None) is not None:
+            classifier._class_norms[:] = self.class_norms
+        return self.generation
+
+    def close(self) -> None:
+        """Detach from every block (never unlinks; the coordinator owns them)."""
+        self._meta_view = None
+        for block in [*self._blocks.values(), self._norms_block, self._meta_block]:
+            try:
+                block.close()
+            except Exception:  # pragma: no cover - double close on teardown
+                pass
+
+    def __enter__(self) -> "AttachedPublication":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

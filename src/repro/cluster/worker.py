@@ -1,0 +1,341 @@
+"""Cluster worker: one sharded serving replica in its own process.
+
+Each worker hosts a *complete* packets->alerts pipeline -- shard-guarded flow
+table, feature extraction, classification against the shared-memory model
+replica, alerting -- plus the online-learning half of the cluster contract:
+``partial_fit`` updates accumulate in the replica's **private** class-matrix
+copy, and on a sync round the worker reports the delta against the base it
+last rebased from.  The coordinator merges deltas additively and republishes;
+the worker then rebases onto the merged model and keeps serving.
+
+:class:`WorkerRuntime` holds all of that logic in-process (the equivalence
+tests drive it directly, deterministically); :func:`cluster_worker_main` is
+the thin message loop that ``multiprocessing.Process`` runs around it.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.router import ShardRouter
+from repro.cluster.shared_model import AttachedPublication, PublicationSpec
+from repro.nids.flow import FlowTable
+from repro.nids.packets import Packet
+from repro.serving.stages import FlowAssemblyStage, ServingBatch, run_stages
+from repro.serving.telemetry import TelemetryRecorder
+
+
+# --------------------------------------------------------------- wire format
+@dataclass(frozen=True)
+class PacketBatch:
+    """One routed batch of packets for a worker's shard."""
+
+    seq: int
+    packets: List[Packet]
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """Coordinator asks for the worker's class-vector delta."""
+
+    round_id: int
+
+
+@dataclass(frozen=True)
+class Rebase:
+    """Coordinator republished the merged model; rebase onto it."""
+
+    round_id: int
+    generation: int
+
+
+@dataclass(frozen=True)
+class Stop:
+    """Drain, flush, report and exit."""
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """A worker's accumulated class-matrix update since its last rebase."""
+
+    worker_id: int
+    round_id: int
+    delta: np.ndarray
+    online_updates: int
+    online_samples: int
+
+
+@dataclass
+class WorkerSummary:
+    """Per-worker serving statistics shipped back at shutdown.
+
+    Two busy measures are kept deliberately.  ``busy_seconds`` is wall time
+    inside batch processing: on an oversubscribed host it includes time the
+    scheduler gave to sibling processes, so it describes *this run*, not the
+    replica.  ``busy_cpu_seconds`` is the process CPU time actually consumed
+    by the same work: it equals wall time once the worker has a core to
+    itself, which makes ``flows / busy_cpu_seconds`` the replica's sustained
+    per-core rate -- the quantity the scaling benchmark aggregates.
+    """
+
+    worker_id: int
+    packets: int = 0
+    flows: int = 0
+    alerts: int = 0
+    batches: int = 0
+    busy_seconds: float = 0.0
+    busy_cpu_seconds: float = 0.0
+    online_updates: int = 0
+    online_samples: int = 0
+    rebase_generation: int = 0
+    telemetry: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    severities: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def flow_throughput(self) -> float:
+        """Flows served per busy CPU second (the replica's per-core rate)."""
+        return self.flows / self.busy_cpu_seconds if self.busy_cpu_seconds > 0 else 0.0
+
+    @property
+    def packet_throughput(self) -> float:
+        """Packets ingested per busy CPU second."""
+        return self.packets / self.busy_cpu_seconds if self.busy_cpu_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view."""
+        return {
+            "worker_id": self.worker_id,
+            "packets": self.packets,
+            "flows": self.flows,
+            "alerts": self.alerts,
+            "batches": self.batches,
+            "busy_seconds": self.busy_seconds,
+            "busy_cpu_seconds": self.busy_cpu_seconds,
+            "flows_per_cpu_second": self.flow_throughput,
+            "packets_per_cpu_second": self.packet_throughput,
+            "online_updates": self.online_updates,
+            "online_samples": self.online_samples,
+            "rebase_generation": self.rebase_generation,
+            "telemetry": self.telemetry,
+            "severities": self.severities,
+        }
+
+
+@dataclass(frozen=True)
+class FinalReport:
+    """Shutdown payload: final statistics plus any unsynced delta."""
+
+    summary: WorkerSummary
+    final_delta: Optional[np.ndarray]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Picklable bootstrap for one worker process."""
+
+    worker_id: int
+    n_workers: int
+    spec: PublicationSpec
+    online: bool = False
+    idle_timeout: float = 5.0
+    vnodes: int = 64
+    enforce_shard_guard: bool = True
+
+
+# ------------------------------------------------------------------- runtime
+class WorkerRuntime:
+    """The serving + online-learning logic of one shard replica.
+
+    Parameters
+    ----------
+    worker_id, n_workers:
+        This shard's identity and the cluster size (for the router guard).
+    attached:
+        The worker's attachment to the coordinator's model publication.
+    online:
+        Fold known-label flows into the private replica via ``partial_fit``.
+        Local drift-triggered regeneration is deliberately unsupported: the
+        encoder tensors are shared read-only across replicas.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        n_workers: int,
+        attached: AttachedPublication,
+        online: bool = False,
+        idle_timeout: float = 5.0,
+        vnodes: int = 64,
+        enforce_shard_guard: bool = True,
+    ):
+        self.worker_id = int(worker_id)
+        self.attached = attached
+        self.online = bool(online)
+        self.pipeline = attached.build_replica()
+        self.classifier = self.pipeline.classifier
+        router = ShardRouter(n_workers, vnodes=vnodes)
+        guard = router.owns(self.worker_id) if enforce_shard_guard and n_workers > 1 else None
+        self.table = FlowTable(idle_timeout=idle_timeout, shard_guard=guard)
+        self.telemetry = TelemetryRecorder()
+        self.stages = [FlowAssemblyStage(self.table), *self.pipeline.stages]
+        self.summary = WorkerSummary(worker_id=self.worker_id)
+        self.summary.rebase_generation = attached.generation
+        self._base = (
+            self.classifier.class_vector_snapshot() if self.online else None
+        )
+
+    # ------------------------------------------------------------------- API
+    def handle_packets(self, packets: List[Packet]) -> ServingBatch:
+        """Serve one routed packet batch through the full stage chain."""
+        start = time.perf_counter()
+        cpu_start = time.process_time()
+        batch = ServingBatch(packets=list(packets))
+        run_stages(self.stages, batch, self.telemetry)
+        if self.online and batch.n_flows:
+            self._learn(batch)
+        self._account(
+            batch, time.perf_counter() - start, time.process_time() - cpu_start
+        )
+        return batch
+
+    def handle_flows(self, flows) -> ServingBatch:
+        """Serve pre-assembled flows (the flow-level equivalence-test path)."""
+        start = time.perf_counter()
+        cpu_start = time.process_time()
+        batch = ServingBatch(flows=list(flows))
+        run_stages(self.pipeline.stages, batch, self.telemetry)
+        if self.online and batch.n_flows:
+            self._learn(batch)
+        self._account(
+            batch, time.perf_counter() - start, time.process_time() - cpu_start
+        )
+        return batch
+
+    def compute_delta(self) -> np.ndarray:
+        """The class-matrix update accumulated since the last rebase."""
+        if self._base is None:
+            return np.zeros_like(self.classifier.class_hypervectors_)
+        return self.classifier.class_vector_delta(self._base)
+
+    def rebase(self) -> int:
+        """Adopt the currently published (merged) model as the new base."""
+        generation = self.attached.refresh_replica(self.classifier)
+        if self.online:
+            self._base = self.classifier.class_vector_snapshot()
+        self.summary.rebase_generation = generation
+        return generation
+
+    def finalize(self) -> WorkerSummary:
+        """Flush stateful stages (classifying still-active flows) and report."""
+        start = time.perf_counter()
+        cpu_start = time.process_time()
+        batch = ServingBatch()
+        for stage in self.stages:
+            stage.run(batch, self.telemetry)
+            stage.flush(batch)
+        if self.online and batch.n_flows:
+            self._learn(batch)
+        self._account(
+            batch, time.perf_counter() - start, time.process_time() - cpu_start
+        )
+        self.summary.telemetry = self.telemetry.to_dict()
+        severities: Dict[str, int] = {}
+        for stage in self.stages:
+            manager = getattr(stage, "alert_manager", None)
+            if manager is not None:
+                for severity, count in manager.count_by_severity().items():
+                    severities[severity] = severities.get(severity, 0) + count
+        self.summary.severities = severities
+        return self.summary
+
+    # ------------------------------------------------------------- internals
+    def _learn(self, batch: ServingBatch) -> None:
+        """Fold the batch's known-label flows into the private replica.
+
+        One deterministic ``partial_fit`` pass in arrival order over the
+        pipeline's shared ``batch_training_data`` fold -- the same kernel
+        and label handling as single-process online serving, which is what
+        makes the cluster's merged model comparable to the single-process
+        one.
+        """
+        data = self.pipeline.batch_training_data(batch)
+        if data is None:
+            return
+        X, y = data
+        self.classifier.partial_fit(X, y)
+        self.summary.online_updates += 1
+        self.summary.online_samples += int(y.shape[0])
+
+    def _account(self, batch: ServingBatch, seconds: float, cpu_seconds: float) -> None:
+        self.summary.packets += len(batch.packets)
+        self.summary.flows += batch.n_flows
+        self.summary.alerts += len(batch.alerts)
+        self.summary.batches += 1
+        self.summary.busy_seconds += seconds
+        self.summary.busy_cpu_seconds += cpu_seconds
+        self.telemetry.record_items(batch.n_flows)
+
+
+def cluster_worker_main(config: WorkerConfig, inbox, outbox) -> None:
+    """Process entry point: attach, serve the message loop, report, exit.
+
+    The coordinator guarantees the inbox protocol: any number of
+    :class:`PacketBatch` messages, interleaved with
+    :class:`SyncRequest`/:class:`Rebase` pairs, terminated by one
+    :class:`Stop`.  Queue FIFO ordering makes a sync round a consistent cut:
+    the delta covers exactly the batches dispatched before it.
+    """
+    # The operator's Ctrl-C is delivered to the whole foreground process
+    # group.  Shutdown is the *coordinator's* decision (its GracefulShutdown
+    # handler stops ingest and sends Stop); a worker that reacted to the
+    # signal itself would die mid-drain and break the drain-and-exit-0
+    # contract -- visibly so under the spawn start method, where workers do
+    # not inherit the coordinator's handlers.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    attached = AttachedPublication(config.spec)
+    try:
+        runtime = WorkerRuntime(
+            config.worker_id,
+            config.n_workers,
+            attached,
+            online=config.online,
+            idle_timeout=config.idle_timeout,
+            vnodes=config.vnodes,
+            enforce_shard_guard=config.enforce_shard_guard,
+        )
+        while True:
+            message = inbox.get()
+            if isinstance(message, PacketBatch):
+                runtime.handle_packets(message.packets)
+            elif isinstance(message, SyncRequest):
+                outbox.put(
+                    DeltaReport(
+                        worker_id=config.worker_id,
+                        round_id=message.round_id,
+                        delta=runtime.compute_delta(),
+                        online_updates=runtime.summary.online_updates,
+                        online_samples=runtime.summary.online_samples,
+                    )
+                )
+            elif isinstance(message, Rebase):
+                runtime.rebase()
+            elif isinstance(message, Stop):
+                summary = runtime.finalize()
+                # Computed after finalize() so the shipped delta includes
+                # anything learned from the flushed flows.
+                final_delta = runtime.compute_delta() if config.online else None
+                outbox.put(FinalReport(summary=summary, final_delta=final_delta))
+                break
+            else:  # pragma: no cover - protocol violation
+                raise RuntimeError(f"worker received unknown message {message!r}")
+    finally:
+        attached.close()

@@ -15,13 +15,19 @@ from repro.datasets.base import NIDSDataset
 from repro.datasets.loaders import available_datasets, load_dataset
 from repro.datasets.preprocessing import MinMaxScaler, OneHotEncoder, Preprocessor, StandardScaler
 from repro.datasets.schema import ClassSpec, DatasetSchema, FeatureSpec
-from repro.datasets.synthetic import SyntheticFlowGenerator
+from repro.datasets.synthetic import (
+    GENERATION_PRESETS,
+    GenerationConfig,
+    SyntheticFlowGenerator,
+)
 
 __all__ = [
     "NIDSDataset",
     "DatasetSchema",
     "FeatureSpec",
     "ClassSpec",
+    "GENERATION_PRESETS",
+    "GenerationConfig",
     "SyntheticFlowGenerator",
     "Preprocessor",
     "MinMaxScaler",

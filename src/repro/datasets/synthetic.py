@@ -22,7 +22,7 @@ Everything is deterministic given the seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -77,6 +77,62 @@ class GenerationConfig:
         check_probability(self.nonlinear_fraction, "nonlinear_fraction")
         return self
 
+    @classmethod
+    def preset(cls, name: str) -> "GenerationConfig":
+        """A named generation preset (see :data:`GENERATION_PRESETS`).
+
+        Presets give the load-generation scenario library and the eval
+        harness a shared vocabulary: a packet-level serving scenario and its
+        tabular companion dataset reference the same preset name.
+        """
+        try:
+            base = GENERATION_PRESETS[name]
+        except KeyError as exc:
+            raise DatasetError(
+                f"unknown generation preset {name!r}; available: "
+                f"{sorted(GENERATION_PRESETS)}"
+            ) from exc
+        return replace(base)
+
+    def interpolate(self, other: "GenerationConfig", t: float) -> "GenerationConfig":
+        """Linear interpolation between two configs (``t=0`` -> self).
+
+        Used by drift scenarios: a stream whose generation statistics move
+        gradually from one preset to another is built by sampling phases at
+        increasing ``t``.
+        """
+        if not 0.0 <= t <= 1.0:
+            raise DatasetError("interpolation factor t must be in [0, 1]")
+
+        def mix(a: float, b: float) -> float:
+            return (1.0 - t) * a + t * b
+
+        return GenerationConfig(
+            separability=mix(self.separability, other.separability),
+            noise_scale=mix(self.noise_scale, other.noise_scale),
+            label_noise=mix(self.label_noise, other.label_noise),
+            categorical_concentration=mix(
+                self.categorical_concentration, other.categorical_concentration
+            ),
+            nonlinear_fraction=mix(self.nonlinear_fraction, other.nonlinear_fraction),
+        ).validate()
+
+
+#: Named generation presets.  "paper" matches the calibration the accuracy
+#: experiments use; "clean"/"hard" bracket it (easier separation vs noisier,
+#: less separable traffic); "drift_onset" is the end-state config drift
+#: scenarios interpolate toward (blurrier classes, more labeling error --
+#: the operational symptom of a traffic mix the training distribution no
+#: longer describes).
+GENERATION_PRESETS: Dict[str, GenerationConfig] = {
+    "paper": GenerationConfig(),
+    "clean": GenerationConfig(separability=4.0, noise_scale=0.8, label_noise=0.0),
+    "hard": GenerationConfig(separability=2.2, noise_scale=1.3, label_noise=0.04),
+    "drift_onset": GenerationConfig(
+        separability=2.0, noise_scale=1.5, label_noise=0.05, nonlinear_fraction=0.45
+    ),
+}
+
 
 class SyntheticFlowGenerator:
     """Draws schema-faithful synthetic flows for one dataset.
@@ -104,6 +160,13 @@ class SyntheticFlowGenerator:
         self._n_numeric = len(schema.numeric_features)
         self._n_categorical = len(schema.categorical_features)
         self._build_class_models()
+
+    @classmethod
+    def from_preset(
+        cls, schema: DatasetSchema, preset: str, seed: SeedLike = None
+    ) -> "SyntheticFlowGenerator":
+        """A generator configured from a named preset (see ``GENERATION_PRESETS``)."""
+        return cls(schema, config=GenerationConfig.preset(preset), seed=seed)
 
     # ------------------------------------------------------------ internals
     def _build_class_models(self) -> None:

@@ -21,6 +21,12 @@ the paper's efficiency argument is built on:
     hypervector norms are computed once per *update* instead of once per
     mini-batch (see :func:`repro.hdc.similarity.cosine_similarity_matrix`).
 
+``merge_class_deltas``
+    The cluster aggregation rule: additive merge of per-replica class-matrix
+    deltas with row-granular cached-norm invalidation (the property that
+    makes HDC online learning shard across worker processes exactly; see
+    :mod:`repro.cluster`).
+
 ``QuantizedClassMatrix``
     An int8-quantized (any supported bitwidth, really) inference path that
     reuses :mod:`repro.hdc.quantization` and pre-computes the row norms of
@@ -35,7 +41,7 @@ root.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -211,6 +217,58 @@ def update_row_norms(
     return norms
 
 
+def merge_class_deltas(
+    class_hypervectors: np.ndarray,
+    deltas: Sequence[np.ndarray],
+    class_norms: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Fold per-replica class-matrix deltas into a base matrix in place.
+
+    This is the cluster aggregation rule: HDC class hypervectors are sums of
+    (weighted) sample hypervectors, so the updates accumulated by independent
+    replicas -- each ``delta = replica_matrix - base_matrix`` -- merge
+    *exactly* by addition, something few model families allow.  The merged
+    matrix equals applying every replica's ``partial_fit`` stream to the
+    base, where each replica's updates were computed against the base state
+    (round-synchronous semantics; see ``docs/cluster.md``).
+
+    Parameters
+    ----------
+    class_hypervectors:
+        ``(k, D)`` base class matrix, updated in place.
+    deltas:
+        Iterable of ``(k, D)`` delta matrices (one per replica).  Deltas of
+        mismatched shape are rejected.
+    class_norms:
+        Optional cached ``(k,)`` norm vector; only the rows any delta
+        actually touched are recomputed (the same invalidation contract as
+        :func:`update_row_norms`).
+
+    Returns
+    -------
+    ndarray
+        The merged ``class_hypervectors`` (same array object).
+    """
+    touched = np.zeros(class_hypervectors.shape[0], dtype=bool)
+    for delta in deltas:
+        delta = np.asarray(delta)
+        if delta.shape != class_hypervectors.shape:
+            raise ConfigurationError(
+                f"delta shape {delta.shape} does not match class matrix shape "
+                f"{class_hypervectors.shape}"
+            )
+        rows = np.any(delta != 0, axis=1)
+        if not np.any(rows):
+            continue
+        class_hypervectors[rows] += delta[rows].astype(
+            class_hypervectors.dtype, copy=False
+        )
+        touched |= rows
+    if class_norms is not None:
+        update_row_norms(class_norms, class_hypervectors, np.flatnonzero(touched))
+    return class_hypervectors
+
+
 # -------------------------------------------------------- quantized inference
 @dataclass
 class QuantizedClassMatrix:
@@ -290,5 +348,6 @@ __all__ = [
     "segment_min_max",
     "row_norms",
     "update_row_norms",
+    "merge_class_deltas",
     "QuantizedClassMatrix",
 ]

@@ -141,6 +141,76 @@ class BaseClassifier(abc.ABC):
         check_fitted(self, "classes_")
         return int(self.classes_.shape[0])
 
+    # ------------------------------------------------- replica/delta support
+    # The cluster subsystem (repro.cluster) runs model replicas in worker
+    # processes and merges their online-learning updates additively.  These
+    # hooks expose the class-vector state needed for that: HDC models carry
+    # their learned state in `class_hypervectors_` (plus the cached-norm and
+    # quantized-inference caches that must be invalidated on any change).
+    def _require_class_vectors(self) -> np.ndarray:
+        matrix = getattr(self, "class_hypervectors_", None)
+        if matrix is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not expose class-vector state "
+                "(replica deltas are an HDC-model capability)"
+            )
+        return matrix
+
+    def class_vector_snapshot(self) -> np.ndarray:
+        """A private copy of the current class-vector matrix.
+
+        Replicas take a snapshot at rebase time so a later
+        :meth:`class_vector_delta` isolates exactly the updates folded in
+        since.
+        """
+        return self._require_class_vectors().copy()
+
+    def class_vector_delta(self, base: np.ndarray) -> np.ndarray:
+        """The class-matrix update accumulated since ``base`` was snapshot.
+
+        Because HDC class hypervectors aggregate additively, this delta can
+        be merged into any model that still holds ``base`` (or ``base`` plus
+        other replicas' deltas) without loss -- the cluster coordinator's
+        merge rule (:func:`repro.hdc.backend.merge_class_deltas`).
+        """
+        matrix = self._require_class_vectors()
+        base = np.asarray(base)
+        if base.shape != matrix.shape:
+            raise ConfigurationError(
+                f"snapshot shape {base.shape} does not match class matrix "
+                f"shape {matrix.shape}"
+            )
+        return matrix - base.astype(matrix.dtype, copy=False)
+
+    def apply_class_delta(self, delta: np.ndarray) -> None:
+        """Fold an additive class-matrix delta in, invalidating caches."""
+        from repro.hdc.backend import merge_class_deltas
+
+        matrix = self._require_class_vectors()
+        merge_class_deltas(matrix, [delta], getattr(self, "_class_norms", None))
+        self._quantized_classes = None
+
+    def set_class_vectors(self, matrix: np.ndarray) -> None:
+        """Replace the class-vector matrix (a republished merged model).
+
+        The matrix is copied (replicas must never write into the published
+        shared-memory block), cached norms are recomputed in full, and the
+        quantized-inference cache is dropped.
+        """
+        from repro.hdc.backend import row_norms
+
+        current = self._require_class_vectors()
+        matrix = np.asarray(matrix)
+        if matrix.shape != current.shape:
+            raise ConfigurationError(
+                f"published matrix shape {matrix.shape} does not match class "
+                f"matrix shape {current.shape}"
+            )
+        current[...] = matrix.astype(current.dtype, copy=False)
+        if getattr(self, "_class_norms", None) is not None:
+            self._class_norms[:] = row_norms(current)
+        self._quantized_classes = None
+
     # --------------------------------------------------------- subclass API
     @abc.abstractmethod
     def _fit(self, X: np.ndarray, y: np.ndarray) -> FitResult:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -186,13 +186,26 @@ class FlowTable:
     max_flow_duration:
         Long-lived flows are force-expired after this duration so streaming
         detection does not wait forever.
+    shard_guard:
+        Optional ownership predicate ``FlowKey -> bool``.  In sharded cluster
+        serving each flow's state must live on exactly one worker (the
+        router's invariant); a table owned by one shard installs its guard
+        here and a misrouted packet -- which would silently split one flow's
+        state across two replicas -- raises :class:`ConfigurationError`
+        instead.  Checked once per flow key, not per packet.
     """
 
-    def __init__(self, idle_timeout: float = 5.0, max_flow_duration: float = 120.0):
+    def __init__(
+        self,
+        idle_timeout: float = 5.0,
+        max_flow_duration: float = 120.0,
+        shard_guard: Optional[Callable[["FlowKey"], bool]] = None,
+    ):
         if idle_timeout <= 0 or max_flow_duration <= 0:
             raise ConfigurationError("timeouts must be positive")
         self.idle_timeout = float(idle_timeout)
         self.max_flow_duration = float(max_flow_duration)
+        self.shard_guard = shard_guard
         self._active: Dict[FlowKey, FlowRecord] = {}
 
     # ------------------------------------------------------------------- API
@@ -207,6 +220,7 @@ class FlowTable:
         key = FlowKey.from_packet(packet)
         record = self._active.get(key)
         if record is None:
+            self._check_ownership(key)
             self._active[key] = FlowRecord.from_first_packet(packet)
         else:
             record.add_packet(packet)
@@ -233,6 +247,13 @@ class FlowTable:
         return flows
 
     # ------------------------------------------------------------- internals
+    def _check_ownership(self, key: FlowKey) -> None:
+        if self.shard_guard is not None and not self.shard_guard(key):
+            raise ConfigurationError(
+                f"flow {key} does not belong to this table's shard; a misrouted "
+                "packet would split one flow's state across worker replicas"
+            )
+
     def _add_packets_scalar(self, packets: List[Packet]) -> List[FlowRecord]:
         completed: List[FlowRecord] = []
         for packet in packets:
@@ -315,6 +336,13 @@ class FlowTable:
 
         n_slots = len(keys)
         flow_keys = [FlowKey(*kt) for kt in keys]
+        if self.shard_guard is not None:
+            # Keys already active were validated when their flow was created;
+            # only new keys pay the ownership check (once per flow, as the
+            # class docstring promises -- not once per batch).
+            for flow_key in flow_keys:
+                if flow_key not in self._active:
+                    self._check_ownership(flow_key)
 
         # ---- group by flow, preserving time order within each flow --------
         order = np.argsort(slots, kind="stable")

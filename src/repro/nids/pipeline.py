@@ -262,6 +262,32 @@ class DetectionPipeline:
         self.classifier.partial_fit(X, y)
         return len(flows)
 
+    def batch_training_data(
+        self, batch: ServingBatch
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Known-label ``(X, y)`` rows of a processed batch, model-indexed.
+
+        The single shared definition of "what can this batch teach the
+        model": rows whose ground-truth label belongs to the trained class
+        set, with labels mapped to the classifier's index space.  The
+        streaming online learner and every cluster worker replica fold
+        batches through this one helper, so single-process and sharded
+        online learning stay update-for-update identical.  Returns ``None``
+        when the batch carries nothing learnable.
+        """
+        if self._class_names is None:
+            raise NotFittedError("the detection pipeline is not trained yet")
+        if batch.features is None or not batch.labels:
+            return None
+        name_to_index = {name: i for i, name in enumerate(self._class_names)}
+        known = [i for i, label in enumerate(batch.labels) if label in name_to_index]
+        if not known:
+            return None
+        y = np.asarray(
+            [name_to_index[batch.labels[i]] for i in known], dtype=np.int64
+        )
+        return batch.features[known], y
+
     # --------------------------------------------------------------- detect
     def detect_flows(self, flows: Sequence[FlowRecord]) -> DetectionResult:
         """Classify flow records and raise alerts for predicted attacks."""

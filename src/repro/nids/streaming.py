@@ -191,21 +191,14 @@ class StreamingDetector:
 
     def _learn_online(self, batch: ServingBatch) -> None:
         """Feed one processed window to the online learner (prequential)."""
-        class_names = self.pipeline.class_names
-        name_to_index = {name: i for i, name in enumerate(class_names)}
-        labels = batch.labels
-        known = np.asarray([label in name_to_index for label in labels], dtype=bool)
         correct = np.asarray(
-            [p == t for p, t in zip(batch.predictions, labels)], dtype=bool
+            [p == t for p, t in zip(batch.predictions, batch.labels)], dtype=bool
         )
-        y = None
-        X = batch.features[:0]
-        if np.any(known):
-            y = np.asarray(
-                [name_to_index[label] for label, k in zip(labels, known) if k],
-                dtype=np.int64,
-            )
-            X = batch.features[known]
+        data = self.pipeline.batch_training_data(batch)
+        if data is None:
+            X, y = batch.features[:0], None
+        else:
+            X, y = data
         self.online.observe(X, y=y, confidences=batch.confidences, correct=correct)
 
     # ------------------------------------------------------------ statistics

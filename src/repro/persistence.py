@@ -83,15 +83,26 @@ def _model_payload(model: HDCModel) -> Dict[str, np.ndarray]:
     return payload
 
 
-def _model_from_archive(archive) -> HDCModel:
-    """Rebuild a model from its archive payload."""
+def _model_from_archive(archive, copy_arrays: bool = True) -> HDCModel:
+    """Rebuild a model from its archive payload.
+
+    ``copy_arrays=False`` assigns the archive's arrays directly instead of
+    copying -- the zero-copy path the cluster subsystem uses to attach
+    replicas to a shared-memory publication (the "archive" is then a dict of
+    views over shared buffers).  Callers of the zero-copy path own the
+    aliasing consequences: the encoder tensors are shared read-only, and the
+    class matrix must be re-copied before any in-place training.
+    """
     version = int(archive["format_version"][0])
     if version != _FORMAT_VERSION:
         raise ConfigurationError(f"unsupported model file version {version}")
 
+    def arr(key: str) -> np.ndarray:
+        return archive[key].copy() if copy_arrays else archive[key]
+
     model_kind = str(archive["model_kind"][0])
     encoder_kind = str(archive["encoder_kind"][0])
-    class_hypervectors = archive["class_hypervectors"]
+    class_hypervectors = arr("class_hypervectors")
     n_classes, dim = class_hypervectors.shape
     n_features = int(archive["n_features_in"][0])
 
@@ -105,14 +116,14 @@ def _model_from_archive(archive) -> HDCModel:
             gamma=float(archive["encoder_params"][0]),
             dtype=encoder_dtype,
         )
-        encoder._bases = archive["encoder_bases"].copy()
-        encoder._phases = archive["encoder_phases"].copy()
+        encoder._bases = arr("encoder_bases")
+        encoder._phases = arr("encoder_phases")
     elif encoder_kind == "linear":
         activation = str(archive["encoder_activation"][0]) or "tanh"
         encoder = LinearEncoder(
             in_features=n_features, dim=dim, activation=activation, dtype=encoder_dtype
         )
-        encoder._bases = archive["encoder_bases"].copy()
+        encoder._bases = arr("encoder_bases")
     else:
         raise ConfigurationError(f"unknown encoder kind {encoder_kind!r} in model file")
     encoder._regenerated_total = int(archive["regenerated_total"][0])
@@ -142,7 +153,7 @@ def _model_from_archive(archive) -> HDCModel:
         raise ConfigurationError(f"unknown model kind {model_kind!r} in model file")
 
     model.encoder_ = encoder
-    model.class_hypervectors_ = class_hypervectors.copy()
+    model.class_hypervectors_ = class_hypervectors
     model.classes_ = archive["classes"].copy()
     model.n_features_in_ = n_features
     return model
@@ -183,16 +194,19 @@ def load_model(path: Union[str, Path]) -> HDCModel:
     return _model_from_archive(archive)
 
 
-def save_pipeline(pipeline: DetectionPipeline, path: Union[str, Path]) -> Path:
-    """Serialize a trained :class:`DetectionPipeline` for serving deployment.
+def pipeline_state_dict(pipeline: DetectionPipeline) -> Dict[str, np.ndarray]:
+    """The full deployment state of a trained pipeline as an array dict.
 
-    The archive contains the classifier payload plus the pipeline state the
-    serving path needs: the fitted feature scaler (when the pipeline was
-    trained from flows), the ordered class-name table, and the benign class
-    set.  Restore with :func:`load_pipeline`.
+    This is exactly the payload :func:`save_pipeline` writes -- the
+    classifier state (encoder tensors, class hypervectors), the fitted
+    feature scaler, the class-name table and the benign class set -- exposed
+    in memory so other transports can ship it: the cluster subsystem
+    publishes these arrays in ``multiprocessing.shared_memory`` blocks and
+    worker replicas rebuild the pipeline with :func:`pipeline_from_state`
+    without any file round-trip of the heavy tensors.
     """
     if not pipeline.is_fitted:
-        raise NotFittedError("cannot save an untrained pipeline")
+        raise NotFittedError("cannot export an untrained pipeline")
     classifier = pipeline.classifier
     if not isinstance(classifier, (CyberHD, BaselineHDC)):
         raise ConfigurationError(
@@ -206,6 +220,49 @@ def save_pipeline(pipeline: DetectionPipeline, path: Union[str, Path]) -> Path:
     if scaler is not None and scaler.min_ is not None:
         payload["scaler_min"] = np.asarray(scaler.min_)
         payload["scaler_max"] = np.asarray(scaler.max_)
+    return payload
+
+
+def pipeline_from_state(state, copy_arrays: bool = True) -> DetectionPipeline:
+    """Rebuild a :class:`DetectionPipeline` from a state mapping.
+
+    ``state`` is anything indexable like the dict from
+    :func:`pipeline_state_dict` (including an ``np.load`` archive).  With
+    ``copy_arrays=False`` the encoder tensors and class matrix are assigned
+    as views of the provided arrays -- the zero-copy shared-memory attach
+    path (see ``repro.cluster.shared_model``).
+    """
+    from repro.datasets.preprocessing import MinMaxScaler
+
+    if "artifact_kind" not in state or str(state["artifact_kind"][0]) != "pipeline":
+        raise ConfigurationError(
+            "this archive holds a bare model; use load_model(), or re-save the "
+            "pipeline with save_pipeline()"
+        )
+    model = _model_from_archive(state, copy_arrays=copy_arrays)
+    pipeline = DetectionPipeline(
+        classifier=model,
+        benign_classes=[str(name) for name in state["benign_classes"]],
+    )
+    pipeline._class_names = tuple(str(name) for name in state["class_names"])
+    if "scaler_min" in state:
+        scaler = MinMaxScaler()
+        scaler.min_ = np.asarray(state["scaler_min"]).copy()
+        scaler.max_ = np.asarray(state["scaler_max"]).copy()
+        pipeline._scaler = scaler
+    pipeline._train_seconds = None
+    return pipeline
+
+
+def save_pipeline(pipeline: DetectionPipeline, path: Union[str, Path]) -> Path:
+    """Serialize a trained :class:`DetectionPipeline` for serving deployment.
+
+    The archive contains the classifier payload plus the pipeline state the
+    serving path needs: the fitted feature scaler (when the pipeline was
+    trained from flows), the ordered class-name table, and the benign class
+    set.  Restore with :func:`load_pipeline`.
+    """
+    payload = pipeline_state_dict(pipeline)
     path = Path(path)
     np.savez_compressed(path, **payload)
     return _normalized_npz_path(path)
@@ -218,24 +275,5 @@ def load_pipeline(path: Union[str, Path]) -> DetectionPipeline:
     online-updatable (``partial_fit_flows``); alert-manager state (dedup
     history) is not carried over.
     """
-    from repro.datasets.preprocessing import MinMaxScaler
-
     archive = np.load(Path(path), allow_pickle=False)
-    if "artifact_kind" not in archive or str(archive["artifact_kind"][0]) != "pipeline":
-        raise ConfigurationError(
-            "this archive holds a bare model; use load_model(), or re-save the "
-            "pipeline with save_pipeline()"
-        )
-    model = _model_from_archive(archive)
-    pipeline = DetectionPipeline(
-        classifier=model,
-        benign_classes=[str(name) for name in archive["benign_classes"]],
-    )
-    pipeline._class_names = tuple(str(name) for name in archive["class_names"])
-    if "scaler_min" in archive:
-        scaler = MinMaxScaler()
-        scaler.min_ = archive["scaler_min"].copy()
-        scaler.max_ = archive["scaler_max"].copy()
-        pipeline._scaler = scaler
-    pipeline._train_seconds = None
-    return pipeline
+    return pipeline_from_state(archive)

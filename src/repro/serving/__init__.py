@@ -19,6 +19,11 @@ This package turns the trained classifiers into a serving system:
 ``telemetry`` / ``backpressure``
     The shared measurement and queueing substrate.
 
+``shutdown``
+    :class:`GracefulShutdown` -- SIGINT/SIGTERM handling that turns Ctrl-C
+    into a drain-and-exit-0 sequence instead of a traceback (used by
+    ``repro serve`` and the cluster coordinator).
+
 See ``docs/serving.md`` for the architecture walkthrough.
 """
 
@@ -35,9 +40,13 @@ from repro.serving.stages import (
     run_stages,
     score_confidences,
 )
+from repro.serving.shutdown import SHUTDOWN_SIGNALS, GracefulShutdown, chunked
 from repro.serving.telemetry import StageStats, TelemetryRecorder
 
 __all__ = [
+    "GracefulShutdown",
+    "SHUTDOWN_SIGNALS",
+    "chunked",
     "BackpressureStats",
     "BoundedQueue",
     "InferenceEngine",

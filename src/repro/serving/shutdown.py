@@ -1,0 +1,118 @@
+"""Graceful shutdown for serving loops.
+
+A long-running ``repro serve`` must not lose in-flight state on Ctrl-C or a
+supervisor's SIGTERM: the ingest loop should stop accepting packets, the
+bounded queues should drain through the stage chain (classifying the flows
+that are still active), telemetry should be flushed, and the process should
+exit 0.  :class:`GracefulShutdown` provides the signal half of that
+contract; the serve loops check :attr:`GracefulShutdown.triggered` between
+chunks and run their normal drain path when it flips.
+
+The second signal is an escape hatch: if draining itself hangs (or the
+operator is impatient), a repeated Ctrl-C restores the previous handler and
+re-raises, so the default abort behaviour is one extra keystroke away.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Iterable, List, Optional
+
+#: Signals a serving process treats as a shutdown request.
+SHUTDOWN_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class GracefulShutdown:
+    """Context manager converting SIGINT/SIGTERM into a drain request.
+
+    Usage::
+
+        with GracefulShutdown() as stop:
+            for chunk in chunks:
+                if stop.triggered:
+                    break
+                detector.push_many(chunk)
+            detector.flush()
+
+    Inside the ``with`` block the first SIGINT/SIGTERM sets
+    :attr:`triggered` (and records which signal fired) instead of raising
+    ``KeyboardInterrupt``; the second occurrence of the same signal restores
+    the original handler and re-delivers, so a stuck drain can still be
+    aborted.  Handlers are restored on exit.
+
+    Signal handlers can only be installed from the main thread; constructed
+    anywhere else (or with ``install=False``) the object degrades to a plain
+    manually-triggered flag, which is what the tests and embedded uses need.
+    """
+
+    def __init__(self, signals: Iterable[int] = SHUTDOWN_SIGNALS, install: bool = True):
+        self.signals: List[int] = list(signals)
+        self._event = threading.Event()
+        self._install = bool(install) and threading.current_thread() is threading.main_thread()
+        self._previous: dict = {}
+        self.received_signal: Optional[int] = None
+
+    # ------------------------------------------------------------------- API
+    @property
+    def triggered(self) -> bool:
+        """Whether a shutdown signal (or manual trigger) has been received."""
+        return self._event.is_set()
+
+    def trigger(self) -> None:
+        """Request shutdown programmatically (same path as a signal)."""
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until triggered (or ``timeout``); returns :attr:`triggered`."""
+        return self._event.wait(timeout)
+
+    @property
+    def signal_name(self) -> Optional[str]:
+        """Name of the signal that triggered shutdown (None if manual/none)."""
+        if self.received_signal is None:
+            return None
+        return signal.Signals(self.received_signal).name
+
+    # --------------------------------------------------------------- context
+    def __enter__(self) -> "GracefulShutdown":
+        if self._install:
+            for signum in self.signals:
+                self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, handler in self._previous.items():
+            signal.signal(signum, handler)
+        self._previous.clear()
+
+    # ------------------------------------------------------------- internals
+    def _handle(self, signum, frame) -> None:
+        if self._event.is_set():
+            # Second signal: restore the original behaviour and re-deliver,
+            # so a hung drain can still be aborted the classic way.
+            previous = self._previous.get(signum, signal.SIG_DFL)
+            signal.signal(signum, previous)
+            os.kill(os.getpid(), signum)
+            return
+        self.received_signal = signum
+        self._event.set()
+
+
+def chunked(items, size: int):
+    """Yield ``items`` in lists of at most ``size`` (the serve ingest unit).
+
+    The serve loops ingest in bounded chunks rather than one monolithic
+    ``push_many`` call so the shutdown flag is observed with bounded latency.
+    """
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    chunk = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -273,8 +273,19 @@ class TestBenchHarness:
             assert record["wall_time_s"] >= 0.0
         path = write_bench_json(records, tmp_path / "bench.json")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-bench/1"
+        assert payload["schema"] == "repro-bench/2"
         assert len(payload["records"]) == len(records)
+        # Provenance makes bench trajectories comparable across PRs.
+        provenance = payload["provenance"]
+        assert {
+            "git_revision",
+            "python_version",
+            "numpy_version",
+            "dtype_policy",
+            "cpu_count",
+        } <= set(provenance)
+        assert provenance["dtype_policy"] == "float32"
+        assert provenance["cpu_count"] >= 1
 
     def test_legacy_fit_reference_trains(self):
         from repro.core.config import CyberHDConfig

@@ -139,6 +139,79 @@ class TestBoundedQueue:
             BoundedQueue(capacity=4, policy="banana")
 
 
+class TestBoundedQueueConcurrency:
+    """Multi-threaded stress: BackpressureStats must stay consistent with the
+    items actually delivered, under concurrent producers and a draining
+    consumer."""
+
+    PRODUCERS = 6
+    ITEMS_PER_PRODUCER = 2000
+
+    def _stress(self, policy):
+        import threading
+
+        queue = BoundedQueue(capacity=64, policy=policy)
+        delivered = []
+        stop = threading.Event()
+        start_barrier = threading.Barrier(self.PRODUCERS + 2)
+        rejected = [0] * self.PRODUCERS
+
+        def produce(worker):
+            start_barrier.wait()
+            for i in range(self.ITEMS_PER_PRODUCER):
+                if not queue.push((worker, i)):
+                    rejected[worker] += 1  # block policy: caller must drain
+
+        def consume():
+            start_barrier.wait()
+            while not stop.is_set() or len(queue):
+                batch = queue.drain(32)
+                if batch:
+                    delivered.extend(batch)
+
+        producers = [
+            threading.Thread(target=produce, args=(w,)) for w in range(self.PRODUCERS)
+        ]
+        consumer = threading.Thread(target=consume)
+        for thread in [*producers, consumer]:
+            thread.start()
+        start_barrier.wait()
+        for thread in producers:
+            thread.join()
+        stop.set()
+        consumer.join()
+        remaining = queue.drain()
+        return queue, delivered, remaining, sum(rejected)
+
+    def test_drop_oldest_counters_consistent(self):
+        queue, delivered, remaining, rejected = self._stress("drop_oldest")
+        total = self.PRODUCERS * self.ITEMS_PER_PRODUCER
+        stats = queue.stats
+        # drop_oldest never refuses: every submission is accepted.
+        assert rejected == 0
+        assert stats.submitted == total
+        assert stats.accepted == total
+        # Conservation: every accepted item was either delivered, still
+        # queued at the end, or counted as an eviction -- nothing vanishes
+        # and nothing is double-counted.
+        assert len(delivered) + len(remaining) + stats.dropped_oldest == stats.accepted
+        # No duplicates across delivery and eviction.
+        assert len(set(delivered + remaining)) == len(delivered) + len(remaining)
+        assert 0 < stats.high_watermark <= queue.capacity
+
+    def test_block_policy_conserves_items(self):
+        queue, delivered, remaining, rejected = self._stress("block")
+        total = self.PRODUCERS * self.ITEMS_PER_PRODUCER
+        stats = queue.stats
+        # Refused pushes are not counted as submissions (the engine retries).
+        assert stats.submitted == total - rejected
+        assert stats.accepted == stats.submitted
+        assert stats.dropped_oldest == 0
+        assert len(delivered) + len(remaining) == stats.accepted
+        assert len(set(delivered + remaining)) == stats.accepted
+        assert 0 < stats.high_watermark <= queue.capacity
+
+
 class _FakeClock:
     def __init__(self):
         self.now = 0.0

@@ -40,6 +40,14 @@ Detection"* (DAC 2023).  It contains:
     additive delta-merged online learning, and a scenario-driven load
     generator (``serve --workers N``, ``bench --suite cluster``).
 
+``repro.replay``
+    Dataset-to-traffic replay: compiles the tabular evaluation datasets
+    into deterministic packet traces, replays them through the serving
+    paths (closed-loop or wall-clock paced open-loop), and holds every
+    serving architecture to flow-for-flow alert parity with offline batch
+    inference via the golden-trace differential harness
+    (``repro replay``, ``bench --suite replay``).
+
 ``repro.hardware``
     Quantization-aware hardware substrate: bit-flip fault injection,
     analytical CPU/FPGA performance and energy models, robustness harness.

@@ -10,6 +10,8 @@ can be regenerated without writing Python, plus the serving subsystem::
     python -m repro bench --json BENCH_hdc_primitives.json
     python -m repro bench --suite streaming --json BENCH_streaming.json
     python -m repro bench --suite cluster --workers 4 --json BENCH_cluster.json
+    python -m repro bench --suite replay --dataset nsl_kdd --json BENCH_replay.json
+    python -m repro replay --dataset unsw_nb15 --workers 2
     python -m repro serve --flows 600 --online
     python -m repro serve --workers 4 --scenario ddos_burst --online
 
@@ -56,10 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("hdc", "streaming", "cluster"),
+        choices=("hdc", "streaming", "cluster", "replay"),
         default="hdc",
         help="hdc: compute-backend primitives; streaming: packets->alerts "
-        "serving path; cluster: sharded multi-worker scaling",
+        "serving path; cluster: sharded multi-worker scaling; replay: "
+        "dataset-to-traffic golden-trace parity + accuracy under load",
     )
     bench.add_argument("--dim", type=int, default=None, help="hypervector dimensionality")
     bench.add_argument("--repeats", type=int, default=3, help="best-of repeat count")
@@ -67,7 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--packets", type=int, default=50_000, help="streaming suite: packets in the workload"
     )
     bench.add_argument(
-        "--window", type=int, default=1000, help="streaming suite: packets per micro-batch"
+        "--window",
+        type=int,
+        default=None,
+        help="packets per micro-batch (suite defaults: streaming 1000, replay 512)",
     )
     bench.add_argument(
         "--quick", action="store_true", help="small workloads for a fast smoke run"
@@ -79,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         default="mixed_benign",
         help="cluster suite: load scenario (see repro.cluster.loadgen)",
+    )
+    bench.add_argument(
+        "--dataset",
+        default="nsl_kdd",
+        help="replay suite: dataset to compile into the replayed trace",
     )
     bench.add_argument(
         "--flows-scale",
@@ -93,6 +104,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the machine-readable records "
         "(default: BENCH_<suite>.json)",
     )
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="compile a dataset into a packet trace and check serving-path "
+        "alert parity against offline batch predictions",
+    )
+    replay.add_argument(
+        "--dataset", default="nsl_kdd", help="dataset to compile (see `repro datasets`)"
+    )
+    replay.add_argument(
+        "--train", type=int, default=600, help="training-split rows to compile and train on"
+    )
+    replay.add_argument(
+        "--rows", type=int, default=240, help="test-split rows compiled into the replayed trace"
+    )
+    replay.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="cluster path worker processes (1 skips the cluster path)",
+    )
+    replay.add_argument("--window", type=int, default=512, help="packets per micro-batch")
+    replay.add_argument(
+        "--micro-window",
+        type=int,
+        default=64,
+        help="window of the deliberately smaller micro-batched parity path",
+    )
+    replay.add_argument("--dim", type=int, default=256, help="CyberHD dimensionality")
+    replay.add_argument("--epochs", type=int, default=5, help="training epochs")
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--time-warp",
+        type=float,
+        default=1.0,
+        help="trace timeline compression (raises flow overlap)",
+    )
+    replay.add_argument(
+        "--concurrency",
+        type=float,
+        default=8.0,
+        help="target mean flows in flight on the compiled timeline",
+    )
+    replay.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="additionally replay open-loop at this rate (packets/second) "
+        "and report detection quality under load",
+    )
+    replay.add_argument("--json", metavar="PATH", default=None, help="write a JSON summary")
 
     serve = subparsers.add_parser(
         "serve",
@@ -182,10 +244,12 @@ def _command_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
         BENCH_CLUSTER_JSON_NAME,
         BENCH_JSON_NAME,
+        BENCH_REPLAY_JSON_NAME,
         BENCH_STREAMING_JSON_NAME,
         format_table,
         run_benchmarks,
         run_cluster_benchmarks,
+        run_replay_benchmarks,
         run_streaming_benchmarks,
         write_bench_json,
     )
@@ -193,7 +257,7 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.suite == "streaming":
         records = run_streaming_benchmarks(
             n_packets=args.packets,
-            window=args.window,
+            window=args.window if args.window is not None else 1000,
             dim=args.dim or 256,
             repeats=args.repeats,
             quick=args.quick,
@@ -208,6 +272,15 @@ def _command_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
         )
         default_json = BENCH_CLUSTER_JSON_NAME
+    elif args.suite == "replay":
+        records = run_replay_benchmarks(
+            dataset=args.dataset,
+            workers=args.workers,
+            window=args.window,
+            dim=args.dim,
+            quick=args.quick,
+        )
+        default_json = BENCH_REPLAY_JSON_NAME
     else:
         records = run_benchmarks(
             dim=args.dim or 500, repeats=args.repeats, quick=args.quick
@@ -219,6 +292,105 @@ def _command_bench(args: argparse.Namespace) -> int:
         path = write_bench_json(records, json_path)
         print(f"\nbenchmark records written to {path}")
     return 0
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    """``repro replay``: the golden-trace differential check as a command.
+
+    Exit code 0 means every serving path (single-process, micro-batched and
+    -- with ``--workers > 1`` -- the sharded cluster) produced exactly the
+    offline batch path's alerts on the compiled trace; 1 means a divergence
+    (the parity summaries name the mismatch kinds).
+    """
+    from repro.core.cyberhd import CyberHD
+    from repro.datasets.loaders import load_dataset
+    from repro.nids.pipeline import DetectionPipeline
+    from repro.replay import (
+        DatasetTraceCompiler,
+        DifferentialHarness,
+        ReplayConfig,
+        TraceReplayer,
+    )
+    from repro.serving import GracefulShutdown
+
+    with GracefulShutdown() as stop:
+        dataset = load_dataset(
+            args.dataset, n_train=args.train, n_test=args.rows, seed=args.seed
+        )
+        compiler = DatasetTraceCompiler(
+            concurrency=args.concurrency, time_warp=args.time_warp
+        )
+        train_trace = compiler.compile(dataset, split="train", seed=args.seed)
+        test_trace = compiler.compile(dataset, split="test", seed=args.seed + 1)
+        print(train_trace.summary())
+        print(test_trace.summary())
+        print(f"honored feature cues: {test_trace.resolved_cues}")
+
+        pipeline = DetectionPipeline(
+            classifier=CyberHD(
+                dim=args.dim, epochs=args.epochs, regeneration_rate=0.1, seed=args.seed
+            )
+        ).fit_packets(train_trace.packets)
+        print(
+            f"trained on the compiled training trace in {pipeline.train_seconds:.2f}s "
+            f"({len(pipeline.class_names)} classes)"
+        )
+
+        harness = DifferentialHarness(
+            pipeline,
+            test_trace,
+            window_size=args.window,
+            micro_window_size=args.micro_window,
+            cluster_workers=args.workers,
+        )
+        print(
+            f"golden offline reference: {harness.golden.n_flagged}/"
+            f"{harness.golden.n_flows} flows flagged"
+        )
+        reports = harness.run_all(cluster=args.workers > 1, shutdown=stop)
+        for report in reports.values():
+            print(report.summary())
+
+        open_result = None
+        if args.rate is not None and not stop.triggered:
+            open_result = TraceReplayer(
+                pipeline,
+                ReplayConfig(mode="open", rate=args.rate, window_size=args.window),
+            ).replay(test_trace, shutdown=stop)
+            metrics = open_result.metrics
+            print(
+                f"open-loop @ {args.rate:.0f} pps: served "
+                f"{metrics['served_fraction']:.0%} of flows, dropped "
+                f"{open_result.dropped_packets} packets, recall "
+                f"{metrics['recall']:.3f}, precision {metrics['precision']:.3f}"
+            )
+    if stop.triggered:
+        print(f"\n{stop.signal_name or 'shutdown'}: ingest stopped, queues drained")
+
+    # Interrupted paths were cut short by the shutdown signal: they are not
+    # parity-verified, but they are not evidence of divergence either.
+    completed = [r for r in reports.values() if not r.interrupted]
+    parity_ok = all(report.ok for report in completed)
+    verdict = "OK" if parity_ok else "MISMATCH"
+    if stop.triggered:
+        verdict += f" ({len(completed)} path(s) fully evaluated before shutdown)"
+    print("\nparity:", verdict)
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "trace": test_trace.name,
+            "flows": test_trace.n_flows,
+            "packets": test_trace.n_packets,
+            "golden_flagged": harness.golden.n_flagged,
+            "parity_ok": parity_ok,
+            "paths": {name: report.to_dict() for name, report in reports.items()},
+            "open_loop": open_result.to_dict() if open_result is not None else None,
+            "interrupted": stop.triggered,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"summary written to {args.json}")
+    return 0 if parity_ok else 1
 
 
 def _serve_pipeline(args: argparse.Namespace):
@@ -415,6 +587,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_datasets(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "replay":
+        return _command_replay(args)
     if args.command == "serve":
         return _command_serve(args)
     parser.print_help()

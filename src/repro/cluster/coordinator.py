@@ -80,6 +80,13 @@ class ClusterConfig:
         ``multiprocessing`` start method; ``None`` picks ``fork`` when the
         platform offers it (fastest replica bootstrap) and ``spawn``
         otherwise.
+    capture_predictions:
+        Ship every served flow's :class:`~repro.serving.FlowPrediction`
+        back in the workers' final reports (collected on
+        :attr:`ClusterReport.flow_predictions`).  This is the evidence the
+        golden-trace differential harness compares against offline batch
+        predictions; it costs memory proportional to the served flow count,
+        so leave it off for open-ended serving.
     """
 
     n_workers: int = 4
@@ -90,6 +97,7 @@ class ClusterConfig:
     queue_capacity: int = 64
     vnodes: int = 64
     start_method: Optional[str] = None
+    capture_predictions: bool = False
 
     def validate(self) -> "ClusterConfig":
         """Check parameter ranges and return ``self``."""
@@ -118,6 +126,9 @@ class ClusterReport:
     #: capacity only materializes while one core can route packets at least
     #: as fast as the shards drain them.
     coordinator_cpu_seconds: float = 0.0
+    #: Per-flow serving outcomes across all shards (only populated when
+    #: ``ClusterConfig.capture_predictions`` is on).
+    flow_predictions: Optional[List] = None
 
     # ------------------------------------------------------------ aggregates
     @property
@@ -181,6 +192,9 @@ class ClusterReport:
             "wall_flows_per_second": self.wall_flow_throughput,
             "coordinator_cpu_seconds": self.coordinator_cpu_seconds,
             "routing_packets_per_cpu_second": self.routing_packets_per_cpu_second,
+            "n_flow_predictions": (
+                len(self.flow_predictions) if self.flow_predictions is not None else 0
+            ),
         }
 
 
@@ -241,6 +255,7 @@ class ClusterCoordinator:
                     online=cfg.online,
                     idle_timeout=cfg.idle_timeout,
                     vnodes=cfg.vnodes,
+                    capture_predictions=cfg.capture_predictions,
                 )
                 process = ctx.Process(
                     target=cluster_worker_main,
@@ -380,11 +395,19 @@ class ClusterCoordinator:
         self.publication = None
         self._started = False
         summaries = sorted((r.summary for r in reports), key=lambda s: s.worker_id)
+        flow_predictions = None
+        if self.config.capture_predictions:
+            flow_predictions = [
+                prediction
+                for report in sorted(reports, key=lambda r: r.summary.worker_id)
+                for prediction in (report.predictions or [])
+            ]
         return ClusterReport(
             workers=list(summaries),
             wall_seconds=time.perf_counter() - start,
             sync_rounds=self.sync_rounds,
             generation=generation,
+            flow_predictions=flow_predictions,
         )
 
     def serve(

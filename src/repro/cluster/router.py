@@ -37,8 +37,8 @@ def stable_hash64(text: str) -> int:
 
 
 def flow_key_token(key: FlowKey) -> str:
-    """The canonical string hashed for routing (direction-independent)."""
-    return f"{key.ip_a}:{key.port_a}|{key.ip_b}:{key.port_b}|{key.protocol}"
+    """The canonical string hashed for routing (:attr:`FlowKey.token`)."""
+    return key.token
 
 
 class ShardRouter:

@@ -26,7 +26,13 @@ from repro.cluster.router import ShardRouter
 from repro.cluster.shared_model import AttachedPublication, PublicationSpec
 from repro.nids.flow import FlowTable
 from repro.nids.packets import Packet
-from repro.serving.stages import FlowAssemblyStage, ServingBatch, run_stages
+from repro.serving.stages import (
+    FlowAssemblyStage,
+    FlowPrediction,
+    ServingBatch,
+    batch_flow_predictions,
+    run_stages,
+)
 from repro.serving.telemetry import TelemetryRecorder
 
 
@@ -128,10 +134,17 @@ class WorkerSummary:
 
 @dataclass(frozen=True)
 class FinalReport:
-    """Shutdown payload: final statistics plus any unsynced delta."""
+    """Shutdown payload: final statistics plus any unsynced delta.
+
+    With ``WorkerConfig.capture_predictions`` set, ``predictions`` carries
+    the shard's complete per-flow outcomes (one :class:`FlowPrediction` per
+    served flow) -- the cluster half of the golden-trace differential
+    harness's evidence.
+    """
 
     summary: WorkerSummary
     final_delta: Optional[np.ndarray]
+    predictions: Optional[List[FlowPrediction]] = None
 
 
 @dataclass(frozen=True)
@@ -145,6 +158,9 @@ class WorkerConfig:
     idle_timeout: float = 5.0
     vnodes: int = 64
     enforce_shard_guard: bool = True
+    #: Record every served flow's prediction and ship the records back in
+    #: the :class:`FinalReport` (the differential-harness capture mode).
+    capture_predictions: bool = False
 
 
 # ------------------------------------------------------------------- runtime
@@ -172,6 +188,7 @@ class WorkerRuntime:
         idle_timeout: float = 5.0,
         vnodes: int = 64,
         enforce_shard_guard: bool = True,
+        capture_predictions: bool = False,
     ):
         self.worker_id = int(worker_id)
         self.attached = attached
@@ -183,6 +200,8 @@ class WorkerRuntime:
         self.table = FlowTable(idle_timeout=idle_timeout, shard_guard=guard)
         self.telemetry = TelemetryRecorder()
         self.stages = [FlowAssemblyStage(self.table), *self.pipeline.stages]
+        self.capture_predictions = bool(capture_predictions)
+        self.predictions: List[FlowPrediction] = []
         self.summary = WorkerSummary(worker_id=self.worker_id)
         self.summary.rebase_generation = attached.generation
         self._base = (
@@ -272,6 +291,10 @@ class WorkerRuntime:
         self.summary.online_samples += int(y.shape[0])
 
     def _account(self, batch: ServingBatch, seconds: float, cpu_seconds: float) -> None:
+        if self.capture_predictions and batch.n_flows:
+            self.predictions.extend(
+                batch_flow_predictions(batch, self.pipeline.is_attack_class)
+            )
         self.summary.packets += len(batch.packets)
         self.summary.flows += batch.n_flows
         self.summary.alerts += len(batch.alerts)
@@ -311,6 +334,7 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox) -> None:
             idle_timeout=config.idle_timeout,
             vnodes=config.vnodes,
             enforce_shard_guard=config.enforce_shard_guard,
+            capture_predictions=config.capture_predictions,
         )
         while True:
             message = inbox.get()
@@ -333,7 +357,15 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox) -> None:
                 # Computed after finalize() so the shipped delta includes
                 # anything learned from the flushed flows.
                 final_delta = runtime.compute_delta() if config.online else None
-                outbox.put(FinalReport(summary=summary, final_delta=final_delta))
+                outbox.put(
+                    FinalReport(
+                        summary=summary,
+                        final_delta=final_delta,
+                        predictions=(
+                            runtime.predictions if config.capture_predictions else None
+                        ),
+                    )
+                )
                 break
             else:  # pragma: no cover - protocol violation
                 raise RuntimeError(f"worker received unknown message {message!r}")

@@ -60,6 +60,17 @@ class FlowKey:
         a, b = (forward, backward) if forward <= backward else (backward, forward)
         return cls(ip_a=a[0], port_a=a[1], ip_b=a[2], port_b=a[3], protocol=packet.protocol)
 
+    @property
+    def token(self) -> str:
+        """Canonical string form of the key (direction-independent).
+
+        The same token identifies a flow everywhere it travels: the shard
+        router hashes it, the replay subsystem joins serving-path
+        predictions against golden offline predictions on it, and worker
+        processes ship it back across the cluster wire format.
+        """
+        return f"{self.ip_a}:{self.port_a}|{self.ip_b}:{self.port_b}|{self.protocol}"
+
 
 @dataclass
 class FlowRecord:

@@ -1,0 +1,58 @@
+"""Dataset-to-traffic replay: the bridge from tabular datasets to serving.
+
+The paper's evaluation datasets (NSL-KDD, UNSW-NB15, CIC-IDS-*) are tabular
+flow records, while the production serving stack consumes packets.  Before
+this subsystem the two worlds never met: serving benchmarks ran on synthetic
+load-generator profiles and nothing proved the streaming/cluster paths raise
+the *same alerts* as offline batch inference.  ``repro.replay`` closes that
+gap:
+
+``compiler``
+    :class:`DatasetTraceCompiler` -- turns any loaded
+    :class:`~repro.datasets.NIDSDataset` split into a timestamped,
+    5-tuple-keyed packet trace.  Each row becomes exactly one flow whose
+    packet-level shape honors the row's duration/byte/packet-count
+    features; flows are interleaved so they overlap like traffic on a real
+    link; everything is deterministic from the seed.
+
+``replayer``
+    :class:`TraceReplayer` -- replays a compiled trace through the
+    streaming detector, either closed-loop (as fast as the detector drains,
+    the deterministic parity mode) or open-loop (wall-clock paced at a
+    target packet rate with ``drop_oldest`` shedding, the
+    accuracy-under-load mode), and reports per-flow predictions plus
+    detection recall/precision against the trace's ground truth.
+
+``golden``
+    The golden-trace differential harness: record offline batch predictions
+    for a trace once, then assert that single-process streaming,
+    micro-batched, and N-worker cluster execution flag the same flows with
+    confidences within float32 tolerance.  This is the serving-correctness
+    oracle every future serving change is held to.
+
+See ``docs/replay.md`` for the trace compilation model and the golden-trace
+workflow.
+"""
+
+from repro.replay.compiler import CompiledTrace, DatasetTraceCompiler, TraceFlow, compile_dataset_trace
+from repro.replay.golden import (
+    DifferentialHarness,
+    GoldenTrace,
+    ParityReport,
+    diff_against_golden,
+)
+from repro.replay.replayer import ReplayConfig, ReplayResult, TraceReplayer
+
+__all__ = [
+    "CompiledTrace",
+    "DatasetTraceCompiler",
+    "TraceFlow",
+    "compile_dataset_trace",
+    "DifferentialHarness",
+    "GoldenTrace",
+    "ParityReport",
+    "diff_against_golden",
+    "ReplayConfig",
+    "ReplayResult",
+    "TraceReplayer",
+]

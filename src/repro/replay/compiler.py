@@ -1,0 +1,430 @@
+"""Compiling tabular NIDS datasets into replayable packet traces.
+
+A :class:`~repro.datasets.NIDSDataset` row is an already-aggregated flow
+record; the serving stack consumes packets.  :class:`DatasetTraceCompiler`
+inverts the aggregation just enough to drive the serving path: every row
+becomes one synthetic flow whose packet-level shape *honors the row's
+features* -- scaled duration, byte-count and packet-count features (resolved
+per dataset schema by name) set the flow's duration, packet counts and
+payload sizes, and the row's one-hot protocol column picks the transport.
+Rows the schema cannot describe fall back to seeded defaults.
+
+Three properties make the compiled trace usable as a differential-testing
+workload:
+
+* **Determinism** -- every random draw comes from a generator seeded by
+  ``(seed, row_index)``, so identical inputs compile to byte-identical
+  traces (asserted by :meth:`CompiledTrace.digest`).
+* **Row/flow bijection** -- each row gets a globally unique endpoint pair,
+  intra-flow gaps stay below the serving flow table's idle timeout and the
+  flow duration stays below its duration cap, so flow assembly reconstructs
+  exactly one flow per row under every serving path.  The flow's canonical
+  token (:attr:`repro.nids.flow.FlowKey.token`) is the join key between a
+  dataset row and its serving-path prediction.
+* **Realistic interleave** -- flow start times follow a seeded Poisson
+  process whose rate is set by ``concurrency`` (mean flows in flight) and
+  compressed by ``time_warp``, so flows overlap on the timeline the way
+  connections overlap on a real link instead of replaying one flow at a
+  time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import NIDSDataset
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.nids.flow import FlowKey
+from repro.nids.packets import Packet, TCP_FLAGS
+
+#: Benign label spellings (mirrors ``DetectionPipeline.DEFAULT_BENIGN_NAMES``;
+#: kept literal here so the compiler does not import the pipeline).
+_BENIGN_NAMES = ("normal", "benign", "background")
+
+#: Feature-name candidates (lowercased, exact match, priority order) for each
+#: packet-level cue the compiler honors.  Covers the four paper schemas.
+_CUE_CANDIDATES: Dict[str, Tuple[str, ...]] = {
+    "duration": ("duration", "dur", "flow_duration"),
+    "fwd_bytes": ("src_bytes", "sbytes", "totlen_fwd_pkts", "subflow_fwd_byts"),
+    "bwd_bytes": ("dst_bytes", "dbytes", "totlen_bwd_pkts", "subflow_bwd_byts"),
+    "fwd_packets": ("spkts", "tot_fwd_pkts", "count", "fwd_pkts"),
+    "bwd_packets": ("dpkts", "tot_bwd_pkts", "srv_count", "bwd_pkts"),
+}
+
+#: Prefixes of one-hot protocol columns (``<feature>=<category>``).
+_PROTOCOL_PREFIXES = ("protocol_type=", "proto=", "protocol=")
+
+#: Transports the packet substrate models; anything else compiles as TCP.
+_KNOWN_PROTOCOLS = ("tcp", "udp", "icmp")
+
+#: Destination ports assigned round-robin per row when no service cue exists.
+_COMMON_PORTS = (80, 443, 22, 53, 25, 8080, 3306, 8443)
+
+
+@dataclass(frozen=True)
+class TraceFlow:
+    """Ground-truth metadata of one compiled flow (== one dataset row)."""
+
+    token: str
+    row_index: int
+    label: str
+    is_attack: bool
+    protocol: str
+    n_packets: int
+    n_bytes: int
+    start_time: float
+    end_time: float
+
+
+@dataclass
+class CompiledTrace:
+    """A replayable packet stream compiled from one dataset split.
+
+    ``packets`` is time-ordered and ready for any serving path;``flows``
+    carries the per-row ground truth (label, attack flag, flow token) the
+    replay metrics and the golden-trace harness join against.
+    """
+
+    name: str
+    dataset_name: str
+    split: str
+    seed: int
+    class_names: Tuple[str, ...]
+    attack_classes: frozenset
+    packets: List[Packet] = field(default_factory=list)
+    flows: List[TraceFlow] = field(default_factory=list)
+    #: Which packet-level cues were resolved to dataset columns.
+    resolved_cues: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_flows(self) -> int:
+        """Number of compiled flows (== dataset rows compiled)."""
+        return len(self.flows)
+
+    @property
+    def n_packets(self) -> int:
+        """Total packets in the trace."""
+        return len(self.packets)
+
+    @property
+    def n_attack_flows(self) -> int:
+        """Flows whose ground-truth class is an attack."""
+        return sum(1 for flow in self.flows if flow.is_attack)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Trace timeline length (first to last packet)."""
+        if not self.packets:
+            return 0.0
+        return float(self.packets[-1].timestamp - self.packets[0].timestamp)
+
+    # ------------------------------------------------------------------- API
+    def flow_by_token(self) -> Dict[str, TraceFlow]:
+        """Ground-truth flow metadata keyed by canonical flow token."""
+        return {flow.token: flow for flow in self.flows}
+
+    def digest(self) -> str:
+        """Content hash of the packet stream (the determinism witness)."""
+        h = blake2b(digest_size=16)
+        for p in self.packets:
+            h.update(
+                (
+                    f"{p.timestamp:.9f}|{p.src_ip}:{p.src_port}>"
+                    f"{p.dst_ip}:{p.dst_port}|{p.protocol}|{p.length}|"
+                    f"{p.tcp_flags}|{p.label}\n"
+                ).encode()
+            )
+        return h.hexdigest()
+
+    def summary(self) -> str:
+        """One-line human description."""
+        return (
+            f"trace {self.name}: {self.n_flows} flows / {self.n_packets} packets "
+            f"over {self.duration_seconds:.1f}s trace-time, "
+            f"{self.n_attack_flows} attack flows"
+        )
+
+
+class DatasetTraceCompiler:
+    """Per-row flow synthesis from a tabular dataset split.
+
+    Parameters
+    ----------
+    duration_scale:
+        A row whose (scaled) duration feature is 1.0 compiles to a flow this
+        many seconds long.  Kept well under the flow table's
+        ``max_flow_duration`` (120 s) so no flow is force-split.
+    max_gap_seconds:
+        Upper bound on intra-flow packet gaps.  Must stay below the serving
+        idle timeout (5 s default) so a compiled flow can never be expired
+        mid-life -- the row/flow bijection depends on it.
+    max_fwd_packets, max_bwd_packets:
+        Packet-count range the scaled packet-count cues map onto.
+    concurrency:
+        Target mean number of flows in flight; sets the Poisson start-time
+        spacing so flows interleave.
+    time_warp:
+        Timeline compression factor (> 1 squeezes start gaps, raising
+        overlap and packet rate without changing any flow's shape).
+    start_time:
+        Timestamp of the trace origin.
+    """
+
+    def __init__(
+        self,
+        duration_scale: float = 40.0,
+        max_gap_seconds: float = 4.0,
+        max_fwd_packets: int = 48,
+        max_bwd_packets: int = 32,
+        concurrency: float = 8.0,
+        time_warp: float = 1.0,
+        start_time: float = 0.0,
+    ):
+        if duration_scale <= 0:
+            raise ConfigurationError("duration_scale must be positive")
+        if max_gap_seconds <= 0:
+            raise ConfigurationError("max_gap_seconds must be positive")
+        if max_fwd_packets < 2:
+            raise ConfigurationError("max_fwd_packets must be >= 2")
+        if max_bwd_packets < 0:
+            raise ConfigurationError("max_bwd_packets must be non-negative")
+        if concurrency <= 0:
+            raise ConfigurationError("concurrency must be positive")
+        if time_warp <= 0:
+            raise ConfigurationError("time_warp must be positive")
+        self.duration_scale = float(duration_scale)
+        self.max_gap_seconds = float(max_gap_seconds)
+        self.max_fwd_packets = int(max_fwd_packets)
+        self.max_bwd_packets = int(max_bwd_packets)
+        self.concurrency = float(concurrency)
+        self.time_warp = float(time_warp)
+        self.start_time = float(start_time)
+
+    # ------------------------------------------------------------------- API
+    def compile(
+        self,
+        dataset: NIDSDataset,
+        split: str = "test",
+        seed: int = 0,
+        limit: Optional[int] = None,
+    ) -> CompiledTrace:
+        """Compile one split of ``dataset`` into a packet trace.
+
+        Parameters
+        ----------
+        dataset:
+            The loaded (preprocessed) dataset.
+        split:
+            ``"test"`` (the serving workload) or ``"train"`` (the workload a
+            pipeline is trained on before replay).
+        seed:
+            Trace seed; fully determines the output.
+        limit:
+            Compile only the first ``limit`` rows (small CI slices).
+        """
+        if split == "test":
+            X, y = dataset.X_test, dataset.y_test
+        elif split == "train":
+            X, y = dataset.X_train, dataset.y_train
+        else:
+            raise DatasetError(f"split must be 'train' or 'test', got {split!r}")
+        n_rows = X.shape[0] if limit is None else min(int(limit), X.shape[0])
+        if n_rows < 1:
+            raise DatasetError("cannot compile an empty split")
+
+        cues = self._resolve_cues(dataset.feature_names)
+        protocol_columns = self._protocol_columns(dataset.feature_names)
+        attack_classes = self._attack_classes(dataset)
+
+        # Seeded Poisson start times: mean spacing tuned so about
+        # ``concurrency`` flows are in flight at the mean flow duration.
+        start_rng = np.random.default_rng([int(seed), 104729])
+        spacing = self.duration_scale / (2.0 * self.concurrency * self.time_warp)
+        starts = self.start_time + np.cumsum(start_rng.exponential(spacing, size=n_rows))
+
+        packets: List[Packet] = []
+        flows: List[TraceFlow] = []
+        for i in range(n_rows):
+            label = str(dataset.class_names[int(y[i])])
+            row = np.clip(np.asarray(X[i], dtype=np.float64), 0.0, 1.0)
+            flow_packets = self._compile_row(
+                i, row, label, cues, protocol_columns, float(starts[i]), seed
+            )
+            packets.extend(flow_packets)
+            first, last = flow_packets[0], flow_packets[-1]
+            flows.append(
+                TraceFlow(
+                    token=FlowKey.from_packet(first).token,
+                    row_index=i,
+                    label=label,
+                    is_attack=label in attack_classes,
+                    protocol=first.protocol,
+                    n_packets=len(flow_packets),
+                    n_bytes=sum(p.length for p in flow_packets),
+                    start_time=first.timestamp,
+                    end_time=last.timestamp,
+                )
+            )
+        packets.sort(key=lambda p: p.timestamp)
+        trace = CompiledTrace(
+            name=f"{dataset.name}-{split}-s{seed}",
+            dataset_name=dataset.name,
+            split=split,
+            seed=int(seed),
+            class_names=tuple(dataset.class_names),
+            attack_classes=attack_classes,
+            packets=packets,
+            flows=flows,
+            resolved_cues={k: dataset.feature_names[v] for k, v in cues.items()},
+        )
+        if len({flow.token for flow in trace.flows}) != trace.n_flows:
+            raise ConfigurationError(
+                "trace compilation produced duplicate flow tokens"
+            )  # pragma: no cover - defended by unique endpoint construction
+        return trace
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _resolve_cues(feature_names: Sequence[str]) -> Dict[str, int]:
+        """Map each packet-level cue to the first matching dataset column."""
+        lowered = {name.lower(): idx for idx, name in enumerate(feature_names)}
+        resolved: Dict[str, int] = {}
+        for cue, candidates in _CUE_CANDIDATES.items():
+            for candidate in candidates:
+                if candidate in lowered:
+                    resolved[cue] = lowered[candidate]
+                    break
+        return resolved
+
+    @staticmethod
+    def _protocol_columns(feature_names: Sequence[str]) -> List[Tuple[int, str]]:
+        """One-hot protocol columns as ``(column_index, category)`` pairs."""
+        columns: List[Tuple[int, str]] = []
+        for idx, name in enumerate(feature_names):
+            lowered = name.lower()
+            for prefix in _PROTOCOL_PREFIXES:
+                if lowered.startswith(prefix):
+                    columns.append((idx, lowered[len(prefix) :]))
+                    break
+        return columns
+
+    @staticmethod
+    def _attack_classes(dataset: NIDSDataset) -> frozenset:
+        if dataset.schema is not None:
+            mask = dataset.schema.attack_mask
+            return frozenset(
+                name for name, attack in zip(dataset.class_names, mask) if attack
+            )
+        return frozenset(
+            name for name in dataset.class_names if name.lower() not in _BENIGN_NAMES
+        )
+
+    def _cue(self, row: np.ndarray, cues: Dict[str, int], name: str, default: float) -> float:
+        idx = cues.get(name)
+        return float(row[idx]) if idx is not None else float(default)
+
+    def _compile_row(
+        self,
+        row_index: int,
+        row: np.ndarray,
+        label: str,
+        cues: Dict[str, int],
+        protocol_columns: List[Tuple[int, str]],
+        start: float,
+        seed: int,
+    ) -> List[Packet]:
+        rng = np.random.default_rng([int(seed), 7919, int(row_index)])
+
+        # ---- packet-level shape from the row's features -------------------
+        duration = 0.05 + self._cue(row, cues, "duration", rng.random() * 0.3) * self.duration_scale
+        n_fwd = 2 + int(round(self._cue(row, cues, "fwd_packets", rng.random() * 0.3) * (self.max_fwd_packets - 2)))
+        n_bwd = int(round(self._cue(row, cues, "bwd_packets", rng.random() * 0.3) * self.max_bwd_packets))
+        fwd_len = 40.0 + self._cue(row, cues, "fwd_bytes", rng.random() * 0.4) * 1420.0
+        bwd_len = 40.0 + self._cue(row, cues, "bwd_bytes", rng.random() * 0.4) * 1420.0
+
+        protocol = "tcp"
+        if protocol_columns:
+            best_idx, best_val = None, -1.0
+            for col, category in protocol_columns:
+                if row[col] > best_val:
+                    best_idx, best_val = category, float(row[col])
+            if best_idx in _KNOWN_PROTOCOLS:
+                protocol = best_idx
+            # Transports the packet substrate does not model stay TCP.
+
+        # ---- unique endpoints: the row/flow bijection ---------------------
+        src_ip = f"10.{(row_index >> 16) & 255}.{(row_index >> 8) & 255}.{row_index & 255}"
+        dst_ip = f"172.16.{rng.integers(0, 16)}.{rng.integers(1, 255)}"
+        src_port = 1024 + int(rng.integers(0, 60000))
+        dst_port = int(_COMMON_PORTS[int(rng.integers(0, len(_COMMON_PORTS)))])
+
+        # ---- timestamps: duration split into bounded gaps -----------------
+        n = n_fwd + n_bwd
+        if n > 1:
+            weights = rng.random(n - 1) + 0.25
+            gaps = duration * weights / weights.sum()
+            gaps = np.minimum(gaps, self.max_gap_seconds)
+            gaps = np.maximum(gaps, 1e-5)
+            times = start + np.concatenate([[0.0], np.cumsum(gaps)])
+        else:
+            times = np.asarray([start])
+
+        # ---- direction pattern (first packet is the initiator's) ----------
+        directions = np.ones(n, dtype=bool)
+        if n_bwd > 0:
+            bwd_positions = rng.choice(np.arange(1, n), size=n_bwd, replace=False)
+            directions[bwd_positions] = False
+
+        # ---- payload sizes -------------------------------------------------
+        fwd_sizes = np.clip(rng.normal(fwd_len, 0.15 * fwd_len + 4.0, size=n), 40, 1500)
+        bwd_sizes = np.clip(rng.normal(bwd_len, 0.15 * bwd_len + 4.0, size=n), 40, 1500)
+
+        packets: List[Packet] = []
+        fwd_seen = 0
+        for j in range(n):
+            forward = bool(directions[j])
+            length = int(fwd_sizes[j] if forward else bwd_sizes[j])
+            flags = 0
+            if protocol == "tcp":
+                if forward and fwd_seen == 0:
+                    flags = TCP_FLAGS["SYN"]
+                elif j == n - 1:
+                    flags = TCP_FLAGS["FIN"] | TCP_FLAGS["ACK"]
+                else:
+                    flags = TCP_FLAGS["ACK"] | (TCP_FLAGS["PSH"] if length > 100 else 0)
+            fwd_seen += forward
+            packets.append(
+                Packet(
+                    timestamp=float(times[j]),
+                    src_ip=src_ip if forward else dst_ip,
+                    dst_ip=dst_ip if forward else src_ip,
+                    src_port=src_port if forward else dst_port,
+                    dst_port=dst_port if forward else src_port,
+                    protocol=protocol,
+                    length=length,
+                    tcp_flags=flags,
+                    label=label,
+                )
+            )
+        return packets
+
+
+def compile_dataset_trace(
+    dataset_name: str,
+    split: str = "test",
+    n_train: int = 600,
+    n_test: int = 240,
+    seed: int = 0,
+    limit: Optional[int] = None,
+    compiler: Optional[DatasetTraceCompiler] = None,
+) -> CompiledTrace:
+    """Convenience: load a dataset by name and compile one split."""
+    from repro.datasets.loaders import load_dataset
+
+    dataset = load_dataset(dataset_name, n_train=n_train, n_test=n_test, seed=seed)
+    return (compiler or DatasetTraceCompiler()).compile(dataset, split=split, seed=seed)

@@ -1,0 +1,329 @@
+"""The golden-trace differential harness: serving-path alert parity.
+
+The serving stack exists to produce the *same decisions* as offline batch
+inference, only continuously and at scale.  This module makes that claim
+testable:
+
+1. :class:`GoldenTrace` records the offline batch predictions for a compiled
+   trace -- one ``detect_packets`` call over the whole stream, the paper's
+   evaluation path -- keyed by canonical flow token.
+2. :class:`DifferentialHarness` replays the same trace through each serving
+   architecture (single-process streaming, a smaller micro-batched window,
+   an N-worker sharded cluster) and :func:`diff_against_golden` asserts
+   flow-for-flow parity: the same flows flagged, the same class predicted,
+   confidences within float32 tolerance.
+
+Any divergence -- a flow lost by sharding, a prediction flipped by batch
+composition, a confidence drifting past float32 noise -- surfaces as a named
+flow token in the :class:`ParityReport`, which is what makes this harness
+the repository's serving-correctness oracle: every future change to the
+serving or cluster path has to keep these reports clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.coordinator import ClusterConfig, ClusterCoordinator
+from repro.exceptions import ConfigurationError
+from repro.nids.pipeline import DetectionPipeline
+from repro.replay.compiler import CompiledTrace
+from repro.replay.replayer import (
+    ReplayConfig,
+    TraceReplayer,
+    predictions_from_detections,
+)
+from repro.serving.shutdown import GracefulShutdown
+from repro.serving.stages import FlowPrediction
+
+#: Default tolerance for confidence parity.  Confidences are float32 score
+#: margins; different micro-batch compositions legitimately reorder the
+#: BLAS reductions behind them, so exact equality is not a sound contract --
+#: float32-noise-sized agreement is.
+CONFIDENCE_RTOL = 1e-4
+CONFIDENCE_ATOL = 1e-5
+
+
+@dataclass
+class GoldenTrace:
+    """Offline batch predictions for a compiled trace (the reference)."""
+
+    trace_name: str
+    records: Dict[str, FlowPrediction]
+
+    @classmethod
+    def record(
+        cls,
+        pipeline: DetectionPipeline,
+        trace: CompiledTrace,
+        idle_timeout: float = 5.0,
+    ) -> "GoldenTrace":
+        """Run offline batch detection over the whole trace and keep the outcome."""
+        pipeline.alert_manager.clear()
+        result = pipeline.detect_packets(trace.packets, idle_timeout=idle_timeout)
+        records = predictions_from_detections([result], pipeline)
+        if len(records) != trace.n_flows:
+            raise ConfigurationError(
+                f"golden recording produced {len(records)} flows for a trace of "
+                f"{trace.n_flows}; the compiled trace broke the row/flow bijection"
+            )
+        return cls(trace_name=trace.name, records=records)
+
+    @property
+    def n_flows(self) -> int:
+        """Flows in the golden record."""
+        return len(self.records)
+
+    @property
+    def n_flagged(self) -> int:
+        """Flows the offline path flagged as attacks."""
+        return sum(1 for record in self.records.values() if record.flagged)
+
+
+@dataclass
+class ParityReport:
+    """Flow-for-flow comparison of one serving path against the golden record."""
+
+    path: str
+    trace_name: str
+    n_golden: int
+    n_observed: int
+    #: The replay was cut short by a shutdown signal; the comparison covers
+    #: only what was served and the path was NOT fully parity-verified.
+    interrupted: bool = False
+    #: Golden flows the path never served.
+    missing_flows: List[str] = field(default_factory=list)
+    #: Flows the path served that the golden record does not contain.
+    extra_flows: List[str] = field(default_factory=list)
+    #: Flows whose predicted class differs.
+    prediction_mismatches: List[str] = field(default_factory=list)
+    #: Flows flagged by exactly one of the two paths.
+    flag_mismatches: List[str] = field(default_factory=list)
+    #: Flows whose confidences differ beyond the float32 tolerance.
+    confidence_mismatches: List[str] = field(default_factory=list)
+    max_confidence_delta: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the path is flow-for-flow equivalent to the golden record."""
+        return not (
+            self.missing_flows
+            or self.extra_flows
+            or self.prediction_mismatches
+            or self.flag_mismatches
+            or self.confidence_mismatches
+        )
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        if self.interrupted:
+            return (
+                f"{self.path}: INTERRUPTED after {self.n_observed}/"
+                f"{self.n_golden} flows (parity not evaluated)"
+            )
+        if self.ok:
+            return (
+                f"{self.path}: PARITY ({self.n_observed}/{self.n_golden} flows, "
+                f"max confidence delta {self.max_confidence_delta:.2e})"
+            )
+        return (
+            f"{self.path}: MISMATCH (missing={len(self.missing_flows)} "
+            f"extra={len(self.extra_flows)} "
+            f"prediction={len(self.prediction_mismatches)} "
+            f"flag={len(self.flag_mismatches)} "
+            f"confidence={len(self.confidence_mismatches)})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (token lists truncated to the first few)."""
+        return {
+            "path": self.path,
+            "trace": self.trace_name,
+            "ok": self.ok,
+            "interrupted": self.interrupted,
+            "n_golden": self.n_golden,
+            "n_observed": self.n_observed,
+            "missing": len(self.missing_flows),
+            "extra": len(self.extra_flows),
+            "prediction_mismatches": len(self.prediction_mismatches),
+            "flag_mismatches": len(self.flag_mismatches),
+            "confidence_mismatches": len(self.confidence_mismatches),
+            "max_confidence_delta": self.max_confidence_delta,
+            "examples": (
+                self.missing_flows[:3]
+                + self.prediction_mismatches[:3]
+                + self.confidence_mismatches[:3]
+            ),
+        }
+
+
+def diff_against_golden(
+    golden: GoldenTrace,
+    observed: Dict[str, FlowPrediction],
+    path: str,
+    rtol: float = CONFIDENCE_RTOL,
+    atol: float = CONFIDENCE_ATOL,
+) -> ParityReport:
+    """Compare one serving path's per-flow records against the golden record."""
+    report = ParityReport(
+        path=path,
+        trace_name=golden.trace_name,
+        n_golden=len(golden.records),
+        n_observed=len(observed),
+    )
+    for token in observed:
+        if token not in golden.records:
+            report.extra_flows.append(token)
+    for token, reference in golden.records.items():
+        record = observed.get(token)
+        if record is None:
+            report.missing_flows.append(token)
+            continue
+        if record.prediction != reference.prediction:
+            report.prediction_mismatches.append(token)
+        if record.flagged != reference.flagged:
+            report.flag_mismatches.append(token)
+        delta = abs(record.confidence - reference.confidence)
+        report.max_confidence_delta = max(report.max_confidence_delta, delta)
+        if delta > atol + rtol * abs(reference.confidence):
+            report.confidence_mismatches.append(token)
+    return report
+
+
+class DifferentialHarness:
+    """Runs one trace through every serving architecture and diffs each.
+
+    Parameters
+    ----------
+    pipeline:
+        The trained pipeline under test.  It is used read-only: every
+        serving path runs with online learning off, so the model the last
+        path sees is the model the first path saw.
+    trace:
+        The compiled trace to serve.
+    window_size:
+        Micro-batch window of the primary single-process path (also the
+        cluster's dispatch batch size).
+    micro_window_size:
+        A deliberately different (smaller) window for the micro-batched
+        path, so batch-composition effects are exercised rather than
+        accidentally matched.
+    cluster_workers:
+        Worker processes of the cluster path.
+    """
+
+    def __init__(
+        self,
+        pipeline: DetectionPipeline,
+        trace: CompiledTrace,
+        window_size: int = 512,
+        micro_window_size: int = 64,
+        cluster_workers: int = 2,
+        idle_timeout: float = 5.0,
+        rtol: float = CONFIDENCE_RTOL,
+        atol: float = CONFIDENCE_ATOL,
+    ):
+        if cluster_workers < 1:
+            raise ConfigurationError("cluster_workers must be >= 1")
+        self.pipeline = pipeline
+        self.trace = trace
+        self.window_size = int(window_size)
+        self.micro_window_size = int(micro_window_size)
+        self.cluster_workers = int(cluster_workers)
+        self.idle_timeout = float(idle_timeout)
+        self.rtol = float(rtol)
+        self.atol = float(atol)
+        self.golden = GoldenTrace.record(pipeline, trace, idle_timeout=idle_timeout)
+
+    # ------------------------------------------------------------------- API
+    def run_single_process(
+        self, shutdown: Optional[GracefulShutdown] = None
+    ) -> ParityReport:
+        """Closed-loop streaming at the primary window size."""
+        return self._replay_path(self.window_size, "single_process", shutdown)
+
+    def run_microbatched(
+        self, shutdown: Optional[GracefulShutdown] = None
+    ) -> ParityReport:
+        """Closed-loop streaming at the small micro-batch window."""
+        return self._replay_path(self.micro_window_size, "microbatched", shutdown)
+
+    def run_cluster(
+        self,
+        workers: Optional[int] = None,
+        shutdown: Optional[GracefulShutdown] = None,
+    ) -> ParityReport:
+        """N-worker sharded cluster serving with prediction capture."""
+        n_workers = int(workers) if workers is not None else self.cluster_workers
+        self.pipeline.alert_manager.clear()
+        coordinator = ClusterCoordinator(
+            self.pipeline,
+            ClusterConfig(
+                n_workers=n_workers,
+                batch_size=self.window_size,
+                online=False,
+                idle_timeout=self.idle_timeout,
+                capture_predictions=True,
+            ),
+        )
+        report = coordinator.serve(self.trace.packets, shutdown=shutdown)
+        observed = {
+            record.token: record for record in (report.flow_predictions or [])
+        }
+        parity = diff_against_golden(
+            self.golden,
+            observed,
+            path=f"cluster_{n_workers}w",
+            rtol=self.rtol,
+            atol=self.atol,
+        )
+        parity.interrupted = report.interrupted
+        return parity
+
+    def run_all(
+        self,
+        cluster: bool = True,
+        shutdown: Optional[GracefulShutdown] = None,
+    ) -> Dict[str, ParityReport]:
+        """Every architecture; returns reports keyed by path name.
+
+        A triggered ``shutdown`` stops the in-flight replay at its next
+        chunk boundary (the report is marked ``interrupted``) and skips the
+        remaining paths entirely.
+        """
+        reports: Dict[str, ParityReport] = {}
+        paths = [
+            ("single_process", self.run_single_process),
+            ("microbatched", self.run_microbatched),
+        ]
+        if cluster:
+            paths.append((f"cluster_{self.cluster_workers}w", self.run_cluster))
+        for _, run in paths:
+            if shutdown is not None and shutdown.triggered:
+                break
+            report = run(shutdown=shutdown)
+            reports[report.path] = report
+        return reports
+
+    # ------------------------------------------------------------- internals
+    def _replay_path(
+        self,
+        window_size: int,
+        path: str,
+        shutdown: Optional[GracefulShutdown] = None,
+    ) -> ParityReport:
+        replayer = TraceReplayer(
+            self.pipeline,
+            ReplayConfig(
+                mode="closed",
+                window_size=window_size,
+                idle_timeout=self.idle_timeout,
+            ),
+        )
+        result = replayer.replay(self.trace, shutdown=shutdown)
+        report = diff_against_golden(
+            self.golden, result.predictions, path=path, rtol=self.rtol, atol=self.atol
+        )
+        report.interrupted = result.interrupted
+        return report

@@ -1,0 +1,296 @@
+"""Replaying compiled traces through the streaming serving path.
+
+Two replay modes cover the two questions the subsystem answers:
+
+* **closed-loop** (default): packets are pushed as fast as the detector
+  drains them (the producer pays on backpressure).  Fully deterministic --
+  every compiled flow is served -- which is what the golden-trace
+  differential harness needs for flow-for-flow parity checks.
+* **open-loop**: packets are submitted on a wall clock at a target rate
+  (``rate`` packets/second, or ``speed`` x trace time) against the engine's
+  background dispatch thread with a bounded ``drop_oldest`` queue.  When the
+  offered rate exceeds serving capacity the queue sheds load, flows arrive
+  mutilated or not at all, and detection quality degrades -- the
+  accuracy-under-load curve ``repro bench --suite replay`` reports.
+
+Either way the result carries per-flow :class:`~repro.serving.FlowPrediction`
+records joined against the trace's ground truth, yielding detection
+recall/precision for the replayed workload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.nids.pipeline import DetectionPipeline, DetectionResult
+from repro.nids.streaming import StreamingDetector
+from repro.replay.compiler import CompiledTrace
+from repro.serving.shutdown import GracefulShutdown, chunked
+from repro.serving.stages import FlowPrediction, batch_flow_predictions
+
+
+def predictions_from_detections(
+    detections: List[DetectionResult], pipeline: DetectionPipeline
+) -> Dict[str, FlowPrediction]:
+    """Flatten detection results into per-flow records keyed by flow token.
+
+    ``DetectionResult`` exposes the same ``flows`` / ``predictions`` /
+    ``confidences`` trio as a ``ServingBatch``, so the record construction
+    is the one shared :func:`batch_flow_predictions` implementation (the
+    same one cluster workers use to capture their shards' outcomes).
+    """
+    records: Dict[str, FlowPrediction] = {}
+    for detection in detections:
+        for record in batch_flow_predictions(detection, pipeline.is_attack_class):
+            records[record.token] = record
+    return records
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Knobs of one trace replay.
+
+    Attributes
+    ----------
+    mode:
+        ``"closed"`` (deterministic, producer-pays) or ``"open"``
+        (wall-clock paced with load shedding).
+    window_size:
+        Packets per micro-batch window.
+    rate:
+        Open-loop target submission rate in packets/second; overrides
+        ``speed``.
+    speed:
+        Open-loop timeline multiplier (``2.0`` replays the trace at twice
+        trace time).
+    queue_capacity:
+        Ingest-queue bound; open-loop defaults to two windows so overload
+        actually sheds.
+    backpressure:
+        Queue overflow policy; closed-loop defaults to ``"block"``,
+        open-loop to ``"drop_oldest"``.
+    idle_timeout:
+        Flow-table idle timeout (must exceed the compiler's
+        ``max_gap_seconds`` for the row/flow bijection to hold).
+    chunk_size:
+        Packets per ingest chunk (the shutdown-latency bound).
+    """
+
+    mode: str = "closed"
+    window_size: int = 512
+    rate: Optional[float] = None
+    speed: Optional[float] = None
+    queue_capacity: Optional[int] = None
+    backpressure: Optional[str] = None
+    idle_timeout: float = 5.0
+    chunk_size: int = 256
+
+    def validate(self) -> "ReplayConfig":
+        """Check parameter ranges and return ``self``."""
+        if self.mode not in ("closed", "open"):
+            raise ConfigurationError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.window_size < 1:
+            raise ConfigurationError("window_size must be >= 1")
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        if self.speed is not None and self.speed <= 0:
+            raise ConfigurationError("speed must be positive")
+        if self.chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        return self
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one trace replay.
+
+    ``predictions`` maps flow tokens to serving outcomes; flows of the trace
+    absent from it were shed (open-loop drops) or cut off by an early
+    shutdown, and count as misses in the recall metrics.
+    """
+
+    trace_name: str
+    mode: str
+    wall_seconds: float
+    n_packets_submitted: int
+    n_packets_served: int
+    n_flows_served: int
+    n_alerts: int
+    dropped_packets: int
+    interrupted: bool
+    predictions: Dict[str, FlowPrediction] = field(default_factory=dict)
+    #: Detection quality vs. the trace ground truth (see ``detection_metrics``).
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def packets_per_second(self) -> float:
+        """Achieved wall-clock packet throughput."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_packets_served / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (without the per-flow records)."""
+        return {
+            "trace": self.trace_name,
+            "mode": self.mode,
+            "wall_seconds": self.wall_seconds,
+            "packets_submitted": self.n_packets_submitted,
+            "packets_served": self.n_packets_served,
+            "flows_served": self.n_flows_served,
+            "alerts": self.n_alerts,
+            "dropped_packets": self.dropped_packets,
+            "packets_per_second": self.packets_per_second,
+            "interrupted": self.interrupted,
+            "metrics": dict(self.metrics),
+        }
+
+
+def detection_metrics(
+    trace: CompiledTrace, predictions: Dict[str, FlowPrediction]
+) -> Dict[str, float]:
+    """Recall / precision / accuracy of served predictions vs. ground truth.
+
+    Flows of the trace that were never served (shed under load) count as
+    missed attacks for recall -- overload hides intrusions, and the metric
+    must say so rather than quietly scoring only the surviving flows.
+    """
+    n_attacks = trace.n_attack_flows
+    true_positives = 0
+    false_positives = 0
+    flagged = 0
+    correct = 0
+    served = 0
+    for flow in trace.flows:
+        record = predictions.get(flow.token)
+        if record is None:
+            continue
+        served += 1
+        correct += record.prediction == flow.label
+        if record.flagged:
+            flagged += 1
+            if flow.is_attack:
+                true_positives += 1
+            else:
+                false_positives += 1
+    return {
+        "flows_total": float(trace.n_flows),
+        "flows_served": float(served),
+        "served_fraction": served / trace.n_flows if trace.n_flows else 0.0,
+        "attack_flows": float(n_attacks),
+        "flagged_flows": float(flagged),
+        "recall": true_positives / n_attacks if n_attacks else 0.0,
+        "precision": true_positives / flagged if flagged else 0.0,
+        "false_positives": float(false_positives),
+        "label_accuracy": correct / served if served else 0.0,
+    }
+
+
+class TraceReplayer:
+    """Replays compiled traces through a trained pipeline's serving path."""
+
+    def __init__(self, pipeline: DetectionPipeline, config: Optional[ReplayConfig] = None):
+        self.pipeline = pipeline
+        self.config = (config or ReplayConfig()).validate()
+
+    # ------------------------------------------------------------------- API
+    def replay(
+        self,
+        trace: CompiledTrace,
+        shutdown: Optional[GracefulShutdown] = None,
+    ) -> ReplayResult:
+        """Replay ``trace``; returns per-flow predictions and load metrics.
+
+        A triggered ``shutdown`` stops ingest at the next chunk boundary;
+        everything already accepted is drained and classified (the serve
+        loops' drain contract), and the result is marked ``interrupted``.
+        """
+        cfg = self.config
+        open_loop = cfg.mode == "open"
+        backpressure = cfg.backpressure or ("drop_oldest" if open_loop else "block")
+        queue_capacity = cfg.queue_capacity
+        if queue_capacity is None:
+            queue_capacity = 2 * cfg.window_size if open_loop else 4 * cfg.window_size
+        # Fresh alert-manager state per replay: the dedup window would
+        # otherwise suppress alerts for flows an earlier replay of the same
+        # trace already flagged, breaking cross-path comparisons.
+        self.pipeline.alert_manager.clear()
+        detector = StreamingDetector(
+            self.pipeline,
+            window_size=cfg.window_size,
+            idle_timeout=cfg.idle_timeout,
+            queue_capacity=queue_capacity,
+            backpressure=backpressure,
+            history=None,  # parity needs every window's detections
+        )
+
+        start = time.perf_counter()
+        submitted = 0
+        interrupted = False
+        if open_loop:
+            submitted, interrupted = self._ingest_open_loop(detector, trace, shutdown)
+        else:
+            for chunk in chunked(trace.packets, cfg.chunk_size):
+                if shutdown is not None and shutdown.triggered:
+                    interrupted = True
+                    break
+                detector.push_many(chunk)
+                submitted += len(chunk)
+        detector.flush()
+        wall = time.perf_counter() - start
+
+        predictions = predictions_from_detections(detector.detections, self.pipeline)
+        stats = detector.backpressure_stats
+        result = ReplayResult(
+            trace_name=trace.name,
+            mode=cfg.mode,
+            wall_seconds=wall,
+            n_packets_submitted=submitted,
+            n_packets_served=detector.total_packets,
+            n_flows_served=detector.total_flows,
+            n_alerts=detector.total_alerts,
+            dropped_packets=stats.dropped_oldest,
+            interrupted=interrupted,
+            predictions=predictions,
+        )
+        result.metrics = detection_metrics(trace, predictions)
+        return result
+
+    # ------------------------------------------------------------- internals
+    def _ingest_open_loop(
+        self,
+        detector: StreamingDetector,
+        trace: CompiledTrace,
+        shutdown: Optional[GracefulShutdown],
+    ):
+        """Wall-clock paced submission against the threaded engine."""
+        cfg = self.config
+        if cfg.rate is not None:
+            # A rate in packets/second maps to a timeline multiplier.
+            trace_rate = trace.n_packets / max(trace.duration_seconds, 1e-9)
+            speed = cfg.rate / max(trace_rate, 1e-9)
+        else:
+            speed = cfg.speed if cfg.speed is not None else 1.0
+        detector.engine.start()
+        t0 = trace.packets[0].timestamp if trace.packets else 0.0
+        wall0 = time.perf_counter()
+        submitted = 0
+        interrupted = False
+        try:
+            for chunk in chunked(trace.packets, cfg.chunk_size):
+                if shutdown is not None and shutdown.triggered:
+                    interrupted = True
+                    break
+                target = (chunk[0].timestamp - t0) / speed
+                delay = target - (time.perf_counter() - wall0)
+                if delay > 0:
+                    time.sleep(delay)
+                for packet in chunk:
+                    detector.engine.submit(packet)
+                submitted += len(chunk)
+        finally:
+            detector.engine.stop()
+        return submitted, interrupted

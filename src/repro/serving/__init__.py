@@ -35,8 +35,10 @@ from repro.serving.stages import (
     ClassifyStage,
     FeatureExtractionStage,
     FlowAssemblyStage,
+    FlowPrediction,
     ServingBatch,
     Stage,
+    batch_flow_predictions,
     run_stages,
     score_confidences,
 )
@@ -59,6 +61,8 @@ __all__ = [
     "FeatureExtractionStage",
     "ClassifyStage",
     "AlertStage",
+    "FlowPrediction",
+    "batch_flow_predictions",
     "run_stages",
     "score_confidences",
     "StageStats",

@@ -63,6 +63,61 @@ def score_confidences(scores: np.ndarray) -> np.ndarray:
     return np.clip((best - second) / span, 0.0, 1.0)
 
 
+@dataclass(frozen=True)
+class FlowPrediction:
+    """One flow's serving outcome in a path-independent, picklable form.
+
+    Every serving path -- offline batch, single-process streaming,
+    micro-batched engine, cluster worker processes -- can be reduced to a
+    set of these records keyed by the flow's canonical token, which is what
+    lets the golden-trace differential harness (:mod:`repro.replay.golden`)
+    assert alert parity across architectures.
+    """
+
+    #: Canonical flow identifier (:attr:`repro.nids.flow.FlowKey.token`).
+    token: str
+    start_time: float
+    end_time: float
+    #: Predicted class name.
+    prediction: str
+    #: Normalized score margin in ``[0, 1]`` (see :func:`score_confidences`).
+    confidence: float
+    #: Ground-truth label carried by the flow's packets.
+    label: str
+    #: Whether the prediction is an attack class (i.e. the flow was flagged).
+    flagged: bool
+
+
+def batch_flow_predictions(
+    batch: "ServingBatch", is_attack: Callable[[str], bool]
+) -> List[FlowPrediction]:
+    """Per-flow prediction records of a processed batch.
+
+    ``batch`` is anything exposing the processed ``flows`` /
+    ``predictions`` / ``confidences`` trio -- a :class:`ServingBatch` or a
+    ``DetectionResult``.  ``is_attack`` is the pipeline's attack-class
+    predicate; it defines ``flagged`` *before* alert-manager deduplication,
+    so the records compare classifier behaviour rather than
+    alert-throttling state.
+    """
+    if batch.confidences is None:
+        return []
+    return [
+        FlowPrediction(
+            token=flow.key.token,
+            start_time=float(flow.start_time),
+            end_time=float(flow.end_time),
+            prediction=prediction,
+            confidence=float(confidence),
+            label=flow.label,
+            flagged=bool(is_attack(prediction)),
+        )
+        for flow, prediction, confidence in zip(
+            batch.flows, batch.predictions, batch.confidences
+        )
+    ]
+
+
 @dataclass
 class ServingBatch:
     """Mutable payload threaded through the stage chain.

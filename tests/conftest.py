@@ -1,8 +1,14 @@
 """Shared fixtures for the test suite.
 
 Fixtures are session-scoped where training is involved so the suite stays
-fast: the small synthetic dataset and the trained models are built once and
-reused by every test that only reads them.
+fast: the small synthetic datasets, the trained models and the
+packet-trained detection pipeline are built once and reused by every test
+that only reads them.  The contract for session-scoped model fixtures is
+**read-only**: a test that adapts a model (online learning, regeneration,
+cluster fold-back) must either build its own instance or snapshot and
+restore the trainable state (``class_vector_snapshot`` /
+``set_class_vectors``) so later tests -- possibly in other modules -- see
+the fixture untouched.  See ``docs/testing.md`` for the tier/marker model.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from repro.baselines.mlp import MLPClassifier
 from repro.core.cyberhd import CyberHD
 from repro.datasets.loaders import load_dataset
 from repro.models.hdc_classifier import BaselineHDC
+from repro.nids.packets import TrafficGenerator
+from repro.nids.pipeline import DetectionPipeline
 
 
 @pytest.fixture(scope="session")
@@ -65,3 +73,23 @@ def trained_mlp(small_dataset):
     model = MLPClassifier(hidden_layers=(32,), epochs=8, seed=0)
     model.fit(small_dataset.X_train, small_dataset.y_train)
     return model
+
+
+@pytest.fixture(scope="session")
+def packet_capture():
+    """A labeled synthetic packet capture shared by the packet-level tests."""
+    return TrafficGenerator(seed=7).generate(250)
+
+
+@pytest.fixture(scope="session")
+def packet_pipeline(packet_capture):
+    """A detection pipeline trained on :func:`packet_capture` (read-only).
+
+    Previously two test modules each trained an identical copy of this
+    pipeline at module scope; it is the most expensive fixture in the suite
+    after the classifier fits, so it is built once per session.  Mutating
+    tests must snapshot/restore the class vectors (see the module
+    docstring).
+    """
+    pipeline = DetectionPipeline(classifier=CyberHD(dim=128, epochs=6, seed=0))
+    return pipeline.fit_packets(packet_capture)

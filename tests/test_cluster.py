@@ -360,6 +360,52 @@ class TestLoadScenarios:
         with pytest.raises(ConfigurationError):
             interpolate_profile(a, b, 1.5)
 
+    def test_interpolate_profile_endpoints(self):
+        """t=0 reproduces a's statistics exactly; t=1 reproduces b's."""
+        a, b = DEFAULT_PROFILES[0], DEFAULT_PROFILES[2]
+        at_zero = interpolate_profile(a, b, 0.0)
+        assert at_zero.packets_per_flow == a.packets_per_flow
+        assert at_zero.packet_length == a.packet_length
+        assert at_zero.inter_arrival == a.inter_arrival
+        assert at_zero.reply_ratio == a.reply_ratio
+        at_one = interpolate_profile(a, b, 1.0)
+        assert at_one.packets_per_flow == b.packets_per_flow
+        assert at_one.packet_length == b.packet_length
+        assert at_one.inter_arrival == b.inter_arrival
+        assert at_one.reply_ratio == b.reply_ratio
+        # Identity and flag behaviour always stay a's: drift moves the
+        # statistics of a known label, never invents a new one.
+        assert at_one.name == a.name
+        assert at_one.is_attack == a.is_attack
+        assert at_one.syn_only == a.syn_only
+
+    def test_interpolate_profile_clamps_out_of_range(self):
+        a, b = DEFAULT_PROFILES[0], DEFAULT_PROFILES[1]
+        for t in (-0.01, -5.0, 1.0001, 2.0):
+            with pytest.raises(ConfigurationError):
+                interpolate_profile(a, b, t)
+
+    def test_generation_config_interpolate_edges(self):
+        from repro.datasets.synthetic import GENERATION_PRESETS, GenerationConfig
+        from repro.exceptions import DatasetError
+
+        clean = GENERATION_PRESETS["clean"]
+        hard = GENERATION_PRESETS["hard"]
+        at_zero = clean.interpolate(hard, 0.0)
+        assert at_zero == clean
+        at_one = clean.interpolate(hard, 1.0)
+        assert at_one == hard
+        mid = clean.interpolate(hard, 0.5)
+        assert mid.separability == pytest.approx(
+            0.5 * (clean.separability + hard.separability)
+        )
+        for t in (-0.1, 1.5):
+            with pytest.raises(DatasetError):
+                clean.interpolate(hard, t)
+        # The result is validated, so interpolating toward a config that was
+        # never validated still cannot produce an out-of-range mixture.
+        assert isinstance(clean.interpolate(GenerationConfig(), 0.5), GenerationConfig)
+
     def test_tabular_companion(self):
         dataset = get_scenario("gradual_drift").tabular_dataset(
             n_train=120, n_test=60, seed=0
@@ -368,6 +414,7 @@ class TestLoadScenarios:
         assert dataset.metadata["separability"] == pytest.approx(2.0)
 
 
+@pytest.mark.cluster
 class TestClusterEndToEnd:
     """Real worker processes, shared memory, queues and delta syncs."""
 

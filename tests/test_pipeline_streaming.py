@@ -12,17 +12,9 @@ from repro.nids.pipeline import DetectionPipeline
 from repro.nids.streaming import StreamingDetector
 
 
-@pytest.fixture(scope="module")
-def labeled_packets():
-    """A labeled packet capture large enough to train the packet-level path."""
-    return TrafficGenerator(seed=7).generate(250)
-
-
-@pytest.fixture(scope="module")
-def packet_trained_pipeline(labeled_packets):
-    pipeline = DetectionPipeline(classifier=CyberHD(dim=128, epochs=6, seed=0))
-    pipeline.fit_packets(labeled_packets)
-    return pipeline
+# ``packet_capture`` and ``packet_pipeline`` come from conftest.py: the
+# labeled capture and the pipeline trained on it are session-scoped and
+# shared with test_serving.py (they are read-only here).
 
 
 class TestPipelineDatasetPath:
@@ -57,30 +49,30 @@ class TestPipelineDatasetPath:
 
 
 class TestPipelinePacketPath:
-    def test_fit_packets_and_detect(self, packet_trained_pipeline, labeled_packets):
-        result = packet_trained_pipeline.detect_packets(labeled_packets[:400])
+    def test_fit_packets_and_detect(self, packet_pipeline, packet_capture):
+        result = packet_pipeline.detect_packets(packet_capture[:400])
         assert len(result.predictions) == len(result.flows)
         assert len(result.confidences) == len(result.predictions)
         assert all(0.0 <= c <= 1.0 for c in result.confidences)
         assert result.latency_seconds >= 0.0
 
-    def test_alerts_only_for_attack_predictions(self, packet_trained_pipeline, labeled_packets):
-        result = packet_trained_pipeline.detect_packets(labeled_packets)
+    def test_alerts_only_for_attack_predictions(self, packet_pipeline, packet_capture):
+        result = packet_pipeline.detect_packets(packet_capture)
         attack_predictions = [
-            p for p in result.predictions if packet_trained_pipeline.is_attack_class(p)
+            p for p in result.predictions if packet_pipeline.is_attack_class(p)
         ]
         # Alerts can be suppressed by dedup, so alerts <= attack predictions.
         assert len(result.alerts) <= len(attack_predictions)
 
-    def test_detection_quality_on_traffic(self, packet_trained_pipeline):
+    def test_detection_quality_on_traffic(self, packet_pipeline):
         """The pipeline should detect most attack flows in fresh traffic."""
         fresh = TrafficGenerator(seed=99).generate(150)
         table = FlowTable()
         flows = table.add_packets(fresh) + table.flush()
-        result = packet_trained_pipeline.detect_flows(flows)
+        result = packet_pipeline.detect_flows(flows)
         truth_attack = [f.label != "benign" for f in flows]
         predicted_attack = [
-            packet_trained_pipeline.is_attack_class(p) for p in result.predictions
+            packet_pipeline.is_attack_class(p) for p in result.predictions
         ]
         hits = sum(1 for t, p in zip(truth_attack, predicted_attack) if t and p)
         total_attacks = sum(truth_attack)
@@ -99,8 +91,8 @@ class TestPipelinePacketPath:
         with pytest.raises(ConfigurationError):
             DetectionPipeline().fit_flows([])
 
-    def test_detect_empty_flow_list(self, packet_trained_pipeline):
-        result = packet_trained_pipeline.detect_flows([])
+    def test_detect_empty_flow_list(self, packet_pipeline):
+        result = packet_pipeline.detect_flows([])
         assert result.predictions == [] and result.alerts == []
 
 
@@ -109,8 +101,8 @@ class TestStreamingDetector:
         with pytest.raises(NotFittedError):
             StreamingDetector(DetectionPipeline())
 
-    def test_window_processing(self, packet_trained_pipeline):
-        detector = StreamingDetector(packet_trained_pipeline, window_size=200)
+    def test_window_processing(self, packet_pipeline):
+        detector = StreamingDetector(packet_pipeline, window_size=200)
         packets = TrafficGenerator(seed=11).generate(120)
         results = detector.push_many(packets)
         final = detector.flush()
@@ -120,19 +112,19 @@ class TestStreamingDetector:
         assert detector.total_flows >= final.n_flows
         assert detector.mean_latency >= 0.0
 
-    def test_push_returns_result_at_window_boundary(self, packet_trained_pipeline):
-        detector = StreamingDetector(packet_trained_pipeline, window_size=5)
+    def test_push_returns_result_at_window_boundary(self, packet_pipeline):
+        detector = StreamingDetector(packet_pipeline, window_size=5)
         packets = TrafficGenerator(seed=12).generate(3)[:5]
         outputs = [detector.push(p) for p in packets]
         assert outputs[-1] is not None
         assert all(o is None for o in outputs[:-1])
 
-    def test_invalid_window_size(self, packet_trained_pipeline):
+    def test_invalid_window_size(self, packet_pipeline):
         with pytest.raises(ConfigurationError):
-            StreamingDetector(packet_trained_pipeline, window_size=0)
+            StreamingDetector(packet_pipeline, window_size=0)
 
-    def test_alert_counts_consistent(self, packet_trained_pipeline):
-        detector = StreamingDetector(packet_trained_pipeline, window_size=100)
+    def test_alert_counts_consistent(self, packet_pipeline):
+        detector = StreamingDetector(packet_pipeline, window_size=100)
         detector.push_many(TrafficGenerator(seed=13).generate(80))
         detector.flush()
         assert detector.total_alerts == sum(r.n_alerts for r in detector.results)

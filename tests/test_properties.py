@@ -115,3 +115,81 @@ def test_confusion_matrix_total_equals_samples(true_labels, predicted):
     matrix = confusion_matrix(y_true, y_pred, n_classes=5)
     assert matrix.sum() == n
     assert np.all(matrix >= 0)
+
+
+# --------------------------------------------------------------- ShardRouter
+# Property-based coverage of the consistent-hash router's three contracts:
+# deterministic key stability for any (n_workers, vnodes), bounded remap on
+# resize, and bounded shard imbalance.
+
+from repro.cluster.router import ShardRouter  # noqa: E402
+from repro.nids.flow import FlowKey  # noqa: E402
+
+
+def _key_sample(count, stride=1):
+    """A deterministic sample of distinct canonical flow keys."""
+    return [
+        FlowKey(
+            f"10.{(i >> 16) & 255}.{(i >> 8) & 255}.{i & 255}",
+            1024 + (i * 7) % 60000,
+            f"192.168.{(i * 13) % 250}.1",
+            443 if i % 3 else 80,
+            "tcp" if i % 4 else "udp",
+        )
+        for i in range(0, count * stride, stride)
+    ]
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=256),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_router_key_stability_across_instances_and_vnode_counts(
+    n_workers, vnodes, key_index
+):
+    """Any (n_workers, vnodes) pair maps a key identically in every
+    independently built router instance, and always into range."""
+    key = _key_sample(1, stride=key_index + 1)[0]
+    a = ShardRouter(n_workers, vnodes=vnodes)
+    b = ShardRouter(n_workers, vnodes=vnodes)
+    shard = a.shard_for_key(key)
+    assert shard == b.shard_for_key(key)
+    assert 0 <= shard < n_workers
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(min_value=1, max_value=7), st.integers(min_value=32, max_value=128))
+def test_router_resize_remap_fraction_bounded(n_workers, vnodes):
+    """Growing n -> n+1 workers moves roughly 1/(n+1) of keys -- never more
+    than a loose multiple of it -- and moved keys only land on the new worker."""
+    keys = _key_sample(400)
+    before = ShardRouter(n_workers, vnodes=vnodes)
+    after = ShardRouter(n_workers + 1, vnodes=vnodes)
+    moved = 0
+    for key in keys:
+        old, new = before.shard_for_key(key), after.shard_for_key(key)
+        if old != new:
+            assert new == n_workers  # only ever onto the added worker
+            moved += 1
+    expected = 1.0 / (n_workers + 1)
+    # Statistical bound: mean moved fraction is `expected`; with 400 keys and
+    # finite vnodes allow generous slack while still rejecting mod-hash-style
+    # remapping (which would move ~n/(n+1) of the keys).
+    assert moved / len(keys) <= 3.0 * expected + 0.05
+
+
+@settings(deadline=None, max_examples=8)
+@given(st.integers(min_value=2, max_value=6))
+def test_router_balance_within_tolerance(n_workers):
+    """With enough vnodes every shard gets traffic and skew stays modest."""
+    keys = _key_sample(2000)
+    router = ShardRouter(n_workers, vnodes=128)
+    counts = np.bincount(
+        [router.shard_for_key(k) for k in keys], minlength=n_workers
+    )
+    assert counts.min() > 0
+    mean = counts.mean()
+    assert counts.max() <= 2.0 * mean
+    assert counts.min() >= 0.35 * mean

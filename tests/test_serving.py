@@ -34,11 +34,7 @@ def split_dataset():
     return ds
 
 
-@pytest.fixture(scope="module")
-def packet_pipeline():
-    packets = TrafficGenerator(seed=7).generate(250)
-    pipeline = DetectionPipeline(classifier=CyberHD(dim=128, epochs=6, seed=0))
-    return pipeline.fit_packets(packets)
+# ``packet_pipeline`` comes from conftest.py (session scope, read-only).
 
 
 class TestColumnarFlowEquivalence:
@@ -473,12 +469,17 @@ class TestStreamingOnline:
     def test_online_streaming_updates_model(self, packet_pipeline):
         model = packet_pipeline.classifier
         before = model.online_batches_
-        learner = OnlineLearner(model)
-        detector = StreamingDetector(packet_pipeline, window_size=300, online=learner)
-        detector.push_many(TrafficGenerator(seed=15).generate(120))
-        detector.flush()
-        assert learner.updates > 0
-        assert model.online_batches_ > before
+        snapshot = model.class_vector_snapshot()
+        try:
+            learner = OnlineLearner(model)
+            detector = StreamingDetector(packet_pipeline, window_size=300, online=learner)
+            detector.push_many(TrafficGenerator(seed=15).generate(120))
+            detector.flush()
+            assert learner.updates > 0
+            assert model.online_batches_ > before
+        finally:
+            # The pipeline fixture is session-scoped and read-only.
+            model.set_class_vectors(snapshot)
 
 
 class TestStreamingDriftExperiment:

@@ -11,7 +11,10 @@ can be regenerated without writing Python, plus the serving subsystem::
     python -m repro bench --suite streaming --json BENCH_streaming.json
     python -m repro bench --suite cluster --workers 4 --json BENCH_cluster.json
     python -m repro bench --suite replay --dataset nsl_kdd --json BENCH_replay.json
+    python -m repro bench --suite bitpack --json BENCH_bitpack.json
+    python -m repro bench-diff bench-bitpack.json BENCH_bitpack.json --floor bitpack_score_speedup=2.0
     python -m repro replay --dataset unsw_nb15 --workers 2
+    python -m repro serve --flows 600 --inference-bits 1
     python -m repro serve --flows 600 --online
     python -m repro serve --workers 4 --scenario ddos_burst --online
 
@@ -25,7 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro._version import __version__
 from repro.datasets.loaders import available_datasets, load_dataset
@@ -58,11 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("hdc", "streaming", "cluster", "replay"),
+        choices=("hdc", "streaming", "cluster", "replay", "bitpack"),
         default="hdc",
         help="hdc: compute-backend primitives; streaming: packets->alerts "
         "serving path; cluster: sharded multi-worker scaling; replay: "
-        "dataset-to-traffic golden-trace parity + accuracy under load",
+        "dataset-to-traffic golden-trace parity + accuracy under load; "
+        "bitpack: packed 1-bit XOR/popcount inference -- kernel speedups, "
+        "packed-vs-offline parity, serving-time fault injection",
     )
     bench.add_argument("--dim", type=int, default=None, help="hypervector dimensionality")
     bench.add_argument("--repeats", type=int, default=3, help="best-of repeat count")
@@ -103,6 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="where to write the machine-readable records "
         "(default: BENCH_<suite>.json)",
+    )
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff",
+        help="gate a fresh bench JSON against a checked-in baseline "
+        "(parity must hold; relative speedups must reach a tolerance "
+        "fraction of the baseline's)",
+    )
+    bench_diff.add_argument("fresh", help="bench JSON produced by this run")
+    bench_diff.add_argument("baseline", help="checked-in BENCH_*.json baseline")
+    bench_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="fraction of each baseline speedup the fresh run must reach "
+        "(loose by design: shared CI runners are noisy and smoke workloads "
+        "are smaller than the baseline's)",
+    )
+    bench_diff.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="OP=VALUE",
+        help="absolute speedup floor for one op (repeatable), e.g. "
+        "--floor bitpack_score_speedup=2.0",
     )
 
     replay = subparsers.add_parser(
@@ -183,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window", type=int, default=500, help="packets per micro-batch")
     serve.add_argument("--dim", type=int, default=256, help="CyberHD dimensionality")
     serve.add_argument("--epochs", type=int, default=8, help="training epochs")
+    serve.add_argument(
+        "--inference-bits",
+        type=int,
+        default=None,
+        help="score against a quantized class matrix (1 activates the "
+        "bit-packed XOR/popcount serving fabric; see docs/serving.md)",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--backpressure", choices=("block", "drop_oldest"), default="block"
@@ -242,12 +279,14 @@ def _command_datasets(args: argparse.Namespace) -> int:
 
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
+        BENCH_BITPACK_JSON_NAME,
         BENCH_CLUSTER_JSON_NAME,
         BENCH_JSON_NAME,
         BENCH_REPLAY_JSON_NAME,
         BENCH_STREAMING_JSON_NAME,
         format_table,
         run_benchmarks,
+        run_bitpack_benchmarks,
         run_cluster_benchmarks,
         run_replay_benchmarks,
         run_streaming_benchmarks,
@@ -281,6 +320,13 @@ def _command_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
         )
         default_json = BENCH_REPLAY_JSON_NAME
+    elif args.suite == "bitpack":
+        records = run_bitpack_benchmarks(
+            workers=args.workers,
+            dim=args.dim,
+            quick=args.quick,
+        )
+        default_json = BENCH_BITPACK_JSON_NAME
     else:
         records = run_benchmarks(
             dim=args.dim or 500, repeats=args.repeats, quick=args.quick
@@ -292,6 +338,41 @@ def _command_bench(args: argparse.Namespace) -> int:
         path = write_bench_json(records, json_path)
         print(f"\nbenchmark records written to {path}")
     return 0
+
+
+def _command_bench_diff(args: argparse.Namespace) -> int:
+    """``repro bench-diff``: the CI bench-regression gate.
+
+    Exit 0 when every parity record in the fresh file holds and every shared
+    speedup op reaches ``tolerance`` of its baseline ratio (plus any
+    ``--floor`` absolute requirements); 1 on any regression.
+    """
+    from repro.perf import diff_bench_payloads
+
+    floors = {}
+    for item in args.floor:
+        op, _, value = item.partition("=")
+        try:
+            floors[op] = float(value)
+        except ValueError:
+            print(
+                f"malformed --floor {item!r} (expected OP=VALUE with a numeric "
+                "value)",
+                file=sys.stderr,
+            )
+            return 2
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    ok, lines = diff_bench_payloads(
+        fresh, baseline, tolerance=args.tolerance, floors=floors
+    )
+    for line in lines:
+        print(line)
+    print(f"\nbench-diff: {'OK' if ok else 'REGRESSION'} "
+          f"({args.fresh} vs {args.baseline})")
+    return 0 if ok else 1
 
 
 def _command_replay(args: argparse.Namespace) -> int:
@@ -408,7 +489,11 @@ def _serve_pipeline(args: argparse.Namespace):
         train_packets = TrafficGenerator(seed=args.seed).generate(args.train_flows)
         pipeline = DetectionPipeline(
             classifier=CyberHD(
-                dim=args.dim, epochs=args.epochs, regeneration_rate=0.1, seed=args.seed
+                dim=args.dim,
+                epochs=args.epochs,
+                regeneration_rate=0.1,
+                seed=args.seed,
+                inference_bits=getattr(args, "inference_bits", None),
             )
         ).fit_packets(train_packets)
         start_time = train_packets[-1].timestamp + 60.0
@@ -587,6 +672,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_datasets(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "bench-diff":
+        return _command_bench_diff(args)
     if args.command == "replay":
         return _command_replay(args)
     if args.command == "serve":

@@ -27,10 +27,8 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_module
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
-
-import numpy as np
 
 from repro.cluster.router import ShardRouter
 from repro.cluster.shared_model import ModelPublication
@@ -348,6 +346,10 @@ class ClusterCoordinator:
         merge_class_deltas(
             self.publication.class_matrix, deltas, self.publication.class_norms
         )
+        # Deltas accumulate in the float matrix; the packed 1-bit serving
+        # words (if published) are re-derived from the merged result before
+        # replicas are told to rebase.
+        self.publication.repack()
         generation = self.publication.bump_generation()
         for worker_id in range(self.config.n_workers):
             self._put(worker_id, Rebase(round_id=round_id, generation=generation))
@@ -379,6 +381,7 @@ class ClusterCoordinator:
             merge_class_deltas(
                 self.publication.class_matrix, final_deltas, self.publication.class_norms
             )
+            self.publication.repack()
             self.publication.bump_generation()
         # Fold the cluster-adapted model back into the coordinator's pipeline.
         self.pipeline.classifier.set_class_vectors(self.publication.class_matrix)

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.hdc.backend import row_norms
+from repro.hdc.bitpack import PackedClassMatrix
 from repro.nids.pipeline import DetectionPipeline
 from repro.persistence import pipeline_from_state, pipeline_state_dict
 
@@ -91,12 +92,24 @@ class SharedBlockSpec:
 
 @dataclass(frozen=True)
 class PublicationSpec:
-    """Everything a worker needs to attach and build its replica (picklable)."""
+    """Everything a worker needs to attach and build its replica (picklable).
+
+    ``packed_block`` / ``packed_state_block`` are present when the published
+    classifier serves the packed 1-bit path: the coordinator additionally
+    publishes the bit-packed ``uint64`` class words plus a small float64
+    state vector ``[scale, norm_0, ..., norm_{k-1}]``, and re-packs both on
+    every republish (see :meth:`ModelPublication.repack`).  Replicas then
+    score by XOR/popcount against the shared words -- zero copies of the
+    packed model per worker.
+    """
 
     blocks: Dict[str, SharedBlockSpec]
     norms_block: SharedBlockSpec
     meta_block_name: str
     small_state: Dict[str, np.ndarray] = field(repr=False)
+    packed_block: Optional[SharedBlockSpec] = None
+    packed_state_block: Optional[SharedBlockSpec] = None
+    packed_dim: int = 0
 
 
 class ModelPublication:
@@ -146,6 +159,31 @@ class ModelPublication:
             )
             self._norms_spec.view(self._norms_block)[...] = norms
             self._meta_block = create_block(f"{token}-mt", 8)
+            # Packed 1-bit publication: the words every replica scores with,
+            # plus [scale, norms...] so a repack is one in-place rewrite.
+            self._packed_block = None
+            self._packed_spec = None
+            self._packed_state_block = None
+            self._packed_state_spec = None
+            self._packed_dim = 0
+            if getattr(pipeline.classifier, "uses_packed_inference", False):
+                packed = PackedClassMatrix.from_class_matrix(classes)
+                self._packed_dim = packed.dim
+                self._packed_block = create_block(f"{token}-pw", packed.words.nbytes)
+                self._packed_spec = SharedBlockSpec(
+                    self._packed_block.name, packed.words.shape, packed.words.dtype.name
+                )
+                self._packed_spec.view(self._packed_block)[...] = packed.words
+                state_vector = np.concatenate(([packed.scale], packed.norms))
+                self._packed_state_block = create_block(
+                    f"{token}-ps", state_vector.nbytes
+                )
+                self._packed_state_spec = SharedBlockSpec(
+                    self._packed_state_block.name,
+                    state_vector.shape,
+                    state_vector.dtype.name,
+                )
+                self._packed_state_spec.view(self._packed_state_block)[...] = state_vector
         except BaseException:
             # A partial publication must not outlive its constructor --
             # /dev/shm exhaustion would otherwise compound on every retry.
@@ -186,7 +224,28 @@ class ModelPublication:
             norms_block=self._norms_spec,
             meta_block_name=self._meta_block.name,
             small_state=dict(self._small_state),
+            packed_block=self._packed_spec,
+            packed_state_block=self._packed_state_spec,
+            packed_dim=self._packed_dim,
         )
+
+    def repack(self) -> bool:
+        """Refresh the published packed words from the current class matrix.
+
+        Called by the coordinator after every delta merge, *before* the
+        generation bump: deltas accumulate in the float matrix (additive
+        merging is a float-domain property), and the binary serving model is
+        re-derived from the merged result.  Returns False when the
+        publication carries no packed model.
+        """
+        if self._packed_spec is None:
+            return False
+        packed = PackedClassMatrix.from_class_matrix(self.class_matrix)
+        self._packed_spec.view(self._packed_block)[...] = packed.words
+        state = self._packed_state_spec.view(self._packed_state_block)
+        state[0] = packed.scale
+        state[1:] = packed.norms
+        return True
 
     def bump_generation(self) -> int:
         """Mark the published model as updated; returns the new generation."""
@@ -199,7 +258,12 @@ class ModelPublication:
             return
         self._closed = True
         self._meta_view = None
-        for block in [*self._blocks.values(), self._norms_block, self._meta_block]:
+        extra = [
+            block
+            for block in (self._packed_block, self._packed_state_block)
+            if block is not None
+        ]
+        for block in [*self._blocks.values(), self._norms_block, self._meta_block, *extra]:
             block.close()
             if unlink:
                 try:
@@ -223,6 +287,14 @@ class AttachedPublication:
         self._norms_block = _attach_block(spec.norms_block.name)
         self._meta_block = _attach_block(spec.meta_block_name)
         self._meta_view = np.ndarray((1,), dtype=np.int64, buffer=self._meta_block.buf)
+        self._packed_block = (
+            _attach_block(spec.packed_block.name) if spec.packed_block else None
+        )
+        self._packed_state_block = (
+            _attach_block(spec.packed_state_block.name)
+            if spec.packed_state_block
+            else None
+        )
 
     # ------------------------------------------------------------------- API
     @property
@@ -246,6 +318,35 @@ class AttachedPublication:
         """Current published generation."""
         return int(self._meta_view[0])
 
+    @property
+    def has_packed_model(self) -> bool:
+        """Whether the publication carries a packed 1-bit serving model."""
+        return self._packed_block is not None
+
+    def packed_matrix(self) -> PackedClassMatrix:
+        """A zero-copy :class:`PackedClassMatrix` over the published words.
+
+        The words and norms are read-only views of the shared blocks; the
+        scale is read at construction time, so the object is only coherent
+        for one published generation -- replicas rebuild it on every rebase
+        (:meth:`refresh_replica`), the same staleness contract as the float
+        class matrix.
+        """
+        if self._packed_block is None:
+            raise ConfigurationError("publication does not carry a packed model")
+        words = self.spec.packed_block.view(self._packed_block)
+        words.flags.writeable = False
+        state = self.spec.packed_state_block.view(self._packed_state_block)
+        norms = state[1:]
+        norms.flags.writeable = False
+        return PackedClassMatrix(
+            words=words,
+            dim=int(self.spec.packed_dim),
+            scale=float(state[0]),
+            norms=norms,
+            shared=True,
+        )
+
     def build_replica(self) -> DetectionPipeline:
         """A full pipeline replica over the shared tensors.
 
@@ -261,6 +362,11 @@ class AttachedPublication:
         # Privatize the trainable state; everything else stays shared.
         classifier.class_hypervectors_ = np.array(self.class_matrix, copy=True)
         classifier._class_norms = np.array(self.class_norms, copy=True)
+        if self.has_packed_model:
+            # Zero-copy packed serving: score against the shared words until
+            # a local partial_fit invalidates the cache (the replica then
+            # re-packs its private, drifted matrix) or a rebase re-attaches.
+            classifier._packed_classes = self.packed_matrix()
         return pipeline
 
     def refresh_replica(self, classifier) -> int:
@@ -271,12 +377,22 @@ class AttachedPublication:
         classifier.set_class_vectors(self.class_matrix)
         if getattr(classifier, "_class_norms", None) is not None:
             classifier._class_norms[:] = self.class_norms
+        if self.has_packed_model:
+            # set_class_vectors dropped the packed cache; re-attach the
+            # freshly republished words (repacked by the coordinator before
+            # the generation bump) instead of re-packing locally.
+            classifier._packed_classes = self.packed_matrix()
         return self.generation
 
     def close(self) -> None:
         """Detach from every block (never unlinks; the coordinator owns them)."""
         self._meta_view = None
-        for block in [*self._blocks.values(), self._norms_block, self._meta_block]:
+        extra = [
+            block
+            for block in (self._packed_block, self._packed_state_block)
+            if block is not None
+        ]
+        for block in [*self._blocks.values(), self._norms_block, self._meta_block, *extra]:
             try:
                 block.close()
             except Exception:  # pragma: no cover - double close on teardown

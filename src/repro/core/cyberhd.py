@@ -79,6 +79,7 @@ class CyberHD(BaseClassifier):
         self.regeneration_events_: List[RegenerationEvent] = []
         self._rng = ensure_rng(self.config.seed)
         self._quantized_classes: Optional[QuantizedClassMatrix] = None
+        self._packed_classes = None
         self._class_norms: Optional[np.ndarray] = None
         self.online_batches_ = 0
         self.online_samples_ = 0
@@ -88,6 +89,11 @@ class CyberHD(BaseClassifier):
     def dim(self) -> int:
         """Physical hypervector dimensionality ``D``."""
         return self.config.dim
+
+    @property
+    def inference_bits(self) -> Optional[int]:
+        """Configured inference bitwidth (``1`` activates the packed path)."""
+        return self.config.inference_bits
 
     @property
     def effective_dim_(self) -> int:
@@ -116,7 +122,7 @@ class CyberHD(BaseClassifier):
             **cfg.encoder_kwargs,
         )
         self.regeneration_events_ = []
-        self._quantized_classes = None
+        self._invalidate_inference_caches()
 
         H = self.encoder_.encode(X)
         self.class_hypervectors_ = adaptive_one_pass_fit(
@@ -231,8 +237,8 @@ class CyberHD(BaseClassifier):
             batch_size=cfg.batch_size,
             class_norms=self._class_norms,
         )
-        # The quantized inference cache is stale after any online update.
-        self._quantized_classes = None
+        # The quantized/packed inference caches are stale after any online update.
+        self._invalidate_inference_caches()
         self.online_batches_ += 1
         self.online_samples_ += int(X.shape[0])
 
@@ -276,7 +282,7 @@ class CyberHD(BaseClassifier):
             )
         if self._class_norms is not None:
             self._class_norms[:] = row_norms(self.class_hypervectors_)
-        self._quantized_classes = None
+        self._invalidate_inference_caches()
         event = RegenerationEvent(
             epoch=-1, dimensions=dims, variance_threshold=threshold, online=True
         )
@@ -296,6 +302,8 @@ class CyberHD(BaseClassifier):
         ``scores_from_encoded(encode(X))``.
         """
         check_fitted(self, "class_hypervectors_")
+        if self.uses_packed_inference:
+            return self.packed_class_matrix().scores(H)
         if self.config.inference_bits is not None:
             if self._quantized_classes is None:
                 self._quantized_classes = QuantizedClassMatrix.from_matrix(

@@ -28,7 +28,6 @@ from repro.hardware.cpu_model import CPUModel
 from repro.hardware.energy import bitwidth_efficiency_table
 from repro.hardware.fpga_model import FPGAModel
 from repro.hardware.robustness import deployment_class_matrix, robustness_sweep
-from repro.hdc.operations import normalize_rows
 from repro.hdc.quantization import dequantize, quantize
 from repro.hdc.similarity import cosine_similarity_matrix
 from repro.models.base import BaseClassifier

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import List, Mapping, Optional
 
 from repro.exceptions import HardwareModelError
 from repro.hardware.cpu_model import CPUModel

@@ -10,7 +10,7 @@ baseline is evaluated on its float32 weights.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Union
+from typing import List, Mapping, Union
 
 import numpy as np
 

@@ -31,6 +31,12 @@ learning framework builds on:
     The vectorized compute backend: dtype policy (float32 default), one-hot
     GEMM / bincount segment sums replacing ``np.add.at`` scatters, cached
     row-norm bookkeeping, and the low-bitwidth inference path.
+
+``bitpack``
+    The bit-packed binary inference fabric: 1-bit models stored 64
+    dimensions per ``uint64`` word and scored by XOR + popcount Hamming,
+    bit-for-bit equal to the ``bits=1`` quantized path at a fraction of the
+    memory traffic (the production form of Table I's 1-bit regime).
 """
 
 from repro.hdc.backend import (
@@ -40,6 +46,16 @@ from repro.hdc.backend import (
     row_norms,
     segment_sum,
     update_row_norms,
+)
+from repro.hdc.bitpack import (
+    PackedClassMatrix,
+    binary_dot,
+    flip_packed_bits,
+    hamming_distances,
+    pack_sign_bits,
+    packed_words,
+    popcount,
+    unpack_sign_bits,
 )
 
 from repro.hdc.hypervector import (
@@ -73,6 +89,14 @@ __all__ = [
     "row_norms",
     "update_row_norms",
     "QuantizedClassMatrix",
+    "PackedClassMatrix",
+    "pack_sign_bits",
+    "unpack_sign_bits",
+    "packed_words",
+    "popcount",
+    "binary_dot",
+    "hamming_distances",
+    "flip_packed_bits",
     "Hypervector",
     "random_hypervector",
     "level_hypervectors",

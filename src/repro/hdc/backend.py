@@ -31,7 +31,9 @@ the paper's efficiency argument is built on:
     An int8-quantized (any supported bitwidth, really) inference path that
     reuses :mod:`repro.hdc.quantization` and pre-computes the row norms of
     the quantized class matrix so scoring needs one integer-weight GEMM and
-    one elementwise rescale.
+    one elementwise rescale.  At ``bits == 1`` queries are sign-binarized
+    too -- fully binary inference, the regime the bit-packed XOR/popcount
+    fabric (:mod:`repro.hdc.bitpack`) reproduces bit for bit.
 
 Performance characteristics, the incremental re-encode contract and the
 before/after benchmark table live in ``PERFORMANCE.md`` at the repository
@@ -270,6 +272,26 @@ def merge_class_deltas(
 
 
 # -------------------------------------------------------- quantized inference
+def normalize_similarity_grams(
+    grams: np.ndarray,
+    scale: float,
+    query_norms: np.ndarray,
+    class_norms: np.ndarray,
+) -> np.ndarray:
+    """Rescale an integer-code Gram matrix into cosine similarities, in place.
+
+    Shared by the quantized GEMM path (:class:`QuantizedClassMatrix`) and the
+    bit-packed popcount path (:class:`repro.hdc.bitpack.PackedClassMatrix`):
+    both produce the same raw Grams, and running the *identical* sequence of
+    float operations here is what makes their scores bit-for-bit equal.
+    """
+    grams *= scale
+    eps = np.finfo(np.float64).tiny
+    grams /= np.where(query_norms < 1e-12, 1.0, query_norms)[:, None]
+    grams /= np.maximum(np.where(class_norms < 1e-12, 1.0, class_norms), eps)[None, :]
+    return grams
+
+
 @dataclass
 class QuantizedClassMatrix:
     """Low-bitwidth class matrix with pre-computed norms for fast scoring.
@@ -319,26 +341,34 @@ class QuantizedClassMatrix:
         return self.quantized.bits
 
     def scores(self, queries: np.ndarray, query_norms: Optional[np.ndarray] = None) -> np.ndarray:
-        """Cosine similarity of ``(n, D)`` queries against the quantized classes."""
+        """Cosine similarity of ``(n, D)`` queries against the quantized classes.
+
+        At ``bits == 1`` the queries are sign-binarized first (elements
+        ``>= 0`` map to ``+1``), making the score a *fully binary* inner
+        product -- the regime a 1-bit accelerator runs, and the contract
+        the XOR/popcount path (:class:`repro.hdc.bitpack.PackedClassMatrix`)
+        reproduces bit for bit.  ``query_norms`` is ignored for 1-bit
+        scoring: binarized queries all have norm ``sqrt(D)``.
+        """
         q = np.atleast_2d(np.asarray(queries))
         if q.shape[1] != self.codes.shape[1]:
             raise ConfigurationError(
                 f"query dimensionality {q.shape[1]} != class dimensionality "
                 f"{self.codes.shape[1]}"
             )
-        dtype = q.dtype if q.dtype in (np.float32, np.float64) else np.float64
+        dtype = np.dtype(q.dtype if q.dtype in (np.float32, np.float64) else np.float64)
+        if self.bits == 1:
+            one = dtype.type(1.0)
+            q = np.where(q >= 0, one, -one).astype(dtype, copy=False)
+            query_norms = None
         key = np.dtype(dtype).name
         if key not in self._float_codes_t:
             # One-time float view per query dtype; the codes are immutable
             # after construction, so predict calls reuse it.
             self._float_codes_t[key] = self.codes.T.astype(dtype)
         grams = q @ self._float_codes_t[key]
-        grams *= self.quantized.scale
         qn = row_norms(q) if query_norms is None else np.asarray(query_norms)
-        eps = np.finfo(np.float64).tiny
-        grams /= np.where(qn < 1e-12, 1.0, qn)[:, None]
-        grams /= np.maximum(np.where(self.norms < 1e-12, 1.0, self.norms), eps)[None, :]
-        return grams
+        return normalize_similarity_grams(grams, self.quantized.scale, qn, self.norms)
 
 
 __all__ = [
@@ -349,5 +379,6 @@ __all__ = [
     "row_norms",
     "update_row_norms",
     "merge_class_deltas",
+    "normalize_similarity_grams",
     "QuantizedClassMatrix",
 ]

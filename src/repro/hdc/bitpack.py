@@ -1,0 +1,364 @@
+"""Bit-packed binary inference: ``uint64`` words + XOR/popcount Hamming.
+
+The paper's Table I and Fig. 5 show CyberHD holding accuracy down to 1-bit
+element precision.  This module is the *production* form of that regime: the
+sign-binarized model (and the sign-binarized queries) are packed 64 dimensions
+per ``uint64`` word, and class scoring becomes XOR + popcount -- the kernel a
+binary HDC accelerator runs in hardware, executed here with NumPy's word-wide
+bit operations (no Python-level loops over dimensions).
+
+Why this is exact, not approximate: for bipolar vectors ``a, b`` in
+``{-1, +1}^D`` the inner product is ``a . b = D - 2 * hamming(a, b)`` where
+``hamming`` counts disagreeing sign bits.  Both quantities are small integers
+(``|a . b| <= D``), which float32/float64 represent exactly for every
+practical ``D`` (up to ``2**24``), so the packed path reproduces the float
+GEMM of :class:`repro.hdc.backend.QuantizedClassMatrix` at ``bits == 1``
+**bit for bit** -- same scores, same argmax, same tie-breaking.  The
+equivalence suite in ``tests/test_bitpack.py`` enforces this, including under
+deliberately constructed score ties.
+
+Layout contract
+---------------
+``pack_sign_bits`` stores dimension ``d`` of row ``i`` at bit ``d % 64``
+(little-endian bit order) of word ``words[i, d // 64]``.  Dimensions beyond
+``D`` in the last word are zero in every packed row, so they XOR to zero and
+never contribute to a Hamming distance.  ``flip_packed_bits`` preserves that
+invariant by drawing its fault mask over the ``D`` valid columns only and
+packing it through the same zero-padding path.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Dimensions stored per packed word.
+WORD_BITS = 64
+
+#: Row-chunk size of the blocked Hamming kernel (bounds the broadcast
+#: temporary at ``chunk * k * words * 8`` bytes).
+DEFAULT_CHUNK_ROWS = 512
+
+# np.bitwise_count arrived in NumPy 2.0; the LUT path below keeps the module
+# importable (and the kernels correct) on NumPy 1.x.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+_POPCOUNT_LUT: Optional[np.ndarray] = None
+
+
+def _popcount_lut() -> np.ndarray:
+    global _POPCOUNT_LUT
+    if _POPCOUNT_LUT is None:
+        # 16-bit table: 64 KiB, four lookups per uint64 word.
+        table = np.arange(1 << 16, dtype=np.uint64)
+        counts = np.zeros(table.shape, dtype=np.uint8)
+        for shift in range(16):
+            counts += ((table >> np.uint64(shift)) & np.uint64(1)).astype(np.uint8)
+        _POPCOUNT_LUT = counts
+    return _POPCOUNT_LUT
+
+
+def packed_words(dim: int) -> int:
+    """Number of ``uint64`` words needed to store ``dim`` sign bits."""
+    dim = int(dim)
+    if dim <= 0:
+        raise ConfigurationError("dim must be positive")
+    return (dim + WORD_BITS - 1) // WORD_BITS
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element set-bit count of an unsigned integer array.
+
+    Uses :func:`numpy.bitwise_count` when available (NumPy >= 2.0, compiles
+    to the hardware popcount); otherwise a 16-bit lookup table over a byte
+    view -- both fully vectorized.
+    """
+    words = np.asarray(words)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    return popcount_lut16(words)
+
+
+def popcount_lut16(words: np.ndarray) -> np.ndarray:
+    """Reference LUT popcount (16-bit chunks); kept for differential testing."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    lut = _popcount_lut()
+    halves = words.reshape(-1).view(np.uint16).reshape(*words.shape, 4)
+    return lut[halves].sum(axis=-1, dtype=np.uint64).astype(np.uint8, copy=False)
+
+
+def _view_words(packed_bytes: np.ndarray, n_words: int) -> np.ndarray:
+    """Reinterpret ``(n, n_words * 8)`` bytes as ``(n, n_words)`` uint64."""
+    words = packed_bytes.reshape(-1).view(np.uint64).reshape(-1, n_words)
+    if sys.byteorder == "big":  # pragma: no cover - little-endian CI/deploys
+        words = words.byteswap()
+    return words
+
+
+def pack_sign_bits(matrix: np.ndarray) -> np.ndarray:
+    """Sign-binarize a real ``(n, D)`` matrix and pack it to ``uint64`` words.
+
+    Elements ``>= 0`` map to bit 1 (code ``+1``), negatives to bit 0 (code
+    ``-1``) -- the same convention as :func:`repro.hdc.quantization.quantize`
+    at ``bits == 1``, so a packed model and a :class:`QuantizedArray` of the
+    same tensor agree bit for bit.
+
+    Returns a ``(n, ceil(D / 64))`` C-contiguous ``uint64`` array whose tail
+    bits (beyond ``D``) are zero.
+    """
+    m = np.atleast_2d(np.asarray(matrix))
+    if m.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D matrix, got shape {m.shape}")
+    if m.shape[1] == 0:
+        raise ConfigurationError("cannot pack a zero-dimensional matrix")
+    return pack_code_bits(m >= 0)
+
+
+def pack_code_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, D)`` array of ``{0, 1}`` codes into ``uint64`` words."""
+    bits = np.atleast_2d(np.asarray(bits))
+    if bits.dtype not in (np.bool_, np.uint8):
+        # packbits consumes bool/uint8 natively; wider codes need one cast.
+        bits = bits.astype(np.uint8)
+    n, dim = bits.shape
+    n_words = packed_words(dim)
+    packed8 = np.packbits(bits, axis=1, bitorder="little")
+    if packed8.shape[1] < n_words * 8:
+        pad = np.zeros((n, n_words * 8 - packed8.shape[1]), dtype=np.uint8)
+        packed8 = np.concatenate([packed8, pad], axis=1)
+    return np.ascontiguousarray(_view_words(np.ascontiguousarray(packed8), n_words))
+
+
+def unpack_sign_bits(words: np.ndarray, dim: int) -> np.ndarray:
+    """Unpack ``uint64`` words back to an ``(n, dim)`` array of ``{0, 1}`` codes."""
+    words = np.atleast_2d(np.asarray(words, dtype=np.uint64))
+    n, n_words = words.shape
+    if packed_words(dim) != n_words:
+        raise ConfigurationError(
+            f"{n_words} words cannot hold a dim of {dim} "
+            f"(expected {packed_words(dim)})"
+        )
+    flat = np.ascontiguousarray(words).reshape(-1).view(np.uint8)
+    if sys.byteorder == "big":  # pragma: no cover - little-endian CI/deploys
+        flat = np.ascontiguousarray(words.byteswap()).reshape(-1).view(np.uint8)
+    bits = np.unpackbits(flat.reshape(n, n_words * 8), axis=1, bitorder="little")
+    return bits[:, : int(dim)]
+
+
+def hamming_distances(
+    packed_queries: np.ndarray,
+    packed_classes: np.ndarray,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> np.ndarray:
+    """Pairwise Hamming distances between packed rows, as ``(n, k)`` int64.
+
+    The kernel XORs a ``(chunk, 1, W)`` query block against the ``(1, k, W)``
+    class words and popcounts the result -- one fused broadcast per block, no
+    Python loop over dimensions or classes.  ``chunk_rows`` bounds the
+    ``chunk * k * W * 8``-byte temporary.
+    """
+    q = np.atleast_2d(np.asarray(packed_queries, dtype=np.uint64))
+    c = np.atleast_2d(np.asarray(packed_classes, dtype=np.uint64))
+    if q.shape[1] != c.shape[1]:
+        raise ConfigurationError(
+            f"packed word count mismatch: queries {q.shape[1]} vs classes {c.shape[1]}"
+        )
+    n, k = q.shape[0], c.shape[0]
+    out = np.empty((n, k), dtype=np.int64)
+    step = max(1, int(chunk_rows))
+    for start in range(0, n, step):
+        block = q[start : start + step]
+        xor = block[:, None, :] ^ c[None, :, :]
+        out[start : start + step] = popcount(xor).sum(axis=-1, dtype=np.int64)
+    return out
+
+
+def binary_dot(
+    packed_queries: np.ndarray,
+    packed_classes: np.ndarray,
+    dim: int,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> np.ndarray:
+    """Bipolar inner products from packed sign bits: ``D - 2 * hamming``.
+
+    Exactly the integer ``(n, k)`` Gram matrix a float GEMM of the ``{-1,+1}``
+    decodings would produce.
+    """
+    distances = hamming_distances(packed_queries, packed_classes, chunk_rows)
+    return int(dim) - 2 * distances
+
+
+def flip_packed_bits(
+    words: np.ndarray,
+    dim: int,
+    error_rate: float,
+    rng: SeedLike = None,
+) -> Tuple[np.ndarray, int]:
+    """Flip each stored bit independently with ``error_rate`` (Fig. 5's model).
+
+    Only the ``dim`` *valid* bits of each row are eligible: tail padding
+    stays zero so the ``D - 2 * hamming`` identity survives corruption.
+    Returns ``(corrupted_words, n_flipped)``; the input array is not
+    modified.
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ConfigurationError("error_rate must be in [0, 1]")
+    words = np.atleast_2d(np.asarray(words, dtype=np.uint64))
+    n, n_words = words.shape
+    if packed_words(dim) != n_words:
+        raise ConfigurationError(
+            f"{n_words} words cannot hold a dim of {dim} "
+            f"(expected {packed_words(dim)})"
+        )
+    if error_rate == 0.0:
+        return words.copy(), 0
+    gen = ensure_rng(rng)
+    flips = (gen.random((n, int(dim))) < error_rate).astype(np.uint8)
+    mask = pack_code_bits(flips)
+    return words ^ mask, int(popcount(mask).sum())
+
+
+@dataclass
+class PackedClassMatrix:
+    """A 1-bit class matrix stored as packed words, scored by XOR/popcount.
+
+    The packed twin of :class:`repro.hdc.backend.QuantizedClassMatrix` at
+    ``bits == 1``: same row normalization, same quantization scale, same
+    cached norms -- so :meth:`scores` is bit-for-bit equal to the float-GEMM
+    binary path while storing 32x fewer bytes than the float32 matrix.
+
+    Attributes
+    ----------
+    words:
+        ``(k, ceil(D / 64))`` ``uint64`` packed sign bits.  May be a
+        read-only view over a shared-memory publication (``shared=True``);
+        fault injection and republish then operate through the owner.
+    dim:
+        True dimensionality ``D`` (the packed tail beyond it is zero).
+    scale:
+        Quantization scale of the underlying 1-bit codes.
+    norms:
+        ``(k,)`` float64 cached norms of the dequantized rows (every row of a
+        bipolar matrix has norm ``scale * sqrt(D)``; kept per-row to mirror
+        the quantized path exactly).
+    """
+
+    words: np.ndarray
+    dim: int
+    scale: float
+    norms: np.ndarray
+    shared: bool = False
+
+    @classmethod
+    def from_class_matrix(cls, class_hypervectors: np.ndarray) -> "PackedClassMatrix":
+        """Pack a real ``(k, D)`` class matrix for binary inference."""
+        # Deferred import: backend imports nothing from this module's
+        # dataclasses at import time, but keep the one-way edge explicit.
+        from repro.hdc.backend import QuantizedClassMatrix
+
+        return cls.from_quantized(
+            QuantizedClassMatrix.from_matrix(class_hypervectors, bits=1)
+        )
+
+    @classmethod
+    def from_quantized(cls, quantized: "object") -> "PackedClassMatrix":
+        """Pack an existing ``QuantizedClassMatrix(bits=1)``."""
+        qa = quantized.quantized
+        if qa.bits != 1:
+            raise ConfigurationError(
+                f"packed inference requires 1-bit codes, got bits={qa.bits}"
+            )
+        codes = np.asarray(qa.codes)
+        return cls(
+            words=pack_code_bits((codes > 0).astype(np.uint8)),
+            dim=int(codes.shape[1]),
+            scale=float(qa.scale),
+            norms=np.asarray(quantized.norms, dtype=np.float64).copy(),
+        )
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_classes(self) -> int:
+        """Number of class rows ``k``."""
+        return int(self.words.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of packed model storage (words only)."""
+        return int(self.words.nbytes)
+
+    # ------------------------------------------------------------------- API
+    def pack_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Sign-binarize and pack an ``(n, D)`` float query block."""
+        q = np.atleast_2d(np.asarray(queries))
+        if q.shape[1] != self.dim:
+            raise ConfigurationError(
+                f"query dimensionality {q.shape[1]} != packed dimensionality {self.dim}"
+            )
+        return pack_sign_bits(q)
+
+    def scores(self, queries: np.ndarray) -> np.ndarray:
+        """Binary cosine scores of real-valued queries (packs, then scores)."""
+        q = np.atleast_2d(np.asarray(queries))
+        dtype = q.dtype if q.dtype in (np.float32, np.float64) else np.float64
+        return self.scores_packed(self.pack_queries(q), dtype=dtype)
+
+    def scores_packed(
+        self, packed_queries: np.ndarray, dtype: "np.dtype | type" = np.float32
+    ) -> np.ndarray:
+        """Binary cosine scores of already-packed queries.
+
+        The integer Gram matrix comes from XOR + popcount; the normalization
+        (scale, query norms, class norms) replays the exact float operations
+        of ``QuantizedClassMatrix.scores`` at ``bits == 1``, so the two paths
+        return identical arrays.  Binarized queries all have Euclidean norm
+        ``sqrt(D)`` -- no float view of the queries is ever needed.
+        """
+        from repro.hdc.backend import normalize_similarity_grams
+
+        packed_queries = np.atleast_2d(np.asarray(packed_queries, dtype=np.uint64))
+        if packed_queries.shape[1] != self.words.shape[1]:
+            raise ConfigurationError(
+                f"packed query width {packed_queries.shape[1]} != class width "
+                f"{self.words.shape[1]}"
+            )
+        dtype = np.dtype(dtype)
+        grams = binary_dot(packed_queries, self.words, self.dim).astype(dtype)
+        # Each binarized query has exactly D unit-magnitude elements; summing
+        # D ones is exact in float32 for every D < 2**24, so this equals
+        # np.linalg.norm over the +-1 rows bit for bit.
+        query_norms = np.full(
+            packed_queries.shape[0], np.sqrt(np.asarray(self.dim, dtype=dtype))
+        ).astype(dtype, copy=False)
+        return normalize_similarity_grams(grams, self.scale, query_norms, self.norms)
+
+    def copy(self) -> "PackedClassMatrix":
+        """Deep, private copy (used to privatize shared-memory views)."""
+        return PackedClassMatrix(
+            words=np.array(self.words, copy=True),
+            dim=self.dim,
+            scale=self.scale,
+            norms=self.norms.copy(),
+            shared=False,
+        )
+
+
+__all__ = [
+    "WORD_BITS",
+    "PackedClassMatrix",
+    "binary_dot",
+    "flip_packed_bits",
+    "hamming_distances",
+    "pack_code_bits",
+    "pack_sign_bits",
+    "packed_words",
+    "popcount",
+    "popcount_lut16",
+    "unpack_sign_bits",
+]

@@ -23,7 +23,6 @@ structure); only the affected columns of the lookup table are rebuilt.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -13,7 +13,6 @@ Regenerating dimension ``d`` simply redraws ``b_d`` and ``c_d``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -141,6 +141,64 @@ class BaseClassifier(abc.ABC):
         check_fitted(self, "classes_")
         return int(self.classes_.shape[0])
 
+    # --------------------------------------------------- packed 1-bit serving
+    # The bit-packed inference fabric (repro.hdc.bitpack).  At
+    # ``inference_bits == 1`` the model's production scoring path packs the
+    # sign-binarized class matrix into uint64 words and scores queries by
+    # XOR + popcount -- bit-for-bit the same decisions as the quantized
+    # float-GEMM path, at a fraction of the memory traffic.  Models that do
+    # not carry HDC class-vector state simply never report the capability.
+
+    #: Serve 1-bit models through the packed popcount path (set False to
+    #: force the float-GEMM QuantizedClassMatrix path, e.g. for the
+    #: differential parity harness).
+    packed_inference: bool = True
+
+    @property
+    def uses_packed_inference(self) -> bool:
+        """True when scoring runs the packed XOR/popcount binary path."""
+        return (
+            getattr(self, "inference_bits", None) == 1
+            and bool(self.packed_inference)
+            and getattr(self, "class_hypervectors_", None) is not None
+        )
+
+    def packed_class_matrix(self):
+        """The cached :class:`~repro.hdc.bitpack.PackedClassMatrix` (built lazily)."""
+        from repro.hdc.bitpack import PackedClassMatrix
+
+        packed = getattr(self, "_packed_classes", None)
+        if packed is None:
+            packed = PackedClassMatrix.from_class_matrix(self._require_class_vectors())
+            self._packed_classes = packed
+        return packed
+
+    def encode_packed(self, X: np.ndarray, chunk_size: int = 2048) -> np.ndarray:
+        """Fused encode -> sign -> pack of raw features (packed serving input)."""
+        encoder = getattr(self, "encoder_", None)
+        if encoder is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not expose a trained encoder "
+                "(packed encoding is an HDC-model capability)"
+            )
+        return encoder.encode_packed(X, chunk_size=chunk_size)
+
+    def scores_from_packed(
+        self, packed_queries: np.ndarray, dtype=np.float32
+    ) -> np.ndarray:
+        """Per-class scores for already-packed (uint64 sign-bit) queries.
+
+        The packed counterpart of ``scores_from_encoded``: the serving
+        stages pack once at encode time and score the words directly, so no
+        float hypervector matrix exists on the packed hot path.
+        """
+        return self.packed_class_matrix().scores_packed(packed_queries, dtype=dtype)
+
+    def _invalidate_inference_caches(self) -> None:
+        """Drop the quantized and packed scoring caches (model state changed)."""
+        self._quantized_classes = None
+        self._packed_classes = None
+
     # ------------------------------------------------- replica/delta support
     # The cluster subsystem (repro.cluster) runs model replicas in worker
     # processes and merges their online-learning updates additively.  These
@@ -188,7 +246,7 @@ class BaseClassifier(abc.ABC):
 
         matrix = self._require_class_vectors()
         merge_class_deltas(matrix, [delta], getattr(self, "_class_norms", None))
-        self._quantized_classes = None
+        self._invalidate_inference_caches()
 
     def set_class_vectors(self, matrix: np.ndarray) -> None:
         """Replace the class-vector matrix (a republished merged model).
@@ -209,7 +267,7 @@ class BaseClassifier(abc.ABC):
         current[...] = matrix.astype(current.dtype, copy=False)
         if getattr(self, "_class_norms", None) is not None:
             self._class_norms[:] = row_norms(current)
-        self._quantized_classes = None
+        self._invalidate_inference_caches()
 
     # --------------------------------------------------------- subclass API
     @abc.abstractmethod

@@ -92,6 +92,7 @@ class BaselineHDC(BaseClassifier):
         self.encoder_: Optional[BaseEncoder] = None
         self.class_hypervectors_: Optional[np.ndarray] = None
         self._quantized_classes: Optional[QuantizedClassMatrix] = None
+        self._packed_classes = None
         self._class_norms: Optional[np.ndarray] = None
         self.online_batches_ = 0
         self.online_samples_ = 0
@@ -108,7 +109,7 @@ class BaselineHDC(BaseClassifier):
             dtype=self.dtype,
             **self.encoder_kwargs,
         )
-        self._quantized_classes = None
+        self._invalidate_inference_caches()
         H = self.encoder_.encode(X)
         self.class_hypervectors_ = adaptive_one_pass_fit(
             H, y, n_classes, batch_size=self.batch_size, rng=self._rng
@@ -175,8 +176,8 @@ class BaselineHDC(BaseClassifier):
             batch_size=self.batch_size,
             class_norms=self._class_norms,
         )
-        # The quantized inference cache is stale after any online update.
-        self._quantized_classes = None
+        # The quantized/packed inference caches are stale after any online update.
+        self._invalidate_inference_caches()
         self.online_batches_ += 1
         self.online_samples_ += int(X.shape[0])
 
@@ -193,6 +194,8 @@ class BaselineHDC(BaseClassifier):
         ``scores_from_encoded(encode(X))``.
         """
         check_fitted(self, "class_hypervectors_")
+        if self.uses_packed_inference:
+            return self.packed_class_matrix().scores(H)
         if self.inference_bits is not None:
             if self._quantized_classes is None:
                 self._quantized_classes = QuantizedClassMatrix.from_matrix(

@@ -27,7 +27,7 @@ from repro.exceptions import ConfigurationError, NotFittedError
 from repro.nids.alerts import Alert
 from repro.nids.flow import FlowTable
 from repro.nids.packets import Packet
-from repro.nids.pipeline import DetectionPipeline, DetectionResult, _LATENCY_STAGES
+from repro.nids.pipeline import DetectionPipeline, DetectionResult
 from repro.serving.engine import InferenceEngine
 from repro.serving.online import OnlineLearner
 from repro.serving.stages import FlowAssemblyStage, ServingBatch

@@ -80,6 +80,16 @@ def _model_payload(model: HDCModel) -> Dict[str, np.ndarray]:
         ),
     }
     payload.update(encoder_arrays)
+    if getattr(model, "inference_bits", None) == 1:
+        # The packed 1-bit serving artifact rides along: 64 dims per uint64
+        # word plus [scale, norms...].  Restoring it verbatim (rather than
+        # re-packing from the float matrix) keeps the deployed words
+        # bit-exact -- including any deliberately injected faults a
+        # robustness study wants to persist.
+        packed = model.packed_class_matrix()
+        payload["packed_words"] = packed.words
+        payload["packed_state"] = np.concatenate(([packed.scale], packed.norms))
+        payload["packed_dim"] = np.array([packed.dim])
     return payload
 
 
@@ -156,6 +166,16 @@ def _model_from_archive(archive, copy_arrays: bool = True) -> HDCModel:
     model.class_hypervectors_ = class_hypervectors
     model.classes_ = archive["classes"].copy()
     model.n_features_in_ = n_features
+    if inference_bits == 1 and "packed_words" in archive:
+        from repro.hdc.bitpack import PackedClassMatrix
+
+        state = np.asarray(archive["packed_state"], dtype=np.float64)
+        model._packed_classes = PackedClassMatrix(
+            words=np.array(archive["packed_words"], dtype=np.uint64, copy=True),
+            dim=int(archive["packed_dim"][0]),
+            scale=float(state[0]),
+            norms=state[1:].copy(),
+        )
     return model
 
 

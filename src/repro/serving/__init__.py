@@ -16,6 +16,12 @@ This package turns the trained classifiers into a serving system:
     prequential accuracy, and an :class:`OnlineLearner` driving
     ``partial_fit`` updates and drift-triggered dimension regeneration.
 
+``faults``
+    Serving-time fault injection: :class:`ServingFaultInjector` flips
+    random bits of a deployed packed 1-bit model (reversibly), turning the
+    paper's Fig. 5 robustness study into a live serving scenario (see
+    ``docs/robustness.md``).
+
 ``telemetry`` / ``backpressure``
     The shared measurement and queueing substrate.
 
@@ -29,6 +35,7 @@ See ``docs/serving.md`` for the architecture walkthrough.
 
 from repro.serving.backpressure import BackpressureStats, BoundedQueue
 from repro.serving.engine import InferenceEngine
+from repro.serving.faults import FaultInjectionStats, ServingFaultInjector
 from repro.serving.online import DriftEvent, DriftMonitor, OnlineLearner
 from repro.serving.stages import (
     AlertStage,
@@ -52,6 +59,8 @@ __all__ = [
     "BackpressureStats",
     "BoundedQueue",
     "InferenceEngine",
+    "FaultInjectionStats",
+    "ServingFaultInjector",
     "DriftEvent",
     "DriftMonitor",
     "OnlineLearner",

@@ -1,0 +1,124 @@
+"""Serving-time fault injection: Fig. 5's robustness study against live traffic.
+
+The offline robustness harness (:mod:`repro.hardware.robustness`) corrupts a
+quantized model and re-scores a held-out *matrix*.  The packed 1-bit serving
+fabric makes the same study runnable against the production path: flip random
+bits of the deployed model's packed ``uint64`` words at a configurable
+hardware error rate, keep serving replayed traffic, and measure how detection
+recall/precision degrade.  Because the packed model *is* the serving model
+(no float reconstruction on the hot path), the corruption the classifier
+scores with is exactly the corruption a faulty memory would hand an
+accelerator.
+
+:class:`ServingFaultInjector` owns the pristine/corrupted state transitions::
+
+    injector = ServingFaultInjector(error_rate=0.02, seed=0)
+    with injector.corrupt(pipeline.classifier) as stats:
+        result = TraceReplayer(pipeline, config).replay(trace)
+    # the classifier's packed words are pristine again here
+
+The bench suite (``repro bench --suite bitpack``) sweeps error rates this way
+to produce the serving-time robustness curve; see ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hdc.bitpack import PackedClassMatrix, flip_packed_bits
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class FaultInjectionStats:
+    """What one injection did to the deployed packed model."""
+
+    error_rate: float
+    n_model_bits: int
+    n_flipped: int
+
+    @property
+    def flipped_fraction(self) -> float:
+        """Fraction of the model's stored bits actually flipped."""
+        return self.n_flipped / self.n_model_bits if self.n_model_bits else 0.0
+
+
+class ServingFaultInjector:
+    """Flips random bits in a deployed packed 1-bit model, reversibly.
+
+    Parameters
+    ----------
+    error_rate:
+        Per-bit flip probability (the paper's hardware error rate).  Only
+        the model's ``D`` valid bits per row are eligible; packed tail
+        padding stays zero so scoring stays well-defined.
+    seed:
+        RNG seed; each :meth:`inject` draws a fresh fault mask from the
+        stream, so sweeping rates with one injector is reproducible.
+    """
+
+    def __init__(self, error_rate: float, seed: SeedLike = None):
+        if not 0.0 <= float(error_rate) <= 1.0:
+            raise ConfigurationError("error_rate must be in [0, 1]")
+        self.error_rate = float(error_rate)
+        self._rng = ensure_rng(seed)
+        self._pristine: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------- API
+    def inject(self, classifier) -> FaultInjectionStats:
+        """Corrupt the classifier's packed class matrix in place.
+
+        The pristine words are snapshotted on first use so :meth:`restore`
+        can undo any number of injections.  Requires the classifier to be
+        serving the packed 1-bit path (``uses_packed_inference``).
+        """
+        packed = self._packed(classifier)
+        if self._pristine is None:
+            self._pristine = np.array(packed.words, copy=True)
+        corrupted, n_flipped = flip_packed_bits(
+            self._pristine, packed.dim, self.error_rate, rng=self._rng
+        )
+        packed.words[...] = corrupted
+        return FaultInjectionStats(
+            error_rate=self.error_rate,
+            n_model_bits=int(packed.n_classes * packed.dim),
+            n_flipped=n_flipped,
+        )
+
+    def restore(self, classifier) -> None:
+        """Put the pristine packed words back (no-op before any injection)."""
+        if self._pristine is None:
+            return
+        self._packed(classifier).words[...] = self._pristine
+
+    @contextmanager
+    def corrupt(self, classifier) -> Iterator[FaultInjectionStats]:
+        """Context manager: inject on entry, restore on exit (even on error)."""
+        stats = self.inject(classifier)
+        try:
+            yield stats
+        finally:
+            self.restore(classifier)
+
+    # ------------------------------------------------------------- internals
+    def _packed(self, classifier) -> PackedClassMatrix:
+        if not getattr(classifier, "uses_packed_inference", False):
+            raise ConfigurationError(
+                "serving-time fault injection requires a packed 1-bit model "
+                "(classifier with inference_bits=1 and packed_inference on)"
+            )
+        packed = classifier.packed_class_matrix()
+        if packed.shared or not packed.words.flags.writeable:
+            # A replica serving a shared-memory publication must privatize
+            # before corruption -- faults are per-device, not per-cluster.
+            packed = packed.copy()
+            classifier._packed_classes = packed
+        return packed
+
+
+__all__ = ["FaultInjectionStats", "ServingFaultInjector"]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -242,6 +242,14 @@ class ClassifyStage(Stage):
     Splits telemetry into ``encode`` and ``classify`` when the classifier
     exposes the HDC two-step interface; otherwise everything is timed as
     ``classify``.
+
+    When the classifier serves a packed 1-bit model
+    (``uses_packed_inference``), the encode step runs the fused
+    encode->sign->pack path (:meth:`BaseClassifier.encode_packed`) and the
+    classify step scores the ``uint64`` words by XOR + popcount
+    (:meth:`BaseClassifier.scores_from_packed`) -- no float hypervector
+    matrix exists on the hot path, and both steps keep their separate
+    telemetry stages (``encode`` therefore includes bit packing).
     """
 
     name = "classify"
@@ -261,10 +269,29 @@ class ClassifyStage(Stage):
             batch.confidences = np.zeros(0)
             batch.predictions = []
             return
-        split = hasattr(self.classifier, "encode") and hasattr(
-            self.classifier, "scores_from_encoded"
+        packed = bool(getattr(self.classifier, "uses_packed_inference", False)) and hasattr(
+            self.classifier, "encode_packed"
         )
-        if split:
+        split = packed or (
+            hasattr(self.classifier, "encode")
+            and hasattr(self.classifier, "scores_from_encoded")
+        )
+        if packed:
+            start = clock()
+            H_packed = self.classifier.encode_packed(X)
+            encode_seconds = clock() - start
+            if telemetry is not None:
+                telemetry.stage("encode").observe(encode_seconds, n)
+            batch.stage_seconds["encode"] = batch.stage_seconds.get("encode", 0.0) + encode_seconds
+            start = clock()
+            # Normalize in the dtype a float encoding would have carried, so
+            # packed scores match the scores_from_encoded route bit for bit.
+            encoder = getattr(self.classifier, "encoder_", None)
+            dtype = getattr(encoder, "dtype", None) or (
+                X.dtype if X.dtype in (np.float32, np.float64) else np.float64
+            )
+            scores = self.classifier.scores_from_packed(H_packed, dtype=dtype)
+        elif split:
             start = clock()
             H = self.classifier.encode(X)
             encode_seconds = clock() - start

@@ -9,7 +9,7 @@ ad hoc.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

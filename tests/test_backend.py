@@ -190,8 +190,12 @@ class TestQuantizedInference:
         H = rng.standard_normal((20, 64))
         qcm = QuantizedClassMatrix.from_matrix(classes, bits=bits)
         recon = dequantize(qcm.quantized)
+        # 1-bit scoring is fully binary: queries are sign-binarized too, so
+        # the reference cosine runs on the +-1 queries (the regime the
+        # XOR/popcount packed path reproduces bit for bit).
+        queries = np.where(H >= 0, 1.0, -1.0) if bits == 1 else H
         np.testing.assert_allclose(
-            qcm.scores(H), cosine_similarity_matrix(H, recon), rtol=1e-6, atol=1e-9
+            qcm.scores(H), cosine_similarity_matrix(queries, recon), rtol=1e-6, atol=1e-9
         )
 
     def test_int8_codes_storage(self):

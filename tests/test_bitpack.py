@@ -1,0 +1,437 @@
+"""Tests for the bit-packed binary inference fabric (repro.hdc.bitpack).
+
+The fabric's core claim is *exactness*: packed XOR/popcount scoring is a
+representation change, not a semantic one.  Every layer that adopts packing
+(kernels, models, serving stages, shared-memory publication, persistence) is
+held to bit-for-bit agreement with the quantized 1-bit float-GEMM reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cyberhd import CyberHD
+from repro.exceptions import ConfigurationError
+from repro.hdc.backend import QuantizedClassMatrix
+from repro.hdc.bitpack import (
+    PackedClassMatrix,
+    binary_dot,
+    flip_packed_bits,
+    hamming_distances,
+    pack_code_bits,
+    pack_sign_bits,
+    packed_words,
+    popcount,
+    popcount_lut16,
+    unpack_sign_bits,
+)
+from repro.hdc.encoders import LevelIDEncoder, LinearEncoder, RBFEncoder
+from repro.hdc.quantization import quantize
+from repro.models.hdc_classifier import BaselineHDC
+
+
+DIMS = (37, 64, 100, 500, 1024)
+
+
+class TestPackingKernels:
+    @pytest.mark.parametrize("dim", DIMS)
+    def test_pack_unpack_roundtrip(self, dim):
+        rng = np.random.default_rng(0)
+        m = rng.standard_normal((6, dim))
+        words = pack_sign_bits(m)
+        assert words.shape == (6, packed_words(dim))
+        assert words.dtype == np.uint64
+        np.testing.assert_array_equal(
+            unpack_sign_bits(words, dim), (m >= 0).astype(np.uint8)
+        )
+
+    def test_quantized_one_bit_codes_roundtrip(self):
+        """quantize(bits=1) codes survive pack -> unpack bit for bit."""
+        arr = np.random.default_rng(1).standard_normal((4, 130))
+        q = quantize(arr, 1)
+        words = pack_code_bits(q.codes)
+        np.testing.assert_array_equal(unpack_sign_bits(words, 130), q.codes)
+
+    def test_tail_bits_are_zero(self):
+        m = np.ones((3, 70))  # 70 valid bits, 58 bits of tail in word 2
+        words = pack_sign_bits(m)
+        assert int(popcount(words).sum()) == 3 * 70
+
+    def test_popcount_matches_lut_reference(self):
+        rng = np.random.default_rng(2)
+        words = rng.integers(0, 2**63, size=(11, 7), dtype=np.uint64)
+        np.testing.assert_array_equal(popcount(words), popcount_lut16(words))
+
+    @pytest.mark.parametrize("dim", DIMS)
+    def test_binary_dot_equals_float_gemm(self, dim):
+        rng = np.random.default_rng(3)
+        classes = rng.standard_normal((5, dim))
+        queries = rng.standard_normal((33, dim))
+        expected = (
+            np.where(queries >= 0, 1.0, -1.0) @ np.where(classes >= 0, 1.0, -1.0).T
+        ).astype(np.int64)
+        got = binary_dot(
+            pack_sign_bits(queries), pack_sign_bits(classes), dim, chunk_rows=8
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_hamming_rejects_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            hamming_distances(
+                np.zeros((2, 3), dtype=np.uint64), np.zeros((2, 4), dtype=np.uint64)
+            )
+
+    def test_unpack_rejects_word_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            unpack_sign_bits(np.zeros((2, 3), dtype=np.uint64), 64)
+
+
+class TestFlipPackedBits:
+    def test_zero_rate_is_identity_copy(self):
+        words = pack_sign_bits(np.random.default_rng(0).standard_normal((4, 96)))
+        corrupted, n = flip_packed_bits(words, 96, 0.0, rng=0)
+        assert n == 0
+        assert corrupted is not words
+        np.testing.assert_array_equal(corrupted, words)
+
+    def test_reported_flip_count_matches_hamming(self):
+        words = pack_sign_bits(np.random.default_rng(1).standard_normal((6, 200)))
+        before = words.copy()
+        corrupted, n = flip_packed_bits(words, 200, 0.2, rng=1)
+        assert n > 0
+        assert int(popcount(corrupted ^ words).sum()) == n
+        np.testing.assert_array_equal(words, before)  # input untouched
+
+    def test_tail_padding_never_corrupted(self):
+        words = pack_sign_bits(np.random.default_rng(2).standard_normal((8, 70)))
+        corrupted, _ = flip_packed_bits(words, 70, 0.5, rng=2)
+        # every set bit in the corrupted words is a valid (unpackable) bit
+        assert int(popcount(corrupted).sum()) == int(
+            unpack_sign_bits(corrupted, 70).sum()
+        )
+
+    def test_flip_rate_statistics(self):
+        words = pack_sign_bits(np.random.default_rng(3).standard_normal((20, 1000)))
+        _, n = flip_packed_bits(words, 1000, 0.1, rng=3)
+        rate = n / (20 * 1000)
+        assert 0.08 < rate < 0.12
+
+    def test_invalid_rate_rejected(self):
+        words = np.zeros((1, 1), dtype=np.uint64)
+        with pytest.raises(ConfigurationError):
+            flip_packed_bits(words, 64, 1.5)
+
+
+class TestPackedClassMatrix:
+    @pytest.mark.parametrize("dtype", (np.float32, np.float64))
+    @pytest.mark.parametrize("dim", (100, 256))
+    def test_scores_bit_identical_to_quantized_one_bit(self, dim, dtype):
+        rng = np.random.default_rng(4)
+        classes = rng.standard_normal((4, dim))
+        queries = rng.standard_normal((50, dim)).astype(dtype)
+        qcm = QuantizedClassMatrix.from_matrix(classes, bits=1)
+        packed = PackedClassMatrix.from_quantized(qcm)
+        reference = qcm.scores(queries)
+        scores = packed.scores(queries)
+        assert scores.dtype == reference.dtype
+        np.testing.assert_array_equal(scores, reference)
+
+    def test_argmax_equivalence_under_random_ties(self):
+        """Score ties must break identically in both paths.
+
+        Sign matrices at tiny D make exact integer-score ties frequent
+        (including duplicated class rows, which tie on *every* query);
+        bit-for-bit equal score arrays force np.argmax to the same winner.
+        """
+        rng = np.random.default_rng(5)
+        for trial in range(20):
+            dim = int(rng.integers(8, 40))
+            k = int(rng.integers(2, 6))
+            classes = rng.choice([-1.0, 1.0], size=(k, dim))
+            classes[-1] = classes[0]  # guaranteed duplicate -> guaranteed ties
+            queries = rng.choice([-1.0, 1.0], size=(64, dim))
+            qcm = QuantizedClassMatrix.from_matrix(classes, bits=1)
+            packed = PackedClassMatrix.from_quantized(qcm)
+            s_ref = qcm.scores(queries)
+            s_packed = packed.scores(queries)
+            np.testing.assert_array_equal(s_packed, s_ref)
+            np.testing.assert_array_equal(
+                np.argmax(s_packed, axis=1), np.argmax(s_ref, axis=1)
+            )
+            # the duplicate row ties with row 0 on every query; argmax must
+            # resolve to the first occurrence in both paths
+            assert not np.any(np.argmax(s_packed, axis=1) == k - 1)
+
+    def test_all_zero_row_handling(self):
+        """A zero class row binarizes to all +1 and scores finitely."""
+        classes = np.vstack([np.zeros(64), np.ones(64), -np.ones(64)])
+        queries = np.random.default_rng(6).standard_normal((10, 64))
+        qcm = QuantizedClassMatrix.from_matrix(classes, bits=1)
+        packed = PackedClassMatrix.from_quantized(qcm)
+        scores = packed.scores(queries)
+        assert np.all(np.isfinite(scores))
+        np.testing.assert_array_equal(scores, qcm.scores(queries))
+        # zero row and all-ones row binarize identically -> identical scores
+        np.testing.assert_array_equal(scores[:, 0], scores[:, 1])
+
+    def test_rejects_non_one_bit_quantization(self):
+        classes = np.random.default_rng(7).standard_normal((3, 32))
+        qcm = QuantizedClassMatrix.from_matrix(classes, bits=8)
+        with pytest.raises(ConfigurationError):
+            PackedClassMatrix.from_quantized(qcm)
+
+    def test_model_bytes_reduction(self):
+        classes = np.random.default_rng(8).standard_normal((5, 4096)).astype(np.float32)
+        packed = PackedClassMatrix.from_class_matrix(classes)
+        assert classes.nbytes / packed.nbytes == 32.0
+
+    def test_copy_privatizes_shared_views(self):
+        classes = np.random.default_rng(9).standard_normal((3, 64))
+        packed = PackedClassMatrix.from_class_matrix(classes)
+        packed.shared = True
+        private = packed.copy()
+        assert not private.shared
+        assert private.words is not packed.words
+        private.words[0, 0] ^= np.uint64(1)
+        assert private.words[0, 0] != packed.words[0, 0]
+
+
+class TestEncodePackedFusion:
+    @pytest.mark.parametrize(
+        "encoder_cls", (RBFEncoder, LinearEncoder, LevelIDEncoder)
+    )
+    def test_fused_encode_matches_pack_of_encode(self, encoder_cls):
+        encoder = encoder_cls(in_features=8, dim=150, rng=0, dtype=np.float32)
+        X = np.random.default_rng(10).uniform(0, 1, size=(97, 8))
+        np.testing.assert_array_equal(
+            encoder.encode_packed(X, chunk_size=16), pack_sign_bits(encoder.encode(X))
+        )
+
+    def test_chunk_size_does_not_change_result(self):
+        encoder = RBFEncoder(in_features=6, dim=100, rng=1, dtype=np.float32)
+        X = np.random.default_rng(11).uniform(0, 1, size=(40, 6))
+        np.testing.assert_array_equal(
+            encoder.encode_packed(X, chunk_size=1), encoder.encode_packed(X, chunk_size=1000)
+        )
+
+    def test_empty_input_rejected_like_encode(self):
+        # encode() rejects empty matrices via check_matrix; the fused packed
+        # path keeps the same input contract
+        encoder = RBFEncoder(in_features=4, dim=64, rng=2)
+        with pytest.raises(ConfigurationError):
+            encoder.encode_packed(np.zeros((0, 4)))
+
+
+class TestModelPackedInference:
+    @pytest.fixture(scope="class")
+    def packed_model(self, blob_data):
+        X, y = blob_data
+        model = CyberHD(
+            dim=96, epochs=4, regeneration_rate=0.1, seed=0, inference_bits=1
+        )
+        model.fit(X, y)
+        return model
+
+    def test_packed_policy_active_at_one_bit(self, packed_model):
+        assert packed_model.uses_packed_inference
+        assert packed_model.inference_bits == 1
+
+    def test_packed_scores_equal_quantized_route(self, packed_model, blob_data):
+        X, _ = blob_data
+        packed_scores = packed_model.predict_scores(X)
+        packed_model.packed_inference = False
+        try:
+            reference = packed_model.predict_scores(X)
+        finally:
+            packed_model.packed_inference = True
+        np.testing.assert_array_equal(packed_scores, reference)
+
+    def test_scores_from_packed_matches_encoded_route(self, packed_model, blob_data):
+        X, _ = blob_data
+        packed_queries = packed_model.encode_packed(X)
+        scores = packed_model.scores_from_packed(
+            packed_queries, dtype=packed_model.encoder_.dtype
+        )
+        np.testing.assert_array_equal(
+            scores, packed_model.scores_from_encoded(packed_model.encode(X))
+        )
+
+    def test_partial_fit_invalidates_packed_cache(self, blob_data):
+        X, y = blob_data
+        model = BaselineHDC(dim=64, epochs=2, seed=0, inference_bits=1)
+        model.fit(X, y)
+        before = model.packed_class_matrix()
+        model.partial_fit(X[:16], y[:16])
+        assert model._packed_classes is None
+        after = model.packed_class_matrix()
+        assert after is not before
+
+    def test_non_hdc_models_report_no_capability(self, trained_mlp):
+        assert not trained_mlp.uses_packed_inference
+
+    def test_eight_bit_models_stay_on_quantized_route(self, blob_data):
+        X, y = blob_data
+        model = BaselineHDC(dim=64, epochs=2, seed=0, inference_bits=8)
+        model.fit(X, y)
+        assert not model.uses_packed_inference
+
+
+class TestServingFaultInjector:
+    def test_inject_restore_roundtrip(self, blob_data):
+        from repro.serving import ServingFaultInjector
+
+        X, y = blob_data
+        model = CyberHD(dim=96, epochs=3, seed=0, inference_bits=1)
+        model.fit(X, y)
+        clean_words = model.packed_class_matrix().words.copy()
+        clean_scores = model.predict_scores(X[:20])
+        injector = ServingFaultInjector(0.2, seed=0)
+        with injector.corrupt(model) as stats:
+            assert stats.n_flipped > 0
+            assert stats.flipped_fraction > 0.1
+            assert not np.array_equal(model.packed_class_matrix().words, clean_words)
+        np.testing.assert_array_equal(model.packed_class_matrix().words, clean_words)
+        np.testing.assert_array_equal(model.predict_scores(X[:20]), clean_scores)
+
+    def test_requires_packed_model(self, trained_cyberhd):
+        from repro.serving import ServingFaultInjector
+
+        with pytest.raises(ConfigurationError):
+            ServingFaultInjector(0.1).inject(trained_cyberhd)
+
+    def test_invalid_rate(self):
+        from repro.serving import ServingFaultInjector
+
+        with pytest.raises(ConfigurationError):
+            ServingFaultInjector(-0.1)
+
+
+class TestPackedPersistence:
+    def test_roundtrip_preserves_packed_words_bit_exact(self, blob_data, tmp_path):
+        from repro.persistence import load_model, save_model
+
+        X, y = blob_data
+        model = CyberHD(dim=96, epochs=3, seed=0, inference_bits=1)
+        model.fit(X, y)
+        words = model.packed_class_matrix().words.copy()
+        loaded = load_model(save_model(model, tmp_path / "packed.npz"))
+        assert loaded.uses_packed_inference
+        np.testing.assert_array_equal(loaded._packed_classes.words, words)
+        np.testing.assert_array_equal(
+            loaded.predict_scores(X), model.predict_scores(X)
+        )
+
+    def test_corrupted_words_survive_persistence(self, blob_data, tmp_path):
+        """A fault-injected serving model reloads with its faults intact."""
+        from repro.persistence import load_model, save_model
+        from repro.serving import ServingFaultInjector
+
+        X, y = blob_data
+        model = CyberHD(dim=96, epochs=3, seed=1, inference_bits=1)
+        model.fit(X, y)
+        injector = ServingFaultInjector(0.3, seed=0)
+        injector.inject(model)
+        corrupted_words = model.packed_class_matrix().words.copy()
+        corrupted_scores = model.predict_scores(X[:10])
+        loaded = load_model(save_model(model, tmp_path / "faulty.npz"))
+        injector.restore(model)
+        np.testing.assert_array_equal(loaded._packed_classes.words, corrupted_words)
+        np.testing.assert_array_equal(loaded.predict_scores(X[:10]), corrupted_scores)
+
+
+class TestPackedSharedPublication:
+    def test_attach_repack_refresh_cycle(self, blob_data):
+        from repro.cluster.shared_model import AttachedPublication, ModelPublication
+        from repro.nids.pipeline import DetectionPipeline
+        from repro.nids.packets import TrafficGenerator
+
+        packets = TrafficGenerator(seed=3).generate(120)
+        pipeline = DetectionPipeline(
+            classifier=CyberHD(dim=96, epochs=3, seed=0, inference_bits=1)
+        ).fit_packets(packets)
+        X = np.random.default_rng(12).uniform(
+            0, 1, size=(24, pipeline.classifier.n_features_in_)
+        ).astype(np.float32)
+        publication = ModelPublication(pipeline)
+        try:
+            spec = publication.spec()
+            assert spec.packed_block is not None
+            attached = AttachedPublication(spec)
+            try:
+                assert attached.has_packed_model
+                replica = attached.build_replica()
+                packed = replica.classifier._packed_classes
+                assert packed is not None and packed.shared
+                assert not packed.words.flags.writeable
+                np.testing.assert_array_equal(
+                    replica.classifier.predict_scores(X),
+                    pipeline.classifier.predict_scores(X),
+                )
+                # a merge changes the float matrix; repack + rebase must
+                # bring the replica's packed scoring to the new model
+                publication.class_matrix[0] += 2.5
+                publication.class_norms[:] = np.linalg.norm(
+                    publication.class_matrix, axis=1
+                )
+                assert publication.repack()
+                publication.bump_generation()
+                attached.refresh_replica(replica.classifier)
+                pipeline.classifier.set_class_vectors(publication.class_matrix)
+                np.testing.assert_array_equal(
+                    replica.classifier.predict_scores(X),
+                    pipeline.classifier.predict_scores(X),
+                )
+            finally:
+                attached.close()
+        finally:
+            publication.close()
+
+    def test_unpacked_models_publish_without_packed_blocks(self, packet_pipeline):
+        from repro.cluster.shared_model import ModelPublication
+
+        publication = ModelPublication(packet_pipeline)
+        try:
+            spec = publication.spec()
+            assert spec.packed_block is None
+            assert not publication.repack()
+        finally:
+            publication.close()
+
+
+class TestClassifyStagePackedRoute:
+    def test_packed_stage_scores_equal_unpacked_route(self, blob_data):
+        from repro.nids.packets import TrafficGenerator
+        from repro.nids.pipeline import DetectionPipeline
+        from repro.serving.stages import FlowAssemblyStage, ServingBatch
+        from repro.serving.telemetry import TelemetryRecorder
+
+        packets = TrafficGenerator(seed=4).generate(120)
+        pipeline = DetectionPipeline(
+            classifier=CyberHD(dim=96, epochs=3, seed=0, inference_bits=1)
+        ).fit_packets(packets)
+        stream = TrafficGenerator(seed=5).generate(80)
+
+        def serve():
+            # run-then-flush per stage, as InferenceEngine.close does, so
+            # flows released by the assembly flush are classified too
+            telemetry = TelemetryRecorder()
+            batch = ServingBatch(packets=list(stream))
+            for stage in [FlowAssemblyStage(idle_timeout=5.0), *pipeline.stages]:
+                stage.run(batch, telemetry)
+                stage.flush(batch)
+            return batch, telemetry
+
+        packed_batch, telemetry = serve()
+        assert packed_batch.n_flows > 0
+        assert packed_batch.stage_seconds.get("encode", 0.0) > 0.0
+        pipeline.classifier.packed_inference = False
+        pipeline.classifier._invalidate_inference_caches()
+        try:
+            reference_batch, _ = serve()
+        finally:
+            pipeline.classifier.packed_inference = True
+            pipeline.classifier._invalidate_inference_caches()
+        np.testing.assert_array_equal(packed_batch.scores, reference_batch.scores)
+        assert packed_batch.predictions == reference_batch.predictions
+        np.testing.assert_array_equal(
+            packed_batch.confidences, reference_batch.confidences
+        )

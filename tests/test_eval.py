@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.eval.experiments import (
@@ -22,7 +21,6 @@ from repro.eval.reporting import format_percent, format_ratio, format_table, to_
 from repro.eval.results import ExperimentResult
 from repro.eval.sweeps import dimensionality_sweep, encoder_sweep, regeneration_rate_sweep
 from repro.exceptions import ConfigurationError
-from repro.models.hdc_classifier import BaselineHDC
 
 
 class TestReporting:

@@ -8,7 +8,7 @@ from repro.nids.alerts import Alert, AlertManager, Severity, classify_severity
 from repro.nids.feature_extraction import FLOW_FEATURE_NAMES, FlowFeatureExtractor
 from repro.nids.flow import FlowKey, FlowRecord, FlowTable
 from repro.nids.metrics import confusion_matrix, detection_report
-from repro.nids.packets import DEFAULT_PROFILES, Packet, TrafficGenerator, TrafficProfile
+from repro.nids.packets import DEFAULT_PROFILES, Packet, TrafficGenerator
 
 
 def _make_packet(ts=0.0, src="10.0.0.2", dst="192.168.1.5", sport=5555, dport=80, label="benign", flags=0x10):

@@ -1,9 +1,7 @@
 """Tests for the detection pipeline and the streaming detector."""
 
-import numpy as np
 import pytest
 
-from repro.core.cyberhd import CyberHD
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.models.hdc_classifier import BaselineHDC
 from repro.nids.flow import FlowTable

@@ -74,6 +74,61 @@ class TestQuantize:
         assert q.codes[0] != 99
 
 
+class TestOneBitEdgeCases:
+    """Edge cases of the 1-bit regime the packed serving fabric relies on."""
+
+    def test_one_bit_codes_roundtrip_through_pack_unpack(self):
+        from repro.hdc.bitpack import pack_code_bits, unpack_sign_bits
+
+        arr = np.random.default_rng(0).standard_normal((5, 173))
+        q = quantize(arr, 1)
+        words = pack_code_bits(q.codes)
+        restored = unpack_sign_bits(words, 173)
+        np.testing.assert_array_equal(restored, q.codes)
+        # dequantizing the restored codes reproduces the original dequantization
+        np.testing.assert_array_equal(
+            dequantize(QuantizedArray(restored.astype(np.int64), q.scale, 1)),
+            dequantize(q),
+        )
+
+    def test_all_zero_array_scale_handling(self):
+        # max_abs == 0 must fall back to scale 1.0 rather than a zero divisor
+        q = quantize(np.zeros((3, 8)), 1)
+        assert q.scale == 1.0
+        np.testing.assert_array_equal(q.codes, np.ones((3, 8), dtype=np.int64))
+        assert np.all(np.isfinite(dequantize(q)))
+
+    def test_all_zero_row_in_class_matrix(self):
+        from repro.hdc.backend import QuantizedClassMatrix
+
+        classes = np.vstack([np.zeros(32), np.random.default_rng(1).standard_normal(32)])
+        qcm = QuantizedClassMatrix.from_matrix(classes, bits=1)
+        scores = qcm.scores(np.random.default_rng(2).standard_normal((6, 32)))
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("bits", (0, 3, 5, 64, -1))
+    def test_supported_bitwidths_rejection(self, bits):
+        with pytest.raises(ConfigurationError):
+            quantize(np.ones(8), bits)
+        with pytest.raises(ConfigurationError):
+            dequantize(QuantizedArray(np.ones(8, dtype=np.int64), 1.0, bits))
+
+    def test_packed_argmax_matches_quantized_one_bit_under_ties(self):
+        from repro.hdc.backend import QuantizedClassMatrix
+        from repro.hdc.bitpack import PackedClassMatrix
+
+        rng = np.random.default_rng(3)
+        # sign matrices at small D produce frequent exact score ties
+        classes = rng.choice([-1.0, 1.0], size=(4, 16))
+        queries = rng.choice([-1.0, 1.0], size=(200, 16))
+        qcm = QuantizedClassMatrix.from_matrix(classes, bits=1)
+        packed = PackedClassMatrix.from_quantized(qcm)
+        np.testing.assert_array_equal(
+            np.argmax(packed.scores(queries), axis=1),
+            np.argmax(qcm.scores(queries), axis=1),
+        )
+
+
 class TestBitFlips:
     def test_zero_rate_is_identity(self):
         q = quantize(np.random.default_rng(0).standard_normal(100), 8)

@@ -12,11 +12,15 @@ can be regenerated without writing Python, plus the serving subsystem::
     python -m repro bench --suite cluster --workers 4 --json BENCH_cluster.json
     python -m repro bench --suite replay --dataset nsl_kdd --json BENCH_replay.json
     python -m repro bench --suite bitpack --json BENCH_bitpack.json
+    python -m repro bench --suite chaos --json BENCH_chaos.json
     python -m repro bench-diff bench-bitpack.json BENCH_bitpack.json --floor bitpack_score_speedup=2.0
+    python -m repro bench-diff bench-chaos.json BENCH_chaos.json --floor chaos_recall_retention=0.99
     python -m repro replay --dataset unsw_nb15 --workers 2
+    python -m repro replay --workers 2 --chaos kill:0@0.4 --chaos hang:1@0.7:2
     python -m repro serve --flows 600 --inference-bits 1
     python -m repro serve --flows 600 --online
     python -m repro serve --workers 4 --scenario ddos_burst --online
+    python -m repro serve --workers 4 --max-respawns 3 --heartbeat-timeout 5
 
 ``serve`` installs SIGINT/SIGTERM handlers: Ctrl-C stops ingest, drains the
 queues (classifying still-active flows), prints the telemetry summary, and
@@ -61,13 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("hdc", "streaming", "cluster", "replay", "bitpack"),
+        choices=("hdc", "streaming", "cluster", "replay", "bitpack", "chaos"),
         default="hdc",
         help="hdc: compute-backend primitives; streaming: packets->alerts "
         "serving path; cluster: sharded multi-worker scaling; replay: "
         "dataset-to-traffic golden-trace parity + accuracy under load; "
         "bitpack: packed 1-bit XOR/popcount inference -- kernel speedups, "
-        "packed-vs-offline parity, serving-time fault injection",
+        "packed-vs-offline parity, serving-time fault injection; chaos: "
+        "process-fault recovery (SIGKILL/hang/clean-exit mid-replay) "
+        "measured against the golden trace",
     )
     bench.add_argument("--dim", type=int, default=None, help="hypervector dimensionality")
     bench.add_argument("--repeats", type=int, default=3, help="best-of repeat count")
@@ -184,6 +190,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally replay open-loop at this rate (packets/second) "
         "and report detection quality under load",
     )
+    replay.add_argument(
+        "--chaos",
+        action="append",
+        default=[],
+        metavar="KIND:WORKER@FRAC[:SECS]",
+        help="inject a scripted process fault mid-replay (repeatable; kinds "
+        "kill/hang/delay/exit, e.g. kill:0@0.4) -- runs the supervised "
+        "cluster chaos path instead of the differential harness and exits "
+        "0 only when parity held and every batch was recovered",
+    )
+    replay.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.0,
+        help="chaos path: additionally flip this fraction of published "
+        "model bits (trains with 1-bit packed inference to host the flips; "
+        "the pristine-model parity gate is waived -- recovery still is not)",
+    )
     replay.add_argument("--json", metavar="PATH", default=None, help="write a JSON summary")
 
     serve = subparsers.add_parser(
@@ -207,6 +231,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="cluster mode: batches per worker between delta-merge syncs",
+    )
+    serve.add_argument(
+        "--max-respawns",
+        type=int,
+        default=None,
+        help="cluster mode: respawn budget per worker before load is shed "
+        "(default: supervision policy default)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help="cluster mode: seconds between worker liveness stamps",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        help="cluster mode: stale-heartbeat age after which a live worker "
+        "is declared hung and SIGKILLed for respawn",
     )
     serve.add_argument("--flows", type=int, default=600, help="flows in the served stream")
     serve.add_argument("--train-flows", type=int, default=300, help="flows used for training")
@@ -280,6 +324,7 @@ def _command_datasets(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
         BENCH_BITPACK_JSON_NAME,
+        BENCH_CHAOS_JSON_NAME,
         BENCH_CLUSTER_JSON_NAME,
         BENCH_JSON_NAME,
         BENCH_REPLAY_JSON_NAME,
@@ -287,6 +332,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         format_table,
         run_benchmarks,
         run_bitpack_benchmarks,
+        run_chaos_benchmarks,
         run_cluster_benchmarks,
         run_replay_benchmarks,
         run_streaming_benchmarks,
@@ -327,6 +373,14 @@ def _command_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
         )
         default_json = BENCH_BITPACK_JSON_NAME
+    elif args.suite == "chaos":
+        records = run_chaos_benchmarks(
+            dataset=args.dataset,
+            workers=args.workers,
+            dim=args.dim,
+            quick=args.quick,
+        )
+        default_json = BENCH_CHAOS_JSON_NAME
     else:
         records = run_benchmarks(
             dim=args.dim or 500, repeats=args.repeats, quick=args.quick
@@ -375,6 +429,98 @@ def _command_bench_diff(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _command_replay_chaos(args: argparse.Namespace) -> int:
+    """``repro replay --chaos``: a supervised replay under scripted faults.
+
+    Exit code 0 means the run recovered completely: every unacked batch of
+    each faulted worker was redispatched (zero unrecovered), and -- unless
+    ``--error-rate`` deliberately corrupted the model -- the surviving run
+    kept flow-for-flow golden-trace parity; 1 means a recovery failure.
+    """
+    from repro.cluster import ChaosSchedule, run_chaos_replay
+    from repro.core.cyberhd import CyberHD
+    from repro.datasets.loaders import load_dataset
+    from repro.nids.pipeline import DetectionPipeline
+    from repro.replay import DatasetTraceCompiler
+
+    if args.workers < 2:
+        print("--chaos needs --workers >= 2 (the supervised cluster path)", file=sys.stderr)
+        return 2
+    schedule = ChaosSchedule.parse(args.chaos)
+    dataset = load_dataset(
+        args.dataset, n_train=args.train, n_test=args.rows, seed=args.seed
+    )
+    compiler = DatasetTraceCompiler(
+        concurrency=args.concurrency, time_warp=args.time_warp
+    )
+    train_trace = compiler.compile(dataset, split="train", seed=args.seed)
+    test_trace = compiler.compile(dataset, split="test", seed=args.seed + 1)
+    pipeline = DetectionPipeline(
+        classifier=CyberHD(
+            dim=args.dim,
+            epochs=args.epochs,
+            regeneration_rate=0.1,
+            seed=args.seed,
+            inference_bits=1 if args.error_rate > 0 else None,
+        )
+    ).fit_packets(train_trace.packets)
+    print(
+        f"trained on the compiled training trace in {pipeline.train_seconds:.2f}s; "
+        f"replaying {test_trace.n_packets} packets across {args.workers} workers "
+        f"under schedule [{', '.join(str(e) for e in schedule.events)}]"
+    )
+
+    result = run_chaos_replay(
+        pipeline,
+        test_trace,
+        schedule=schedule,
+        n_workers=args.workers,
+        batch_size=args.micro_window,
+        error_rate=args.error_rate,
+        seed=args.seed,
+    )
+    recovery = result.report.recovery
+    for record in recovery.failures:
+        print(
+            f"worker {record.worker_id} {record.kind} "
+            f"(exit code {record.exitcode}): detected, "
+            f"{'respawned' if record.respawned else 'not respawned'}, "
+            f"{record.redispatched_batches} batches redispatched"
+            + (", load shed" if record.shed else "")
+            + (", failed over to survivors" if record.failed_over else "")
+        )
+    print(
+        f"recovery: {recovery.total_respawns} respawns, "
+        f"{recovery.total_redispatched_batches} batches "
+        f"({recovery.total_redispatched_packets} packets) redispatched, "
+        f"{recovery.duplicates_suppressed} duplicates suppressed, "
+        f"{recovery.unrecovered_batches} unrecovered; "
+        f"detection {result.detection_seconds:.2f}s, "
+        f"recovery {result.recovery_seconds:.2f}s"
+    )
+    print(
+        f"detection quality: recall {result.metrics['recall']:.3f}, "
+        f"precision {result.metrics['precision']:.3f}, served "
+        f"{result.metrics['served_fraction']:.0%} of flows"
+    )
+    print(result.parity.summary())
+    recovered = (
+        recovery.unrecovered_batches == 0
+        and result.metrics["served_fraction"] == 1.0
+    )
+    verdict_ok = result.ok if args.error_rate == 0 else recovered
+    print("\nchaos:", "RECOVERED" if verdict_ok else "FAILED")
+    if args.json:
+        payload = result.to_dict()
+        payload["dataset"] = args.dataset
+        payload["schedule"] = [str(e) for e in schedule.events]
+        payload["error_rate"] = args.error_rate
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"summary written to {args.json}")
+    return 0 if verdict_ok else 1
+
+
 def _command_replay(args: argparse.Namespace) -> int:
     """``repro replay``: the golden-trace differential check as a command.
 
@@ -383,6 +529,8 @@ def _command_replay(args: argparse.Namespace) -> int:
     offline batch path's alerts on the compiled trace; 1 means a divergence
     (the parity summaries name the mismatch kinds).
     """
+    if args.chaos:
+        return _command_replay_chaos(args)
     from repro.core.cyberhd import CyberHD
     from repro.datasets.loaders import load_dataset
     from repro.nids.pipeline import DetectionPipeline
@@ -521,11 +669,20 @@ def _serve_pipeline(args: argparse.Namespace):
 
 def _serve_cluster(args: argparse.Namespace) -> int:
     """``repro serve --workers N`` (N > 1): the sharded cluster path."""
+    import dataclasses
     import json as json_module
 
-    from repro.cluster import ClusterConfig, ClusterCoordinator
+    from repro.cluster import ClusterConfig, ClusterCoordinator, RetryPolicy
     from repro.persistence import save_pipeline
     from repro.serving import GracefulShutdown
+
+    overrides = {
+        "max_respawns": args.max_respawns,
+        "heartbeat_interval": args.heartbeat_interval,
+        "heartbeat_timeout": args.heartbeat_timeout,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    retry = dataclasses.replace(RetryPolicy(), **overrides) if overrides else None
 
     with GracefulShutdown() as stop:
         pipeline, stream = _serve_pipeline(args)
@@ -536,6 +693,7 @@ def _serve_cluster(args: argparse.Namespace) -> int:
                 batch_size=args.window,
                 sync_interval=args.sync_interval,
                 online=args.online,
+                retry=retry,
             ),
         )
         report = coordinator.serve(stream, shutdown=stop)
@@ -557,6 +715,14 @@ def _serve_cluster(args: argparse.Namespace) -> int:
             f"{worker.flows} flows, {worker.alerts} alerts, "
             f"{worker.flow_throughput:.0f} flows/cpu-s, "
             f"{worker.online_updates} online updates"
+        )
+    if report.recovery.failures:
+        recovery = report.recovery
+        print(
+            f"recovery: {len(recovery.failures)} worker failures, "
+            f"{recovery.total_respawns} respawns, "
+            f"{recovery.total_redispatched_batches} batches redispatched, "
+            f"{recovery.unrecovered_batches} unrecovered"
         )
     if args.save:
         path = save_pipeline(pipeline, args.save)

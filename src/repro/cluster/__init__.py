@@ -26,6 +26,14 @@ merge_class_deltas``) and the merged model is republished to every replica.
     :class:`ClusterCoordinator` -- dispatch, sync rounds (collect deltas,
     merge, republish), graceful drain, aggregate reporting.
 
+``supervision``
+    The self-healing layer: heartbeat watchdog, in-flight batch ledger,
+    :class:`RetryPolicy`-driven respawn/redispatch/shed recovery.
+
+``chaos``
+    Scripted SIGKILL/hang/delay/exit fault schedules injected mid-replay,
+    measured against the golden trace (``bench --suite chaos``).
+
 ``loadgen``
     The scenario library (DDoS burst, port-scan sweep, low-and-slow
     exfiltration, gradual drift, mixed benign) behind ``bench --suite
@@ -34,6 +42,15 @@ merge_class_deltas``) and the merged model is republished to every replica.
 See ``docs/cluster.md`` for the topology and the delta-merge semantics.
 """
 
+from repro.cluster.chaos import (
+    ChaosEvent,
+    ChaosInjector,
+    ChaosRunResult,
+    ChaosSchedule,
+    InjectionRecord,
+    default_chaos_policy,
+    run_chaos_replay,
+)
 from repro.cluster.coordinator import ClusterConfig, ClusterCoordinator, ClusterReport
 from repro.cluster.loadgen import (
     SCENARIOS,
@@ -49,12 +66,33 @@ from repro.cluster.shared_model import (
     ModelPublication,
     PublicationSpec,
 )
+from repro.cluster.supervision import (
+    BatchLedger,
+    FailureRecord,
+    RecoveryStats,
+    RetryPolicy,
+    Watchdog,
+    WorkerFailure,
+)
 from repro.cluster.worker import WorkerConfig, WorkerRuntime, WorkerSummary
 
 __all__ = [
     "ClusterConfig",
     "ClusterCoordinator",
     "ClusterReport",
+    "RetryPolicy",
+    "RecoveryStats",
+    "FailureRecord",
+    "WorkerFailure",
+    "BatchLedger",
+    "Watchdog",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ChaosInjector",
+    "ChaosRunResult",
+    "InjectionRecord",
+    "default_chaos_policy",
+    "run_chaos_replay",
     "ShardRouter",
     "flow_key_token",
     "stable_hash64",

@@ -1,0 +1,356 @@
+"""Chaos harness: scripted process faults injected into a live cluster replay.
+
+PR 5's :class:`~repro.serving.faults.ServingFaultInjector` proved the *model*
+half of the paper's robustness claim (recall stays flat under bit flips).
+This module proves the *process* half against the supervision layer
+(:mod:`repro.cluster.supervision`): SIGKILL a worker mid-replay, hang one,
+slow one down, or make one exit cleanly-but-prematurely -- on a schedule
+expressed as fractions of the packet stream -- and measure what the paper's
+philosophy demands (inject with ground truth, quantify degradation):
+
+* detection latency (injection to watchdog flag) and recovery latency
+  (flag to redispatch complete), from the coordinator's failure records;
+* redispatched / shed batch counts and duplicate-suppressed re-scorings;
+* golden-trace flow parity and recall/precision against the compiled
+  trace's ground truth, with and without the injected faults.
+
+Fault specs are compact strings, composable into a schedule::
+
+    kill:0@0.4        SIGKILL worker 0 at 40% of the stream
+    hang:1@0.5        worker 1 stops heartbeating at 50% (killed by watchdog)
+    hang:1@0.5:2.0    ... but wakes up by itself after 2s (a transient stall)
+    delay:0@0.25:1.5  worker 0 stalls 1.5s but keeps heartbeating (slow, alive)
+    exit:1@0.6        worker 1 exits cleanly (code 0) without a final report
+
+Bit flips compose on top: :func:`run_chaos_replay` accepts an
+``error_rate`` that corrupts the published model for the whole run, so a
+single run can measure crash recovery *under* memory faults.  The bench
+suite (``repro bench --suite chaos``) sweeps these scenarios into
+``BENCH_chaos.json``; ``repro replay --chaos SPEC`` runs one interactively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.cluster.coordinator import ClusterConfig, ClusterCoordinator, ClusterReport
+from repro.cluster.supervision import RetryPolicy
+from repro.cluster.worker import ChaosExit, ChaosHang
+from repro.exceptions import ConfigurationError
+from repro.nids.packets import Packet
+from repro.nids.pipeline import DetectionPipeline
+from repro.serving.faults import ServingFaultInjector
+
+if TYPE_CHECKING:  # repro.replay imports this package back (golden's cluster
+    # path), so the replay types are imported lazily at call time.
+    from repro.replay.compiler import CompiledTrace
+    from repro.replay.golden import GoldenTrace, ParityReport
+
+CHAOS_KINDS = ("kill", "hang", "delay", "exit")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scripted fault: do ``kind`` to ``worker_id`` at ``at_fraction``."""
+
+    kind: str
+    worker_id: int
+    #: Position in the packet stream, as a fraction in [0, 1).
+    at_fraction: float
+    #: Stall duration for hang/delay; ``0`` hangs until the watchdog kills.
+    seconds: float = 0.0
+
+    def validate(self) -> "ChaosEvent":
+        """Check ranges and return ``self``."""
+        if self.kind not in CHAOS_KINDS:
+            raise ConfigurationError(
+                f"unknown chaos kind {self.kind!r}; supported: {CHAOS_KINDS}"
+            )
+        if self.worker_id < 0:
+            raise ConfigurationError("worker_id must be non-negative")
+        if not 0.0 <= self.at_fraction < 1.0:
+            raise ConfigurationError("at_fraction must be in [0, 1)")
+        if self.seconds < 0:
+            raise ConfigurationError("seconds must be non-negative")
+        return self
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosEvent":
+        """Parse ``kind:worker@fraction[:seconds]`` (see module docstring)."""
+        try:
+            kind, rest = spec.split(":", 1)
+            target, position = rest.split("@", 1)
+            seconds = 0.0
+            if ":" in position:
+                position, duration = position.split(":", 1)
+                seconds = float(duration)
+            return cls(
+                kind=kind.strip(),
+                worker_id=int(target),
+                at_fraction=float(position),
+                seconds=seconds,
+            ).validate()
+        except (ValueError, TypeError) as exc:
+            raise ConfigurationError(
+                f"bad chaos spec {spec!r} (expected kind:worker@fraction[:seconds], "
+                f"e.g. 'kill:0@0.4' or 'hang:1@0.5:2.0'): {exc}"
+            ) from None
+
+    def __str__(self) -> str:
+        base = f"{self.kind}:{self.worker_id}@{self.at_fraction:g}"
+        return f"{base}:{self.seconds:g}" if self.seconds else base
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An ordered fault schedule over one packet stream."""
+
+    events: tuple
+
+    @classmethod
+    def of(cls, events: Iterable[ChaosEvent]) -> "ChaosSchedule":
+        """Build from events (sorted by stream position)."""
+        ordered = tuple(
+            sorted((e.validate() for e in events), key=lambda e: e.at_fraction)
+        )
+        return cls(events=ordered)
+
+    @classmethod
+    def parse(cls, specs: Iterable[str]) -> "ChaosSchedule":
+        """Build from spec strings like ``["kill:0@0.4", "hang:1@0.7"]``."""
+        return cls.of(ChaosEvent.parse(spec) for spec in specs)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class InjectionRecord:
+    """One fault actually fired into the running cluster."""
+
+    event: ChaosEvent
+    packet_index: int
+    injected_at: float
+    delivered: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view."""
+        return {
+            "event": str(self.event),
+            "kind": self.event.kind,
+            "worker_id": self.event.worker_id,
+            "packet_index": self.packet_index,
+            "injected_at": self.injected_at,
+            "delivered": self.delivered,
+        }
+
+
+class ChaosInjector:
+    """Fires a schedule's faults while the coordinator consumes the stream.
+
+    Wraps the packet iterable: faults fire on the coordinator thread between
+    chunk dispatches, exactly where real operational faults land relative to
+    routing.  ``kill`` uses the coordinator's SIGKILL primitive; ``hang``,
+    ``delay`` and ``exit`` are delivered as inbox messages, so they queue
+    FIFO behind the batches already dispatched -- like a real stall, they
+    strike whenever the worker gets there.
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        schedule: ChaosSchedule,
+        total_packets: int,
+    ):
+        if total_packets < 1:
+            raise ConfigurationError("total_packets must be >= 1")
+        self.coordinator = coordinator
+        self.schedule = schedule
+        self.total_packets = int(total_packets)
+        self.records: List[InjectionRecord] = []
+        self._pending = list(schedule.events)
+
+    def stream(self, packets: Iterable[Packet]) -> Iterator[Packet]:
+        """The wrapped packet stream; drive it through ``coordinator.serve``."""
+        index = 0
+        for packet in packets:
+            while self._pending and index >= self._pending[0].at_fraction * self.total_packets:
+                self._fire(self._pending.pop(0), index)
+            yield packet
+            index += 1
+        # Events scheduled past the actual stream length still fire once the
+        # stream ends, so a schedule is never silently skipped.
+        while self._pending:
+            self._fire(self._pending.pop(0), index)
+
+    # ------------------------------------------------------------- internals
+    def _fire(self, event: ChaosEvent, index: int) -> None:
+        delivered = True
+        if event.kind == "kill":
+            self.coordinator.kill_worker(event.worker_id)
+        elif event.kind == "hang":
+            delivered = self.coordinator.inject(
+                event.worker_id, ChaosHang(seconds=event.seconds, stamp_heartbeat=False)
+            )
+        elif event.kind == "delay":
+            delivered = self.coordinator.inject(
+                event.worker_id, ChaosHang(seconds=event.seconds, stamp_heartbeat=True)
+            )
+        else:  # exit
+            delivered = self.coordinator.inject(event.worker_id, ChaosExit())
+        self.records.append(
+            InjectionRecord(
+                event=event,
+                packet_index=index,
+                injected_at=time.time(),
+                delivered=delivered,
+            )
+        )
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything one chaos replay measured."""
+
+    report: ClusterReport
+    parity: ParityReport
+    metrics: Dict[str, float]
+    injections: List[InjectionRecord] = field(default_factory=list)
+
+    @property
+    def detection_seconds(self) -> float:
+        """Worst injection-to-detection latency across matched failures.
+
+        Each failure is matched to the latest injection at or before its
+        detection time targeting the same worker; unmatched failures (e.g.
+        cascades) are ignored.  0 when nothing was injected or detected.
+        """
+        worst = 0.0
+        for failure in self.report.recovery.failures:
+            candidates = [
+                r.injected_at
+                for r in self.injections
+                if r.event.worker_id == failure.worker_id
+                and r.injected_at <= failure.detected_at
+            ]
+            if candidates:
+                worst = max(worst, failure.detected_at - max(candidates))
+        return worst
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Worst detection-to-recovery latency (0 when nothing recovered)."""
+        return self.report.recovery.max_recovery_seconds
+
+    @property
+    def ok(self) -> bool:
+        """Recovered completely: flow parity held and nothing was shed."""
+        return self.parity.ok and self.report.recovery.unrecovered_batches == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view."""
+        return {
+            "ok": self.ok,
+            "parity": self.parity.to_dict(),
+            "metrics": self.metrics,
+            "detection_seconds": self.detection_seconds,
+            "recovery_seconds": self.recovery_seconds,
+            "injections": [r.to_dict() for r in self.injections],
+            "recovery": self.report.recovery.to_dict(),
+            "shed_stats": self.report.shed_stats,
+        }
+
+
+def default_chaos_policy() -> RetryPolicy:
+    """The chaos harness's tightened supervision policy.
+
+    Production defaults tolerate 10s stalls; a replay harness wants fast,
+    measurable detection, so heartbeats are checked an order of magnitude
+    tighter while respawn/backoff semantics stay at their defaults.
+    """
+    return RetryPolicy(
+        heartbeat_interval=0.1,
+        heartbeat_timeout=1.5,
+        check_interval=0.05,
+        respawn_backoff=0.02,
+    )
+
+
+def run_chaos_replay(
+    pipeline: DetectionPipeline,
+    trace: CompiledTrace,
+    schedule: Optional[ChaosSchedule] = None,
+    golden: Optional[GoldenTrace] = None,
+    n_workers: int = 2,
+    batch_size: int = 256,
+    idle_timeout: float = 5.0,
+    policy: Optional[RetryPolicy] = None,
+    error_rate: float = 0.0,
+    seed: int = 0,
+) -> ChaosRunResult:
+    """One cluster replay under a fault schedule, measured against golden.
+
+    With ``schedule=None`` this is the crash-free baseline the chaos bench
+    compares against.  ``error_rate > 0`` additionally corrupts the
+    published model's packed words for the whole run (composing PR 5's
+    bit-flip injector with process faults); the golden record is taken from
+    the *pristine* model, so parity is only expected at ``error_rate=0`` --
+    the point of the composition is the recall curve, not parity.
+    """
+    from repro.replay.golden import GoldenTrace, diff_against_golden
+    from repro.replay.replayer import detection_metrics
+
+    if golden is None:
+        golden = GoldenTrace.record(pipeline, trace, idle_timeout=idle_timeout)
+    pipeline.alert_manager.clear()
+    fault_injector: Optional[ServingFaultInjector] = None
+    if error_rate > 0:
+        fault_injector = ServingFaultInjector(error_rate, seed=seed)
+        fault_injector.inject(pipeline.classifier)
+    try:
+        coordinator = ClusterCoordinator(
+            pipeline,
+            ClusterConfig(
+                n_workers=n_workers,
+                batch_size=batch_size,
+                online=False,
+                idle_timeout=idle_timeout,
+                capture_predictions=True,
+                retry=policy or default_chaos_policy(),
+            ),
+        )
+        injector = (
+            ChaosInjector(coordinator, schedule, trace.n_packets)
+            if schedule is not None and len(schedule)
+            else None
+        )
+        packets = injector.stream(trace.packets) if injector else trace.packets
+        report = coordinator.serve(packets)
+    finally:
+        if fault_injector is not None:
+            fault_injector.restore(pipeline.classifier)
+    observed = {record.token: record for record in (report.flow_predictions or [])}
+    label = "chaos" if schedule is not None and len(schedule) else "baseline"
+    parity = diff_against_golden(
+        golden, observed, path=f"cluster_{n_workers}w_{label}"
+    )
+    return ChaosRunResult(
+        report=report,
+        parity=parity,
+        metrics=detection_metrics(trace, observed),
+        injections=injector.records if injector else [],
+    )
+
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosRunResult",
+    "ChaosSchedule",
+    "InjectionRecord",
+    "default_chaos_policy",
+    "run_chaos_replay",
+]

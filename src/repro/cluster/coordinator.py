@@ -1,4 +1,4 @@
-"""Cluster coordinator: sharded dispatch, delta merging, model republish.
+"""Cluster coordinator: sharded dispatch, delta merging, self-healing supervision.
 
 The coordinator owns the cluster:
 
@@ -15,7 +15,16 @@ The coordinator owns the cluster:
   matrix, and lets every replica rebase.  Because HDC class vectors are sums
   of weighted sample hypervectors, this merge is *exact*: the published model
   equals single-process ``partial_fit`` of every shard's stream applied
-  against the round-start state (see ``docs/cluster.md``).
+  against the round-start state (see ``docs/cluster.md``);
+* it **supervises** the workers (:mod:`repro.cluster.supervision`): a
+  watchdog thread detects crashes and hangs from process liveness plus a
+  shared heartbeat array, a batch ledger retains every dispatched batch
+  until the worker's ack watermark releases it, and a
+  :class:`~repro.cluster.supervision.RetryPolicy` drives recovery -- respawn
+  against the still-live shm publication, flow-exact redispatch of the dead
+  worker's retained batches, quorum-tolerant sync rounds, and load shedding
+  (or ring failover) once the respawn budget is spent.  See
+  ``docs/robustness.md`` ("Process faults and chaos testing").
 
 Queue FIFO ordering is the only synchronization primitive: a sync request
 lands behind every batch dispatched before it, so a round is a consistent
@@ -26,13 +35,24 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_module
+import threading
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster.router import ShardRouter
 from repro.cluster.shared_model import ModelPublication
+from repro.cluster.supervision import (
+    BatchLedger,
+    FailureRecord,
+    RecoveryStats,
+    RetryPolicy,
+    Watchdog,
+    WorkerFailure,
+)
 from repro.cluster.worker import (
+    BatchAck,
     DeltaReport,
     FinalReport,
     PacketBatch,
@@ -47,6 +67,7 @@ from repro.exceptions import ConfigurationError
 from repro.hdc.backend import merge_class_deltas
 from repro.nids.packets import Packet
 from repro.nids.pipeline import DetectionPipeline
+from repro.serving.backpressure import BackpressureStats
 from repro.serving.shutdown import GracefulShutdown, chunked
 
 
@@ -80,11 +101,17 @@ class ClusterConfig:
         otherwise.
     capture_predictions:
         Ship every served flow's :class:`~repro.serving.FlowPrediction`
-        back in the workers' final reports (collected on
-        :attr:`ClusterReport.flow_predictions`).  This is the evidence the
-        golden-trace differential harness compares against offline batch
-        predictions; it costs memory proportional to the served flow count,
-        so leave it off for open-ended serving.
+        back in the workers' report streams (collected, deduplicated by
+        flow token, on :attr:`ClusterReport.flow_predictions`).  This is the
+        evidence the golden-trace differential harness compares against
+        offline batch predictions; it costs memory proportional to the
+        served flow count, so leave it off for open-ended serving.
+    retry:
+        The supervision :class:`RetryPolicy`.  ``None`` means supervision
+        with default parameters -- worker failure is always *detected*;
+        ``RetryPolicy(max_respawns=0, shed_when_exhausted=False)`` restores
+        the old fail-fast behaviour (first failure raises, naming the
+        unacked batch seqs).
     """
 
     n_workers: int = 4
@@ -96,6 +123,7 @@ class ClusterConfig:
     vnodes: int = 64
     start_method: Optional[str] = None
     capture_predictions: bool = False
+    retry: Optional[RetryPolicy] = None
 
     def validate(self) -> "ClusterConfig":
         """Check parameter ranges and return ``self``."""
@@ -107,6 +135,8 @@ class ClusterConfig:
             raise ConfigurationError("sync_interval must be non-negative")
         if self.queue_capacity < 1:
             raise ConfigurationError("queue_capacity must be >= 1")
+        if self.retry is not None:
+            self.retry.validate()
         return self
 
 
@@ -125,8 +155,16 @@ class ClusterReport:
     #: as fast as the shards drain them.
     coordinator_cpu_seconds: float = 0.0
     #: Per-flow serving outcomes across all shards (only populated when
-    #: ``ClusterConfig.capture_predictions`` is on).
+    #: ``ClusterConfig.capture_predictions`` is on).  Deduplicated by flow
+    #: token: at-least-once redispatch can re-score a flow that was already
+    #: classified just before a crash, and the first record wins.
     flow_predictions: Optional[List] = None
+    #: Supervision outcome: detected failures, respawns, redispatch and
+    #: shed accounting (always present after a supervised run).
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    #: Drop accounting of the shed path (``BoundedQueue``-style counters);
+    #: ``None`` when nothing was shed.
+    shed_stats: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------ aggregates
     @property
@@ -193,6 +231,8 @@ class ClusterReport:
             "n_flow_predictions": (
                 len(self.flow_predictions) if self.flow_predictions is not None else 0
             ),
+            "recovery": self.recovery.to_dict(),
+            "shed_stats": self.shed_stats,
         }
 
 
@@ -213,19 +253,46 @@ class ClusterCoordinator:
     def __init__(self, pipeline: DetectionPipeline, config: Optional[ClusterConfig] = None):
         self.pipeline = pipeline
         self.config = (config or ClusterConfig()).validate()
+        self.policy = (self.config.retry or RetryPolicy()).validate()
         self.router = ShardRouter(self.config.n_workers, vnodes=self.config.vnodes)
         self.publication: Optional[ModelPublication] = None
+        self._ctx: Optional[Any] = None
         self._processes: List[mp.process.BaseProcess] = []
         self._inboxes: List[Any] = []
         self._outbox: Optional[Any] = None
+        self._worker_configs: List[WorkerConfig] = []
         self._seq = 0
         self._dispatches_since_sync = 0
         self.sync_rounds = 0
         self._started = False
+        # ----------------------------------------------------- supervision
+        #: Guards the (incarnation, process, expected_exit, heartbeat) rows
+        #: the watchdog thread snapshots; recovery itself runs only on the
+        #: coordinator thread.
+        self._lock = threading.Lock()
+        self._watchdog: Optional[Watchdog] = None
+        self._heartbeats: Optional[Any] = None
+        self._ledger: Optional[BatchLedger] = None
+        self._incarnation: List[int] = []
+        self._expected_exit: List[bool] = []
+        self._shed: List[bool] = []
+        self._respawns: List[int] = []
+        #: Per-worker dispatch index below which updates were already merged
+        #: at a sync round; redispatched batches below it carry
+        #: ``learn=False`` so their samples are not double-counted.
+        self._synced_through: List[int] = []
+        #: Per-incarnation tallies reconstructed from acks -- the surviving
+        #: evidence of a dead incarnation's work.
+        self._ack_tallies: List[Dict[str, int]] = []
+        self._pending: Deque[Any] = deque()
+        self._pred_records: Dict[str, Any] = {}
+        self._failover_router: Optional[ShardRouter] = None
+        self._shed_stats = BackpressureStats()
+        self.recovery = RecoveryStats()
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
-        """Publish the model and launch the worker processes.
+        """Publish the model and launch the worker + watchdog machinery.
 
         If publishing or spawning fails partway, everything already created
         (shared-memory blocks, spawned workers) is torn down before the
@@ -238,32 +305,57 @@ class ClusterCoordinator:
         if method is None:
             method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         ctx = mp.get_context(method)
+        self._ctx = ctx
+        n = cfg.n_workers
+        self._incarnation = [0] * n
+        self._expected_exit = [False] * n
+        self._shed = [False] * n
+        self._respawns = [0] * n
+        self._synced_through = [0] * n
+        self._ack_tallies = [self._zero_tally() for _ in range(n)]
+        self._pending = deque()
+        self._pred_records = {}
+        self._failover_router = None
+        self._shed_stats = BackpressureStats()
+        self.recovery = RecoveryStats()
+        self._ledger = BatchLedger(n, max_retained=self.policy.max_retained_batches)
         try:
             self.publication = ModelPublication(self.pipeline)
             spec = self.publication.spec()
             self._outbox = ctx.Queue()
+            self._heartbeats = ctx.Array("d", n, lock=False)
             self._inboxes = []
             self._processes = []
-            for worker_id in range(cfg.n_workers):
-                inbox = ctx.Queue(maxsize=cfg.queue_capacity)
+            self._worker_configs = []
+            for worker_id in range(n):
                 worker_config = WorkerConfig(
                     worker_id=worker_id,
-                    n_workers=cfg.n_workers,
+                    n_workers=n,
                     spec=spec,
                     online=cfg.online,
                     idle_timeout=cfg.idle_timeout,
                     vnodes=cfg.vnodes,
+                    # Ring failover re-homes a dead shard's keys onto the
+                    # survivors, which the per-worker shard guard would
+                    # reject as misrouted.
+                    enforce_shard_guard=not self.policy.failover,
                     capture_predictions=cfg.capture_predictions,
+                    heartbeat_interval=self.policy.heartbeat_interval,
                 )
+                self._worker_configs.append(worker_config)
+                inbox = ctx.Queue(maxsize=cfg.queue_capacity)
+                self._heartbeats[worker_id] = time.time()
                 process = ctx.Process(
                     target=cluster_worker_main,
-                    args=(worker_config, inbox, self._outbox),
+                    args=(worker_config, inbox, self._outbox, self._heartbeats),
                     name=f"repro-cluster-worker-{worker_id}",
                     daemon=True,
                 )
                 process.start()
                 self._inboxes.append(inbox)
                 self._processes.append(process)
+            self._watchdog = Watchdog(self._supervision_snapshot, self.policy)
+            self._watchdog.start()
         except BaseException:
             self._abort()
             raise
@@ -289,6 +381,7 @@ class ClusterCoordinator:
         for chunk in chunked(packets, cfg.batch_size):
             if shutdown is not None and shutdown.triggered:
                 break
+            self._service_events()
             for worker_id, shard in enumerate(self.router.partition_packets(chunk)):
                 buffer = buffers[worker_id]
                 buffer.extend(shard)
@@ -306,53 +399,64 @@ class ClusterCoordinator:
                 self._dispatch(worker_id, list(buffer))
                 buffer.clear()
 
-    def _dispatch(self, worker_id: int, packets: List[Packet]) -> None:
-        self._put(worker_id, PacketBatch(seq=self._seq, packets=packets))
-        self._seq += 1
-        self._dispatches_since_sync += 1
-
-    def _put(self, worker_id: int, message: Any) -> None:
-        """Producer-pays put with a liveness watchdog.
-
-        A dead worker's inbox stops draining; a plain blocking ``put`` would
-        then hang the coordinator forever once the queue fills.  Waiting in
-        bounded slices and checking the process turns that into a fast,
-        diagnosable failure.
-        """
-        inbox = self._inboxes[worker_id]
-        while True:
-            try:
-                inbox.put(message, timeout=1.0)
-                return
-            except queue_module.Full:
-                process = self._processes[worker_id]
-                if not process.is_alive():
-                    raise RuntimeError(
-                        f"cluster worker {worker_id} died (exit code "
-                        f"{process.exitcode}); its queue stopped draining"
-                    )
-
     def sync_models(self) -> int:
-        """One delta-merge round; returns the new published generation."""
+        """One quorum-tolerant delta-merge round; returns the new generation.
+
+        The sync request is sent to every live worker; if one dies before
+        reporting, recovery respawns it and the round proceeds with the
+        surviving deltas (the dead incarnation's unsynced updates are lost,
+        bounded by the sync interval).  A worker that missed the round --
+        respawned mid-round or mid-collect -- simply keeps its attach-time
+        base and is folded back in at the next round: additive deltas are
+        independent of the base generation, so nothing is double-merged.
+        """
         if not self._started:
             raise ConfigurationError("cluster is not running")
+        self._service_events()
         round_id = self.sync_rounds
+        # worker -> (incarnation the request reached, its dispatch count then)
+        candidates: Dict[int, Tuple[int, int]] = {}
         for worker_id in range(self.config.n_workers):
-            self._put(worker_id, SyncRequest(round_id=round_id))
-        deltas = [
-            report.delta
-            for report in self._collect(DeltaReport, self.config.n_workers, round_id)
+            if self._shed[worker_id]:
+                continue
+            incarnation = self._incarnation[worker_id]
+            if self._put_control(worker_id, SyncRequest(round_id=round_id)):
+                candidates[worker_id] = (
+                    incarnation,
+                    self._ledger.dispatched(worker_id),
+                )
+        expected = {w: inc for w, (inc, _) in candidates.items()}
+        reports = self._collect(DeltaReport, expected, round_id, on_failure="drop")
+        # A delta from an incarnation that has since been respawned is
+        # dropped: recovery replays its unsynced batches with learning on,
+        # so merging the dead incarnation's delta too would double-count.
+        reports = [
+            report
+            for report in reports
+            if self._incarnation[report.worker_id] == candidates[report.worker_id][0]
         ]
-        merge_class_deltas(
-            self.publication.class_matrix, deltas, self.publication.class_norms
-        )
-        # Deltas accumulate in the float matrix; the packed 1-bit serving
-        # words (if published) are re-derived from the merged result before
-        # replicas are told to rebase.
-        self.publication.repack()
+        deltas = [report.delta for report in reports]
+        if deltas:
+            merge_class_deltas(
+                self.publication.class_matrix, deltas, self.publication.class_norms
+            )
+            # Deltas accumulate in the float matrix; the packed 1-bit serving
+            # words (if published) are re-derived from the merged result
+            # before replicas are told to rebase.
+            self.publication.repack()
         generation = self.publication.bump_generation()
-        for worker_id in range(self.config.n_workers):
-            self._put(worker_id, Rebase(round_id=round_id, generation=generation))
+        merged_from = set()
+        for report in reports:
+            worker_id = report.worker_id
+            incarnation, dispatched = candidates[worker_id]
+            merged_from.add(worker_id)
+            # Everything dispatched before the request is now in the
+            # published model; a future redispatch must not re-learn it.
+            self._synced_through[worker_id] = dispatched
+            self._put_control(worker_id, Rebase(round_id=round_id, generation=generation))
+        live = [w for w in range(self.config.n_workers) if not self._shed[w]]
+        if len(merged_from) < len(live):
+            self.recovery.quorum_rounds += 1
         self.sync_rounds += 1
         self._dispatches_since_sync = 0
         return generation
@@ -360,7 +464,10 @@ class ClusterCoordinator:
     def shutdown(self) -> ClusterReport:
         """Drain every worker, merge final deltas, and tear the cluster down.
 
-        On failure mid-drain (a worker died), the cluster is aborted -- the
+        A worker that dies mid-drain is recovered (respawn, redispatch,
+        re-Stop) so its shard's flows still reach the report; when the
+        respawn budget is spent its remaining load is shed instead of
+        aborting.  On an unrecoverable failure the cluster is aborted -- the
         publication's shared-memory blocks are freed and surviving processes
         reaped -- before the error propagates.
         """
@@ -368,14 +475,27 @@ class ClusterCoordinator:
             raise ConfigurationError("cluster is not running")
         start = time.perf_counter()
         try:
+            self._service_events()
+            expected: Dict[int, int] = {}
             for worker_id in range(self.config.n_workers):
-                self._put(worker_id, Stop())
+                while not self._shed[worker_id]:
+                    if self._put_control(worker_id, Stop()):
+                        with self._lock:
+                            self._expected_exit[worker_id] = True
+                        expected[worker_id] = self._incarnation[worker_id]
+                        break
+                    # The worker was respawned mid-put; Stop the fresh
+                    # incarnation (its redispatched batches are queued ahead,
+                    # so FIFO still drains them first).
             reports: List[FinalReport] = self._collect(
-                FinalReport, self.config.n_workers, None
+                FinalReport, expected, None, on_failure="restop"
             )
         except BaseException:
             self._abort()
             raise
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
         final_deltas = [r.final_delta for r in reports if r.final_delta is not None]
         if final_deltas:
             merge_class_deltas(
@@ -397,20 +517,29 @@ class ClusterCoordinator:
         self.publication.close()
         self.publication = None
         self._started = False
-        summaries = sorted((r.summary for r in reports), key=lambda s: s.worker_id)
-        flow_predictions = None
         if self.config.capture_predictions:
-            flow_predictions = [
-                prediction
-                for report in sorted(reports, key=lambda r: r.summary.worker_id)
-                for prediction in (report.predictions or [])
-            ]
+            for report in sorted(reports, key=lambda r: r.summary.worker_id):
+                self._absorb_predictions(report.predictions or [])
+        summaries = {r.summary.worker_id: r.summary for r in reports}
+        for worker_id in range(self.config.n_workers):
+            if worker_id not in summaries:
+                summaries[worker_id] = self._synthesize_summary(worker_id)
+        self.recovery.ledger_evictions = self._ledger.evictions if self._ledger else 0
+        flow_predictions = (
+            list(self._pred_records.values())
+            if self.config.capture_predictions
+            else None
+        )
         return ClusterReport(
-            workers=list(summaries),
+            workers=[summaries[w] for w in sorted(summaries)],
             wall_seconds=time.perf_counter() - start,
             sync_rounds=self.sync_rounds,
             generation=generation,
             flow_predictions=flow_predictions,
+            recovery=self.recovery,
+            shed_stats=(
+                self._shed_stats.to_dict() if self._shed_stats.submitted else None
+            ),
         )
 
     def serve(
@@ -439,7 +568,293 @@ class ClusterCoordinator:
         report.interrupted = shutdown is not None and shutdown.triggered
         return report
 
+    # --------------------------------------------------------- chaos surface
+    def kill_worker(self, worker_id: int) -> None:
+        """SIGKILL a worker (the chaos harness's crash primitive)."""
+        self._processes[worker_id].kill()
+
+    def inject(self, worker_id: int, message: Any) -> bool:
+        """Enqueue a chaos message on a worker's inbox; False if it is gone."""
+        return self._put_control(worker_id, message)
+
     # ------------------------------------------------------------- internals
+    def _zero_tally(self) -> Dict[str, int]:
+        return {"packets": 0, "flows": 0, "alerts": 0}
+
+    def _supervision_snapshot(self) -> List[Tuple[int, int, Any, bool, float]]:
+        """Consistent worker rows for the watchdog (see :class:`Watchdog`)."""
+        with self._lock:
+            return [
+                (
+                    worker_id,
+                    self._incarnation[worker_id],
+                    self._processes[worker_id],
+                    self._expected_exit[worker_id] or self._shed[worker_id],
+                    self._heartbeats[worker_id],
+                )
+                for worker_id in range(len(self._processes))
+            ]
+
+    def _dispatch(self, worker_id: int, packets: List[Packet]) -> None:
+        batch = PacketBatch(seq=self._seq, packets=packets)
+        self._seq += 1
+        self._dispatches_since_sync += 1
+        self._send_batch(worker_id, batch)
+
+    def _send_batch(self, worker_id: int, batch: PacketBatch) -> None:
+        """Ledger-tracked dispatch; shed shards divert to failover or drops."""
+        if self._shed[worker_id]:
+            self._reroute_or_shed(batch)
+            return
+        self._ledger.record_dispatch(worker_id, batch)
+        self._put_tracked(worker_id, batch)
+
+    def _reroute_or_shed(self, batch: PacketBatch) -> None:
+        """A shed shard's batch: re-home it on the ring, or drop and count."""
+        if self._failover_router is not None:
+            for worker_id, shard in enumerate(
+                self._failover_router.partition_packets(batch.packets)
+            ):
+                if shard and not self._shed[worker_id]:
+                    rerouted = PacketBatch(
+                        seq=self._seq, packets=list(shard), learn=batch.learn
+                    )
+                    self._seq += 1
+                    self._send_batch(worker_id, rerouted)
+            return
+        # Degrade, don't abort: the same drop accounting the bounded ingest
+        # queue uses, so shed load shows up in the familiar counters.
+        self._shed_stats.submitted += 1
+        self._shed_stats.dropped_oldest += 1
+        self.recovery.shed_batches += 1
+        self.recovery.shed_packets += len(batch.packets)
+
+    def _put_tracked(self, worker_id: int, batch: PacketBatch) -> None:
+        """Producer-pays put of a ledger-tracked batch.
+
+        Checks worker liveness on *every* bounded-slice iteration -- a
+        worker that dies while its inbox has headroom must not keep
+        absorbing dispatches silently.  If recovery runs meanwhile, the
+        redispatch already re-enqueued this batch from the ledger (or the
+        shard was shed and the ledger drained), so the put simply stops.
+        """
+        start_incarnation = self._incarnation[worker_id]
+        while True:
+            if self._shed[worker_id] or self._incarnation[worker_id] != start_incarnation:
+                return
+            process = self._processes[worker_id]
+            if not process.is_alive() and not self._expected_exit[worker_id]:
+                self._service_events(scan=True)
+                continue
+            try:
+                self._inboxes[worker_id].put(batch, timeout=0.2)
+                return
+            except queue_module.Full:
+                self._service_events()
+
+    def _put_control(self, worker_id: int, message: Any) -> bool:
+        """Best-effort put of an untracked control message.
+
+        Returns False when the target incarnation vanished first (shed, or
+        respawned by recovery) -- the caller decides what the new
+        incarnation should receive instead.
+        """
+        start_incarnation = self._incarnation[worker_id]
+        while True:
+            if self._shed[worker_id] or self._incarnation[worker_id] != start_incarnation:
+                return False
+            process = self._processes[worker_id]
+            if not process.is_alive() and not self._expected_exit[worker_id]:
+                self._service_events(scan=True)
+                continue
+            try:
+                self._inboxes[worker_id].put(message, timeout=0.2)
+                return True
+            except queue_module.Full:
+                self._service_events()
+
+    # ---------------------------------------------------- failure handling
+    def _service_events(self, scan: bool = False) -> None:
+        """Coordinator-thread safe point: absorb acks, run pending recovery."""
+        self._drain_acks()
+        if self._watchdog is not None:
+            if scan:
+                self._watchdog.scan_once()
+            for failure in self._watchdog.take_failures():
+                self._recover(failure)
+
+    def _drain_acks(self) -> None:
+        while True:
+            try:
+                message = self._outbox.get_nowait()
+            except queue_module.Empty:
+                return
+            if isinstance(message, BatchAck):
+                self._apply_ack(message)
+            else:
+                # A report racing ahead of its _collect; keep it for the
+                # collector, in arrival order.
+                self._pending.append(message)
+
+    def _apply_ack(self, ack: BatchAck) -> None:
+        self._ledger.record_ack(ack.worker_id, ack.index, ack.watermark)
+        tally = self._ack_tallies[ack.worker_id]
+        tally["packets"] += ack.packets
+        tally["flows"] += ack.flows
+        tally["alerts"] += ack.alerts
+        if ack.predictions:
+            self._absorb_predictions(ack.predictions)
+
+    def _absorb_predictions(self, predictions: List[Any]) -> None:
+        for prediction in predictions:
+            if prediction.token in self._pred_records:
+                # At-least-once redispatch re-scored an already-served flow;
+                # first record wins (same model generation => same verdict
+                # for offline-mode runs, so which one survives is moot).
+                self.recovery.duplicates_suppressed += 1
+            else:
+                self._pred_records[prediction.token] = prediction
+
+    def _recover(self, failure: WorkerFailure) -> None:
+        """Recovery driver: respawn + flow-exact redispatch, or exhaust."""
+        worker_id = failure.worker_id
+        if self._shed[worker_id] or failure.incarnation != self._incarnation[worker_id]:
+            return  # stale detection for an incarnation already handled
+        tally = self._ack_tallies[worker_id]
+        record = FailureRecord(
+            worker_id=worker_id,
+            kind=failure.kind,
+            incarnation=failure.incarnation,
+            detected_at=failure.detected_at,
+            exitcode=failure.exitcode,
+            heartbeat_age=failure.heartbeat_age,
+            acked_packets=tally["packets"],
+            acked_flows=tally["flows"],
+            acked_alerts=tally["alerts"],
+        )
+        self.recovery.failures.append(record)
+        attempts = self._respawns[worker_id]
+        if attempts >= self.policy.max_respawns:
+            self._exhaust(worker_id, record)
+            return
+        backoff = self.policy.respawn_backoff * (2**attempts)
+        if backoff > 0:
+            time.sleep(min(backoff, 5.0))
+        self._respawns[worker_id] = attempts + 1
+        self._respawn(worker_id)
+        record.respawned = True
+        self._redispatch(worker_id, record)
+        record.recovered_at = time.time()
+
+    def _respawn(self, worker_id: int) -> None:
+        """Fresh incarnation: new inbox, reattach to the live publication.
+
+        The whole swap happens under the supervision lock so the watchdog
+        never pairs the new incarnation number with the dead process.
+        """
+        old_process = self._processes[worker_id]
+        old_inbox = self._inboxes[worker_id]
+        with self._lock:
+            self._incarnation[worker_id] += 1
+            inbox = self._ctx.Queue(maxsize=self.config.queue_capacity)
+            self._inboxes[worker_id] = inbox
+            self._heartbeats[worker_id] = time.time()
+            self._expected_exit[worker_id] = False
+            self._ack_tallies[worker_id] = self._zero_tally()
+            process = self._ctx.Process(
+                target=cluster_worker_main,
+                args=(
+                    self._worker_configs[worker_id],
+                    inbox,
+                    self._outbox,
+                    self._heartbeats,
+                ),
+                name=(
+                    f"repro-cluster-worker-{worker_id}"
+                    f"-r{self._incarnation[worker_id]}"
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes[worker_id] = process
+        old_process.join(timeout=5.0)
+        # The dead incarnation's queued batches are unreachable; everything
+        # that matters is in the ledger.  Never flush to the dead pipe.
+        old_inbox.cancel_join_thread()
+        old_inbox.close()
+
+    def _redispatch(self, worker_id: int, record: FailureRecord) -> None:
+        """Replay the ledger's retained batches into the fresh incarnation.
+
+        Retention reaches down to the dead worker's last acked watermark, so
+        every flow it had not classified yet is rebuilt packet-for-packet
+        (at-least-once: flows classified just before the crash get re-scored
+        and deduplicated).  Batches whose online updates were already merged
+        at a sync round are replayed with ``learn=False``.
+        """
+        synced_through = self._synced_through[worker_id]
+        batches: List[PacketBatch] = []
+        for index, batch in self._ledger.replayable(worker_id):
+            if index < synced_through and batch.learn:
+                batch = replace(batch, learn=False)
+            batches.append(batch)
+        self._ledger.reset(worker_id, batches)
+        self._synced_through[worker_id] = 0
+        incarnation = self._incarnation[worker_id]
+        for batch in batches:
+            if self._incarnation[worker_id] != incarnation or self._shed[worker_id]:
+                # A nested recovery replayed the ledger itself; hand off.
+                break
+            self._put_tracked(worker_id, batch)
+            record.redispatched_batches += 1
+            record.redispatched_packets += len(batch.packets)
+
+    def _exhaust(self, worker_id: int, record: FailureRecord) -> None:
+        """Respawn budget spent: fail over the shard, shed it, or fail fast."""
+        if not (self.policy.shed_when_exhausted or self.policy.failover):
+            unacked = self._ledger.unacked_seqs(worker_id)
+            raise RuntimeError(
+                f"cluster worker {worker_id} died ({record.kind}, exit code "
+                f"{record.exitcode}) with no respawn budget left; "
+                f"unacked batch seqs: {unacked}"
+            )
+        with self._lock:
+            self._shed[worker_id] = True
+            self._expected_exit[worker_id] = True
+        batches = self._ledger.clear(worker_id)
+        survivors = [
+            w for w in range(self.config.n_workers) if not self._shed[w]
+        ]
+        if self.policy.failover and survivors:
+            self._failover_router = self.router.excluding(
+                [w for w in range(self.config.n_workers) if self._shed[w]]
+            )
+            record.failed_over = True
+            for batch in batches:
+                self._reroute_or_shed(batch)
+                record.redispatched_batches += 1
+                record.redispatched_packets += len(batch.packets)
+        else:
+            self._failover_router = None
+            for batch in batches:
+                self._shed_stats.submitted += 1
+                self._shed_stats.dropped_oldest += 1
+                self.recovery.shed_batches += 1
+                self.recovery.shed_packets += len(batch.packets)
+        record.shed = not record.failed_over
+        record.recovered_at = time.time()
+
+    def _synthesize_summary(self, worker_id: int) -> WorkerSummary:
+        """A shed worker never files a report; reconstruct one from its acks."""
+        summary = WorkerSummary(worker_id=worker_id)
+        for failure in self.recovery.failures:
+            if failure.worker_id == worker_id:
+                summary.packets += failure.acked_packets
+                summary.flows += failure.acked_flows
+                summary.alerts += failure.acked_alerts
+        return summary
+
+    # -------------------------------------------------------------- teardown
     def _abort(self) -> None:
         """Tear the cluster down after a failure: reap processes, free shm.
 
@@ -447,11 +862,22 @@ class ClusterCoordinator:
         SIGKILL: workers ignore SIGTERM by design (shutdown is normally the
         coordinator's message-driven decision).
         """
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
         for process in self._processes:
             if process.is_alive():
                 process.kill()
         for process in self._processes:
             process.join(timeout=5.0)
+        for inbox in self._inboxes:
+            # Queued batches would otherwise block the feeder thread at
+            # interpreter exit, flushing into pipes nobody will ever read.
+            try:
+                inbox.cancel_join_thread()
+                inbox.close()
+            except (OSError, ValueError):  # pragma: no cover - already closed
+                pass
         if self.publication is not None:
             self.publication.close()
             self.publication = None
@@ -459,32 +885,111 @@ class ClusterCoordinator:
         self._inboxes = []
         self._started = False
 
-    def _collect(self, kind, count: int, round_id: Optional[int]) -> List[Any]:
-        """Gather ``count`` messages of ``kind`` from the outbox, watching
-        worker liveness so a crashed replica fails fast instead of hanging
-        the coordinator forever."""
-        results: List[Any] = []
-        while len(results) < count:
-            try:
-                message = self._outbox.get(timeout=1.0)
-            except queue_module.Empty:
-                dead = [
-                    p.name
-                    for p in self._processes
-                    if not p.is_alive() and p.exitcode not in (0, None)
-                ]
-                if dead:
-                    raise RuntimeError(
-                        f"cluster worker(s) died during a collect: {dead}"
-                    )
+    # ------------------------------------------------------------ collection
+    def _collect(
+        self,
+        kind,
+        expected: Dict[int, int],
+        round_id: Optional[int],
+        on_failure: str = "drop",
+    ) -> List[Any]:
+        """Gather one ``kind`` report per expected worker incarnation.
+
+        ``expected`` maps worker id -> incarnation owing the report.  Acks
+        interleaved in the stream are absorbed.  When an expected worker
+        fails first, recovery runs and the collect adapts by ``on_failure``:
+
+        ``"drop"``
+            Quorum mode (sync rounds): stop expecting the report; the round
+            proceeds with the survivors.
+        ``"restop"``
+            Drain mode (shutdown): send ``Stop`` to the respawned
+            incarnation and await *its* report instead; a shed worker is
+            dropped and its summary synthesized from acks.
+
+        Any not-alive worker still owing a report is treated as dead no
+        matter its exit code -- a clean-but-premature exit would otherwise
+        spin this loop forever.  One extra empty poll of grace lets a dead
+        worker's already-sent report finish crossing the queue feeder.
+        """
+        results: Dict[int, Any] = {}
+        misses: Dict[int, int] = {}
+        while len(results) < len(expected):
+            message = self._next_message()
+            if message is None:
+                self._service_events()
+                self._check_expected(expected, results, misses, on_failure)
                 continue
-            if not isinstance(message, kind):  # pragma: no cover - protocol bug
+            if isinstance(message, BatchAck):
+                self._apply_ack(message)
+                continue
+            if not isinstance(message, kind):
+                if isinstance(message, DeltaReport) and kind is FinalReport:
+                    # A delta a worker sent just before dying in an aborted
+                    # quorum round; its incarnation is gone, drop it.
+                    continue
                 raise RuntimeError(
                     f"expected {kind.__name__}, got {type(message).__name__}"
                 )
-            if round_id is not None and message.round_id != round_id:  # pragma: no cover
+            if round_id is not None and message.round_id != round_id:
+                if message.round_id < round_id:
+                    continue  # stale report from a crashed incarnation
                 raise RuntimeError(
                     f"round mismatch: expected {round_id}, got {message.round_id}"
                 )
-            results.append(message)
-        return results
+            worker_id = (
+                message.summary.worker_id
+                if isinstance(message, FinalReport)
+                else message.worker_id
+            )
+            if worker_id in expected and worker_id not in results:
+                results[worker_id] = message
+        return [results[worker_id] for worker_id in sorted(results)]
+
+    def _next_message(self) -> Optional[Any]:
+        if self._pending:
+            return self._pending.popleft()
+        try:
+            return self._outbox.get(timeout=0.2)
+        except queue_module.Empty:
+            return None
+
+    def _check_expected(
+        self,
+        expected: Dict[int, int],
+        results: Dict[int, Any],
+        misses: Dict[int, int],
+        on_failure: str,
+    ) -> None:
+        for worker_id, incarnation in list(expected.items()):
+            if worker_id in results:
+                continue
+            if self._shed[worker_id]:
+                expected.pop(worker_id)
+                continue
+            if self._incarnation[worker_id] != incarnation:
+                # Recovery replaced the incarnation we were waiting on.
+                if on_failure == "restop" and self._put_control(worker_id, Stop()):
+                    with self._lock:
+                        self._expected_exit[worker_id] = True
+                    expected[worker_id] = self._incarnation[worker_id]
+                elif on_failure == "drop":
+                    expected.pop(worker_id)
+                continue
+            process = self._processes[worker_id]
+            if process.is_alive():
+                misses.pop(worker_id, None)
+                continue
+            misses[worker_id] = misses.get(worker_id, 0) + 1
+            if misses[worker_id] < 2:
+                continue  # grace poll: its report may still be in the feeder
+            misses.pop(worker_id, None)
+            self._recover(
+                WorkerFailure(
+                    worker_id=worker_id,
+                    kind="crash",
+                    incarnation=incarnation,
+                    detected_at=time.time(),
+                    exitcode=process.exitcode,
+                )
+            )

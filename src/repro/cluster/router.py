@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import bisect
 from hashlib import blake2b
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.nids.flow import FlowKey
@@ -97,6 +97,33 @@ class ShardRouter:
                 shard = cache[key] = self.shard_for_key(key)
             shards[shard].append(packet)
         return shards
+
+    def excluding(self, dead_workers: Iterable[int]) -> "ShardRouter":
+        """A failover view of the ring without the dead workers' vnodes.
+
+        Surviving workers keep their exact ring points, so every key they
+        already owned stays put; only the dead workers' keyspace re-homes
+        (clockwise to the next surviving vnode) -- the consistent-hashing
+        property that makes temporary failover cheap.  Worker ids are
+        preserved: the view routes into the *same* cluster, minus the dead.
+        """
+        dead = set(dead_workers)
+        unknown = dead - set(range(self.n_workers))
+        if unknown:
+            raise ConfigurationError(f"unknown worker ids: {sorted(unknown)}")
+        survivors = [
+            (h, w)
+            for h, w in zip(self._ring_hashes, self._ring_workers)
+            if w not in dead
+        ]
+        if not survivors:
+            raise ConfigurationError("cannot exclude every worker from the ring")
+        view = ShardRouter.__new__(ShardRouter)
+        view.n_workers = self.n_workers
+        view.vnodes = self.vnodes
+        view._ring_hashes = [h for h, _ in survivors]
+        view._ring_workers = [w for _, w in survivors]
+        return view
 
     def owns(self, worker_id: int):
         """An ownership predicate for ``FlowTable(shard_guard=...)``."""

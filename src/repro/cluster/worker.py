@@ -15,6 +15,7 @@ the thin message loop that ``multiprocessing.Process`` runs around it.
 
 from __future__ import annotations
 
+import queue as queue_module
 import signal
 import time
 from dataclasses import dataclass, field
@@ -39,10 +40,67 @@ from repro.serving.telemetry import TelemetryRecorder
 # --------------------------------------------------------------- wire format
 @dataclass(frozen=True)
 class PacketBatch:
-    """One routed batch of packets for a worker's shard."""
+    """One routed batch of packets for a worker's shard.
+
+    ``learn`` is cleared on redispatched batches whose online updates were
+    already merged into the published model at a sync round before the crash:
+    re-serving them rebuilds flow state for golden-trace parity, but learning
+    them again would double-count their samples in the shared model.
+    """
 
     seq: int
     packets: List[Packet]
+    learn: bool = True
+
+
+@dataclass(frozen=True)
+class BatchAck:
+    """Per-batch receipt in the worker's report stream.
+
+    The coordinator's batch ledger retains a dispatched batch until it is
+    acked *and* below the worker's ``watermark``: the lowest per-incarnation
+    batch index that still contributes packets to a flow open in the
+    worker's flow table (== the batches-handled count when nothing is open).
+    Replaying the retained suffix into a respawned worker therefore rebuilds
+    every unclassified flow byte-for-byte.
+
+    With prediction capture on, each ack also drains the worker's captured
+    :class:`FlowPrediction` records incrementally, so a later crash cannot
+    lose the evidence of flows that were already served.
+    """
+
+    worker_id: int
+    seq: int
+    index: int
+    watermark: int
+    packets: int
+    flows: int
+    alerts: int
+    predictions: Optional[List[FlowPrediction]] = None
+
+
+@dataclass(frozen=True)
+class ChaosHang:
+    """Chaos-harness message: stop servicing the inbox for ``seconds``.
+
+    With ``stamp_heartbeat`` the worker keeps stamping while stalled -- a
+    *slow* worker the watchdog must tolerate.  Without it the heartbeat goes
+    stale and the watchdog SIGKILLs the worker -- a hang.  ``seconds <= 0``
+    hangs until killed.
+    """
+
+    seconds: float
+    stamp_heartbeat: bool = False
+
+
+@dataclass(frozen=True)
+class ChaosExit:
+    """Chaos-harness message: exit cleanly (code 0) without a final report.
+
+    Models the buggy-deploy failure the original ``_collect`` filter missed:
+    a worker that is gone but owes messages, with nothing suspicious in its
+    exit code.
+    """
 
 
 @dataclass(frozen=True)
@@ -158,9 +216,15 @@ class WorkerConfig:
     idle_timeout: float = 5.0
     vnodes: int = 64
     enforce_shard_guard: bool = True
-    #: Record every served flow's prediction and ship the records back in
-    #: the :class:`FinalReport` (the differential-harness capture mode).
+    #: Record every served flow's prediction and ship the records back
+    #: incrementally in :class:`BatchAck` messages (remainder in the
+    #: :class:`FinalReport`) -- the differential-harness capture mode.
     capture_predictions: bool = False
+    #: Inbox poll timeout == idle heartbeat stamp cadence.
+    heartbeat_interval: float = 0.25
+    #: Ship a :class:`BatchAck` after every processed batch (the
+    #: supervision contract; off only in single-worker legacy paths).
+    send_acks: bool = True
 
 
 # ------------------------------------------------------------------- runtime
@@ -202,6 +266,8 @@ class WorkerRuntime:
         self.stages = [FlowAssemblyStage(self.table), *self.pipeline.stages]
         self.capture_predictions = bool(capture_predictions)
         self.predictions: List[FlowPrediction] = []
+        self.batches_handled = 0
+        self._flow_first_index: Dict[Any, int] = {}
         self.summary = WorkerSummary(worker_id=self.worker_id)
         self.summary.rebase_generation = attached.generation
         self._base = (
@@ -209,17 +275,23 @@ class WorkerRuntime:
         )
 
     # ------------------------------------------------------------------- API
-    def handle_packets(self, packets: List[Packet]) -> ServingBatch:
-        """Serve one routed packet batch through the full stage chain."""
+    def handle_packets(self, packets: List[Packet], learn: bool = True) -> ServingBatch:
+        """Serve one routed packet batch through the full stage chain.
+
+        ``learn=False`` serves the batch without folding its labelled flows
+        into the replica -- the redispatch path for batches whose updates
+        were already merged before a crash.
+        """
         start = time.perf_counter()
         cpu_start = time.process_time()
         batch = ServingBatch(packets=list(packets))
         run_stages(self.stages, batch, self.telemetry)
-        if self.online and batch.n_flows:
+        if self.online and learn and batch.n_flows:
             self._learn(batch)
         self._account(
             batch, time.perf_counter() - start, time.process_time() - cpu_start
         )
+        self._advance_watermark()
         return batch
 
     def handle_flows(self, flows) -> ServingBatch:
@@ -234,6 +306,18 @@ class WorkerRuntime:
             batch, time.perf_counter() - start, time.process_time() - cpu_start
         )
         return batch
+
+    @property
+    def watermark(self) -> int:
+        """Lowest batch index a still-open flow needs (see :class:`BatchAck`)."""
+        if not self._flow_first_index:
+            return self.batches_handled
+        return min(self._flow_first_index.values())
+
+    def drain_predictions(self) -> List[FlowPrediction]:
+        """Hand off captured predictions accumulated since the last drain."""
+        drained, self.predictions = self.predictions, []
+        return drained
 
     def compute_delta(self) -> np.ndarray:
         """The class-matrix update accumulated since the last rebase."""
@@ -273,6 +357,15 @@ class WorkerRuntime:
         return self.summary
 
     # ------------------------------------------------------------- internals
+    def _advance_watermark(self) -> None:
+        """Refresh the open-flow -> first-batch-index map after one batch."""
+        index = self.batches_handled
+        self.batches_handled += 1
+        previous = self._flow_first_index
+        self._flow_first_index = {
+            key: previous.get(key, index) for key in self.table.active_keys()
+        }
+
     def _learn(self, batch: ServingBatch) -> None:
         """Fold the batch's known-label flows into the private replica.
 
@@ -304,7 +397,7 @@ class WorkerRuntime:
         self.telemetry.record_items(batch.n_flows)
 
 
-def cluster_worker_main(config: WorkerConfig, inbox, outbox) -> None:
+def cluster_worker_main(config: WorkerConfig, inbox, outbox, heartbeat=None) -> None:
     """Process entry point: attach, serve the message loop, report, exit.
 
     The coordinator guarantees the inbox protocol: any number of
@@ -312,6 +405,11 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox) -> None:
     :class:`SyncRequest`/:class:`Rebase` pairs, terminated by one
     :class:`Stop`.  Queue FIFO ordering makes a sync round a consistent cut:
     the delta covers exactly the batches dispatched before it.
+
+    ``heartbeat`` is the coordinator's shared liveness array (one ``double``
+    wall-clock slot per worker).  The loop stamps its slot on every poll and
+    around every processed batch, so a crash *and* a hang both stop the
+    stamps within one ``heartbeat_interval`` plus one batch time.
     """
     # The operator's Ctrl-C is delivered to the whole foreground process
     # group.  Shutdown is the *coordinator's* decision (its GracefulShutdown
@@ -324,6 +422,11 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox) -> None:
         signal.signal(signal.SIGTERM, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic hosts
         pass
+    def stamp() -> None:
+        if heartbeat is not None:
+            heartbeat[config.worker_id] = time.time()
+
+    stamp()
     attached = AttachedPublication(config.spec)
     try:
         runtime = WorkerRuntime(
@@ -336,10 +439,60 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox) -> None:
             enforce_shard_guard=config.enforce_shard_guard,
             capture_predictions=config.capture_predictions,
         )
+        stamp()
         while True:
-            message = inbox.get()
+            try:
+                message = inbox.get(timeout=config.heartbeat_interval)
+            except queue_module.Empty:
+                stamp()
+                continue
+            stamp()
             if isinstance(message, PacketBatch):
-                runtime.handle_packets(message.packets)
+                batch = runtime.handle_packets(message.packets, learn=message.learn)
+                stamp()
+                if config.send_acks:
+                    outbox.put(
+                        BatchAck(
+                            worker_id=config.worker_id,
+                            seq=message.seq,
+                            index=runtime.batches_handled - 1,
+                            watermark=runtime.watermark,
+                            packets=len(message.packets),
+                            flows=batch.n_flows,
+                            alerts=len(batch.alerts),
+                            predictions=(
+                                runtime.drain_predictions()
+                                if config.capture_predictions
+                                else None
+                            ),
+                        )
+                    )
+            elif isinstance(message, ChaosHang):
+                deadline = (
+                    time.monotonic() + message.seconds
+                    if message.seconds > 0
+                    else None
+                )
+                while deadline is None or time.monotonic() < deadline:
+                    if message.stamp_heartbeat:
+                        stamp()
+                        time.sleep(
+                            min(
+                                config.heartbeat_interval,
+                                max(deadline - time.monotonic(), 0.0)
+                                if deadline is not None
+                                else config.heartbeat_interval,
+                            )
+                        )
+                    else:
+                        # Sleep without stamping: the watchdog sees the stale
+                        # heartbeat and SIGKILLs this process mid-nap.
+                        time.sleep(
+                            message.seconds if message.seconds > 0 else 3600.0
+                        )
+                        break
+            elif isinstance(message, ChaosExit):
+                return
             elif isinstance(message, SyncRequest):
                 outbox.put(
                     DeltaReport(
@@ -361,8 +514,12 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox) -> None:
                     FinalReport(
                         summary=summary,
                         final_delta=final_delta,
+                        # With per-batch acks draining incrementally this is
+                        # just the flush remainder (flows closed by finalize).
                         predictions=(
-                            runtime.predictions if config.capture_predictions else None
+                            runtime.drain_predictions()
+                            if config.capture_predictions
+                            else None
                         ),
                     )
                 )

@@ -225,6 +225,10 @@ class FlowTable:
         """Number of currently active (unexpired) flows."""
         return len(self._active)
 
+    def active_keys(self) -> List[FlowKey]:
+        """Keys of the currently active flows (for liveness watermarks)."""
+        return list(self._active.keys())
+
     def add_packet(self, packet: Packet) -> List[FlowRecord]:
         """Ingest one packet; returns any flows expired by the packet's timestamp."""
         expired = self._expire(packet.timestamp)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cluster.coordinator import ClusterConfig, ClusterCoordinator
+from repro.cluster.supervision import RetryPolicy
 from repro.exceptions import ConfigurationError
 from repro.nids.pipeline import DetectionPipeline
 from repro.replay.compiler import CompiledTrace
@@ -253,8 +254,14 @@ class DifferentialHarness:
         self,
         workers: Optional[int] = None,
         shutdown: Optional[GracefulShutdown] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> ParityReport:
-        """N-worker sharded cluster serving with prediction capture."""
+        """N-worker sharded cluster serving with prediction capture.
+
+        ``retry`` overrides the cluster's supervision policy -- the chaos
+        harness passes a tightened one so fault detection latencies are
+        measurable within a short replay.
+        """
         n_workers = int(workers) if workers is not None else self.cluster_workers
         self.pipeline.alert_manager.clear()
         coordinator = ClusterCoordinator(
@@ -265,6 +272,7 @@ class DifferentialHarness:
                 online=False,
                 idle_timeout=self.idle_timeout,
                 capture_predictions=True,
+                retry=retry,
             ),
         )
         report = coordinator.serve(self.trace.packets, shutdown=shutdown)

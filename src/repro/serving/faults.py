@@ -68,18 +68,24 @@ class ServingFaultInjector:
         self.error_rate = float(error_rate)
         self._rng = ensure_rng(seed)
         self._pristine: Optional[np.ndarray] = None
+        self._target: Optional[PackedClassMatrix] = None
 
     # ------------------------------------------------------------------- API
     def inject(self, classifier) -> FaultInjectionStats:
         """Corrupt the classifier's packed class matrix in place.
 
         The pristine words are snapshotted on first use so :meth:`restore`
-        can undo any number of injections.  Requires the classifier to be
-        serving the packed 1-bit path (``uses_packed_inference``).
+        can undo any number of injections.  The snapshot is keyed to the
+        packed matrix *object*: if learning invalidates and rebuilds the
+        packed cache between injections, a fresh snapshot of the new matrix
+        is taken instead of corrupting it against the stale one.  Requires
+        the classifier to be serving the packed 1-bit path
+        (``uses_packed_inference``).
         """
         packed = self._packed(classifier)
-        if self._pristine is None:
+        if self._pristine is None or self._target is not packed:
             self._pristine = np.array(packed.words, copy=True)
+            self._target = packed
         corrupted, n_flipped = flip_packed_bits(
             self._pristine, packed.dim, self.error_rate, rng=self._rng
         )
@@ -91,10 +97,22 @@ class ServingFaultInjector:
         )
 
     def restore(self, classifier) -> None:
-        """Put the pristine packed words back (no-op before any injection)."""
+        """Put the pristine packed words back (no-op before any injection).
+
+        If an intervening ``partial_fit`` invalidated the packed cache, the
+        classifier's current packed matrix was rebuilt from the *learned*
+        float matrix and is already fault-free; writing the pre-learning
+        snapshot into it would silently undo the learning.  The stale
+        snapshot is discarded instead.
+        """
         if self._pristine is None:
             return
-        self._packed(classifier).words[...] = self._pristine
+        packed = self._packed(classifier)
+        if packed is not self._target:
+            self._pristine = None
+            self._target = None
+            return
+        packed.words[...] = self._pristine
 
     @contextmanager
     def corrupt(self, classifier) -> Iterator[FaultInjectionStats]:

@@ -304,6 +304,33 @@ class TestServingFaultInjector:
         with pytest.raises(ConfigurationError):
             ServingFaultInjector(-0.1)
 
+    def test_restore_after_partial_fit_keeps_learned_model(self, blob_data):
+        """An intervening ``partial_fit`` rebuilds the packed cache from the
+        learned float matrix; restore must discard its stale snapshot instead
+        of silently undoing the learning."""
+        from repro.serving import ServingFaultInjector
+
+        X, y = blob_data
+        model = CyberHD(dim=96, epochs=3, seed=0, inference_bits=1)
+        model.fit(X, y)
+        injector = ServingFaultInjector(0.2, seed=0)
+        injector.inject(model)
+        model.partial_fit(X[:32], y[:32])  # invalidates the packed cache
+        learned_words = model.packed_class_matrix().words.copy()
+        injector.restore(model)
+        np.testing.assert_array_equal(
+            model.packed_class_matrix().words, learned_words
+        )
+        # A fresh injection snapshots the *new* matrix, so the next restore
+        # round-trips against the learned state.
+        stats = injector.inject(model)
+        assert stats.n_flipped > 0
+        assert not np.array_equal(model.packed_class_matrix().words, learned_words)
+        injector.restore(model)
+        np.testing.assert_array_equal(
+            model.packed_class_matrix().words, learned_words
+        )
+
 
 class TestPackedPersistence:
     def test_roundtrip_preserves_packed_words_bit_exact(self, blob_data, tmp_path):

@@ -1,0 +1,286 @@
+"""Chaos harness tests: fault-spec parsing, schedule ordering, injector
+firing semantics (against a stub coordinator), and the end-to-end acceptance
+scenario -- SIGKILL one of two workers mid-replay on an NSL-KDD slice; the
+run must detect within the heartbeat bound, respawn, redispatch every unacked
+batch, and finish with golden-trace flow parity and recall within 1pt of the
+crash-free baseline."""
+
+import pytest
+
+from repro.cluster import (
+    ChaosEvent,
+    ChaosInjector,
+    ChaosSchedule,
+    RetryPolicy,
+    default_chaos_policy,
+    run_chaos_replay,
+)
+from repro.cluster.worker import ChaosExit, ChaosHang
+from repro.core.cyberhd import CyberHD
+from repro.exceptions import ConfigurationError
+from repro.nids.pipeline import DetectionPipeline
+from repro.replay import DatasetTraceCompiler, GoldenTrace
+
+pytestmark = pytest.mark.chaos
+
+_COMPILER = DatasetTraceCompiler()
+
+
+def test_replay_first_import_order_is_safe():
+    """The chaos module closes a replay<->cluster import cycle lazily; a
+    fresh interpreter importing ``repro.replay`` before ``repro.cluster``
+    must not see a partially initialized module (the in-process suite never
+    catches this because earlier tests import the cluster package first)."""
+    import subprocess
+    import sys
+
+    subprocess.run(
+        [sys.executable, "-c", "import repro.replay; import repro.cluster"],
+        check=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def nsl_trace(small_dataset):
+    """A compiled NSL-KDD test-split trace (120 rows)."""
+    return _COMPILER.compile(small_dataset, split="test", seed=1, limit=120)
+
+
+@pytest.fixture(scope="module")
+def nsl_pipeline(small_dataset):
+    """A pipeline trained on the compiled NSL-KDD training trace."""
+    train_trace = _COMPILER.compile(small_dataset, split="train", seed=0, limit=400)
+    pipeline = DetectionPipeline(
+        classifier=CyberHD(dim=96, epochs=3, regeneration_rate=0.1, seed=0)
+    )
+    return pipeline.fit_packets(train_trace.packets)
+
+
+@pytest.fixture(scope="module")
+def nsl_golden(nsl_pipeline, nsl_trace):
+    return GoldenTrace.record(nsl_pipeline, nsl_trace)
+
+
+class TestChaosSpec:
+    def test_parse_kill(self):
+        event = ChaosEvent.parse("kill:0@0.4")
+        assert event.kind == "kill"
+        assert event.worker_id == 0
+        assert event.at_fraction == pytest.approx(0.4)
+        assert event.seconds == 0.0
+
+    def test_parse_with_duration(self):
+        event = ChaosEvent.parse("hang:1@0.5:2.0")
+        assert event.kind == "hang"
+        assert event.worker_id == 1
+        assert event.seconds == pytest.approx(2.0)
+        delay = ChaosEvent.parse("delay:0@0.25:1.5")
+        assert delay.kind == "delay"
+        assert delay.seconds == pytest.approx(1.5)
+
+    def test_str_roundtrips(self):
+        for spec in ("kill:0@0.4", "hang:1@0.5:2", "exit:1@0.6"):
+            assert str(ChaosEvent.parse(spec)) == spec
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode:0@0.4",  # unknown kind
+            "kill:0",  # missing position
+            "kill@0.4",  # missing worker
+            "kill:-1@0.4",  # negative worker
+            "kill:0@1.0",  # fraction out of range
+            "kill:0@-0.1",
+            "hang:0@0.5:-2.0",  # negative duration
+            "kill:zero@0.4",  # non-numeric
+            "",
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            ChaosEvent.parse(spec)
+
+    def test_schedule_sorts_by_position(self):
+        schedule = ChaosSchedule.parse(["hang:1@0.7", "kill:0@0.2", "exit:0@0.5"])
+        assert len(schedule) == 3
+        assert [e.at_fraction for e in schedule.events] == [0.2, 0.5, 0.7]
+
+    def test_schedule_validates_members(self):
+        with pytest.raises(ConfigurationError):
+            ChaosSchedule.of([ChaosEvent(kind="kill", worker_id=0, at_fraction=1.5)])
+
+
+class _StubCoordinator:
+    """Records the chaos primitives the injector drives."""
+
+    def __init__(self, deliver=True):
+        self.kills = []
+        self.injected = []
+        self.deliver = deliver
+
+    def kill_worker(self, worker_id):
+        self.kills.append(worker_id)
+
+    def inject(self, worker_id, message):
+        self.injected.append((worker_id, message))
+        return self.deliver
+
+
+class TestChaosInjector:
+    def test_fires_at_stream_fraction(self):
+        coordinator = _StubCoordinator()
+        schedule = ChaosSchedule.parse(["kill:0@0.5"])
+        injector = ChaosInjector(coordinator, schedule, total_packets=10)
+        consumed = list(injector.stream(range(10)))
+        assert consumed == list(range(10))
+        assert coordinator.kills == [0]
+        assert len(injector.records) == 1
+        assert injector.records[0].packet_index == 5
+
+    def test_message_kinds_map_to_wire_types(self):
+        coordinator = _StubCoordinator()
+        schedule = ChaosSchedule.parse(
+            ["hang:0@0.1:2.0", "delay:1@0.2:1.5", "exit:0@0.3"]
+        )
+        list(ChaosInjector(coordinator, schedule, total_packets=10).stream(range(10)))
+        (hang_id, hang), (delay_id, delay), (exit_id, exit_msg) = coordinator.injected
+        assert hang_id == 0
+        assert isinstance(hang, ChaosHang) and not hang.stamp_heartbeat
+        assert hang.seconds == pytest.approx(2.0)
+        assert delay_id == 1
+        assert isinstance(delay, ChaosHang) and delay.stamp_heartbeat
+        assert exit_id == 0
+        assert isinstance(exit_msg, ChaosExit)
+
+    def test_leftover_events_fire_at_stream_end(self):
+        """A schedule is never silently skipped by a short stream."""
+        coordinator = _StubCoordinator()
+        schedule = ChaosSchedule.parse(["kill:1@0.9"])
+        # Declared length 100 but only 5 packets actually arrive.
+        injector = ChaosInjector(coordinator, schedule, total_packets=100)
+        list(injector.stream(range(5)))
+        assert coordinator.kills == [1]
+        assert injector.records[0].packet_index == 5
+
+    def test_undelivered_injection_recorded(self):
+        coordinator = _StubCoordinator(deliver=False)
+        schedule = ChaosSchedule.parse(["exit:0@0.1"])
+        injector = ChaosInjector(coordinator, schedule, total_packets=10)
+        list(injector.stream(range(10)))
+        assert not injector.records[0].delivered
+
+    def test_requires_positive_stream_length(self):
+        with pytest.raises(ConfigurationError):
+            ChaosInjector(_StubCoordinator(), ChaosSchedule.of([]), total_packets=0)
+
+    def test_default_policy_is_tight_and_valid(self):
+        policy = default_chaos_policy().validate()
+        assert policy.heartbeat_timeout < RetryPolicy().heartbeat_timeout
+
+
+@pytest.mark.cluster
+@pytest.mark.replay
+class TestChaosReplayEndToEnd:
+    """The PR's acceptance scenario, measured against the golden trace."""
+
+    def test_baseline_run_has_parity(self, nsl_pipeline, nsl_trace, nsl_golden):
+        result = run_chaos_replay(
+            nsl_pipeline, nsl_trace, golden=nsl_golden, batch_size=64
+        )
+        assert result.ok, result.parity.summary()
+        assert result.injections == []
+        assert result.report.recovery.total_respawns == 0
+        assert result.metrics["served_fraction"] == pytest.approx(1.0)
+        assert result.metrics["recall"] > 0.5
+
+    def test_kill_one_worker_mid_replay_recovers_flow_exact(
+        self, nsl_pipeline, nsl_trace, nsl_golden
+    ):
+        baseline = run_chaos_replay(
+            nsl_pipeline, nsl_trace, golden=nsl_golden, batch_size=64
+        )
+        result = run_chaos_replay(
+            nsl_pipeline,
+            nsl_trace,
+            schedule=ChaosSchedule.parse(["kill:0@0.4"]),
+            golden=nsl_golden,
+            batch_size=64,
+        )
+        recovery = result.report.recovery
+        assert recovery.total_respawns >= 1
+        assert recovery.total_redispatched_batches >= 1
+        assert recovery.unrecovered_batches == 0
+        assert recovery.failures[0].kind == "crash"
+        # Detection within the (tight chaos-policy) heartbeat bound plus
+        # scheduler slack; recovery itself is a respawn + redispatch.
+        policy = default_chaos_policy()
+        assert result.detection_seconds < policy.heartbeat_timeout + 1.0
+        assert result.recovery_seconds > 0
+        # Flow-for-flow parity with the offline golden record -- no alert
+        # lost to the crash, duplicates suppressed coordinator-side.
+        assert result.ok, result.parity.summary()
+        assert abs(result.metrics["recall"] - baseline.metrics["recall"]) <= 0.01
+
+    def test_hang_is_detected_and_recovered(self, nsl_pipeline, nsl_trace, nsl_golden):
+        """A non-stamping stall: the watchdog SIGKILLs and recovery proceeds."""
+        result = run_chaos_replay(
+            nsl_pipeline,
+            nsl_trace,
+            schedule=ChaosSchedule.parse(["hang:1@0.3"]),
+            golden=nsl_golden,
+            batch_size=64,
+        )
+        recovery = result.report.recovery
+        assert recovery.total_respawns >= 1
+        assert recovery.failures[0].kind == "hang"
+        assert recovery.failures[0].heartbeat_age > 0
+        assert result.ok, result.parity.summary()
+
+    def test_clean_premature_exit_is_detected(
+        self, nsl_pipeline, nsl_trace, nsl_golden
+    ):
+        """Satellite regression e2e: a worker exiting 0 without its final
+        report must be treated as dead (the old exitcode filter missed it)."""
+        result = run_chaos_replay(
+            nsl_pipeline,
+            nsl_trace,
+            schedule=ChaosSchedule.parse(["exit:1@0.5"]),
+            golden=nsl_golden,
+            batch_size=64,
+        )
+        recovery = result.report.recovery
+        assert recovery.total_respawns >= 1
+        assert recovery.failures[0].kind == "crash"
+        assert recovery.failures[0].exitcode == 0
+        assert result.ok, result.parity.summary()
+
+    def test_bit_flips_compose_with_process_faults(self, small_dataset, nsl_trace):
+        """PR 5's model-corruption injector rides along: recall is measured
+        under crash + memory faults together (parity not expected -- the
+        golden record is pristine by design)."""
+        train_trace = _COMPILER.compile(
+            small_dataset, split="train", seed=0, limit=400
+        )
+        pipeline = DetectionPipeline(
+            classifier=CyberHD(dim=96, epochs=3, seed=0, inference_bits=1)
+        ).fit_packets(train_trace.packets)
+        clean_words = pipeline.classifier.packed_class_matrix().words.copy()
+        result = run_chaos_replay(
+            pipeline,
+            nsl_trace,
+            schedule=ChaosSchedule.parse(["kill:0@0.4"]),
+            batch_size=64,
+            error_rate=0.02,
+            seed=7,
+        )
+        assert result.report.recovery.total_respawns >= 1
+        assert "recall" in result.metrics
+        # All flows still get served exactly once despite crash + corruption.
+        assert result.metrics["served_fraction"] == pytest.approx(1.0)
+        # The published model was corrupted; the coordinator-side pipeline
+        # is restored pristine afterwards.
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            pipeline.classifier.packed_class_matrix().words, clean_words
+        )

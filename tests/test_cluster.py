@@ -1,27 +1,34 @@
 """Tests for the sharded cluster subsystem: router consistency, shared-memory
 model publication, delta-merge exactness (cluster online learning vs
 single-process ``partial_fit``), the load-scenario library, the end-to-end
-multi-process coordinator, and graceful shutdown."""
+multi-process coordinator, supervision (heartbeats, batch ledger, watchdog,
+respawn/redispatch recovery), and graceful shutdown."""
 
 import os
 import signal
+from collections import deque
+from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
 
 from repro.cluster import (
     AttachedPublication,
+    BatchLedger,
     ClusterConfig,
     ClusterCoordinator,
     ModelPublication,
+    RetryPolicy,
     SCENARIOS,
     ShardRouter,
+    Watchdog,
     WorkerRuntime,
     get_scenario,
     interpolate_profile,
     scenario_names,
 )
 from repro.cluster.router import flow_key_token, stable_hash64
+from repro.cluster.worker import DeltaReport, FinalReport, PacketBatch, WorkerSummary
 from repro.core.cyberhd import CyberHD
 from repro.exceptions import ConfigurationError
 from repro.hdc.backend import merge_class_deltas, row_norms
@@ -135,6 +142,33 @@ class TestShardRouter:
         assert not router.owns(1 - shard)(key)
         with pytest.raises(ConfigurationError):
             router.owns(5)
+
+    def test_excluding_keeps_survivor_keys_put(self):
+        """Failover only re-homes the dead worker's keyspace."""
+        router = ShardRouter(4, vnodes=64)
+        keys = [
+            FlowKey(f"10.3.{i % 200}.{i % 13}", i % 40_000, "10.0.0.9", 443, "tcp")
+            for i in range(2000)
+        ]
+        view = router.excluding([1])
+        moved = 0
+        for key in keys:
+            old, new = router.shard_for_key(key), view.shard_for_key(key)
+            if old == 1:
+                assert new != 1  # dead keyspace re-homed...
+                moved += 1
+            else:
+                assert new == old  # ...survivors' keys never move
+        assert moved > 0
+
+    def test_excluding_validates(self):
+        router = ShardRouter(2)
+        with pytest.raises(ConfigurationError):
+            router.excluding([7])
+        with pytest.raises(ConfigurationError):
+            router.excluding([0, 1])
+        # The view preserves cluster identity (same worker-id space).
+        assert router.excluding([0]).n_workers == 2
 
 
 class TestShardGuardedFlowTable:
@@ -414,6 +448,237 @@ class TestLoadScenarios:
         assert dataset.metadata["separability"] == pytest.approx(2.0)
 
 
+class _FakeProcess:
+    """A process stand-in for watchdog unit tests (no fork needed)."""
+
+    def __init__(self, alive=True, exitcode=None):
+        self._alive = alive
+        self.exitcode = exitcode
+        self.kills = 0
+
+    def is_alive(self):
+        return self._alive
+
+    def kill(self):
+        self.kills += 1
+        self._alive = False
+        self.exitcode = -9
+
+
+def _batch(seq, n_packets=3):
+    return PacketBatch(seq=seq, packets=[None] * n_packets)
+
+
+class TestRetryPolicy:
+    def test_defaults_validate(self):
+        policy = RetryPolicy().validate()
+        assert policy.max_respawns == 2
+        assert policy.shed_when_exhausted
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"heartbeat_interval": 0.0},
+            {"heartbeat_interval": 2.0, "heartbeat_timeout": 1.0},
+            {"check_interval": 0.0},
+            {"max_respawns": -1},
+            {"respawn_backoff": -0.1},
+            {"max_retained_batches": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs).validate()
+
+    def test_cluster_config_validates_policy(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(retry=RetryPolicy(max_respawns=-1)).validate()
+
+
+class TestBatchLedger:
+    def test_dispatch_indexes_per_incarnation(self):
+        ledger = BatchLedger(2)
+        assert ledger.record_dispatch(0, _batch(10)) == 0
+        assert ledger.record_dispatch(0, _batch(11)) == 1
+        assert ledger.record_dispatch(1, _batch(12)) == 0
+        assert ledger.dispatched(0) == 2
+        assert ledger.outstanding(0) == 2
+
+    def test_ack_prunes_to_watermark_not_index(self):
+        """An acked batch stays replayable while an open flow still needs it."""
+        ledger = BatchLedger(1)
+        for seq in range(4):
+            ledger.record_dispatch(0, _batch(seq))
+        # Batches 0-2 acked, but a flow opened in batch 1 is still active.
+        ledger.record_ack(0, 0, watermark=0)
+        ledger.record_ack(0, 1, watermark=1)
+        ledger.record_ack(0, 2, watermark=1)
+        assert ledger.acked(0) == 3
+        assert [i for i, _ in ledger.replayable(0)] == [1, 2, 3]
+        assert [i for i, _ in ledger.unacked(0)] == [3]
+        assert ledger.unacked_seqs(0) == [3]
+        # The flow closes: the watermark catches up and releases 1 and 2.
+        ledger.record_ack(0, 3, watermark=4)
+        assert ledger.replayable(0) == []
+        assert ledger.outstanding(0) == 0
+
+    def test_watermark_never_regresses(self):
+        ledger = BatchLedger(1)
+        for seq in range(3):
+            ledger.record_dispatch(0, _batch(seq))
+        ledger.record_ack(0, 1, watermark=2)
+        ledger.record_ack(0, 2, watermark=1)  # late/stale watermark
+        assert [i for i, _ in ledger.replayable(0)] == [2]
+
+    def test_reset_reindexes_from_zero(self):
+        ledger = BatchLedger(1)
+        for seq in range(3):
+            ledger.record_dispatch(0, _batch(seq))
+        ledger.record_ack(0, 0, watermark=1)
+        replay = [b for _, b in ledger.replayable(0)]
+        ledger.reset(0, replay)
+        assert [i for i, _ in ledger.replayable(0)] == [0, 1]
+        assert ledger.dispatched(0) == 2
+        assert ledger.acked(0) == 0
+
+    def test_clear_returns_and_settles(self):
+        ledger = BatchLedger(1)
+        for seq in range(2):
+            ledger.record_dispatch(0, _batch(seq))
+        cleared = ledger.clear(0)
+        assert [b.seq for b in cleared] == [0, 1]
+        assert ledger.replayable(0) == []
+        assert ledger.outstanding(0) == 0
+
+    def test_retention_bound_evicts_oldest(self):
+        ledger = BatchLedger(1, max_retained=2)
+        for seq in range(5):
+            ledger.record_dispatch(0, _batch(seq))
+        assert ledger.evictions == 3
+        assert [b.seq for _, b in ledger.replayable(0)] == [3, 4]
+
+    def test_constructor_validates(self):
+        with pytest.raises(ConfigurationError):
+            BatchLedger(0)
+        with pytest.raises(ConfigurationError):
+            BatchLedger(1, max_retained=0)
+
+
+class TestWatchdog:
+    def _watchdog(self, rows, **policy_kwargs):
+        policy = RetryPolicy(
+            heartbeat_interval=0.1, heartbeat_timeout=1.0, **policy_kwargs
+        ).validate()
+        clock = {"now": 100.0}
+        dog = Watchdog(lambda: rows(), policy, clock=lambda: clock["now"])
+        return dog, clock
+
+    def test_clean_exit_is_still_a_crash(self):
+        """Satellite regression: exit code 0 with messages owing is dead."""
+        process = _FakeProcess(alive=False, exitcode=0)
+        dog, _ = self._watchdog(lambda: [(0, 0, process, False, 100.0)])
+        dog.scan_once()
+        failures = dog.take_failures()
+        assert len(failures) == 1
+        assert failures[0].kind == "crash"
+        assert failures[0].exitcode == 0
+
+    def test_expected_exit_not_flagged(self):
+        process = _FakeProcess(alive=False, exitcode=0)
+        dog, _ = self._watchdog(lambda: [(0, 0, process, True, 100.0)])
+        dog.scan_once()
+        assert dog.take_failures() == []
+
+    def test_stale_heartbeat_kills_and_reports_hang(self):
+        process = _FakeProcess(alive=True)
+        dog, clock = self._watchdog(lambda: [(0, 0, process, False, 100.0)])
+        clock["now"] = 100.5  # fresh: within timeout
+        dog.scan_once()
+        assert dog.take_failures() == []
+        assert process.kills == 0
+        clock["now"] = 102.0  # stale: 2s > 1s timeout
+        dog.scan_once()
+        failures = dog.take_failures()
+        assert len(failures) == 1
+        assert failures[0].kind == "hang"
+        assert failures[0].heartbeat_age == pytest.approx(2.0)
+        assert process.kills == 1
+
+    def test_failures_deduplicated_per_incarnation(self):
+        process = _FakeProcess(alive=False, exitcode=-9)
+        rows = [(0, 0, process, False, 100.0)]
+        dog, _ = self._watchdog(lambda: rows)
+        dog.scan_once()
+        dog.scan_once()
+        assert len(dog.take_failures()) == 1
+        assert dog.take_failures() == []
+        # A respawn bumps the incarnation; its death is a *new* failure.
+        rows[0] = (0, 1, _FakeProcess(alive=False, exitcode=-9), False, 100.0)
+        dog.scan_once()
+        assert len(dog.take_failures()) == 1
+
+    def test_start_stop_idempotent(self):
+        dog, _ = self._watchdog(lambda: [])
+        dog.start()
+        dog.start()
+        dog.stop()
+        dog.stop()
+
+
+class TestCollectFailureBranches:
+    """Protocol/round-mismatch branches of ``_collect``, driven in-process."""
+
+    def _coordinator(self, trained_pipeline, pending):
+        coordinator = ClusterCoordinator(
+            trained_pipeline, ClusterConfig(n_workers=1, batch_size=64)
+        )
+        # Minimal stubbed supervision state: one live, never-respawned worker
+        # whose messages are preloaded on the pending deque, so _collect
+        # never touches queues or spawns anything.
+        coordinator._pending = deque(pending)
+        coordinator._shed = [False]
+        coordinator._incarnation = [0]
+        coordinator._processes = [_FakeProcess(alive=True)]
+        return coordinator
+
+    def _delta_report(self, round_id):
+        return DeltaReport(
+            worker_id=0,
+            round_id=round_id,
+            delta=np.zeros((2, 2), dtype=np.float32),
+            online_updates=0,
+            online_samples=0,
+        )
+
+    def test_wrong_kind_raises_protocol_mismatch(self, trained_pipeline):
+        final = FinalReport(summary=WorkerSummary(worker_id=0), final_delta=None)
+        coordinator = self._coordinator(trained_pipeline, [final])
+        with pytest.raises(RuntimeError, match="expected DeltaReport, got FinalReport"):
+            coordinator._collect(DeltaReport, {0: 0}, round_id=0)
+
+    def test_future_round_raises_mismatch(self, trained_pipeline):
+        coordinator = self._coordinator(trained_pipeline, [self._delta_report(2)])
+        with pytest.raises(RuntimeError, match="round mismatch"):
+            coordinator._collect(DeltaReport, {0: 0}, round_id=1)
+
+    def test_stale_round_discarded(self, trained_pipeline):
+        """A crashed incarnation's last-gasp delta must not poison the round."""
+        coordinator = self._coordinator(
+            trained_pipeline, [self._delta_report(0), self._delta_report(1)]
+        )
+        reports = coordinator._collect(DeltaReport, {0: 0}, round_id=1)
+        assert [r.round_id for r in reports] == [1]
+
+    def test_stale_delta_during_final_drain_discarded(self, trained_pipeline):
+        final = FinalReport(summary=WorkerSummary(worker_id=0), final_delta=None)
+        coordinator = self._coordinator(
+            trained_pipeline, [self._delta_report(0), final]
+        )
+        reports = coordinator._collect(FinalReport, {0: 0}, round_id=None)
+        assert len(reports) == 1
+        assert isinstance(reports[0], FinalReport)
+
+
 @pytest.mark.cluster
 class TestClusterEndToEnd:
     """Real worker processes, shared memory, queues and delta syncs."""
@@ -449,22 +714,163 @@ class TestClusterEndToEnd:
         trained_pipeline.classifier.set_class_vectors(before)  # restore for peers
 
     def test_dead_worker_fails_fast_and_frees_resources(self, trained_pipeline):
+        """With the respawn budget zeroed and shedding off, the
+        pre-supervision fail-fast contract survives: first failure raises,
+        naming the unacked batches, and tears the cluster down."""
         packets = TrafficGenerator(seed=19).generate(400, start_time=200_000.0)
         coordinator = ClusterCoordinator(
             trained_pipeline,
-            ClusterConfig(n_workers=2, batch_size=64, queue_capacity=1),
+            ClusterConfig(
+                n_workers=2,
+                batch_size=64,
+                queue_capacity=1,
+                retry=RetryPolicy(max_respawns=0, shed_when_exhausted=False),
+            ),
         )
         coordinator.start()
         # Simulate a crashed replica: its inbox stops draining.  SIGKILL,
         # because workers deliberately ignore SIGTERM.
         coordinator._processes[0].kill()
         coordinator._processes[0].join(timeout=5.0)
-        with pytest.raises(RuntimeError, match="died"):
+        with pytest.raises(RuntimeError, match="died .* no respawn budget"):
             coordinator.serve(packets)
         # The failure path must tear the cluster down (no leaked shm blocks,
         # no wedged state), so a retry can start fresh.
         assert coordinator.publication is None
         assert not coordinator._started
+
+    def test_crashed_worker_respawns_with_flow_exact_redispatch(
+        self, trained_pipeline
+    ):
+        """The tentpole acceptance property: SIGKILL one of two workers
+        mid-stream -> the watchdog detects it, the slot respawns against the
+        live publication, the ledger's retained batches redispatch, and the
+        deduplicated served-flow set exactly matches a single-process run."""
+        packets = TrafficGenerator(seed=29).generate(3000, start_time=300_000.0)
+        coordinator = ClusterCoordinator(
+            trained_pipeline,
+            ClusterConfig(
+                n_workers=2,
+                batch_size=64,
+                online=False,
+                capture_predictions=True,
+                retry=RetryPolicy(
+                    heartbeat_interval=0.05,
+                    heartbeat_timeout=2.0,
+                    check_interval=0.02,
+                    respawn_backoff=0.0,
+                ),
+            ),
+        )
+        coordinator.start()
+        half = len(packets) // 2
+        coordinator.serve_packets(packets[:half])
+        coordinator.kill_worker(0)
+        coordinator.serve_packets(packets[half:])
+        report = coordinator.shutdown()
+
+        assert report.recovery.total_respawns >= 1
+        assert report.recovery.total_redispatched_batches >= 1
+        assert report.recovery.unrecovered_batches == 0
+        assert report.recovery.max_recovery_seconds > 0
+        failure = report.recovery.failures[0]
+        assert failure.kind == "crash"
+        assert failure.respawned and not failure.shed
+
+        # Flow-exact recovery: every flow the single-process engine serves
+        # is served (exactly once after dedup) by the crashed cluster too.
+        single = StreamingDetector(trained_pipeline, window_size=256)
+        single.push_many(packets)
+        single.flush()
+        assert report.flow_predictions is not None
+        assert len(report.flow_predictions) == single.total_flows
+
+    def test_exhausted_respawns_shed_load_instead_of_aborting(
+        self, trained_pipeline
+    ):
+        """Budget spent + shed_when_exhausted: the run degrades (drop
+        accounting) and completes instead of raising."""
+        packets = TrafficGenerator(seed=37).generate(1200, start_time=400_000.0)
+        coordinator = ClusterCoordinator(
+            trained_pipeline,
+            ClusterConfig(
+                n_workers=2,
+                batch_size=64,
+                retry=RetryPolicy(max_respawns=0, shed_when_exhausted=True),
+            ),
+        )
+        coordinator.start()
+        coordinator.serve_packets(packets[:600])
+        coordinator.kill_worker(0)
+        coordinator.serve_packets(packets[600:])
+        report = coordinator.shutdown()
+        failure = report.recovery.failures[0]
+        assert failure.shed and not failure.respawned
+        assert report.recovery.shed_batches > 0
+        assert report.recovery.unrecovered_batches == report.recovery.shed_batches
+        assert report.shed_stats is not None
+        assert report.shed_stats["dropped_oldest"] == report.recovery.shed_batches
+        # Both worker slots still report (the dead one synthesized from acks).
+        assert len(report.workers) == 2
+        # The survivor's shard kept serving.
+        assert report.workers[1].flows > 0
+
+    def test_exhausted_respawns_fail_over_to_survivors(self, trained_pipeline):
+        """Budget spent + failover: the dead shard's keyspace re-homes onto
+        the survivor and its retained batches are re-served there."""
+        packets = TrafficGenerator(seed=41).generate(1200, start_time=500_000.0)
+        coordinator = ClusterCoordinator(
+            trained_pipeline,
+            ClusterConfig(
+                n_workers=2,
+                batch_size=64,
+                retry=RetryPolicy(max_respawns=0, failover=True),
+            ),
+        )
+        coordinator.start()
+        coordinator.serve_packets(packets[:600])
+        coordinator.kill_worker(0)
+        coordinator.serve_packets(packets[600:])
+        report = coordinator.shutdown()
+        failure = report.recovery.failures[0]
+        assert failure.failed_over and not failure.shed
+        assert failure.redispatched_batches > 0
+        assert report.recovery.unrecovered_batches == 0
+        # The survivor absorbed the re-homed keyspace on top of its own.
+        assert report.workers[1].flows > 0
+        assert report.workers[1].packets > 600
+
+    def test_abort_is_idempotent_and_frees_shared_memory(self, trained_pipeline):
+        """Satellite: double ``_abort`` (including after partial progress)
+        leaves no shm blocks behind and the coordinator restartable."""
+        packets = TrafficGenerator(seed=43).generate(200, start_time=600_000.0)
+        coordinator = ClusterCoordinator(
+            trained_pipeline, ClusterConfig(n_workers=2, batch_size=64)
+        )
+        coordinator.start()
+        spec = coordinator.publication.spec()
+        block_names = [b.name for b in spec.blocks.values()]
+        block_names.append(spec.norms_block.name)
+        block_names.append(spec.meta_block_name)
+        if spec.packed_block is not None:
+            block_names.append(spec.packed_block.name)
+        if spec.packed_state_block is not None:
+            block_names.append(spec.packed_state_block.name)
+        coordinator.serve_packets(packets[:100])  # partial progress
+        coordinator._abort()
+        assert coordinator.publication is None
+        assert not coordinator._started
+        for name in block_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        coordinator._abort()  # second call must be a no-op
+        assert coordinator.publication is None
+        # Not wedged: a fresh start serves to completion.
+        report = coordinator.serve(packets)
+        assert report.total_packets == len(packets)
+        assert coordinator.publication is None
+        # And aborting after a clean shutdown is also a no-op.
+        coordinator._abort()
 
     def test_spawn_start_method(self, trained_pipeline):
         """The spec/worker bootstrap must survive pickling (spawn path)."""

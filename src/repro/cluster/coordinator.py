@@ -6,8 +6,10 @@ The coordinator owns the cluster:
   (:mod:`repro.cluster.shared_model`) and spawns N worker processes, each a
   full serving replica;
 * it routes every packet to the worker owning its flow's shard
-  (:class:`repro.cluster.router.ShardRouter`) and dispatches bounded batches
-  over per-worker queues;
+  (:class:`repro.cluster.router.ShardRouter`) and dispatches bounded
+  micro-batches as columnar frames over per-worker shared-memory ring
+  buffers (:mod:`repro.cluster.ring`) -- written once, read in place, no
+  pickle on the data plane;
 * on a **sync round** it collects each worker's class-vector delta (the
   ``partial_fit`` updates accumulated against the round-start model), merges
   them additively through :func:`repro.hdc.backend.merge_class_deltas` --
@@ -26,9 +28,12 @@ The coordinator owns the cluster:
   (or ring failover) once the respawn budget is spent.  See
   ``docs/robustness.md`` ("Process faults and chaos testing").
 
-Queue FIFO ordering is the only synchronization primitive: a sync request
-lands behind every batch dispatched before it, so a round is a consistent
-cut of the stream.
+With data and control on separate channels (rings vs a small control
+queue), the old queue-FIFO consistent cut is replaced by a **barrier
+protocol**: every ``SyncRequest``/``Stop`` carries the worker's dispatch
+count at send time, the worker drains its data ring to that barrier before
+acting, and ring consumption stays frozen between a sync reply and its
+``Rebase`` -- a round is therefore still a consistent cut of the stream.
 """
 
 from __future__ import annotations
@@ -41,6 +46,20 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro.cluster.ring import (
+    ACK_HEADER,
+    PRED_DTYPE,
+    AckSlotLayout,
+    FrameSlotLayout,
+    PacketFrame,
+    ShmRing,
+    TransportSpec,
+    TransportStats,
+    decode_ack,
+    encode_frame,
+    ring_name,
+    transport_token,
+)
 from repro.cluster.router import ShardRouter
 from repro.cluster.shared_model import ModelPublication
 from repro.cluster.supervision import (
@@ -90,9 +109,10 @@ class ClusterConfig:
     idle_timeout:
         Flow-table idle timeout inside each worker.
     queue_capacity:
-        Bound of each worker's inbox, in batches; a full inbox blocks the
-        coordinator (producer-pays backpressure, as in the single-process
-        engine's ``block`` policy).
+        Slots per worker data/result ring, in batches (the in-flight
+        bound); a full ring blocks the coordinator (producer-pays
+        backpressure, as in the single-process engine's ``block`` policy),
+        counted as ``ring_full_stalls`` on the transport stats.
     vnodes:
         Virtual nodes per worker on the router's hash ring.
     start_method:
@@ -165,6 +185,13 @@ class ClusterReport:
     #: Drop accounting of the shed path (``BoundedQueue``-style counters);
     #: ``None`` when nothing was shed.
     shed_stats: Optional[Dict[str, Any]] = None
+    #: Ring-transport accounting (bytes moved, copies avoided, backpressure
+    #: stalls, reclaimed slots, serialize CPU); see
+    #: :class:`~repro.cluster.ring.TransportStats`.
+    transport: Optional[Dict[str, Any]] = None
+    #: CPU seconds inside ``ShardRouter.partition_packets`` alone -- the
+    #: routing share of ``coordinator_cpu_seconds``.
+    routing_cpu_seconds: float = 0.0
 
     # ------------------------------------------------------------ aggregates
     @property
@@ -233,6 +260,8 @@ class ClusterReport:
             ),
             "recovery": self.recovery.to_dict(),
             "shed_stats": self.shed_stats,
+            "transport": self.transport,
+            "routing_cpu_seconds": self.routing_cpu_seconds,
         }
 
 
@@ -265,6 +294,17 @@ class ClusterCoordinator:
         self._dispatches_since_sync = 0
         self.sync_rounds = 0
         self._started = False
+        # ------------------------------------------------------- transport
+        self._frame_layout = FrameSlotLayout.for_batch_size(self.config.batch_size)
+        self._ack_layout = AckSlotLayout(
+            pred_capacity=min(self.config.batch_size, 1024)
+        )
+        self._ring_token = ""
+        self._data_rings: List[Optional[ShmRing]] = []
+        self._result_rings: List[Optional[ShmRing]] = []
+        self._transports: List[Optional[TransportSpec]] = []
+        self.transport = TransportStats()
+        self._routing_cpu_seconds = 0.0
         # ----------------------------------------------------- supervision
         #: Guards the (incarnation, process, expected_exit, heartbeat) rows
         #: the watchdog thread snapshots; recovery itself runs only on the
@@ -318,7 +358,13 @@ class ClusterCoordinator:
         self._failover_router = None
         self._shed_stats = BackpressureStats()
         self.recovery = RecoveryStats()
+        self.transport = TransportStats()
+        self._routing_cpu_seconds = 0.0
         self._ledger = BatchLedger(n, max_retained=self.policy.max_retained_batches)
+        self._ring_token = transport_token()
+        self._data_rings = [None] * n
+        self._result_rings = [None] * n
+        self._transports = [None] * n
         try:
             self.publication = ModelPublication(self.pipeline)
             spec = self.publication.spec()
@@ -328,6 +374,7 @@ class ClusterCoordinator:
             self._processes = []
             self._worker_configs = []
             for worker_id in range(n):
+                self._create_rings(worker_id, incarnation=0)
                 worker_config = WorkerConfig(
                     worker_id=worker_id,
                     n_workers=n,
@@ -343,11 +390,19 @@ class ClusterCoordinator:
                     heartbeat_interval=self.policy.heartbeat_interval,
                 )
                 self._worker_configs.append(worker_config)
-                inbox = ctx.Queue(maxsize=cfg.queue_capacity)
+                # Control-plane only (sync/chaos/stop): rare and small, so
+                # unbounded; the data plane's bound is the ring itself.
+                inbox = ctx.Queue()
                 self._heartbeats[worker_id] = time.time()
                 process = ctx.Process(
                     target=cluster_worker_main,
-                    args=(worker_config, inbox, self._outbox, self._heartbeats),
+                    args=(
+                        worker_config,
+                        inbox,
+                        self._outbox,
+                        self._heartbeats,
+                        self._transports[worker_id],
+                    ),
                     name=f"repro-cluster-worker-{worker_id}",
                     daemon=True,
                 )
@@ -382,22 +437,36 @@ class ClusterCoordinator:
             if shutdown is not None and shutdown.triggered:
                 break
             self._service_events()
-            for worker_id, shard in enumerate(self.router.partition_packets(chunk)):
+            cpu0 = time.process_time()
+            shards = self.router.partition_packets(chunk)
+            self._routing_cpu_seconds += time.process_time() - cpu0
+            for worker_id, shard in enumerate(shards):
                 buffer = buffers[worker_id]
                 buffer.extend(shard)
                 while len(buffer) >= cfg.batch_size:
                     self._dispatch(worker_id, buffer[: cfg.batch_size])
                     del buffer[: cfg.batch_size]
-            if (
-                cfg.online
-                and cfg.sync_interval
-                and self._dispatches_since_sync >= cfg.sync_interval * cfg.n_workers
-            ):
-                self.sync_models()
+            self._maybe_sync()
+        # Tail flush: partial buffers take the *same* dispatch path as full
+        # batches -- ledger entry, ring write, transport accounting and sync
+        # cadence included -- so nothing about the stream's last packets
+        # lives in a separate code path.
         for worker_id, buffer in enumerate(buffers):
             if buffer:
+                self._service_events()
                 self._dispatch(worker_id, list(buffer))
                 buffer.clear()
+        self._maybe_sync()
+
+    def _maybe_sync(self) -> None:
+        """Run a delta-merge round when the dispatch cadence calls for one."""
+        cfg = self.config
+        if (
+            cfg.online
+            and cfg.sync_interval
+            and self._dispatches_since_sync >= cfg.sync_interval * cfg.n_workers
+        ):
+            self.sync_models()
 
     def sync_models(self) -> int:
         """One quorum-tolerant delta-merge round; returns the new generation.
@@ -420,11 +489,15 @@ class ClusterCoordinator:
             if self._shed[worker_id]:
                 continue
             incarnation = self._incarnation[worker_id]
-            if self._put_control(worker_id, SyncRequest(round_id=round_id)):
-                candidates[worker_id] = (
-                    incarnation,
-                    self._ledger.dispatched(worker_id),
-                )
+            # The barrier pins the consistent cut: every frame counted here
+            # is already committed to the worker's data ring (dispatch
+            # happens before control on this single coordinator thread), so
+            # the worker can always drain to the barrier before replying.
+            dispatched = self._ledger.dispatched(worker_id)
+            if self._put_control(
+                worker_id, SyncRequest(round_id=round_id, barrier=dispatched)
+            ):
+                candidates[worker_id] = (incarnation, dispatched)
         expected = {w: inc for w, (inc, _) in candidates.items()}
         reports = self._collect(DeltaReport, expected, round_id, on_failure="drop")
         # A delta from an incarnation that has since been respawned is
@@ -479,20 +552,23 @@ class ClusterCoordinator:
             expected: Dict[int, int] = {}
             for worker_id in range(self.config.n_workers):
                 while not self._shed[worker_id]:
-                    if self._put_control(worker_id, Stop()):
-                        with self._lock:
-                            self._expected_exit[worker_id] = True
+                    if self._send_stop(worker_id):
                         expected[worker_id] = self._incarnation[worker_id]
                         break
                     # The worker was respawned mid-put; Stop the fresh
-                    # incarnation (its redispatched batches are queued ahead,
-                    # so FIFO still drains them first).
+                    # incarnation (its Stop barrier covers the redispatched
+                    # frames already committed to the new ring).
             reports: List[FinalReport] = self._collect(
                 FinalReport, expected, None, on_failure="restop"
             )
         except BaseException:
             self._abort()
             raise
+        # A worker commits its last acks and *then* posts FinalReport, so
+        # _collect can return while those acks still sit in the result ring;
+        # absorb them before the rings are unlinked or their predictions
+        # (and watermarks) die with the shm blocks.
+        self._drain_ring_acks()
         if self._watchdog is not None:
             self._watchdog.stop()
             self._watchdog = None
@@ -516,6 +592,7 @@ class ClusterCoordinator:
                 process.join(timeout=5.0)
         self.publication.close()
         self.publication = None
+        self._close_rings()
         self._started = False
         if self.config.capture_predictions:
             for report in sorted(reports, key=lambda r: r.summary.worker_id):
@@ -524,6 +601,11 @@ class ClusterCoordinator:
         for worker_id in range(self.config.n_workers):
             if worker_id not in summaries:
                 summaries[worker_id] = self._synthesize_summary(worker_id)
+        # The workers' half of the backpressure picture: waits on a full
+        # result ring, reported in each final summary.
+        self.transport.result_ring_stalls = sum(
+            s.ring_stalls for s in summaries.values()
+        )
         self.recovery.ledger_evictions = self._ledger.evictions if self._ledger else 0
         flow_predictions = (
             list(self._pred_records.values())
@@ -540,6 +622,8 @@ class ClusterCoordinator:
             shed_stats=(
                 self._shed_stats.to_dict() if self._shed_stats.submitted else None
             ),
+            transport=self.transport.to_dict(),
+            routing_cpu_seconds=self._routing_cpu_seconds,
         )
 
     def serve(
@@ -595,8 +679,53 @@ class ClusterCoordinator:
                 for worker_id in range(len(self._processes))
             ]
 
+    def _create_rings(self, worker_id: int, incarnation: int) -> None:
+        """Create a worker incarnation's data/result ring pair."""
+        data = ShmRing.create(
+            ring_name(self._ring_token, "d", worker_id, incarnation),
+            n_slots=self.config.queue_capacity,
+            slot_bytes=self._frame_layout.slot_bytes,
+        )
+        try:
+            result = ShmRing.create(
+                ring_name(self._ring_token, "a", worker_id, incarnation),
+                n_slots=self.config.queue_capacity,
+                slot_bytes=self._ack_layout.slot_bytes,
+            )
+        except BaseException:
+            data.close(unlink=True)
+            raise
+        self._data_rings[worker_id] = data
+        self._result_rings[worker_id] = result
+        self._transports[worker_id] = TransportSpec(
+            data=data.spec(),
+            result=result.spec(),
+            frame_layout=self._frame_layout,
+            ack_layout=self._ack_layout,
+        )
+
+    def _close_rings(self) -> None:
+        """Owner teardown of every ring (close + unlink); idempotent."""
+        for ring in [*self._data_rings, *self._result_rings]:
+            if ring is not None:
+                ring.close(unlink=True)
+        self._data_rings = [None] * len(self._data_rings)
+        self._result_rings = [None] * len(self._result_rings)
+
+    def _send_stop(self, worker_id: int) -> bool:
+        """Stop one worker with the barrier pinned at its dispatch count."""
+        barrier = self._ledger.dispatched(worker_id)
+        if self._put_control(worker_id, Stop(barrier=barrier)):
+            with self._lock:
+                self._expected_exit[worker_id] = True
+            return True
+        return False
+
     def _dispatch(self, worker_id: int, packets: List[Packet]) -> None:
-        batch = PacketBatch(seq=self._seq, packets=packets)
+        cpu0 = time.process_time()
+        frame = PacketFrame.from_packets(packets)
+        self.transport.serialize_cpu_seconds += time.process_time() - cpu0
+        batch = PacketBatch(seq=self._seq, frame=frame)
         self._seq += 1
         self._dispatches_since_sync += 1
         self._send_batch(worker_id, batch)
@@ -617,7 +746,9 @@ class ClusterCoordinator:
             ):
                 if shard and not self._shed[worker_id]:
                     rerouted = PacketBatch(
-                        seq=self._seq, packets=list(shard), learn=batch.learn
+                        seq=self._seq,
+                        frame=PacketFrame.from_packets(list(shard)),
+                        learn=batch.learn,
                     )
                     self._seq += 1
                     self._send_batch(worker_id, rerouted)
@@ -627,16 +758,19 @@ class ClusterCoordinator:
         self._shed_stats.submitted += 1
         self._shed_stats.dropped_oldest += 1
         self.recovery.shed_batches += 1
-        self.recovery.shed_packets += len(batch.packets)
+        self.recovery.shed_packets += batch.n_packets
 
     def _put_tracked(self, worker_id: int, batch: PacketBatch) -> None:
-        """Producer-pays put of a ledger-tracked batch.
+        """Producer-pays ring write of a ledger-tracked batch.
 
-        Checks worker liveness on *every* bounded-slice iteration -- a
-        worker that dies while its inbox has headroom must not keep
-        absorbing dispatches silently.  If recovery runs meanwhile, the
-        redispatch already re-enqueued this batch from the ledger (or the
-        shard was shed and the ledger drained), so the put simply stops.
+        The frame is encoded once into the next free data-ring slot; a full
+        ring blocks here (``block`` backpressure, counted as a stall) while
+        acks and failures are serviced.  Checks worker liveness on *every*
+        iteration -- a worker that dies while its ring has headroom must not
+        keep absorbing dispatches silently.  If recovery runs meanwhile, the
+        redispatch already re-enqueued this batch from the ledger into the
+        fresh incarnation's ring (or the shard was shed and the ledger
+        drained), so the put simply stops.
         """
         start_incarnation = self._incarnation[worker_id]
         while True:
@@ -646,11 +780,24 @@ class ClusterCoordinator:
             if not process.is_alive() and not self._expected_exit[worker_id]:
                 self._service_events(scan=True)
                 continue
-            try:
-                self._inboxes[worker_id].put(batch, timeout=0.2)
+            ring = self._data_rings[worker_id]
+            slot = ring.try_reserve()
+            if slot is not None:
+                cpu0 = time.process_time()
+                nbytes = encode_frame(
+                    slot, self._frame_layout, batch.seq, batch.learn, batch.frame
+                )
+                ring.commit()
+                self.transport.serialize_cpu_seconds += time.process_time() - cpu0
+                self.transport.frames += 1
+                self.transport.packets += batch.n_packets
+                self.transport.bytes_moved += nbytes
+                # The queue path pickled on put and unpickled on get.
+                self.transport.copies_avoided += 2
                 return
-            except queue_module.Full:
-                self._service_events()
+            self.transport.ring_full_stalls += 1
+            self._service_events()
+            time.sleep(0.0005)
 
     def _put_control(self, worker_id: int, message: Any) -> bool:
         """Best-effort put of an untracked control message.
@@ -684,6 +831,7 @@ class ClusterCoordinator:
                 self._recover(failure)
 
     def _drain_acks(self) -> None:
+        self._drain_ring_acks()
         while True:
             try:
                 message = self._outbox.get_nowait()
@@ -695,6 +843,24 @@ class ClusterCoordinator:
                 # A report racing ahead of its _collect; keep it for the
                 # collector, in arrival order.
                 self._pending.append(message)
+
+    def _drain_ring_acks(self) -> None:
+        """Absorb every committed ack from every live result ring."""
+        for worker_id, ring in enumerate(self._result_rings):
+            if ring is None:
+                continue
+            while True:
+                view = ring.try_peek()
+                if view is None:
+                    break
+                payload = decode_ack(view, self._ack_layout)
+                ring.release()
+                n_preds = len(payload["predictions"] or ())
+                self.transport.bytes_moved += (
+                    ACK_HEADER.itemsize + n_preds * PRED_DTYPE.itemsize
+                )
+                self.transport.copies_avoided += 2
+                self._apply_ack(BatchAck(worker_id=worker_id, **payload))
 
     def _apply_ack(self, ack: BatchAck) -> None:
         self._ledger.record_ack(ack.worker_id, ack.index, ack.watermark)
@@ -741,23 +907,36 @@ class ClusterCoordinator:
         if backoff > 0:
             time.sleep(min(backoff, 5.0))
         self._respawns[worker_id] = attempts + 1
-        self._respawn(worker_id)
+        record.reclaimed_slots = self._respawn(worker_id)
         record.respawned = True
         self._redispatch(worker_id, record)
         record.recovered_at = time.time()
 
-    def _respawn(self, worker_id: int) -> None:
-        """Fresh incarnation: new inbox, reattach to the live publication.
+    def _respawn(self, worker_id: int) -> int:
+        """Fresh incarnation: new control queue + ring pair, reattach to the
+        live publication.  Returns the number of data-ring slots reclaimed.
 
-        The whole swap happens under the supervision lock so the watchdog
-        never pairs the new incarnation number with the dead process.
+        The dead incarnation's rings are not reused: a worker killed
+        mid-slot leaves its cursors (and possibly a half-read slot) in an
+        unknown state, so reclamation means counting the occupied slots,
+        unlinking the whole pair, and re-materializing the retained frames
+        from the ledger into the fresh incarnation's ring.  The swap happens
+        under the supervision lock so the watchdog never pairs the new
+        incarnation number with the dead process.
         """
         old_process = self._processes[worker_id]
         old_inbox = self._inboxes[worker_id]
+        old_data = self._data_rings[worker_id]
+        old_result = self._result_rings[worker_id]
+        # Absorb every ack the dead worker committed before dying; what is
+        # left in its data ring is the undrained evidence we reclaim.
+        self._drain_ring_acks()
+        reclaimed = old_data.occupancy if old_data is not None else 0
         with self._lock:
             self._incarnation[worker_id] += 1
-            inbox = self._ctx.Queue(maxsize=self.config.queue_capacity)
+            inbox = self._ctx.Queue()
             self._inboxes[worker_id] = inbox
+            self._create_rings(worker_id, incarnation=self._incarnation[worker_id])
             self._heartbeats[worker_id] = time.time()
             self._expected_exit[worker_id] = False
             self._ack_tallies[worker_id] = self._zero_tally()
@@ -768,6 +947,7 @@ class ClusterCoordinator:
                     inbox,
                     self._outbox,
                     self._heartbeats,
+                    self._transports[worker_id],
                 ),
                 name=(
                     f"repro-cluster-worker-{worker_id}"
@@ -778,10 +958,17 @@ class ClusterCoordinator:
             process.start()
             self._processes[worker_id] = process
         old_process.join(timeout=5.0)
-        # The dead incarnation's queued batches are unreachable; everything
-        # that matters is in the ledger.  Never flush to the dead pipe.
+        # The dead incarnation's queued control messages are unreachable;
+        # everything that matters is in the ledger.  Never flush to the dead
+        # pipe, and unlink the dead rings only after the process is gone.
         old_inbox.cancel_join_thread()
         old_inbox.close()
+        if old_data is not None:
+            old_data.close(unlink=True)
+        if old_result is not None:
+            old_result.close(unlink=True)
+        self.transport.reclaimed_slots += reclaimed
+        return reclaimed
 
     def _redispatch(self, worker_id: int, record: FailureRecord) -> None:
         """Replay the ledger's retained batches into the fresh incarnation.
@@ -807,7 +994,7 @@ class ClusterCoordinator:
                 break
             self._put_tracked(worker_id, batch)
             record.redispatched_batches += 1
-            record.redispatched_packets += len(batch.packets)
+            record.redispatched_packets += batch.n_packets
 
     def _exhaust(self, worker_id: int, record: FailureRecord) -> None:
         """Respawn budget spent: fail over the shard, shed it, or fail fast."""
@@ -821,6 +1008,14 @@ class ClusterCoordinator:
         with self._lock:
             self._shed[worker_id] = True
             self._expected_exit[worker_id] = True
+        # A shed shard's rings are abandoned in place (unlinked at
+        # teardown); whatever sat undrained in its data ring is reclaimed
+        # accounting-wise here, like the respawn path's.
+        self._drain_ring_acks()
+        dead_ring = self._data_rings[worker_id]
+        if dead_ring is not None:
+            record.reclaimed_slots = dead_ring.occupancy
+            self.transport.reclaimed_slots += record.reclaimed_slots
         batches = self._ledger.clear(worker_id)
         survivors = [
             w for w in range(self.config.n_workers) if not self._shed[w]
@@ -833,14 +1028,14 @@ class ClusterCoordinator:
             for batch in batches:
                 self._reroute_or_shed(batch)
                 record.redispatched_batches += 1
-                record.redispatched_packets += len(batch.packets)
+                record.redispatched_packets += batch.n_packets
         else:
             self._failover_router = None
             for batch in batches:
                 self._shed_stats.submitted += 1
                 self._shed_stats.dropped_oldest += 1
                 self.recovery.shed_batches += 1
-                self.recovery.shed_packets += len(batch.packets)
+                self.recovery.shed_packets += batch.n_packets
         record.shed = not record.failed_over
         record.recovered_at = time.time()
 
@@ -881,6 +1076,7 @@ class ClusterCoordinator:
         if self.publication is not None:
             self.publication.close()
             self.publication = None
+        self._close_rings()
         self._processes = []
         self._inboxes = []
         self._started = False
@@ -949,8 +1145,12 @@ class ClusterCoordinator:
     def _next_message(self) -> Optional[Any]:
         if self._pending:
             return self._pending.popleft()
+        # Keep result rings draining while blocked on the control outbox: a
+        # worker mid-drain fills its ack ring far faster than it sends
+        # reports, and a full ring would stall it for the poll timeout.
+        self._drain_ring_acks()
         try:
-            return self._outbox.get(timeout=0.2)
+            return self._outbox.get(timeout=0.05)
         except queue_module.Empty:
             return None
 
@@ -969,9 +1169,7 @@ class ClusterCoordinator:
                 continue
             if self._incarnation[worker_id] != incarnation:
                 # Recovery replaced the incarnation we were waiting on.
-                if on_failure == "restop" and self._put_control(worker_id, Stop()):
-                    with self._lock:
-                        self._expected_exit[worker_id] = True
+                if on_failure == "restop" and self._send_stop(worker_id):
                     expected[worker_id] = self._incarnation[worker_id]
                 elif on_failure == "drop":
                     expected.pop(worker_id)

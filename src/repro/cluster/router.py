@@ -24,11 +24,20 @@ import bisect
 from hashlib import blake2b
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.nids.flow import FlowKey
 from repro.nids.packets import Packet
 
 _HASH_BITS = 64
+
+#: Below this many packets the scalar path wins (no array setup cost).
+_VECTOR_MIN_BATCH = 16
+
+#: Bound on the per-router token->shard memo; a pathological stream of
+#: never-repeating flows must not grow coordinator memory without limit.
+_MEMO_MAX_ENTRIES = 1 << 20
 
 
 def stable_hash64(text: str) -> int:
@@ -68,6 +77,13 @@ class ShardRouter:
         points.sort()
         self._ring_hashes = [h for h, _ in points]
         self._ring_workers = [w for _, w in points]
+        self._finish_init()
+
+    def _finish_init(self) -> None:
+        """Derive the vectorized ring arrays + memo from the point lists."""
+        self._ring_hash_arr = np.array(self._ring_hashes, dtype=np.uint64)
+        self._ring_worker_arr = np.array(self._ring_workers, dtype=np.int64)
+        self._shard_memo: Dict[str, int] = {}
 
     # ------------------------------------------------------------------- API
     def shard_for_key(self, key: FlowKey) -> int:
@@ -84,11 +100,70 @@ class ShardRouter:
         Relative packet order is preserved within each shard, which is all
         the flow tables need (their time-order contract is per flow, and a
         flow lives entirely inside one shard).
+
+        This is the coordinator's fan-out hot path: shard assignments are
+        computed in one vectorized pass (:meth:`shards_for_tokens`) instead
+        of hashing + bisecting per packet.  Batches below
+        ``_VECTOR_MIN_BATCH`` take the scalar path, whose output the
+        vectorized path matches packet-for-packet (property-tested).
         """
+        if self.n_workers == 1:
+            return [list(packets)]
+        if len(packets) < _VECTOR_MIN_BATCH:
+            return self._partition_packets_scalar(packets)
+        tokens: List[str] = []
+        for p in packets:
+            # Inline FlowKey.from_packet's canonicalization + .token: one
+            # string build per packet, no per-packet dataclass.
+            forward = (p.src_ip, p.src_port, p.dst_ip, p.dst_port)
+            backward = (p.dst_ip, p.dst_port, p.src_ip, p.src_port)
+            a = forward if forward <= backward else backward
+            tokens.append(f"{a[0]}:{a[1]}|{a[2]}:{a[3]}|{p.protocol}")
+        assignments = self.shards_for_tokens(tokens)
         shards: List[List[Packet]] = [[] for _ in range(self.n_workers)]
-        # Memoize per unique flow key: streams revisit the same flows
-        # constantly, and the token formatting + blake2b hash are the
-        # expensive part (this is the coordinator's fan-out hot path).
+        appenders = [shard.append for shard in shards]
+        for packet, shard_id in zip(packets, assignments.tolist()):
+            appenders[shard_id](packet)
+        return shards
+
+    def shards_for_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        """Shard assignments for a token array in one NumPy pass.
+
+        blake2b itself has no batch form, so it runs only for tokens never
+        seen by this router (memoized across the stream -- live traffic
+        revisits the same flows constantly); the ring lookup for the new
+        hashes is a single vectorized ``searchsorted`` and every repeated
+        token resolves through ``np.unique``'s inverse mapping.
+        """
+        uniques, inverse = np.unique(np.asarray(tokens, dtype=object), return_inverse=True)
+        memo = self._shard_memo
+        shard_of_unique = np.empty(len(uniques), dtype=np.int64)
+        missing: List[int] = []
+        for i, token in enumerate(uniques):
+            cached = memo.get(token)
+            if cached is None:
+                missing.append(i)
+            else:
+                shard_of_unique[i] = cached
+        if missing:
+            hashes = np.array(
+                [stable_hash64(uniques[i]) for i in missing], dtype=np.uint64
+            )
+            idx = np.searchsorted(self._ring_hash_arr, hashes, side="right")
+            idx[idx == len(self._ring_hash_arr)] = 0  # wrap around the ring
+            resolved = self._ring_worker_arr[idx]
+            if len(memo) + len(missing) > _MEMO_MAX_ENTRIES:
+                memo.clear()
+            for i, shard_id in zip(missing, resolved.tolist()):
+                shard_of_unique[i] = shard_id
+                memo[uniques[i]] = shard_id
+        return shard_of_unique[inverse]
+
+    def _partition_packets_scalar(
+        self, packets: Sequence[Packet]
+    ) -> List[List[Packet]]:
+        """The reference per-packet path (small batches + property tests)."""
+        shards: List[List[Packet]] = [[] for _ in range(self.n_workers)]
         cache: Dict[FlowKey, int] = {}
         for packet in packets:
             key = FlowKey.from_packet(packet)
@@ -123,6 +198,7 @@ class ShardRouter:
         view.vnodes = self.vnodes
         view._ring_hashes = [h for h, _ in survivors]
         view._ring_workers = [w for _, w in survivors]
+        view._finish_init()
         return view
 
     def owns(self, worker_id: int):

@@ -149,6 +149,9 @@ class FailureRecord:
     acked_packets: int = 0
     acked_flows: int = 0
     acked_alerts: int = 0
+    #: Data-ring slots the dead incarnation left occupied (committed but
+    #: never released); reclaimed when its ring is torn down at respawn/shed.
+    reclaimed_slots: int = 0
 
     @property
     def recovery_seconds(self) -> Optional[float]:
@@ -176,6 +179,7 @@ class FailureRecord:
             "acked_packets": self.acked_packets,
             "acked_flows": self.acked_flows,
             "acked_alerts": self.acked_alerts,
+            "reclaimed_slots": self.reclaimed_slots,
         }
 
 

@@ -18,11 +18,13 @@ from __future__ import annotations
 import queue as queue_module
 import signal
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.ring import ShmRing, decode_frame, encode_ack
 from repro.cluster.router import ShardRouter
 from repro.cluster.shared_model import AttachedPublication, PublicationSpec
 from repro.nids.flow import FlowTable
@@ -36,11 +38,23 @@ from repro.serving.stages import (
 )
 from repro.serving.telemetry import TelemetryRecorder
 
+#: Ring poll cadence when idle or backpressured.  Short enough that data
+#: latency stays sub-millisecond-ish; every poll stamps the heartbeat, so
+#: the watchdog sees a stalled-but-alive worker as alive.
+_RING_POLL_SECONDS = 0.001
+
 
 # --------------------------------------------------------------- wire format
 @dataclass(frozen=True)
 class PacketBatch:
-    """One routed batch of packets for a worker's shard.
+    """One routed micro-batch for a worker's shard, in columnar frame form.
+
+    The payload is a :class:`repro.cluster.ring.PacketFrame`: the
+    coordinator columnarizes each routed batch once, the ledger retains the
+    frame for redispatch, and dispatch writes it (once) into the worker's
+    data ring.  ``packets`` materializes ``Packet`` objects only on the
+    slow paths that still want them (failover rerouting, diagnostics,
+    tests).
 
     ``learn`` is cleared on redispatched batches whose online updates were
     already merged into the published model at a sync round before the crash:
@@ -49,8 +63,18 @@ class PacketBatch:
     """
 
     seq: int
-    packets: List[Packet]
+    frame: Any
     learn: bool = True
+
+    @property
+    def n_packets(self) -> int:
+        """Packets carried by the frame."""
+        return self.frame.n_packets
+
+    @property
+    def packets(self) -> List[Packet]:
+        """Materialized ``Packet`` objects (memoized by the frame)."""
+        return self.frame.to_packets()
 
 
 @dataclass(frozen=True)
@@ -105,9 +129,21 @@ class ChaosExit:
 
 @dataclass(frozen=True)
 class SyncRequest:
-    """Coordinator asks for the worker's class-vector delta."""
+    """Coordinator asks for the worker's class-vector delta.
+
+    ``barrier`` is the number of batches the coordinator had dispatched to
+    this worker (this incarnation) when it sent the request.  With data and
+    control travelling on different channels the old queue-FIFO consistent
+    cut is gone; the worker restores it by draining its data ring to the
+    barrier before computing the delta -- the delta then covers exactly the
+    batches dispatched before the round, as before.  After replying the
+    worker holds off the ring until the matching :class:`Rebase` arrives,
+    so post-barrier batches are learned on top of the merged model rather
+    than being silently discarded by the rebase.
+    """
 
     round_id: int
+    barrier: int = 0
 
 
 @dataclass(frozen=True)
@@ -120,7 +156,9 @@ class Rebase:
 
 @dataclass(frozen=True)
 class Stop:
-    """Drain, flush, report and exit."""
+    """Drain the data ring to ``barrier``, flush, report and exit."""
+
+    barrier: int = 0
 
 
 @dataclass(frozen=True)
@@ -157,6 +195,9 @@ class WorkerSummary:
     online_updates: int = 0
     online_samples: int = 0
     rebase_generation: int = 0
+    #: Times this worker waited on a full result ring before acking (the
+    #: consumer->producer half of the transport's backpressure accounting).
+    ring_stalls: int = 0
     telemetry: Dict[str, Dict[str, float]] = field(default_factory=dict)
     severities: Dict[str, int] = field(default_factory=dict)
 
@@ -185,6 +226,7 @@ class WorkerSummary:
             "online_updates": self.online_updates,
             "online_samples": self.online_samples,
             "rebase_generation": self.rebase_generation,
+            "ring_stalls": self.ring_stalls,
             "telemetry": self.telemetry,
             "severities": self.severities,
         }
@@ -265,7 +307,13 @@ class WorkerRuntime:
         self.telemetry = TelemetryRecorder()
         self.stages = [FlowAssemblyStage(self.table), *self.pipeline.stages]
         self.capture_predictions = bool(capture_predictions)
-        self.predictions: List[FlowPrediction] = []
+        #: Undelivered (first_batch_index, prediction) pairs.  The index is
+        #: the earliest retained batch that could regenerate the prediction
+        #: (its flow's first batch), and pins :attr:`watermark` until the
+        #: prediction actually ships in an ack -- a fixed-capacity ack slot
+        #: defers overflow, and a crash mid-backlog must find the flow's
+        #: batches still replayable in the coordinator's ledger.
+        self.predictions: List[Tuple[int, FlowPrediction]] = []
         self.batches_handled = 0
         self._flow_first_index: Dict[Any, int] = {}
         self.summary = WorkerSummary(worker_id=self.worker_id)
@@ -294,6 +342,27 @@ class WorkerRuntime:
         self._advance_watermark()
         return batch
 
+    def handle_frame(self, frame, learn: bool = True) -> ServingBatch:
+        """Serve one columnar transport frame through the full stage chain.
+
+        The zero-copy twin of :meth:`handle_packets`: the flow assembly
+        stage ingests the frame's columns directly
+        (``FlowTable.add_frame``), so no per-packet ``Packet`` objects are
+        materialized on the hot path.  The frame may alias a ring slot; it
+        is only read within this call.
+        """
+        start = time.perf_counter()
+        cpu_start = time.process_time()
+        batch = ServingBatch(frame=frame)
+        run_stages(self.stages, batch, self.telemetry)
+        if self.online and learn and batch.n_flows:
+            self._learn(batch)
+        self._account(
+            batch, time.perf_counter() - start, time.process_time() - cpu_start
+        )
+        self._advance_watermark()
+        return batch
+
     def handle_flows(self, flows) -> ServingBatch:
         """Serve pre-assembled flows (the flow-level equivalence-test path)."""
         start = time.perf_counter()
@@ -309,15 +378,37 @@ class WorkerRuntime:
 
     @property
     def watermark(self) -> int:
-        """Lowest batch index a still-open flow needs (see :class:`BatchAck`)."""
-        if not self._flow_first_index:
-            return self.batches_handled
-        return min(self._flow_first_index.values())
+        """Lowest batch index a still-open flow *or an undelivered
+        prediction* needs (see :class:`BatchAck`).
 
-    def drain_predictions(self) -> List[FlowPrediction]:
-        """Hand off captured predictions accumulated since the last drain."""
-        drained, self.predictions = self.predictions, []
-        return drained
+        A prediction captured but not yet shipped (ack-slot overflow) pins
+        the watermark at its flow's first batch: if this worker dies before
+        the backlog drains, the coordinator's retained batches regenerate
+        exactly those flows on the respawned incarnation.
+        """
+        mark = self.batches_handled
+        if self._flow_first_index:
+            mark = min(mark, min(self._flow_first_index.values()))
+        if self.predictions:
+            mark = min(mark, min(first for first, _ in self.predictions))
+        return mark
+
+    def drain_predictions(self, limit: Optional[int] = None) -> List[FlowPrediction]:
+        """Hand off captured predictions accumulated since the last drain.
+
+        ``limit`` caps the handoff at a result-ring slot's fixed prediction
+        capacity; the overflow simply stays queued and rides the next ack
+        (or the final report) -- safe under the coordinator's token-keyed
+        first-wins dedup.
+        """
+        if limit is None or len(self.predictions) <= limit:
+            drained, self.predictions = self.predictions, []
+        else:
+            drained, self.predictions = (
+                self.predictions[:limit],
+                self.predictions[limit:],
+            )
+        return [prediction for _, prediction in drained]
 
     def compute_delta(self) -> np.ndarray:
         """The class-matrix update accumulated since the last rebase."""
@@ -385,10 +476,20 @@ class WorkerRuntime:
 
     def _account(self, batch: ServingBatch, seconds: float, cpu_seconds: float) -> None:
         if self.capture_predictions and batch.n_flows:
+            # _advance_watermark has not run yet, so _flow_first_index still
+            # maps flows open *before* this batch; a flow that opened and
+            # closed inside this batch needs only the current index.
+            index = self.batches_handled
+            first_of = {
+                key.token: first for key, first in self._flow_first_index.items()
+            }
             self.predictions.extend(
-                batch_flow_predictions(batch, self.pipeline.is_attack_class)
+                (first_of.get(prediction.token, index), prediction)
+                for prediction in batch_flow_predictions(
+                    batch, self.pipeline.is_attack_class
+                )
             )
-        self.summary.packets += len(batch.packets)
+        self.summary.packets += batch.n_packets
         self.summary.flows += batch.n_flows
         self.summary.alerts += len(batch.alerts)
         self.summary.batches += 1
@@ -397,19 +498,32 @@ class WorkerRuntime:
         self.telemetry.record_items(batch.n_flows)
 
 
-def cluster_worker_main(config: WorkerConfig, inbox, outbox, heartbeat=None) -> None:
-    """Process entry point: attach, serve the message loop, report, exit.
+def cluster_worker_main(
+    config: WorkerConfig, inbox, outbox, heartbeat=None, transport=None
+) -> None:
+    """Process entry point: attach, serve the poll loop, report, exit.
 
-    The coordinator guarantees the inbox protocol: any number of
-    :class:`PacketBatch` messages, interleaved with
-    :class:`SyncRequest`/:class:`Rebase` pairs, terminated by one
-    :class:`Stop`.  Queue FIFO ordering makes a sync round a consistent cut:
-    the delta covers exactly the batches dispatched before it.
+    Data arrives through the shared-memory ring pair in ``transport``
+    (:class:`~repro.cluster.ring.TransportSpec`): micro-batch frames are
+    decoded *in place* from the data ring and acked as fixed-width records
+    through the result ring; a data slot is released only after its ack is
+    committed, so a crash mid-slot leaves reclaimable evidence.  ``inbox``
+    (a small control queue) carries only the rare protocol messages --
+    :class:`SyncRequest`/:class:`Rebase`, chaos injections, :class:`Stop`
+    -- and ``outbox`` the rare replies (:class:`DeltaReport`,
+    :class:`FinalReport`).
+
+    With data and control on separate channels, ordering comes from the
+    barrier protocol: a control message carrying ``barrier`` is acted on
+    only once this incarnation has handled that many batches, and a
+    :class:`SyncRequest` freezes ring consumption until its :class:`Rebase`
+    lands (see :class:`SyncRequest` for why both halves matter).
 
     ``heartbeat`` is the coordinator's shared liveness array (one ``double``
-    wall-clock slot per worker).  The loop stamps its slot on every poll and
-    around every processed batch, so a crash *and* a hang both stop the
-    stamps within one ``heartbeat_interval`` plus one batch time.
+    wall-clock slot per worker).  The loop stamps its slot on every ring
+    poll, every backpressure wait and around every processed batch, so a
+    crash *and* a hang both stop the stamps within one poll interval plus
+    one batch time.
     """
     # The operator's Ctrl-C is delivered to the whole foreground process
     # group.  Shutdown is the *coordinator's* decision (its GracefulShutdown
@@ -428,6 +542,8 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox, heartbeat=None) -> 
 
     stamp()
     attached = AttachedPublication(config.spec)
+    data_ring = ShmRing.attach(transport.data) if transport is not None else None
+    result_ring = ShmRing.attach(transport.result) if transport is not None else None
     try:
         runtime = WorkerRuntime(
             config.worker_id,
@@ -440,34 +556,60 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox, heartbeat=None) -> 
             capture_predictions=config.capture_predictions,
         )
         stamp()
-        while True:
-            try:
-                message = inbox.get(timeout=config.heartbeat_interval)
-            except queue_module.Empty:
-                stamp()
-                continue
-            stamp()
-            if isinstance(message, PacketBatch):
-                batch = runtime.handle_packets(message.packets, learn=message.learn)
-                stamp()
-                if config.send_acks:
-                    outbox.put(
-                        BatchAck(
-                            worker_id=config.worker_id,
-                            seq=message.seq,
-                            index=runtime.batches_handled - 1,
-                            watermark=runtime.watermark,
-                            packets=len(message.packets),
-                            flows=batch.n_flows,
-                            alerts=len(batch.alerts),
-                            predictions=(
-                                runtime.drain_predictions()
-                                if config.capture_predictions
-                                else None
-                            ),
-                        )
+
+        def send_ack(seq: int, n_packets: int, batch: ServingBatch) -> None:
+            if not config.send_acks:
+                return
+            if result_ring is None:  # legacy queue transport (tests)
+                outbox.put(
+                    BatchAck(
+                        worker_id=config.worker_id,
+                        seq=seq,
+                        index=runtime.batches_handled - 1,
+                        watermark=runtime.watermark,
+                        packets=n_packets,
+                        flows=batch.n_flows,
+                        alerts=len(batch.alerts),
+                        predictions=(
+                            runtime.drain_predictions()
+                            if config.capture_predictions
+                            else None
+                        ),
                     )
-            elif isinstance(message, ChaosHang):
+                )
+                return
+            while True:
+                slot = result_ring.try_reserve()
+                if slot is not None:
+                    break
+                # Full result ring: the coordinator is behind on draining
+                # acks.  Block (BoundedQueue "block" semantics), stamping so
+                # the watchdog knows backpressure from death.
+                runtime.summary.ring_stalls += 1
+                stamp()
+                time.sleep(_RING_POLL_SECONDS)
+            predictions = (
+                runtime.drain_predictions(transport.ack_layout.pred_capacity)
+                if config.capture_predictions
+                else []
+            )
+            encode_ack(
+                slot,
+                transport.ack_layout,
+                seq=seq,
+                index=runtime.batches_handled - 1,
+                watermark=runtime.watermark,
+                packets=n_packets,
+                flows=batch.n_flows,
+                alerts=len(batch.alerts),
+                predictions=predictions,
+            )
+            result_ring.commit()
+
+        def handle_control(message) -> bool:
+            """Act on one control message; True means exit the loop."""
+            nonlocal hold_data
+            if isinstance(message, ChaosHang):
                 deadline = (
                     time.monotonic() + message.seconds
                     if message.seconds > 0
@@ -491,9 +633,10 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox, heartbeat=None) -> 
                             message.seconds if message.seconds > 0 else 3600.0
                         )
                         break
-            elif isinstance(message, ChaosExit):
-                return
-            elif isinstance(message, SyncRequest):
+                return False
+            if isinstance(message, ChaosExit):
+                return True
+            if isinstance(message, SyncRequest):
                 outbox.put(
                     DeltaReport(
                         worker_id=config.worker_id,
@@ -503,9 +646,23 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox, heartbeat=None) -> 
                         online_samples=runtime.summary.online_samples,
                     )
                 )
-            elif isinstance(message, Rebase):
+                # Freeze ring consumption until the Rebase lands, so
+                # nothing is learned on the pre-merge model after the cut.
+                hold_data = True
+                return False
+            if isinstance(message, Rebase):
                 runtime.rebase()
-            elif isinstance(message, Stop):
+                hold_data = False
+                return False
+            if isinstance(message, PacketBatch):
+                # Rare direct injection (tests / legacy): same serving path,
+                # same ack channel as ring-borne frames.
+                batch = runtime.handle_frame(message.frame, learn=message.learn)
+                stamp()
+                send_ack(message.seq, message.n_packets, batch)
+                return False
+            if isinstance(message, Stop):
+                hold_data = False
                 summary = runtime.finalize()
                 # Computed after finalize() so the shipped delta includes
                 # anything learned from the flushed flows.
@@ -523,8 +680,54 @@ def cluster_worker_main(config: WorkerConfig, inbox, outbox, heartbeat=None) -> 
                         ),
                     )
                 )
-                break
-            else:  # pragma: no cover - protocol violation
-                raise RuntimeError(f"worker received unknown message {message!r}")
+                return True
+            raise RuntimeError(  # pragma: no cover - protocol violation
+                f"worker received unknown message {message!r}"
+            )
+
+        pending: deque = deque()
+        hold_data = False
+        while True:
+            stamp()
+            while True:
+                try:
+                    pending.append(inbox.get_nowait())
+                except queue_module.Empty:
+                    break
+            if pending:
+                message = pending[0]
+                barrier = getattr(message, "barrier", None)
+                if barrier is None or runtime.batches_handled >= barrier:
+                    pending.popleft()
+                    if handle_control(message):
+                        return
+                    continue
+                # Barrier not reached: fall through and drain the data ring
+                # (the frames it needs were committed before the control
+                # message was sent).
+            if data_ring is not None and not hold_data:
+                view = data_ring.try_peek()
+                if view is not None:
+                    seq, learn, frame = decode_frame(view, transport.frame_layout)
+                    batch = runtime.handle_frame(frame, learn=learn)
+                    stamp()
+                    send_ack(seq, frame.n_packets, batch)
+                    # Every reference into the slot must die before release:
+                    # lingering views would make the shm block unclosable
+                    # (BufferError) at shutdown.
+                    batch.frame = None
+                    del view, frame, batch
+                    # Only now is the slot reusable: the batch is fully
+                    # processed and its receipt committed to the result ring.
+                    data_ring.release()
+                    continue
+            time.sleep(
+                _RING_POLL_SECONDS if data_ring is not None
+                else config.heartbeat_interval
+            )
     finally:
+        if data_ring is not None:
+            data_ring.close()
+        if result_ring is not None:
+            result_ring.close()
         attached.close()

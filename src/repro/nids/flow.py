@@ -313,8 +313,6 @@ class FlowTable:
 
     def _add_packets_columnar(self, packets: List[Packet]) -> List[FlowRecord]:
         n = len(packets)
-        idle = self.idle_timeout
-        max_dur = self.max_flow_duration
 
         # ---- pass 1: columnarize fields and factorize flow keys -----------
         slot_of: Dict[Tuple[str, int, str, int, str], int] = {}
@@ -344,13 +342,76 @@ class FlowTable:
             sips.append(p.src_ip)
             labels.append(p.label)
 
+        flow_keys = [FlowKey(*kt) for kt in keys]
+        return self._ingest_columns(
+            slots=slots,
+            ts=ts,
+            lengths=lengths,
+            flags=flags,
+            dports=dports,
+            sports=sports,
+            sips=sips,
+            labels=labels,
+            flow_keys=flow_keys,
+            packets_provider=lambda: packets,
+        )
+
+    def add_frame(self, frame) -> List[FlowRecord]:
+        """Ingest a columnar transport frame (``repro.cluster.ring``).
+
+        The frame already carries the exact column set pass 1 of the
+        columnar path would build from ``Packet`` objects -- the whole
+        per-packet Python loop the cluster worker used to pay per batch
+        disappears.  ``frame`` is duck-typed (``columns()``/``to_packets()``
+        /``n_packets``) so this module stays import-free of the transport.
+        The result is identical to ``add_packets(frame.to_packets())``.
+        """
+        if frame.n_packets < _COLUMNAR_MIN_BATCH:
+            return self._add_packets_scalar(frame.to_packets())
+        cols = frame.columns()
+        return self._ingest_columns(
+            slots=cols["slots"],
+            ts=cols["ts"],
+            lengths=cols["lengths"],
+            flags=cols["flags"],
+            dports=cols["dports"],
+            sports=cols["sports"],
+            sips=cols["sips"],
+            labels=cols["labels"],
+            flow_keys=cols["flow_keys"],
+            packets_provider=frame.to_packets,
+        )
+
+    def _ingest_columns(
+        self,
+        slots: np.ndarray,
+        ts: np.ndarray,
+        lengths: np.ndarray,
+        flags: np.ndarray,
+        dports: np.ndarray,
+        sports: np.ndarray,
+        sips,
+        labels,
+        flow_keys: List[FlowKey],
+        packets_provider,
+    ) -> List[FlowRecord]:
+        """The vectorized ingestion core shared by packets and frames.
+
+        ``slots`` factorizes packets onto ``flow_keys`` (first-seen order);
+        ``packets_provider`` materializes the batch as ``Packet`` objects
+        only for the rare fallbacks (non-monotonic timestamps, duration
+        overrun) that need the sequential reference path.
+        """
+        n = int(ts.size)
+        idle = self.idle_timeout
+        max_dur = self.max_flow_duration
+
         # The columnar semantics rely on time-ordered input (the documented
         # FlowTable contract); fall back to the scalar path otherwise.
         if np.any(np.diff(ts) < 0):
-            return self._add_packets_scalar(packets)
+            return self._add_packets_scalar(packets_provider())
 
-        n_slots = len(keys)
-        flow_keys = [FlowKey(*kt) for kt in keys]
+        n_slots = len(flow_keys)
         if self.shard_guard is not None:
             # Keys already active were validated when their flow was created;
             # only new keys pay the ownership check (once per flow, as the
@@ -417,6 +478,7 @@ class FlowTable:
         # ---- duration-overrun slots take the scalar fold ------------------
         overrun = (seg_t1 - seg_start_time) > max_dur
         if np.any(overrun):
+            packets = packets_provider()
             bad_slots = set(int(j) for j in np.unique(seg_slot[overrun]))
             keep = ~np.isin(g_slot, list(bad_slots))
             for j in sorted(bad_slots):
@@ -452,8 +514,8 @@ class FlowTable:
         g_flags = flags[order]
         g_dport = dports[order]
         g_sport = sports[order]
-        g_sip = np.array(sips, dtype=object)[order]
-        g_label = np.array(labels, dtype=object)[order]
+        g_sip = np.asarray(sips, dtype=object)[order]
+        g_label = np.asarray(labels, dtype=object)[order]
 
         # Direction: forward packets match the segment initiator.
         init_ip = np.empty(n_seg, dtype=object)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -128,6 +128,10 @@ class ServingBatch:
     """
 
     packets: List[Packet] = field(default_factory=list)
+    #: Columnar transport frame (``repro.cluster.ring.PacketFrame``), the
+    #: zero-copy alternative to ``packets`` on the cluster data plane.  Duck
+    #: typed so the serving layer stays import-free of the transport.
+    frame: Optional[Any] = None
     flows: List[FlowRecord] = field(default_factory=list)
     labels: List[str] = field(default_factory=list)
     features: Optional[np.ndarray] = None
@@ -141,6 +145,14 @@ class ServingBatch:
     def n_flows(self) -> int:
         """Flows carried by this batch."""
         return len(self.flows)
+
+    @property
+    def n_packets(self) -> int:
+        """Packets carried by this batch (object list and/or frame)."""
+        count = len(self.packets)
+        if self.frame is not None:
+            count += self.frame.n_packets
+        return count
 
 
 class Stage(abc.ABC):
@@ -203,9 +215,11 @@ class FlowAssemblyStage(Stage):
         self.table = table if table is not None else FlowTable(**table_kwargs)
 
     def items(self, batch: ServingBatch) -> int:
-        return len(batch.packets)
+        return batch.n_packets
 
     def process(self, batch: ServingBatch) -> None:
+        if batch.frame is not None and batch.frame.n_packets:
+            batch.flows.extend(self.table.add_frame(batch.frame))
         if batch.packets:
             batch.flows.extend(self.table.add_packets(batch.packets))
 

@@ -465,8 +465,18 @@ class _FakeProcess:
         self.exitcode = -9
 
 
+class _StubFrame:
+    """Minimal PacketFrame stand-in for ledger bookkeeping tests."""
+
+    def __init__(self, n_packets):
+        self.n_packets = n_packets
+
+    def to_packets(self):
+        return [None] * self.n_packets
+
+
 def _batch(seq, n_packets=3):
-    return PacketBatch(seq=seq, packets=[None] * n_packets)
+    return PacketBatch(seq=seq, frame=_StubFrame(n_packets))
 
 
 class TestRetryPolicy:

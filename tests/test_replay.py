@@ -222,7 +222,9 @@ class TestGoldenParity:
             runtime.finalize()
             attached.close()
         assert runtime.predictions
-        tokens = {record.token for record in runtime.predictions}
+        # The queue pairs each record with the first batch index that could
+        # regenerate it (the crash-retention watermark pin).
+        tokens = {record.token for _, record in runtime.predictions}
         assert tokens <= set(nsl_trace.flow_by_token())
 
 

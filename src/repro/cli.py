@@ -65,7 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("hdc", "streaming", "cluster", "replay", "bitpack", "chaos"),
+        choices=("hdc", "streaming", "cluster", "replay", "bitpack", "chaos", "fabric"),
         default="hdc",
         help="hdc: compute-backend primitives; streaming: packets->alerts "
         "serving path; cluster: sharded multi-worker scaling; replay: "
@@ -73,7 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bitpack: packed 1-bit XOR/popcount inference -- kernel speedups, "
         "packed-vs-offline parity, serving-time fault injection; chaos: "
         "process-fault recovery (SIGKILL/hang/clean-exit mid-replay) "
-        "measured against the golden trace",
+        "measured against the golden trace; fabric: multi-tenant registry "
+        "capacity, hot-swap latency, shadow overhead and per-tenant recall "
+        "isolation",
     )
     bench.add_argument("--dim", type=int, default=None, help="hypervector dimensionality")
     bench.add_argument("--repeats", type=int, default=3, help="best-of repeat count")
@@ -107,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="cluster suite: scenario flow-count multiplier",
+    )
+    bench.add_argument(
+        "--tenants",
+        type=int,
+        default=128,
+        help="fabric suite: tenants resident for the capacity record",
     )
     bench.add_argument(
         "--json",
@@ -252,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster mode: stale-heartbeat age after which a live worker "
         "is declared hung and SIGKILLed for respawn",
     )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        help="serve N tenants through the multi-tenant model fabric: one "
+        "per-subnet detector each, flows split across them (composes with "
+        "--workers for the tenant-aware cluster path)",
+    )
     serve.add_argument("--flows", type=int, default=600, help="flows in the served stream")
     serve.add_argument("--train-flows", type=int, default=300, help="flows used for training")
     serve.add_argument("--window", type=int, default=500, help="packets per micro-batch")
@@ -280,6 +296,108 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", metavar="PATH", default=None, help="save the (possibly adapted) pipeline"
     )
     serve.add_argument("--json", metavar="PATH", default=None, help="write a JSON summary")
+
+    fabric = subparsers.add_parser(
+        "fabric",
+        help="multi-tenant model fabric: publish, shadow-promote, roll back "
+        "and inspect versioned tenant models against a registry snapshot",
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command")
+
+    def _fabric_common(sub):
+        sub.add_argument(
+            "registry",
+            help="registry snapshot path (.npz); each command loads it, "
+            "operates, and saves it back",
+        )
+        sub.add_argument("--tenant", type=int, default=0, help="tenant id")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--dataset",
+            default=None,
+            help="use a compiled dataset trace (training + mirror slices) "
+            "instead of synthetic per-subnet traffic",
+        )
+        sub.add_argument(
+            "--train", type=int, default=600, help="dataset mode: training rows"
+        )
+        sub.add_argument(
+            "--rows", type=int, default=240, help="dataset mode: mirror/test rows"
+        )
+
+    fabric_publish = fabric_sub.add_parser(
+        "publish", help="train and publish the tenant's next model version"
+    )
+    _fabric_common(fabric_publish)
+    fabric_publish.add_argument("--train-flows", type=int, default=300)
+    fabric_publish.add_argument("--dim", type=int, default=128)
+    fabric_publish.add_argument("--epochs", type=int, default=4)
+    fabric_publish.add_argument(
+        "--inference-bits",
+        type=int,
+        default=1,
+        help="packed-quantized serving (1-bit keeps hundreds of tenants "
+        "resident; pass 0 for full-precision)",
+    )
+    fabric_publish.add_argument(
+        "--activate",
+        action="store_true",
+        help="skip the shadow gate and promote immediately (a tenant's "
+        "first version always activates)",
+    )
+    fabric_publish.add_argument(
+        "--max-tenants",
+        type=int,
+        default=256,
+        help="capacity of a newly created registry",
+    )
+
+    fabric_promote = fabric_sub.add_parser(
+        "promote",
+        help="shadow-score a candidate against the live model on mirrored "
+        "traffic; flip the alias only if parity and recall hold (exit 1 on "
+        "rejection)",
+    )
+    _fabric_common(fabric_promote)
+    fabric_promote.add_argument(
+        "--model-version",
+        type=int,
+        default=None,
+        help="candidate version (default: the tenant's newest)",
+    )
+    fabric_promote.add_argument(
+        "--mirror-flows",
+        type=int,
+        default=200,
+        help="synthetic mode: flows in the mirrored slice",
+    )
+    fabric_promote.add_argument("--recall-tolerance", type=float, default=0.0)
+    fabric_promote.add_argument(
+        "--divergence-budget",
+        type=float,
+        default=0.0,
+        help="accepted fraction of mirrored flows whose decisions may move",
+    )
+    fabric_promote.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.0,
+        help="corrupt the candidate replica's packed bits at this rate "
+        "before the mirror (the rejection drill)",
+    )
+    fabric_promote.add_argument("--json", metavar="PATH", default=None)
+
+    fabric_rollback = fabric_sub.add_parser(
+        "rollback", help="flip the tenant's alias back to the previous version"
+    )
+    fabric_rollback.add_argument("registry")
+    fabric_rollback.add_argument("--tenant", type=int, default=0)
+
+    fabric_status = fabric_sub.add_parser(
+        "status", help="print every tenant's versions, live alias and footprint"
+    )
+    fabric_status.add_argument("registry")
+    fabric_status.add_argument("--json", metavar="PATH", default=None)
 
     return parser
 
@@ -326,6 +444,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         BENCH_BITPACK_JSON_NAME,
         BENCH_CHAOS_JSON_NAME,
         BENCH_CLUSTER_JSON_NAME,
+        BENCH_FABRIC_JSON_NAME,
         BENCH_JSON_NAME,
         BENCH_REPLAY_JSON_NAME,
         BENCH_STREAMING_JSON_NAME,
@@ -334,6 +453,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         run_bitpack_benchmarks,
         run_chaos_benchmarks,
         run_cluster_benchmarks,
+        run_fabric_benchmarks,
         run_replay_benchmarks,
         run_streaming_benchmarks,
         write_bench_json,
@@ -381,6 +501,13 @@ def _command_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
         )
         default_json = BENCH_CHAOS_JSON_NAME
+    elif args.suite == "fabric":
+        records = run_fabric_benchmarks(
+            tenants=args.tenants,
+            dim=args.dim,
+            quick=args.quick,
+        )
+        default_json = BENCH_FABRIC_JSON_NAME
     else:
         records = run_benchmarks(
             dim=args.dim or 500, repeats=args.repeats, quick=args.quick
@@ -742,6 +869,8 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.tenants > 0:
+        return _serve_fabric(args)
     if args.workers > 1:
         return _serve_cluster(args)
 
@@ -826,6 +955,346 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fabric_registry_path(path: str) -> str:
+    """Registry snapshots are ``.npz`` archives; normalize the suffix."""
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def _fabric_train(args: argparse.Namespace, tenant: int):
+    """Train one tenant's pipeline (dataset trace or per-subnet traffic)."""
+    from repro.core.cyberhd import CyberHD
+    from repro.nids.packets import TrafficGenerator
+    from repro.nids.pipeline import DetectionPipeline
+
+    bits = getattr(args, "inference_bits", 1)
+    classifier = CyberHD(
+        dim=getattr(args, "dim", 128),
+        epochs=getattr(args, "epochs", 4),
+        regeneration_rate=0.1,
+        seed=args.seed + tenant,
+        inference_bits=bits if bits else None,
+    )
+    if args.dataset:
+        trace = _fabric_dataset_trace(args, tenant, split="train")
+        packets = trace.packets
+    else:
+        packets = TrafficGenerator(
+            seed=args.seed + tenant, subnet=f"10.{tenant}.0"
+        ).generate(getattr(args, "train_flows", 300))
+    return DetectionPipeline(classifier=classifier).fit_packets(packets)
+
+
+def _fabric_dataset_trace(args: argparse.Namespace, tenant: int, split: str):
+    """Compile one tenant's dataset slice (per-tenant seed offsets)."""
+    from repro.replay import compile_dataset_trace
+
+    return compile_dataset_trace(
+        args.dataset,
+        split=split,
+        n_train=args.train,
+        n_test=args.rows,
+        seed=args.seed + tenant + (0 if split == "train" else 1000),
+    )
+
+
+def _fabric_mirror_packets(args: argparse.Namespace, tenant: int):
+    """The mirrored traffic slice the shadow gate scores both models on."""
+    from repro.nids.packets import TrafficGenerator
+
+    if args.dataset:
+        return _fabric_dataset_trace(args, tenant, split="test").packets
+    return TrafficGenerator(
+        seed=args.seed + 1000 + tenant, subnet=f"10.{tenant}.0"
+    ).generate(args.mirror_flows)
+
+
+def _command_fabric(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.exceptions import ConfigurationError
+    from repro.fabric import ModelRegistry, ShadowDeployment
+
+    if not getattr(args, "fabric_command", None):
+        print(
+            "fabric needs a sub-command: publish | promote | rollback | status",
+            file=sys.stderr,
+        )
+        return 2
+    path = _fabric_registry_path(args.registry)
+
+    if args.fabric_command == "publish":
+        if os.path.exists(path):
+            registry = ModelRegistry.load(path)
+        else:
+            registry = ModelRegistry(max_tenants=args.max_tenants)
+        try:
+            pipeline = _fabric_train(args, args.tenant)
+            version = registry.publish(
+                args.tenant, pipeline, activate=True if args.activate else None
+            )
+            live = registry.live_version(args.tenant)
+            registry.save(path)
+            print(
+                f"tenant {args.tenant}: published v{version} "
+                f"({'live' if live == version else f'shadow candidate; live v{live}'}) "
+                f"-> {path}"
+            )
+        finally:
+            registry.close()
+        return 0
+
+    if args.fabric_command == "promote":
+        registry = ModelRegistry.load(path)
+        try:
+            versions = registry.versions(args.tenant)
+            if not versions:
+                print(f"tenant {args.tenant} has no published versions", file=sys.stderr)
+                return 2
+            candidate = (
+                args.model_version if args.model_version is not None else versions[-1]
+            )
+            if candidate == registry.live_version(args.tenant):
+                print(f"tenant {args.tenant}: v{candidate} is already live")
+                return 0
+            injector = None
+            if args.error_rate > 0:
+                from repro.serving.faults import ServingFaultInjector
+
+                injector = ServingFaultInjector(
+                    error_rate=args.error_rate, seed=args.seed
+                )
+            with ShadowDeployment(
+                registry,
+                args.tenant,
+                candidate,
+                recall_tolerance=args.recall_tolerance,
+                divergence_budget=args.divergence_budget,
+                fault_injector=injector,
+            ) as deployment:
+                decision = deployment.promote_if_ok(
+                    _fabric_mirror_packets(args, args.tenant)
+                )
+            print(decision.parity.summary())
+            print(decision.summary())
+            if decision.ok:
+                registry.save(path)
+                print(f"promoted: tenant {args.tenant} now serves v{candidate}")
+            else:
+                print(
+                    f"rejected: tenant {args.tenant} keeps serving "
+                    f"v{registry.live_version(args.tenant)}"
+                )
+            if args.json:
+                with open(args.json, "w") as fh:
+                    json.dump(decision.to_dict(), fh, indent=2)
+                print(f"decision written to {args.json}")
+            return 0 if decision.ok else 1
+        finally:
+            registry.close()
+
+    if args.fabric_command == "rollback":
+        registry = ModelRegistry.load(path)
+        try:
+            previous = registry.rollback(args.tenant)
+            registry.save(path)
+            print(f"tenant {args.tenant}: rolled back to v{previous}")
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        finally:
+            registry.close()
+        return 0
+
+    # status
+    registry = ModelRegistry.load(path)
+    try:
+        tenants = registry.tenants()
+        payload = {
+            "registry": path,
+            "tenants": {
+                str(t): {
+                    "versions": registry.versions(t),
+                    "live": registry.live_version(t),
+                    "previous": registry.previous_version(t),
+                    "generation": registry.generation(t),
+                }
+                for t in tenants
+            },
+            "total_model_bytes": registry.total_model_bytes(),
+        }
+        print(f"{path}: {len(tenants)} tenant(s), "
+              f"{payload['total_model_bytes'] / 1024:.1f} KiB resident")
+        for t in tenants:
+            entry = payload["tenants"][str(t)]
+            print(
+                f"  tenant {t}: live v{entry['live']} "
+                f"(prev v{entry['previous']}, generation {entry['generation']}), "
+                f"versions {entry['versions']}"
+            )
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"status written to {args.json}")
+    finally:
+        registry.close()
+    return 0
+
+
+def _merge_tenant_reports(workers) -> dict:
+    """Fold per-worker tenant summaries into one cluster-wide view."""
+    merged: dict = {}
+    for worker in workers:
+        for tenant_id, entry in worker.tenants.items():
+            slot = merged.setdefault(
+                tenant_id,
+                {"flows": 0, "alerts": 0, "live_version": entry.get("live_version"),
+                 "swaps": 0},
+            )
+            slot["flows"] += entry.get("flows", 0)
+            slot["alerts"] += entry.get("alerts", 0)
+            slot["swaps"] += entry.get("swaps", 0)
+            if entry.get("live_version") is not None:
+                slot["live_version"] = entry["live_version"]
+    return merged
+
+
+def _serve_fabric(args: argparse.Namespace) -> int:
+    """``repro serve --tenants N``: multi-tenant fabric serving.
+
+    Trains one per-subnet detector per tenant, publishes them all into an
+    in-process registry, and serves the merged per-tenant traffic either
+    through the single-process :class:`FabricEngine` (``--workers 1``,
+    online learning supported, tenant-scoped) or the tenant-aware sharded
+    cluster (``--workers > 1``).
+    """
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+    from repro.core.cyberhd import CyberHD
+    from repro.fabric import FabricEngine, ModelRegistry, TenantKeyer
+    from repro.nids.packets import TrafficGenerator
+    from repro.nids.pipeline import DetectionPipeline
+    from repro.serving import GracefulShutdown, chunked
+
+    n_tenants = args.tenants
+    if args.workers > 1 and args.online:
+        print(
+            "--tenants with --workers > 1 serves read-only per-tenant models; "
+            "use --workers 1 for tenant-scoped online learning",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = None
+    with GracefulShutdown() as stop:
+        streams = []
+        base_pipeline = None
+        registry = ModelRegistry(
+            max_tenants=n_tenants, max_readers=args.workers + 2
+        )
+        try:
+            for tenant in range(n_tenants):
+                train_packets = TrafficGenerator(
+                    seed=args.seed + tenant, subnet=f"10.{tenant}.0"
+                ).generate(args.train_flows)
+                pipeline = DetectionPipeline(
+                    classifier=CyberHD(
+                        dim=args.dim,
+                        epochs=args.epochs,
+                        regeneration_rate=0.1,
+                        seed=args.seed + tenant,
+                        inference_bits=getattr(args, "inference_bits", None),
+                    )
+                ).fit_packets(train_packets)
+                registry.publish(tenant, pipeline)
+                if base_pipeline is None:
+                    base_pipeline = pipeline
+                streams.extend(
+                    TrafficGenerator(
+                        seed=args.seed + 1000 + tenant, subnet=f"10.{tenant}.0"
+                    ).generate(
+                        max(args.flows // n_tenants, 1),
+                        start_time=train_packets[-1].timestamp + 60.0,
+                    )
+                )
+            print(
+                f"published {n_tenants} tenant model(s), "
+                f"{registry.total_model_bytes() / 1024:.1f} KiB resident"
+            )
+            streams.sort(key=lambda p: p.timestamp)
+            keyer = TenantKeyer.per_subnet(n_tenants)
+
+            if args.workers > 1:
+                # Workers attach the whole tenant table by spec and route
+                # each frame row by its tenant column; the base pipeline
+                # only serves flows no tenant claims.
+                coordinator = ClusterCoordinator(
+                    base_pipeline,
+                    ClusterConfig(
+                        n_workers=args.workers,
+                        batch_size=args.window,
+                        sync_interval=args.sync_interval,
+                        online=False,
+                        fabric_spec=registry.spec(),
+                        tenant_keyer=keyer,
+                    ),
+                )
+                report = coordinator.serve(streams, shutdown=stop)
+                summary = {
+                    "tenants": _merge_tenant_reports(report.workers),
+                    "batches": report.sync_rounds,
+                }
+            else:
+                engine = FabricEngine(
+                    registry.spec(),
+                    keyer,
+                    reader_id=0,
+                    online=args.online,
+                    registry=registry,
+                )
+                try:
+                    for chunk in chunked(iter(streams), args.window):
+                        if stop.triggered:
+                            break
+                        engine.process_packets(chunk)
+                    engine.finalize()
+                    summary = engine.summary()
+                finally:
+                    engine.close()
+        finally:
+            registry.close()
+    if stop.triggered:
+        print(f"\n{stop.signal_name or 'shutdown'}: ingest stopped, drained")
+    if report is not None:
+        print(
+            f"\nfabric cluster served {report.total_packets} packets / "
+            f"{report.total_flows} flows across {args.workers} workers "
+            f"in {report.wall_seconds:.2f}s; {report.total_alerts} alerts"
+        )
+    if report is None:
+        total_flows = sum(t["flows"] for t in summary["tenants"].values())
+        total_alerts = sum(t["alerts"] for t in summary["tenants"].values())
+        print(
+            f"\nfabric served {total_flows} flows across {n_tenants} tenants "
+            f"in {summary['batches']} batches; {total_alerts} alerts"
+        )
+    for tenant_id in sorted(summary["tenants"], key=int):
+        report = summary["tenants"][tenant_id]
+        print(
+            f"  tenant {tenant_id}: {report['flows']} flows, "
+            f"{report['alerts']} alerts, serving v{report['live_version']} "
+            f"({report['swaps']} hot-swaps)"
+        )
+    if args.online:
+        print(
+            f"online: {summary['online_updates']} tenant-scoped partial_fit "
+            f"batches, {summary['online_samples']} samples"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"summary written to {args.json}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -844,6 +1313,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_replay(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "fabric":
+        return _command_fabric(args)
     parser.print_help()
     return 1
 

@@ -132,6 +132,17 @@ class ClusterConfig:
         ``RetryPolicy(max_respawns=0, shed_when_exhausted=False)`` restores
         the old fail-fast behaviour (first failure raises, naming the
         unacked batch seqs).
+    fabric_spec:
+        Multi-tenant fabric attach table (:class:`repro.fabric.registry.
+        RegistrySpec`).  When set (together with ``tenant_keyer``), the
+        coordinator stamps each dispatched frame's tenant column and every
+        worker serves flows through per-tenant model lanes; worker respawn
+        re-ships the same config, so the replacement incarnation reattaches
+        the tenant table automatically.  Typed ``Any``: the cluster package
+        never imports the fabric (the fabric builds on the cluster).
+    tenant_keyer:
+        The flow -> tenant keying function (:class:`repro.fabric.router.
+        TenantKeyer`), evaluated once per unique flow at dispatch.
     """
 
     n_workers: int = 4
@@ -144,6 +155,8 @@ class ClusterConfig:
     start_method: Optional[str] = None
     capture_predictions: bool = False
     retry: Optional[RetryPolicy] = None
+    fabric_spec: Optional[Any] = None
+    tenant_keyer: Optional[Any] = None
 
     def validate(self) -> "ClusterConfig":
         """Check parameter ranges and return ``self``."""
@@ -155,6 +168,18 @@ class ClusterConfig:
             raise ConfigurationError("sync_interval must be non-negative")
         if self.queue_capacity < 1:
             raise ConfigurationError("queue_capacity must be >= 1")
+        if self.fabric_spec is not None and self.online:
+            raise ConfigurationError(
+                "cluster fabric mode serves per-tenant models; cluster-wide "
+                "online learning does not compose with it (use the "
+                "FabricEngine's tenant-scoped learning instead)"
+            )
+        if (self.fabric_spec is None) != (self.tenant_keyer is None):
+            raise ConfigurationError(
+                "fabric_spec and tenant_keyer come as a pair: the spec "
+                "without keying leaves every frame untenanted, and keying "
+                "without the spec gives workers no models to route to"
+            )
         if self.retry is not None:
             self.retry.validate()
         return self
@@ -388,6 +413,8 @@ class ClusterCoordinator:
                     enforce_shard_guard=not self.policy.failover,
                     capture_predictions=cfg.capture_predictions,
                     heartbeat_interval=self.policy.heartbeat_interval,
+                    fabric_spec=cfg.fabric_spec,
+                    tenant_keyer=cfg.tenant_keyer,
                 )
                 self._worker_configs.append(worker_config)
                 # Control-plane only (sync/chaos/stop): rare and small, so
@@ -723,7 +750,9 @@ class ClusterCoordinator:
 
     def _dispatch(self, worker_id: int, packets: List[Packet]) -> None:
         cpu0 = time.process_time()
-        frame = PacketFrame.from_packets(packets)
+        frame = PacketFrame.from_packets(
+            packets, tenant_of=self.config.tenant_keyer
+        )
         self.transport.serialize_cpu_seconds += time.process_time() - cpu0
         batch = PacketBatch(seq=self._seq, frame=frame)
         self._seq += 1
@@ -747,7 +776,9 @@ class ClusterCoordinator:
                 if shard and not self._shed[worker_id]:
                     rerouted = PacketBatch(
                         seq=self._seq,
-                        frame=PacketFrame.from_packets(list(shard)),
+                        frame=PacketFrame.from_packets(
+                            list(shard), tenant_of=self.config.tenant_keyer
+                        ),
                         learn=batch.learn,
                     )
                     self._seq += 1

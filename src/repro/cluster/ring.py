@@ -101,6 +101,11 @@ FLOW_DTYPE = np.dtype(
         ("ip_b", "S40"),
         ("port_b", "<u2"),
         ("protocol", "S8"),
+        # Tenant id of the flow under the fabric's tenant keying (0 in
+        # single-tenant deployments): stamped once by the coordinator so
+        # workers route each flow to its tenant's model without re-deriving
+        # the keying per flow.
+        ("tenant", "<u2"),
     ]
 )
 
@@ -189,8 +194,18 @@ class PacketFrame:
 
     # ---------------------------------------------------------- construction
     @classmethod
-    def from_packets(cls, packets: Sequence[Packet]) -> "PacketFrame":
-        """Columnarize a routed packet batch (the coordinator's single pass)."""
+    def from_packets(
+        cls,
+        packets: Sequence[Packet],
+        tenant_of: Optional[Callable[[str, str], int]] = None,
+    ) -> "PacketFrame":
+        """Columnarize a routed packet batch (the coordinator's single pass).
+
+        ``tenant_of`` (canonical ``(ip_a, ip_b)`` -> tenant id) stamps the
+        sidecar's tenant column -- the fabric's tenant keying, evaluated
+        once per unique flow rather than once per packet.  Without it every
+        flow belongs to tenant 0.
+        """
         n = len(packets)
         records = np.zeros(n, dtype=PACKET_DTYPE)
         slot_of: Dict[Tuple[str, int, str, int, str], int] = {}
@@ -245,10 +260,15 @@ class PacketFrame:
             [t[4] for t in flow_tuples], FLOW_DTYPE["protocol"].itemsize, "protocol"
         )
         _check_widths(label_list, LABEL_DTYPE.itemsize, "label")
-        flows = np.array(
-            [(ia, pa, ib, pb, pr) for ia, pa, ib, pb, pr in flow_tuples],
-            dtype=FLOW_DTYPE,
-        )
+        flows = np.zeros(len(flow_tuples), dtype=FLOW_DTYPE)
+        if flow_tuples:
+            flows["ip_a"] = [t[0] for t in flow_tuples]
+            flows["port_a"] = [t[1] for t in flow_tuples]
+            flows["ip_b"] = [t[2] for t in flow_tuples]
+            flows["port_b"] = [t[3] for t in flow_tuples]
+            flows["protocol"] = [t[4] for t in flow_tuples]
+            if tenant_of is not None:
+                flows["tenant"] = [tenant_of(t[0], t[2]) for t in flow_tuples]
         labels = np.array(label_list, dtype=LABEL_DTYPE)
         return cls(records, flows, labels)
 
@@ -279,6 +299,10 @@ class PacketFrame:
         )
 
     # ------------------------------------------------------------- consumers
+    def tenants(self) -> np.ndarray:
+        """Per-sidecar-row tenant ids (int64; all zero outside fabric mode)."""
+        return self.flows["tenant"].astype(np.int64)
+
     def flow_keys(self) -> List[FlowKey]:
         """The canonical :class:`FlowKey` per sidecar row."""
         return [

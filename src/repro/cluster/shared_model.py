@@ -229,6 +229,30 @@ class ModelPublication:
             packed_dim=self._packed_dim,
         )
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """The *current* full pipeline state of this publication.
+
+        Equivalent to :func:`repro.persistence.pipeline_state_dict` of the
+        published pipeline, but read back from the live shared blocks -- so
+        class-matrix merges and repacks performed since construction are
+        reflected.  Arrays are copies (safe to serialize after ``close``).
+        The fabric registry snapshots per-version packed state through this.
+        """
+        state: Dict[str, np.ndarray] = {
+            key: np.array(value, copy=True) for key, value in self._small_state.items()
+        }
+        for key, spec in self._specs.items():
+            state[key] = np.array(spec.view(self._blocks[key]), copy=True)
+        if self._packed_spec is not None:
+            state["packed_words"] = np.array(
+                self._packed_spec.view(self._packed_block), copy=True
+            )
+            state["packed_state"] = np.array(
+                self._packed_state_spec.view(self._packed_state_block), copy=True
+            )
+            state["packed_dim"] = np.array([self._packed_dim])
+        return state
+
     def repack(self) -> bool:
         """Refresh the published packed words from the current class matrix.
 

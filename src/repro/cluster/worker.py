@@ -27,6 +27,7 @@ import numpy as np
 from repro.cluster.ring import ShmRing, decode_frame, encode_ack
 from repro.cluster.router import ShardRouter
 from repro.cluster.shared_model import AttachedPublication, PublicationSpec
+from repro.exceptions import ConfigurationError
 from repro.nids.flow import FlowTable
 from repro.nids.packets import Packet
 from repro.serving.stages import (
@@ -42,6 +43,10 @@ from repro.serving.telemetry import TelemetryRecorder
 #: latency stays sub-millisecond-ish; every poll stamps the heartbeat, so
 #: the watchdog sees a stalled-but-alive worker as alive.
 _RING_POLL_SECONDS = 0.001
+
+#: Bound on the worker's frame-stamped flow->tenant map (fabric mode); the
+#: same leak-guard discipline as the shard router's token memo.
+_TENANT_MEMO_MAX = 1 << 20
 
 
 # --------------------------------------------------------------- wire format
@@ -200,6 +205,9 @@ class WorkerSummary:
     ring_stalls: int = 0
     telemetry: Dict[str, Dict[str, float]] = field(default_factory=dict)
     severities: Dict[str, int] = field(default_factory=dict)
+    #: Per-tenant serving report (fabric mode only): flows, alerts, the
+    #: version served and hot-swaps followed, keyed by tenant id string.
+    tenants: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def flow_throughput(self) -> float:
@@ -229,6 +237,7 @@ class WorkerSummary:
             "ring_stalls": self.ring_stalls,
             "telemetry": self.telemetry,
             "severities": self.severities,
+            "tenants": self.tenants,
         }
 
 
@@ -267,6 +276,16 @@ class WorkerConfig:
     #: Ship a :class:`BatchAck` after every processed batch (the
     #: supervision contract; off only in single-worker legacy paths).
     send_acks: bool = True
+    #: Multi-tenant fabric attach table (:class:`repro.fabric.registry.
+    #: RegistrySpec`).  When set, the worker serves each flow through its
+    #: tenant's own model lane instead of the single shared publication
+    #: (which stays attached as the fallback for unmapped tenants).  Typed
+    #: ``Any`` to keep the cluster package import-independent of the fabric.
+    fabric_spec: Optional[Any] = None
+    #: Tenant keying fallback (:class:`repro.fabric.router.TenantKeyer`)
+    #: for flows whose frames carry no tenant stamp (flushed flows,
+    #: legacy packet batches).
+    tenant_keyer: Optional[Any] = None
 
 
 # ------------------------------------------------------------------- runtime
@@ -295,6 +314,8 @@ class WorkerRuntime:
         vnodes: int = 64,
         enforce_shard_guard: bool = True,
         capture_predictions: bool = False,
+        fabric_spec: Optional[Any] = None,
+        tenant_keyer: Optional[Any] = None,
     ):
         self.worker_id = int(worker_id)
         self.attached = attached
@@ -305,7 +326,30 @@ class WorkerRuntime:
         guard = router.owns(self.worker_id) if enforce_shard_guard and n_workers > 1 else None
         self.table = FlowTable(idle_timeout=idle_timeout, shard_guard=guard)
         self.telemetry = TelemetryRecorder()
-        self.stages = [FlowAssemblyStage(self.table), *self.pipeline.stages]
+        self.fabric = None
+        self.tenant_keyer = tenant_keyer
+        self.tenant_stage = None
+        #: Frame-stamped tenant per flow token (coordinator-authoritative).
+        self._tenant_of_token: Dict[str, int] = {}
+        if fabric_spec is not None:
+            if self.online:
+                raise ConfigurationError(
+                    "cluster fabric mode serves per-tenant models; cluster-wide "
+                    "online learning does not compose with it (use the "
+                    "FabricEngine's tenant-scoped learning instead)"
+                )
+            # Lazy import: the fabric package builds on cluster primitives,
+            # so the cluster package must not import it at module level.
+            from repro.fabric.registry import AttachedFabric
+            from repro.serving.stages import TenantRoutedStage
+
+            self.fabric = AttachedFabric(fabric_spec, reader_id=self.worker_id)
+            self.tenant_stage = TenantRoutedStage(
+                self._tenant_of_flow, self._tenant_chain
+            )
+            self.stages = [FlowAssemblyStage(self.table), self.tenant_stage]
+        else:
+            self.stages = [FlowAssemblyStage(self.table), *self.pipeline.stages]
         self.capture_predictions = bool(capture_predictions)
         #: Undelivered (first_batch_index, prediction) pairs.  The index is
         #: the earliest retained batch that could regenerate the prediction
@@ -353,6 +397,8 @@ class WorkerRuntime:
         """
         start = time.perf_counter()
         cpu_start = time.process_time()
+        if self.fabric is not None:
+            self._note_frame_tenants(frame)
         batch = ServingBatch(frame=frame)
         run_stages(self.stages, batch, self.telemetry)
         if self.online and learn and batch.n_flows:
@@ -439,15 +485,65 @@ class WorkerRuntime:
         )
         self.summary.telemetry = self.telemetry.to_dict()
         severities: Dict[str, int] = {}
-        for stage in self.stages:
-            manager = getattr(stage, "alert_manager", None)
-            if manager is not None:
-                for severity, count in manager.count_by_severity().items():
-                    severities[severity] = severities.get(severity, 0) + count
+        managers = [
+            manager
+            for stage in self.stages
+            if (manager := getattr(stage, "alert_manager", None)) is not None
+        ]
+        if self.fabric is not None:
+            # Fabric mode raises alerts inside the per-tenant lanes (plus
+            # the base replica's fallback lane), not in self.stages.
+            managers.extend(
+                pipeline.alert_manager
+                for pipeline in self.fabric.replicas().values()
+            )
+            managers.append(self.pipeline.alert_manager)
+        for manager in managers:
+            for severity, count in manager.count_by_severity().items():
+                severities[severity] = severities.get(severity, 0) + count
         self.summary.severities = severities
+        if self.tenant_stage is not None:
+            tenants = self.tenant_stage.to_dict()
+            for key, report in tenants.items():
+                tenant = int(key)
+                report["live_version"] = self.fabric.live_version(tenant)
+                report["swaps"] = self.fabric.swaps(tenant)
+            self.summary.tenants = tenants
         return self.summary
 
+    def close_fabric(self) -> None:
+        """Release fabric leases (called by the worker loop on exit)."""
+        if self.fabric is not None:
+            self.fabric.close()
+
     # ------------------------------------------------------------- internals
+    def _note_frame_tenants(self, frame) -> None:
+        """Record the frame's coordinator-stamped flow -> tenant column.
+
+        The stamp is authoritative (the coordinator keyed the flow once);
+        the map is bounded like the router memo and consulted by
+        :meth:`_tenant_of_flow` when the flow closes.
+        """
+        tenants = frame.tenants()
+        if len(self._tenant_of_token) < _TENANT_MEMO_MAX:
+            for key, tenant in zip(frame.flow_keys(), tenants):
+                self._tenant_of_token[key.token] = int(tenant)
+
+    def _tenant_of_flow(self, flow) -> int:
+        """Tenant of one assembled flow: frame stamp, keyer fallback, 0."""
+        tenant = self._tenant_of_token.get(flow.key.token)
+        if tenant is not None:
+            return tenant
+        if self.tenant_keyer is not None:
+            return self.tenant_keyer.tenant_of_key(flow.key)
+        return 0
+
+    def _tenant_chain(self, tenant: int):
+        """The tenant's live stage chain; base replica for unmapped tenants."""
+        try:
+            return self.fabric.pipeline_for(tenant).stages
+        except ConfigurationError:
+            return self.pipeline.stages
     def _advance_watermark(self) -> None:
         """Refresh the open-flow -> first-batch-index map after one batch."""
         index = self.batches_handled
@@ -544,6 +640,7 @@ def cluster_worker_main(
     attached = AttachedPublication(config.spec)
     data_ring = ShmRing.attach(transport.data) if transport is not None else None
     result_ring = ShmRing.attach(transport.result) if transport is not None else None
+    runtime = None
     try:
         runtime = WorkerRuntime(
             config.worker_id,
@@ -554,6 +651,8 @@ def cluster_worker_main(
             vnodes=config.vnodes,
             enforce_shard_guard=config.enforce_shard_guard,
             capture_predictions=config.capture_predictions,
+            fabric_spec=config.fabric_spec,
+            tenant_keyer=config.tenant_keyer,
         )
         stamp()
 
@@ -730,4 +829,6 @@ def cluster_worker_main(
             data_ring.close()
         if result_ring is not None:
             result_ring.close()
+        if runtime is not None:
+            runtime.close_fabric()
         attached.close()

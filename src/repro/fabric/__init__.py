@@ -1,0 +1,54 @@
+"""Multi-tenant model fabric: many versioned detectors on one host.
+
+The fabric generalizes the cluster's single shared publication to a
+tenant-keyed registry of versioned models -- hundreds of per-network-segment
+detectors resident in shared memory at once (1-bit packed models make the
+footprint practical), with atomic generation-bump hot-swap, lease-drained
+retirement, tenant-scoped online learning, and shadow/canary promotion
+gated on the golden-trace differ.
+
+Modules
+-------
+``registry``
+    :class:`ModelRegistry` (owner side) and :class:`AttachedFabric`
+    (reader side): the alias/lease shared-memory protocol.
+``router``
+    :class:`TenantKeyer` / :class:`TenantRouter`: subnet -> tenant keying
+    in front of the cluster's shard routing.
+``shadow``
+    :class:`ShadowDeployment` / :func:`evaluate_candidate`: mirrored
+    scoring and the parity + recall promotion gate.
+``engine``
+    :class:`FabricEngine`: single-process serving across every tenant
+    lane.
+"""
+
+from repro.fabric.engine import FabricEngine
+from repro.fabric.registry import (
+    NO_VERSION,
+    AttachedFabric,
+    ModelRegistry,
+    RegistrySpec,
+)
+from repro.fabric.router import TenantKeyer, TenantRouter, subnet_of
+from repro.fabric.shadow import (
+    PromotionDecision,
+    ShadowDeployment,
+    attack_recall,
+    evaluate_candidate,
+)
+
+__all__ = [
+    "AttachedFabric",
+    "FabricEngine",
+    "ModelRegistry",
+    "NO_VERSION",
+    "PromotionDecision",
+    "RegistrySpec",
+    "ShadowDeployment",
+    "TenantKeyer",
+    "TenantRouter",
+    "attack_recall",
+    "evaluate_candidate",
+    "subnet_of",
+]

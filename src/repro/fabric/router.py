@@ -1,0 +1,153 @@
+"""Tenant keying in front of the cluster's shard routing.
+
+Tenancy and sharding are orthogonal axes: the :class:`~repro.cluster.router.
+ShardRouter` decides *which worker* owns a flow's state (consistent hashing
+of the canonical 5-tuple), while the :class:`TenantKeyer` decides *which
+model* scores it (which network segment the flow belongs to).  The
+:class:`TenantRouter` composes both so the coordinator stamps each frame's
+tenant column and routes it in the same pass.
+
+Keying is by source subnet, the deployment unit the paper's per-segment
+detectors map to: an explicit ``prefix -> tenant`` table first
+(longest-prefix match over both canonical endpoints, so direction
+canonicalization cannot flip a flow's tenant), then a stable-hash fallback
+(``stable_hash64`` of the /24, mod ``n_tenants``) that spreads unknown
+subnets deterministically -- the same process-stable hashing discipline as
+shard routing, so replay traces key identically across runs and hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.router import ShardRouter, stable_hash64
+from repro.exceptions import ConfigurationError
+from repro.nids.flow import FlowKey
+from repro.nids.packets import Packet
+
+#: Memo bound, mirroring ShardRouter's (tokens are bounded in practice; the
+#: cap is a leak guard for adversarial endpoint churn).
+_MEMO_MAX_ENTRIES = 1 << 20
+
+
+def subnet_of(ip: str) -> str:
+    """The /24 prefix of a dotted address (the tenant keying granularity)."""
+    return ip.rsplit(".", 1)[0]
+
+
+class TenantKeyer:
+    """Maps flow endpoints to tenant ids, stably across processes.
+
+    Parameters
+    ----------
+    prefixes:
+        Explicit ``ip-prefix -> tenant`` table (e.g. ``{"10.3.": 3}``);
+        matched longest-first against both canonical endpoints.
+    n_tenants:
+        Hash-fallback modulus for endpoints no prefix claims.  ``None``
+        with no matching prefix sends the flow to ``default``.
+    default:
+        Tenant for flows nothing else claims (default 0).
+    """
+
+    def __init__(
+        self,
+        prefixes: Optional[Dict[str, int]] = None,
+        n_tenants: Optional[int] = None,
+        default: int = 0,
+    ):
+        if n_tenants is not None and n_tenants < 1:
+            raise ConfigurationError("n_tenants must be >= 1")
+        self.prefixes = dict(prefixes or {})
+        self.n_tenants = int(n_tenants) if n_tenants is not None else None
+        self.default = int(default)
+        self._ordered = sorted(self.prefixes, key=len, reverse=True)
+        self._memo: Dict[str, int] = {}
+
+    @classmethod
+    def per_subnet(cls, n_tenants: int, base: str = "10") -> "TenantKeyer":
+        """One tenant per ``{base}.<i>.0/24`` internal subnet.
+
+        The layout :class:`~repro.nids.packets.TrafficGenerator` produces
+        when each tenant's generator gets ``subnet=f"{base}.<i>.0"``.
+        """
+        if n_tenants < 1:
+            raise ConfigurationError("n_tenants must be >= 1")
+        return cls(
+            prefixes={f"{base}.{i}.": i for i in range(n_tenants)},
+            n_tenants=n_tenants,
+        )
+
+    # ------------------------------------------------------------------- API
+    def tenant_of_ip(self, ip: str) -> Optional[int]:
+        """Tenant claiming ``ip`` via the prefix table, else None."""
+        for prefix in self._ordered:
+            if ip.startswith(prefix):
+                return self.prefixes[prefix]
+        return None
+
+    def __call__(self, ip_a: str, ip_b: str) -> int:
+        """Tenant of a flow's canonical endpoint pair.
+
+        The signature :meth:`repro.cluster.ring.PacketFrame.from_packets`
+        expects for its ``tenant_of`` hook.  Prefix claims win (the claimed
+        endpoint is the internal side); the hash fallback keys on
+        ``ip_a``'s subnet -- canonical, so direction-stable.
+        """
+        memo_key = f"{ip_a}|{ip_b}"
+        tenant = self._memo.get(memo_key)
+        if tenant is not None:
+            return tenant
+        claimed = self.tenant_of_ip(ip_a)
+        if claimed is None:
+            claimed = self.tenant_of_ip(ip_b)
+        if claimed is None:
+            if self.n_tenants is not None:
+                claimed = int(
+                    stable_hash64(f"subnet:{subnet_of(ip_a)}") % self.n_tenants
+                )
+            else:
+                claimed = self.default
+        if len(self._memo) < _MEMO_MAX_ENTRIES:
+            self._memo[memo_key] = claimed
+        return claimed
+
+    def tenant_of_key(self, key: FlowKey) -> int:
+        """Tenant of a canonical :class:`FlowKey`."""
+        return self(key.ip_a, key.ip_b)
+
+    def tenant_of_packet(self, packet: Packet) -> int:
+        """Tenant of one packet's flow (canonicalizes the direction first)."""
+        return self.tenant_of_key(FlowKey.from_packet(packet))
+
+    # Memoization is per-process state; a pickled keyer starts cold.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_memo"] = {}
+        return state
+
+
+class TenantRouter:
+    """Shard routing with tenant attribution: the fabric's dispatch front.
+
+    Wraps a :class:`ShardRouter` (flows land on workers exactly as before
+    -- tenancy must not move flow state between shards) and adds the
+    tenant keying the coordinator stamps into each frame's tenant column.
+    """
+
+    def __init__(self, keyer: TenantKeyer, n_workers: int, vnodes: int = 64):
+        self.keyer = keyer
+        self.shards = ShardRouter(n_workers, vnodes=vnodes)
+
+    @property
+    def n_workers(self) -> int:
+        """Worker count of the underlying shard ring."""
+        return self.shards.n_workers
+
+    def partition_packets(self, packets: Sequence[Packet]) -> List[List[Packet]]:
+        """Per-worker packet lists (delegates to the shard router)."""
+        return self.shards.partition_packets(packets)
+
+    def tenants_for_packets(self, packets: Iterable[Packet]) -> List[int]:
+        """Tenant id per packet (memoized through the keyer)."""
+        return [self.keyer.tenant_of_packet(p) for p in packets]

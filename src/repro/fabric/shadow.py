@@ -1,0 +1,283 @@
+"""Shadow/canary rollout: mirrored scoring as the promotion gate.
+
+A candidate model version never replaces a tenant's live version on faith.
+It first scores a *mirror* of the tenant's traffic alongside the live
+model, and promotion is gated on two checks over the mirrored outcomes:
+
+1. **Parity** -- the live model's per-flow records become an in-memory
+   :class:`~repro.replay.golden.GoldenTrace`, and the candidate's records
+   are diffed against it with the repository's serving-correctness oracle
+   (:func:`~repro.replay.golden.diff_against_golden`).  A retrain is
+   *expected* to move some decisions, so the gate accepts a bounded
+   divergence fraction rather than demanding exact parity; the default
+   budget of zero is the hot-fix/repack case where behaviour must not move.
+2. **Recall** -- the candidate's attack recall on the mirrored traffic's
+   ground-truth labels must not regress below the live model's by more
+   than ``recall_tolerance``.
+
+A corrupted candidate (e.g. bit-flipped packed words) fails both checks
+while the live model keeps serving untouched -- the decision object says
+*no* and nothing about the tenant's alias row has changed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.nids.packets import Packet
+from repro.nids.pipeline import DetectionPipeline
+from repro.replay.golden import (
+    CONFIDENCE_ATOL,
+    CONFIDENCE_RTOL,
+    GoldenTrace,
+    ParityReport,
+    diff_against_golden,
+)
+from repro.replay.replayer import predictions_from_detections
+from repro.serving.stages import FlowPrediction
+
+
+def attack_recall(
+    records: Iterable[FlowPrediction], is_attack, default: float = 1.0
+) -> float:
+    """Fraction of ground-truth attack flows the model flagged.
+
+    ``is_attack`` is the label-space predicate (ground-truth labels and
+    class names share a label space).  Mirrored slices with no attack
+    flows cannot measure recall; they return ``default`` so an all-benign
+    mirror does not veto promotion.
+    """
+    attacks = flagged = 0
+    for record in records:
+        if is_attack(record.label):
+            attacks += 1
+            if record.flagged:
+                flagged += 1
+    return flagged / attacks if attacks else default
+
+
+@dataclass
+class PromotionDecision:
+    """Outcome of one shadow evaluation: the promotion gate's evidence."""
+
+    tenant: int
+    live_version: int
+    candidate_version: int
+    parity: ParityReport
+    live_recall: float
+    candidate_recall: float
+    recall_tolerance: float
+    divergence_budget: float
+    #: Candidate wall time as a fraction of live wall time -- the cost of
+    #: serving the mirror (1.0 = mirroring doubled the scoring work).
+    shadow_overhead_fraction: float
+    n_flows: int
+
+    @property
+    def divergence_fraction(self) -> float:
+        """Fraction of golden flows with *any* mismatch (unique tokens)."""
+        if self.parity.n_golden == 0:
+            return 0.0
+        diverged = set(self.parity.missing_flows)
+        diverged.update(self.parity.extra_flows)
+        diverged.update(self.parity.prediction_mismatches)
+        diverged.update(self.parity.flag_mismatches)
+        diverged.update(self.parity.confidence_mismatches)
+        return len(diverged) / self.parity.n_golden
+
+    @property
+    def parity_ok(self) -> bool:
+        """Divergence within budget (exact parity when the budget is 0)."""
+        return self.divergence_fraction <= self.divergence_budget
+
+    @property
+    def recall_ok(self) -> bool:
+        """Candidate recall within tolerance of live recall."""
+        return self.candidate_recall >= self.live_recall - self.recall_tolerance
+
+    @property
+    def ok(self) -> bool:
+        """The promotion gate: both parity and recall must hold."""
+        return self.parity_ok and self.recall_ok
+
+    def summary(self) -> str:
+        """One-line verdict for CLI output."""
+        verdict = "PROMOTE" if self.ok else "REJECT"
+        return (
+            f"tenant {self.tenant} v{self.candidate_version} vs live "
+            f"v{self.live_version}: {verdict} "
+            f"(divergence {self.divergence_fraction:.4f}/"
+            f"{self.divergence_budget:.4f}, recall "
+            f"{self.candidate_recall:.4f} vs live {self.live_recall:.4f}, "
+            f"shadow overhead {self.shadow_overhead_fraction:.2f}x)"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view."""
+        return {
+            "tenant": self.tenant,
+            "live_version": self.live_version,
+            "candidate_version": self.candidate_version,
+            "ok": self.ok,
+            "parity_ok": self.parity_ok,
+            "recall_ok": self.recall_ok,
+            "divergence_fraction": self.divergence_fraction,
+            "divergence_budget": self.divergence_budget,
+            "live_recall": self.live_recall,
+            "candidate_recall": self.candidate_recall,
+            "recall_tolerance": self.recall_tolerance,
+            "shadow_overhead_fraction": self.shadow_overhead_fraction,
+            "n_flows": self.n_flows,
+            "parity": self.parity.to_dict(),
+        }
+
+
+def _score(
+    pipeline: DetectionPipeline, packets: Sequence[Packet], idle_timeout: float
+):
+    """Mirrored batch scoring: per-flow records plus wall seconds."""
+    pipeline.alert_manager.clear()
+    start = time.perf_counter()
+    result = pipeline.detect_packets(packets, idle_timeout=idle_timeout)
+    elapsed = time.perf_counter() - start
+    return predictions_from_detections([result], pipeline), elapsed
+
+
+def evaluate_candidate(
+    live: DetectionPipeline,
+    candidate: DetectionPipeline,
+    packets: Sequence[Packet],
+    tenant: int = 0,
+    live_version: int = 0,
+    candidate_version: int = 0,
+    idle_timeout: float = 5.0,
+    recall_tolerance: float = 0.0,
+    divergence_budget: float = 0.0,
+    rtol: float = CONFIDENCE_RTOL,
+    atol: float = CONFIDENCE_ATOL,
+) -> PromotionDecision:
+    """Score mirrored traffic on both models and build the gate's decision.
+
+    The live model runs first and its records are the golden reference;
+    the candidate's shadow pass is timed against it, which is where the
+    reported ``shadow_overhead_fraction`` comes from.
+    """
+    if not packets:
+        raise ConfigurationError("shadow evaluation needs a non-empty mirror slice")
+    live_records, live_seconds = _score(live, packets, idle_timeout)
+    candidate_records, shadow_seconds = _score(candidate, packets, idle_timeout)
+    golden = GoldenTrace(trace_name=f"shadow-t{tenant}", records=live_records)
+    parity = diff_against_golden(
+        golden,
+        candidate_records,
+        path=f"shadow_t{tenant}_v{candidate_version}",
+        rtol=rtol,
+        atol=atol,
+    )
+    return PromotionDecision(
+        tenant=int(tenant),
+        live_version=int(live_version),
+        candidate_version=int(candidate_version),
+        parity=parity,
+        live_recall=attack_recall(live_records.values(), live.is_attack_class),
+        candidate_recall=attack_recall(
+            candidate_records.values(), live.is_attack_class
+        ),
+        recall_tolerance=float(recall_tolerance),
+        divergence_budget=float(divergence_budget),
+        shadow_overhead_fraction=shadow_seconds / max(live_seconds, 1e-9),
+        n_flows=len(live_records),
+    )
+
+
+class ShadowDeployment:
+    """Drives one tenant's candidate through shadow scoring to promotion.
+
+    Attaches both the tenant's live version and the candidate from the
+    registry (fresh replicas, so shadow scoring perturbs neither), runs
+    :func:`evaluate_candidate` over a mirror slice, and -- only if the
+    gate says yes -- flips the tenant's alias to the candidate.
+    """
+
+    def __init__(
+        self,
+        registry,
+        tenant: int,
+        candidate_version: int,
+        recall_tolerance: float = 0.0,
+        divergence_budget: float = 0.0,
+        idle_timeout: float = 5.0,
+        fault_injector=None,
+    ):
+        from repro.cluster.shared_model import AttachedPublication
+
+        self.registry = registry
+        self.tenant = int(tenant)
+        self.candidate_version = int(candidate_version)
+        self.recall_tolerance = float(recall_tolerance)
+        self.divergence_budget = float(divergence_budget)
+        self.idle_timeout = float(idle_timeout)
+        self.live_version = registry.live_version(self.tenant)
+        if self.live_version == self.candidate_version:
+            raise ConfigurationError(
+                f"tenant {self.tenant}: candidate v{self.candidate_version} is "
+                "already live; nothing to shadow"
+            )
+        self._attach = AttachedPublication
+        self._attachments = []
+        #: Optional :class:`~repro.serving.faults.ServingFaultInjector`
+        #: applied to the candidate's serving replica before the mirror
+        #: runs -- the negative-path drill: a bit-flipped candidate must be
+        #: rejected while the live model keeps serving.  (The injector
+        #: corrupts the replica's private packed copy; the published
+        #: candidate blocks stay pristine.)
+        self.fault_injector = fault_injector
+
+    def _replica(self, version: int) -> DetectionPipeline:
+        # The replica's encoder tensors are zero-copy views into the
+        # publication's shm blocks, so the attachment must stay open for
+        # the replica's lifetime (released in :meth:`close`).
+        attached = self._attach(self.registry.publication(self.tenant, version).spec())
+        self._attachments.append(attached)
+        return attached.build_replica()
+
+    def evaluate(self, packets: Sequence[Packet]) -> PromotionDecision:
+        """Run the mirror; no registry state changes."""
+        candidate = self._replica(self.candidate_version)
+        if self.fault_injector is not None:
+            self.fault_injector.inject(candidate.classifier)
+        return evaluate_candidate(
+            self._replica(self.live_version),
+            candidate,
+            packets,
+            tenant=self.tenant,
+            live_version=self.live_version,
+            candidate_version=self.candidate_version,
+            idle_timeout=self.idle_timeout,
+            recall_tolerance=self.recall_tolerance,
+            divergence_budget=self.divergence_budget,
+        )
+
+    def promote_if_ok(
+        self, packets: Sequence[Packet]
+    ) -> PromotionDecision:
+        """Evaluate, and flip the tenant's alias only on a clean gate."""
+        decision = self.evaluate(packets)
+        if decision.ok:
+            self.registry.promote(self.tenant, self.candidate_version)
+        return decision
+
+    def close(self) -> None:
+        """Detach the shadow replicas from the publications' blocks."""
+        for attached in self._attachments:
+            attached.close()
+        self._attachments = []
+
+    def __enter__(self) -> "ShadowDeployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

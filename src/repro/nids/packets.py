@@ -147,6 +147,11 @@ class TrafficGenerator:
         attack profiles sharing the remainder.
     n_hosts:
         Number of distinct internal hosts generating traffic.
+    subnet:
+        Dotted /24 prefix the internal hosts live in (``"10.0.0"`` by
+        default).  The multi-tenant fabric keys flows to tenants by source
+        subnet, so per-tenant generators use distinct prefixes
+        (``"10.<tenant>.0"``) to produce attributable traffic.
     seed:
         RNG seed.
     """
@@ -156,6 +161,7 @@ class TrafficGenerator:
         profiles: Sequence[TrafficProfile] = DEFAULT_PROFILES,
         profile_weights: Optional[Sequence[float]] = None,
         n_hosts: int = 32,
+        subnet: str = "10.0.0",
         seed: SeedLike = None,
     ):
         if not profiles:
@@ -179,13 +185,19 @@ class TrafficGenerator:
         if n_hosts < 2:
             raise ConfigurationError("n_hosts must be >= 2")
         self._n_hosts = int(n_hosts)
+        subnet = str(subnet).rstrip(".")
+        if not subnet or len(subnet.split(".")) != 3:
+            raise ConfigurationError(
+                f"subnet must be a dotted /24 prefix like '10.0.0', got {subnet!r}"
+            )
+        self.subnet = subnet
         self._rng = ensure_rng(seed)
 
     # ------------------------------------------------------------------- API
     def generate_flow_packets(self, profile: TrafficProfile, start_time: float) -> List[Packet]:
         """Generate the packets of a single flow following ``profile``."""
         rng = self._rng
-        src_ip = f"10.0.0.{rng.integers(2, self._n_hosts + 2)}"
+        src_ip = f"{self.subnet}.{rng.integers(2, self._n_hosts + 2)}"
         dst_ip = f"192.168.1.{rng.integers(2, 250)}"
         src_port = int(rng.integers(1024, 65535))
         base_port = int(rng.choice(profile.dst_ports))

@@ -274,6 +274,48 @@ def pipeline_from_state(state, copy_arrays: bool = True) -> DetectionPipeline:
     return pipeline
 
 
+#: Separator between a namespace tag and the state key inside one archive.
+#: Chosen to never collide with state-dict keys (which are identifiers).
+_NAMESPACE_SEP = "::"
+
+
+def pack_namespaced_states(
+    states: Dict[str, Dict[str, np.ndarray]]
+) -> Dict[str, np.ndarray]:
+    """Flatten many state dicts into one ``np.savez``-able payload.
+
+    Each entry of ``states`` maps a namespace tag (e.g. the fabric
+    registry's ``"t00003v00002"`` tenant/version slot) to a full pipeline
+    state dict; keys come back as ``"<tag>::<key>"``.  Tags must not contain
+    the separator.
+    """
+    payload: Dict[str, np.ndarray] = {}
+    for tag, state in states.items():
+        if _NAMESPACE_SEP in tag:
+            raise ConfigurationError(
+                f"namespace tag {tag!r} must not contain {_NAMESPACE_SEP!r}"
+            )
+        for key, value in state.items():
+            payload[f"{tag}{_NAMESPACE_SEP}{key}"] = np.asarray(value)
+    return payload
+
+
+def unpack_namespaced_states(archive) -> Dict[str, Dict[str, np.ndarray]]:
+    """Invert :func:`pack_namespaced_states` over an archive or array dict.
+
+    Keys without the namespace separator are ignored, so namespaced states
+    can ride in the same archive as flat metadata arrays.
+    """
+    states: Dict[str, Dict[str, np.ndarray]] = {}
+    keys = archive.files if hasattr(archive, "files") else archive.keys()
+    for full_key in keys:
+        tag, sep, key = full_key.partition(_NAMESPACE_SEP)
+        if not sep:
+            continue
+        states.setdefault(tag, {})[key] = archive[full_key]
+    return states
+
+
 def save_pipeline(pipeline: DetectionPipeline, path: Union[str, Path]) -> Path:
     """Serialize a trained :class:`DetectionPipeline` for serving deployment.
 

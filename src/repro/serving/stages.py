@@ -336,6 +336,96 @@ class ClassifyStage(Stage):
         batch.predictions = [self.class_names[classes[i]] for i in pred_idx]
 
 
+class TenantRoutedStage(Stage):
+    """Routes each assembled flow to its tenant's serving sub-chain.
+
+    The multi-tenant fabric's serving composite: after flow assembly, the
+    batch's flows are partitioned by tenant and each partition runs the
+    *tenant's own* extract -> classify -> alert chain (per-tenant scalers
+    and class tables make a shared chain incorrect), with telemetry split
+    per tenant.  Results are merged back into the parent batch with flows,
+    predictions and confidences kept aligned; per-tenant score matrices are
+    not merged (tenants may disagree on class count), so ``batch.scores``
+    stays ``None``.
+
+    ``chain_for`` resolves a tenant's current stage chain *per batch*,
+    which is what lets a hot-swapped model take effect on the next batch
+    without rebuilding this stage.
+    """
+
+    name = "tenant"
+
+    def __init__(
+        self,
+        tenant_of: Callable[[Any], int],
+        chain_for: Callable[[int], Sequence[Stage]],
+        on_tenant_batch: Optional[Callable[[int, "ServingBatch"], None]] = None,
+    ):
+        self.tenant_of = tenant_of
+        self.chain_for = chain_for
+        #: Called with ``(tenant, sub_batch)`` after a tenant's chain ran --
+        #: the fabric engine's per-tenant online-learning hook.
+        self.on_tenant_batch = on_tenant_batch
+        #: Per-tenant telemetry recorders (created on first traffic).
+        self.tenant_telemetry: Dict[int, TelemetryRecorder] = {}
+        #: Per-tenant served-flow / alert counters.
+        self.tenant_flows: Dict[int, int] = {}
+        self.tenant_alerts: Dict[int, int] = {}
+
+    def _telemetry(self, tenant: int) -> TelemetryRecorder:
+        recorder = self.tenant_telemetry.get(tenant)
+        if recorder is None:
+            recorder = self.tenant_telemetry[tenant] = TelemetryRecorder()
+        return recorder
+
+    def process(self, batch: ServingBatch) -> None:
+        if not batch.flows:
+            batch.confidences = np.zeros(0)
+            return
+        partitions: Dict[int, List[FlowRecord]] = {}
+        for flow in batch.flows:
+            partitions.setdefault(int(self.tenant_of(flow)), []).append(flow)
+        merged_flows: List[FlowRecord] = []
+        merged_labels: List[str] = []
+        merged_predictions: List[str] = []
+        merged_confidences: List[np.ndarray] = []
+        for tenant in sorted(partitions):
+            sub = ServingBatch(flows=partitions[tenant])
+            recorder = self._telemetry(tenant)
+            for stage in self.chain_for(tenant):
+                stage.run(sub, recorder)
+            recorder.record_items(sub.n_flows)
+            if self.on_tenant_batch is not None:
+                self.on_tenant_batch(tenant, sub)
+            merged_flows.extend(sub.flows)
+            merged_labels.extend(sub.labels)
+            merged_predictions.extend(sub.predictions)
+            if sub.confidences is not None:
+                merged_confidences.append(np.asarray(sub.confidences))
+            batch.alerts.extend(sub.alerts)
+            self.tenant_flows[tenant] = self.tenant_flows.get(tenant, 0) + sub.n_flows
+            self.tenant_alerts[tenant] = (
+                self.tenant_alerts.get(tenant, 0) + len(sub.alerts)
+            )
+        batch.flows = merged_flows
+        batch.labels = merged_labels
+        batch.predictions = merged_predictions
+        batch.confidences = (
+            np.concatenate(merged_confidences) if merged_confidences else np.zeros(0)
+        )
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant counters + telemetry summaries (JSON-friendly)."""
+        return {
+            str(tenant): {
+                "flows": self.tenant_flows.get(tenant, 0),
+                "alerts": self.tenant_alerts.get(tenant, 0),
+                "stages": recorder.to_dict(),
+            }
+            for tenant, recorder in self.tenant_telemetry.items()
+        }
+
+
 class AlertStage(Stage):
     """Raises alerts for flows predicted as attack classes."""
 

@@ -218,6 +218,47 @@ class TestModelPublication:
             )
             attached.close()
 
+    def test_bump_generation_visible_to_attached_reader(self, trained_pipeline):
+        with ModelPublication(trained_pipeline) as publication:
+            with AttachedPublication(publication.spec()) as attached:
+                assert attached.generation == 0
+                assert publication.bump_generation() == 1
+                assert attached.generation == 1
+                assert publication.bump_generation() == 2
+                assert attached.generation == 2
+
+    def test_repack_visible_to_attached_reader(self):
+        packets = TrafficGenerator(seed=3).generate(120)
+        pipeline = DetectionPipeline(
+            classifier=CyberHD(dim=96, epochs=3, seed=3, inference_bits=1)
+        ).fit_packets(packets)
+        with ModelPublication(pipeline) as publication:
+            with AttachedPublication(publication.spec()) as attached:
+                replica = attached.build_replica()
+                assert replica.classifier._packed_classes.shared
+                before = np.array(attached.packed_matrix().words, copy=True)
+                # Negating the float matrix flips every sign bit the packed
+                # model is derived from.
+                publication.class_matrix[...] *= -1.0
+                publication.class_norms[:] = row_norms(publication.class_matrix)
+                assert publication.repack() is True
+                generation = publication.bump_generation()
+                after = attached.packed_matrix()
+                assert not np.array_equal(before, after.words)
+                # state_dict reads the repacked words back from the blocks.
+                np.testing.assert_array_equal(
+                    publication.state_dict()["packed_words"], after.words
+                )
+                # A rebased replica re-attaches the repacked shared words.
+                assert attached.refresh_replica(replica.classifier) == generation
+                np.testing.assert_array_equal(
+                    replica.classifier._packed_classes.words, after.words
+                )
+
+    def test_repack_without_packed_model_is_noop(self, trained_pipeline):
+        with ModelPublication(trained_pipeline) as publication:
+            assert publication.repack() is False
+
 
 class TestDeltaMerge:
     def test_merge_class_deltas_math_and_norms(self):

@@ -1,0 +1,35 @@
+"""Cascaded detection: packed binary pre-filter -> multiclass escalation.
+
+Every flow hits the 1-bit packed benign/attack pre-filter; only suspicious
+flows (predicted attack, or benign under the escalation margin) escalate to
+the multiclass head that names the attack category.  See ``docs/cascade.md``.
+"""
+
+from repro.cascade.cluster import CascadeSpec, attach_cascade, publish_prefilter
+from repro.cascade.pipeline import (
+    PREFILTER_CLASS_NAMES,
+    CascadeConfig,
+    CascadeEvaluation,
+    CascadePipeline,
+    cascade_with_margin,
+    train_cascade_dataset,
+    train_cascade_flows,
+    train_cascade_packets,
+)
+from repro.cascade.stage import CascadeClassifyStage, classifier_scores
+
+__all__ = [
+    "PREFILTER_CLASS_NAMES",
+    "CascadeClassifyStage",
+    "CascadeConfig",
+    "CascadeEvaluation",
+    "CascadePipeline",
+    "CascadeSpec",
+    "attach_cascade",
+    "cascade_with_margin",
+    "classifier_scores",
+    "publish_prefilter",
+    "train_cascade_dataset",
+    "train_cascade_flows",
+    "train_cascade_packets",
+]

@@ -1,0 +1,81 @@
+"""Cluster-side cascade wiring: publish both heads over shared memory.
+
+The coordinator publishes the *multiclass head* through its ordinary
+:class:`~repro.cluster.shared_model.ModelPublication` (a
+:class:`~repro.cascade.pipeline.CascadePipeline` *is* a
+``DetectionPipeline`` whose classifier is the head, so the existing
+publication path needs no change).  The *pre-filter* rides in a second
+publication whose picklable attach handle travels to every worker inside a
+:class:`CascadeSpec`; workers attach both, rebuild zero-copy replicas and
+compose the cascade stage chain locally.  Worker respawn re-ships the same
+``WorkerConfig`` (spec included), so a replacement incarnation reattaches
+the cascade automatically -- exactly the fabric attach contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cascade.pipeline import CascadeConfig, CascadePipeline
+from repro.cluster.shared_model import (
+    AttachedPublication,
+    ModelPublication,
+    PublicationSpec,
+)
+from repro.nids.pipeline import DetectionPipeline
+
+
+@dataclass(frozen=True)
+class CascadeSpec:
+    """Picklable worker bootstrap for cascade serving.
+
+    Travels inside :class:`~repro.cluster.worker.WorkerConfig` next to the
+    main (multiclass-head) publication spec.
+    """
+
+    #: Attach handle of the pre-filter's shared-memory publication.
+    prefilter: PublicationSpec
+    escalation_margin: float
+    #: Multiclass class name assigned to flows the pre-filter clears.
+    benign_class: str
+
+
+def publish_prefilter(
+    cascade: CascadePipeline, name_prefix: str = "rc"
+) -> Tuple[ModelPublication, CascadeSpec]:
+    """Publish the cascade's pre-filter head; returns (publication, spec).
+
+    The caller (the cluster coordinator) owns the returned publication's
+    lifecycle -- ``close(unlink=True)`` at shutdown, exactly like the main
+    model publication.
+    """
+    publication = ModelPublication(cascade.prefilter, name_prefix=name_prefix)
+    spec = CascadeSpec(
+        prefilter=publication.spec(),
+        escalation_margin=cascade.escalation_margin,
+        benign_class=cascade.benign_class,
+    )
+    return publication, spec
+
+
+def attach_cascade(
+    spec: CascadeSpec, multiclass: DetectionPipeline
+) -> Tuple[AttachedPublication, CascadePipeline]:
+    """Worker-side: attach the pre-filter and compose the cascade replica.
+
+    ``multiclass`` is the replica the worker already built from the main
+    publication.  Returns the pre-filter attachment (the worker must
+    ``close()`` it on exit, never unlink) and the composed cascade.
+    """
+    attached = AttachedPublication(spec.prefilter)
+    prefilter = attached.build_replica()
+    cascade = CascadePipeline(
+        prefilter,
+        multiclass,
+        config=CascadeConfig(
+            escalation_margin=spec.escalation_margin,
+            benign_class=spec.benign_class,
+        ),
+    )
+    return attached, cascade

@@ -1,0 +1,434 @@
+"""The cascaded detection pipeline and its training entry points.
+
+A :class:`CascadePipeline` is a :class:`~repro.nids.pipeline.DetectionPipeline`
+whose classification stage is the two-head cascade
+(:class:`~repro.cascade.stage.CascadeClassifyStage`): a packed binary
+benign/attack pre-filter screens every flow, and only suspicious flows
+escalate to the multiclass head that names the attack category.  Because it
+*is* a ``DetectionPipeline`` -- same ``stages`` contract, same
+``build_serving_stages``, same ``detect_flows`` -- the streaming detector,
+the trace replayer and the golden-trace differential harness serve it
+unchanged.
+
+The two heads share the feature extractor and the training-time scaler, so
+the escalated slice sees byte-identical features to a standalone multiclass
+pipeline -- that is the property the parity tests pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cascade.stage import CascadeClassifyStage
+from repro.core.cyberhd import CyberHD
+from repro.datasets.base import NIDSDataset
+from repro.datasets.preprocessing import MinMaxScaler
+from repro.exceptions import ConfigurationError
+from repro.nids.flow import FlowRecord, FlowTable
+from repro.nids.metrics import DetectionReport, detection_report
+from repro.nids.packets import Packet
+from repro.nids.pipeline import DetectionPipeline
+from repro.serving.stages import (
+    AlertStage,
+    FeatureExtractionStage,
+    ServingBatch,
+    Stage,
+)
+
+#: Pre-filter class labels: benign is 0, attack is 1 (the ``to_binary``
+#: convention of :class:`~repro.datasets.base.NIDSDataset`).
+PREFILTER_CLASS_NAMES = ("benign", "attack")
+
+
+@dataclass(frozen=True)
+class CascadeConfig:
+    """Knobs of a cascaded detector.
+
+    Attributes
+    ----------
+    escalation_margin:
+        Benign-predicted flows whose pre-filter margin falls below this
+        escalate anyway (``0`` = trust every benign verdict, ``1`` =
+        escalate everything).  Binary HDC margins are *normalized* score
+        gaps and sit well under 0.05 in practice -- the benign/attack
+        prototypes are highly correlated -- so useful thresholds are in the
+        0.002-0.02 range (see ``docs/cascade.md`` for the tuning table).
+    prefilter_dim:
+        Hypervector dimensionality of the binary pre-filter.  ``None``
+        inherits the multiclass head's dimension; the binary task is much
+        easier than category naming, so a smaller pre-filter (e.g. 1-2k
+        against a 4k head) buys most of the cascade's throughput headroom.
+    prefilter_bits:
+        Quantization of the pre-filter's inference path; ``1`` (default)
+        serves the packed XOR/popcount fabric.
+    multiclass_bits:
+        Quantization of the escalation head; ``None`` = full float32.
+    benign_class:
+        Multiclass class name assigned to cleared flows; ``None`` picks the
+        first non-attack name in the head's label table.
+    """
+
+    escalation_margin: float = 0.01
+    prefilter_dim: Optional[int] = None
+    prefilter_bits: int = 1
+    multiclass_bits: Optional[int] = None
+    benign_class: Optional[str] = None
+
+    def validate(self) -> "CascadeConfig":
+        """Check parameter ranges and return ``self``."""
+        if not 0.0 <= self.escalation_margin <= 1.0:
+            raise ConfigurationError(
+                f"escalation_margin must be in [0, 1], got {self.escalation_margin}"
+            )
+        if self.prefilter_dim is not None and self.prefilter_dim < 64:
+            raise ConfigurationError("prefilter_dim must be >= 64")
+        if self.prefilter_bits < 1:
+            raise ConfigurationError("prefilter_bits must be >= 1")
+        if self.multiclass_bits is not None and self.multiclass_bits < 1:
+            raise ConfigurationError("multiclass_bits must be >= 1")
+        return self
+
+
+@dataclass
+class CascadeEvaluation:
+    """Outcome of evaluating a cascade on a tabular test split."""
+
+    #: Full-population detection report in the multiclass label space.
+    report: DetectionReport
+    #: Detection report restricted to the escalated slice.
+    escalated_report: Optional[DetectionReport]
+    #: Which test rows escalated to the multiclass head.
+    escalated: np.ndarray
+    #: Cascade predictions (multiclass label indices) for every test row.
+    predictions: np.ndarray
+
+    @property
+    def escalation_fraction(self) -> float:
+        """Fraction of evaluated rows that escalated."""
+        if self.escalated.size == 0:
+            return 0.0
+        return float(np.mean(self.escalated))
+
+
+class CascadePipeline(DetectionPipeline):
+    """Packed pre-filter -> multiclass escalation, as one detection pipeline.
+
+    Parameters
+    ----------
+    prefilter:
+        A trained binary benign/attack :class:`DetectionPipeline` (two
+        classes, typically 1-bit packed).
+    multiclass:
+        A trained multiclass :class:`DetectionPipeline` naming attack
+        categories.  The cascade adopts its extractor, scaler, label table
+        and benign set; ``self.classifier`` is the multiclass head, so
+        head-level APIs (``evaluate_dataset``, persistence of the head,
+        cluster publication) keep working.
+    config:
+        A :class:`CascadeConfig` (margin + benign naming; the dim/bits
+        fields only matter to the training helpers).
+    """
+
+    def __init__(
+        self,
+        prefilter: DetectionPipeline,
+        multiclass: DetectionPipeline,
+        config: Optional[CascadeConfig] = None,
+        alert_manager=None,
+        telemetry=None,
+    ):
+        config = (config or CascadeConfig()).validate()
+        if not prefilter.is_fitted:
+            raise ConfigurationError("the cascade pre-filter is not trained")
+        if not multiclass.is_fitted:
+            raise ConfigurationError("the cascade multiclass head is not trained")
+        if len(prefilter.class_names) != 2:
+            raise ConfigurationError(
+                "the cascade pre-filter must be binary; got classes "
+                f"{prefilter.class_names!r}"
+            )
+        super().__init__(
+            classifier=multiclass.classifier,
+            benign_classes=multiclass._benign,
+            alert_manager=alert_manager or multiclass.alert_manager,
+            telemetry=telemetry,
+        )
+        self.prefilter = prefilter
+        self.multiclass = multiclass
+        self.config = config
+        self.extractor = multiclass.extractor
+        self._scaler = multiclass._scaler
+        self._class_names = multiclass._class_names
+        prefilter_benign = next(
+            (
+                name
+                for name in prefilter.class_names
+                if not prefilter.is_attack_class(name)
+            ),
+            None,
+        )
+        if prefilter_benign is None:
+            raise ConfigurationError(
+                "the pre-filter's class table carries no benign class: "
+                f"{prefilter.class_names!r}"
+            )
+        benign = config.benign_class or next(
+            (name for name in self._class_names if not self.is_attack_class(name)),
+            None,
+        )
+        if benign is None or benign not in self._class_names:
+            raise ConfigurationError(
+                "the cascade needs a benign class in the multiclass label "
+                f"table to assign cleared flows to; got {benign!r} against "
+                f"{self._class_names!r}"
+            )
+        self.benign_class = benign
+        self.cascade_stage = CascadeClassifyStage(
+            prefilter=prefilter.classifier,
+            prefilter_class_names=prefilter.class_names,
+            multiclass=multiclass.classifier,
+            class_names=self._class_names,
+            benign_class=benign,
+            escalation_margin=config.escalation_margin,
+            prefilter_benign=prefilter_benign,
+        )
+
+    # ------------------------------------------------------------ properties
+    @property
+    def escalation_margin(self) -> float:
+        """The configured escalation threshold."""
+        return self.cascade_stage.escalation_margin
+
+    @property
+    def stages(self) -> List[Stage]:
+        """extract -> cascade (pre-filter + escalate) -> alert."""
+        if self._stages is None:
+            self._stages = [
+                FeatureExtractionStage(self.extractor, self._scaler),
+                self.cascade_stage,
+                AlertStage(self.is_attack_class, self.alert_manager),
+            ]
+        return self._stages
+
+    def cascade_stats(self) -> Dict[str, Any]:
+        """Lifetime pre-filter/escalation counters."""
+        return self.cascade_stage.to_dict()
+
+    # --------------------------------------------------------------- no refit
+    def fit_dataset(self, dataset: NIDSDataset) -> "DetectionPipeline":
+        raise ConfigurationError(
+            "a CascadePipeline composes two already-trained heads; train them "
+            "with train_cascade_dataset()/train_cascade_flows() instead"
+        )
+
+    def fit_flows(self, flows: Sequence[FlowRecord]) -> "DetectionPipeline":
+        raise ConfigurationError(
+            "a CascadePipeline composes two already-trained heads; train them "
+            "with train_cascade_dataset()/train_cascade_flows() instead"
+        )
+
+    def partial_fit_flows(self, flows: Sequence[FlowRecord]) -> int:
+        raise ConfigurationError(
+            "online learning on a cascade is ambiguous (two heads, two label "
+            "spaces); adapt the heads individually and rebuild the cascade"
+        )
+
+    # --------------------------------------------------------------- evaluate
+    def classify_matrix(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Cascade predictions for pre-extracted features.
+
+        Returns ``(label_indices, escalated_mask)`` in the multiclass label
+        space -- the tabular twin of ``detect_flows`` used by the evaluation
+        and benchmark paths.
+        """
+        batch = ServingBatch(features=np.asarray(X))
+        self.cascade_stage.run(batch, self.telemetry)
+        name_to_index = {name: i for i, name in enumerate(self.class_names)}
+        labels = np.asarray(
+            [name_to_index[p] for p in batch.predictions], dtype=np.int64
+        )
+        mask = self.cascade_stage.last_escalation_mask
+        assert mask is not None
+        return labels, mask
+
+    def evaluate_cascade(self, dataset: NIDSDataset) -> CascadeEvaluation:
+        """Full cascade evaluation on a dataset's test split.
+
+        Unlike the inherited ``evaluate_dataset`` (which scores the
+        multiclass head alone), this runs the actual two-stage path and
+        reports both the end-to-end detection report and the report
+        restricted to the escalated slice -- the slice whose predictions
+        must match the standalone head bit for bit.
+        """
+        if tuple(dataset.class_names) != self.class_names:
+            raise ConfigurationError(
+                "dataset label table does not match the cascade's multiclass "
+                f"head: {tuple(dataset.class_names)!r} vs {self.class_names!r}"
+            )
+        predictions, escalated = self.classify_matrix(dataset.X_test)
+        attack_mask = (
+            dataset.schema.attack_mask if dataset.schema is not None else None
+        )
+        report = detection_report(
+            dataset.y_test, predictions, self.class_names, attack_mask=attack_mask
+        )
+        escalated_report = None
+        if escalated.any():
+            escalated_report = detection_report(
+                dataset.y_test[escalated],
+                predictions[escalated],
+                self.class_names,
+                attack_mask=attack_mask,
+            )
+        return CascadeEvaluation(
+            report=report,
+            escalated_report=escalated_report,
+            escalated=escalated,
+            predictions=predictions,
+        )
+
+
+# ----------------------------------------------------------------- training
+def _head_model(
+    dim: int, epochs: int, seed: Optional[int], inference_bits: Optional[int]
+) -> CyberHD:
+    return CyberHD(dim=dim, epochs=epochs, seed=seed, inference_bits=inference_bits)
+
+
+def train_cascade_dataset(
+    dataset: NIDSDataset,
+    config: Optional[CascadeConfig] = None,
+    dim: int = 2048,
+    epochs: int = 5,
+    seed: int = 0,
+) -> CascadePipeline:
+    """Train both cascade heads on a tabular dataset.
+
+    The pre-filter trains on the dataset's binary benign/attack view
+    (``dataset.to_binary()``, which carries a synthesized two-class schema)
+    at ``config.prefilter_dim`` with ``config.prefilter_bits`` inference;
+    the multiclass head trains on the full label space at ``dim``.
+    """
+    config = (config or CascadeConfig()).validate()
+    if dataset.schema is None:
+        raise ConfigurationError(
+            "training a cascade from a dataset requires a schema with attack "
+            "flags (to derive the binary pre-filter view)"
+        )
+    binary = dataset.to_binary()
+    prefilter = DetectionPipeline(
+        _head_model(
+            config.prefilter_dim or dim, epochs, seed, config.prefilter_bits
+        )
+    ).fit_dataset(binary)
+    multiclass = DetectionPipeline(
+        _head_model(dim, epochs, seed, config.multiclass_bits)
+    ).fit_dataset(dataset)
+    return CascadePipeline(prefilter, multiclass, config=config)
+
+
+def train_cascade_flows(
+    flows: Sequence[FlowRecord],
+    config: Optional[CascadeConfig] = None,
+    dim: int = 2048,
+    epochs: int = 5,
+    seed: int = 0,
+    benign_names: Sequence[str] = DetectionPipeline.DEFAULT_BENIGN_NAMES,
+) -> CascadePipeline:
+    """Train both cascade heads from labeled flow records.
+
+    Features are extracted and min-max scaled **once** and shared by both
+    heads (identical scaling is what guarantees escalated-slice parity with
+    a standalone multiclass pipeline).  Labels in ``benign_names``
+    (case-insensitive) collapse to the pre-filter's benign class; everything
+    else is attack.
+    """
+    config = (config or CascadeConfig()).validate()
+    flows = list(flows)
+    if not flows:
+        raise ConfigurationError("cannot train a cascade on an empty flow list")
+    benign = {name.lower() for name in benign_names}
+
+    multiclass = DetectionPipeline(
+        _head_model(dim, epochs, seed, config.multiclass_bits),
+        benign_classes=benign_names,
+    )
+    X_raw, labels = multiclass.extractor.extract_batch(flows)
+    class_names = tuple(sorted(set(labels)))
+    if len(class_names) < 2:
+        raise ConfigurationError(
+            "cascade training flows must contain at least two classes"
+        )
+    if not any(name.lower() in benign for name in class_names):
+        raise ConfigurationError(
+            f"cascade training flows carry no benign label ({class_names!r}); "
+            "the pre-filter needs both sides of the binary task"
+        )
+    if all(name.lower() in benign for name in class_names):
+        raise ConfigurationError(
+            f"cascade training flows carry no attack label ({class_names!r})"
+        )
+    name_to_index = {name: i for i, name in enumerate(class_names)}
+    y_multi = np.asarray([name_to_index[label] for label in labels], dtype=np.int64)
+    y_binary = np.asarray(
+        [0 if label.lower() in benign else 1 for label in labels], dtype=np.int64
+    )
+    scaler = MinMaxScaler().fit(X_raw)
+    X = scaler.transform(X_raw)
+
+    start = time.perf_counter()
+    multiclass.classifier.fit(X, y_multi)
+    multiclass._scaler = scaler
+    multiclass._class_names = class_names
+    multiclass._train_seconds = time.perf_counter() - start
+    multiclass._stages = None
+
+    prefilter = DetectionPipeline(
+        _head_model(
+            config.prefilter_dim or dim, epochs, seed, config.prefilter_bits
+        ),
+        benign_classes=("benign",),
+    )
+    start = time.perf_counter()
+    prefilter.classifier.fit(X, y_binary)
+    prefilter._scaler = scaler
+    prefilter._class_names = PREFILTER_CLASS_NAMES
+    prefilter._train_seconds = time.perf_counter() - start
+    prefilter._stages = None
+
+    return CascadePipeline(prefilter, multiclass, config=config)
+
+
+def train_cascade_packets(
+    packets: Sequence[Packet],
+    config: Optional[CascadeConfig] = None,
+    dim: int = 2048,
+    epochs: int = 5,
+    seed: int = 0,
+    idle_timeout: float = 5.0,
+) -> CascadePipeline:
+    """Assemble labeled packets into flows and train a cascade on them."""
+    table = FlowTable(idle_timeout=idle_timeout)
+    flows = table.add_packets(list(packets)) + table.flush()
+    return train_cascade_flows(
+        flows, config=config, dim=dim, epochs=epochs, seed=seed
+    )
+
+
+def cascade_with_margin(
+    cascade: CascadePipeline, escalation_margin: float
+) -> CascadePipeline:
+    """A new cascade over the same trained heads with a different margin.
+
+    Margin sweeps (the tuning table in ``docs/cascade.md``) re-wrap the
+    heads instead of retraining them.
+    """
+    return CascadePipeline(
+        cascade.prefilter,
+        cascade.multiclass,
+        config=replace(cascade.config, escalation_margin=escalation_margin),
+    )

@@ -1,0 +1,230 @@
+"""The cascaded classification stage: packed pre-filter -> escalation head.
+
+Every flow in the batch is scored by the binary benign/attack *pre-filter*
+(designed to run the packed 1-bit XOR/popcount path); only flows the
+pre-filter finds suspicious -- predicted attack, or predicted benign with a
+decision margin below the escalation threshold -- are re-scored by the
+*multiclass* head that names the attack category.  Under realistic traffic
+mixes (overwhelmingly benign) the escalated slice is a few percent of the
+batch, so the cascade holds end-to-end throughput near packed speed while
+escalated flows get exactly the multiclass head's predictions.
+
+Telemetry is split into two stages: ``prefilter`` (all flows) and
+``escalate`` (the suspicious slice only), so the escalation fraction is
+visible per batch and in the aggregate recorder.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import BaseClassifier
+from repro.serving.stages import ServingBatch, Stage, score_confidences
+from repro.serving.telemetry import TelemetryRecorder
+
+
+def classifier_scores(classifier: BaseClassifier, X: np.ndarray) -> np.ndarray:
+    """Score ``X`` through the classifier's fastest available path.
+
+    The same routing as :class:`~repro.serving.stages.ClassifyStage`: the
+    fused packed 1-bit path when the classifier serves one, the split HDC
+    encode/score path otherwise, plain ``predict_scores`` as the fallback.
+    Scores are numerically identical across call sites, which is what makes
+    the cascade's escalated-slice predictions bit-match the standalone head.
+    """
+    packed = bool(getattr(classifier, "uses_packed_inference", False)) and hasattr(
+        classifier, "encode_packed"
+    )
+    if packed:
+        H_packed = classifier.encode_packed(X)
+        encoder = getattr(classifier, "encoder_", None)
+        dtype = getattr(encoder, "dtype", None) or (
+            X.dtype if X.dtype in (np.float32, np.float64) else np.float64
+        )
+        return classifier.scores_from_packed(H_packed, dtype=dtype)
+    if hasattr(classifier, "encode") and hasattr(classifier, "scores_from_encoded"):
+        return classifier.scores_from_encoded(classifier.encode(X))
+    return classifier.predict_scores(X)
+
+
+class CascadeClassifyStage(Stage):
+    """Two-stage classification: binary pre-filter, multiclass escalation.
+
+    Parameters
+    ----------
+    prefilter:
+        The fitted binary benign/attack classifier (typically a 1-bit packed
+        :class:`~repro.core.CyberHD`).
+    prefilter_class_names:
+        The pre-filter's two class names, index-aligned with its labels.
+    prefilter_benign:
+        Which of the two pre-filter classes is benign.
+    multiclass:
+        The fitted multiclass head naming attack categories.
+    class_names:
+        The multiclass label table (index-aligned with the head's labels).
+    benign_class:
+        The multiclass class name assigned to flows the pre-filter clears
+        confidently (never escalated).
+    escalation_margin:
+        Flows the pre-filter predicts *benign* still escalate when their
+        normalized score margin (:func:`score_confidences`) falls below this
+        threshold.  ``0`` escalates only predicted attacks; ``1`` escalates
+        everything (the multiclass-parity configuration).
+
+    Notes
+    -----
+    ``batch.scores`` is left ``None``: the two heads disagree on class
+    count, so a merged score matrix would be ill-formed (the same contract
+    as :class:`~repro.serving.stages.TenantRoutedStage`).  Confidences merge
+    fine -- the pre-filter margin for cleared flows, the head margin for
+    escalated ones.
+    """
+
+    name = "cascade"
+
+    def __init__(
+        self,
+        prefilter: BaseClassifier,
+        prefilter_class_names: Sequence[str],
+        multiclass: BaseClassifier,
+        class_names: Sequence[str],
+        benign_class: str,
+        escalation_margin: float = 0.01,
+        prefilter_benign: str = "benign",
+    ):
+        self.prefilter = prefilter
+        self.prefilter_class_names = tuple(prefilter_class_names)
+        if len(self.prefilter_class_names) != 2:
+            raise ConfigurationError(
+                "the cascade pre-filter must be a binary benign/attack "
+                f"classifier; got classes {self.prefilter_class_names!r}"
+            )
+        if prefilter_benign not in self.prefilter_class_names:
+            raise ConfigurationError(
+                f"pre-filter benign class {prefilter_benign!r} is not one of "
+                f"{self.prefilter_class_names!r}"
+            )
+        self.prefilter_benign = prefilter_benign
+        self._benign_label = self.prefilter_class_names.index(prefilter_benign)
+        self.multiclass = multiclass
+        self.class_names = tuple(class_names)
+        if benign_class not in self.class_names:
+            raise ConfigurationError(
+                f"benign class {benign_class!r} is not in the multiclass "
+                f"label table {self.class_names!r}"
+            )
+        self.benign_class = benign_class
+        if not 0.0 <= escalation_margin <= 1.0:
+            raise ConfigurationError(
+                f"escalation_margin must be in [0, 1], got {escalation_margin}"
+            )
+        self.escalation_margin = float(escalation_margin)
+        #: Flows seen by the pre-filter / escalated to the head (lifetime).
+        self.prefilter_flows = 0
+        self.escalated_flows = 0
+        #: Escalation mask of the most recent batch (evaluation hook).
+        self.last_escalation_mask: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------- API
+    @property
+    def escalation_fraction(self) -> float:
+        """Lifetime fraction of flows escalated to the multiclass head."""
+        if self.prefilter_flows == 0:
+            return 0.0
+        return self.escalated_flows / self.prefilter_flows
+
+    def escalation_mask(self, X: np.ndarray) -> np.ndarray:
+        """Which rows of ``X`` the pre-filter escalates (pure, untimed)."""
+        scores = classifier_scores(self.prefilter, X)
+        confidences = score_confidences(scores)
+        labels = np.asarray(self.prefilter.classes_)[np.argmax(scores, axis=1)]
+        return (labels != self._benign_label) | (
+            confidences < self.escalation_margin
+        )
+
+    def run(
+        self, batch: ServingBatch, telemetry: Optional[TelemetryRecorder] = None
+    ) -> None:
+        clock = telemetry.clock if telemetry is not None else time.perf_counter
+        X = batch.features
+        n = 0 if X is None else int(X.shape[0])
+        if n == 0:
+            batch.scores = None
+            batch.confidences = np.zeros(0)
+            batch.predictions = []
+            self.last_escalation_mask = np.zeros(0, dtype=bool)
+            return
+
+        # -------------------------------- stage 1: pre-filter (every flow)
+        start = clock()
+        pre_scores = classifier_scores(self.prefilter, X)
+        pre_confidences = score_confidences(pre_scores)
+        pre_labels = np.asarray(self.prefilter.classes_)[
+            np.argmax(pre_scores, axis=1)
+        ]
+        escalate = (pre_labels != self._benign_label) | (
+            pre_confidences < self.escalation_margin
+        )
+        self._observe(batch, telemetry, "prefilter", clock() - start, n)
+        self.prefilter_flows += n
+
+        predictions: List[str] = [self.benign_class] * n
+        confidences = pre_confidences.astype(np.float64, copy=True)
+
+        # --------------------------- stage 2: escalation (suspicious slice)
+        escalated = np.flatnonzero(escalate)
+        start = clock()
+        if escalated.size:
+            head_scores = classifier_scores(self.multiclass, X[escalated])
+            head_confidences = score_confidences(head_scores)
+            head_labels = np.asarray(self.multiclass.classes_)[
+                np.argmax(head_scores, axis=1)
+            ]
+            for row, label, confidence in zip(
+                escalated, head_labels, head_confidences
+            ):
+                predictions[row] = self.class_names[label]
+                confidences[row] = confidence
+        self._observe(
+            batch, telemetry, "escalate", clock() - start, int(escalated.size)
+        )
+        self.escalated_flows += int(escalated.size)
+        self.last_escalation_mask = escalate
+
+        # Heads disagree on class count, so no merged score matrix exists
+        # (same contract as the tenant-routed composite stage).
+        batch.scores = None
+        batch.predictions = predictions
+        batch.confidences = confidences
+
+    def process(self, batch: ServingBatch) -> None:  # pragma: no cover - run() overrides
+        self.run(batch, None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lifetime cascade counters (JSON-friendly)."""
+        return {
+            "prefilter_flows": self.prefilter_flows,
+            "escalated_flows": self.escalated_flows,
+            "escalation_fraction": self.escalation_fraction,
+            "escalation_margin": self.escalation_margin,
+        }
+
+    # ------------------------------------------------------------- internals
+    def _observe(
+        self,
+        batch: ServingBatch,
+        telemetry: Optional[TelemetryRecorder],
+        stage_name: str,
+        seconds: float,
+        items: int,
+    ) -> None:
+        if telemetry is not None:
+            telemetry.stage(stage_name).observe(seconds, items)
+        batch.stage_seconds[stage_name] = (
+            batch.stage_seconds.get(stage_name, 0.0) + seconds
+        )

@@ -65,7 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("hdc", "streaming", "cluster", "replay", "bitpack", "chaos", "fabric"),
+        choices=(
+            "hdc",
+            "streaming",
+            "cluster",
+            "replay",
+            "bitpack",
+            "chaos",
+            "fabric",
+            "cascade",
+        ),
         default="hdc",
         help="hdc: compute-backend primitives; streaming: packets->alerts "
         "serving path; cluster: sharded multi-worker scaling; replay: "
@@ -75,7 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
         "process-fault recovery (SIGKILL/hang/clean-exit mid-replay) "
         "measured against the golden trace; fabric: multi-tenant registry "
         "capacity, hot-swap latency, shadow overhead and per-tenant recall "
-        "isolation",
+        "isolation; cascade: packed pre-filter + multiclass escalation -- "
+        "throughput vs the float32-only head, escalation fraction, "
+        "escalated-slice recall parity",
     )
     bench.add_argument("--dim", type=int, default=None, help="hypervector dimensionality")
     bench.add_argument("--repeats", type=int, default=3, help="best-of repeat count")
@@ -280,6 +291,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="score against a quantized class matrix (1 activates the "
         "bit-packed XOR/popcount serving fabric; see docs/serving.md)",
     )
+    serve.add_argument(
+        "--cascade",
+        action="store_true",
+        help="serve through the two-stage cascade: a packed 1-bit binary "
+        "pre-filter screens every flow and only suspicious ones escalate "
+        "to the multiclass head (see docs/cascade.md; composes with "
+        "--workers, not with --online or --tenants)",
+    )
+    serve.add_argument(
+        "--prefilter-dim",
+        type=int,
+        default=None,
+        help="cascade: pre-filter dimensionality (default: --dim)",
+    )
+    serve.add_argument(
+        "--escalation-margin",
+        type=float,
+        default=0.01,
+        help="cascade: benign pre-filter verdicts with a normalized score "
+        "margin below this escalate to the multiclass head anyway",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--backpressure", choices=("block", "drop_oldest"), default="block"
@@ -442,6 +474,7 @@ def _command_datasets(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
         BENCH_BITPACK_JSON_NAME,
+        BENCH_CASCADE_JSON_NAME,
         BENCH_CHAOS_JSON_NAME,
         BENCH_CLUSTER_JSON_NAME,
         BENCH_FABRIC_JSON_NAME,
@@ -451,6 +484,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         format_table,
         run_benchmarks,
         run_bitpack_benchmarks,
+        run_cascade_benchmarks,
         run_chaos_benchmarks,
         run_cluster_benchmarks,
         run_fabric_benchmarks,
@@ -508,6 +542,12 @@ def _command_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
         )
         default_json = BENCH_FABRIC_JSON_NAME
+    elif args.suite == "cascade":
+        records = run_cascade_benchmarks(
+            dim=args.dim,
+            quick=args.quick,
+        )
+        default_json = BENCH_CASCADE_JSON_NAME
     else:
         records = run_benchmarks(
             dim=args.dim or 500, repeats=args.repeats, quick=args.quick
@@ -756,26 +796,60 @@ def _serve_pipeline(args: argparse.Namespace):
     from repro.nids.pipeline import DetectionPipeline
     from repro.persistence import load_pipeline
 
+    cascade = getattr(args, "cascade", False)
     if args.model:
-        pipeline = load_pipeline(args.model)
-        print(f"loaded pipeline from {args.model} ({len(pipeline.class_names)} classes)")
+        if cascade:
+            from repro.persistence import load_cascade
+
+            pipeline = load_cascade(args.model)
+            print(
+                f"loaded cascade from {args.model} "
+                f"({len(pipeline.class_names)} classes, "
+                f"margin {pipeline.escalation_margin})"
+            )
+        else:
+            pipeline = load_pipeline(args.model)
+            print(
+                f"loaded pipeline from {args.model} "
+                f"({len(pipeline.class_names)} classes)"
+            )
         start_time = 0.0
     else:
         train_packets = TrafficGenerator(seed=args.seed).generate(args.train_flows)
-        pipeline = DetectionPipeline(
-            classifier=CyberHD(
+        if cascade:
+            from repro.cascade import CascadeConfig, train_cascade_packets
+
+            pipeline = train_cascade_packets(
+                train_packets,
+                config=CascadeConfig(
+                    escalation_margin=args.escalation_margin,
+                    prefilter_dim=args.prefilter_dim,
+                    multiclass_bits=getattr(args, "inference_bits", None),
+                ),
                 dim=args.dim,
                 epochs=args.epochs,
-                regeneration_rate=0.1,
                 seed=args.seed,
-                inference_bits=getattr(args, "inference_bits", None),
             )
-        ).fit_packets(train_packets)
+            print(
+                f"trained cascade on {len(train_packets)} packets "
+                f"({args.train_flows} flows): pre-filter D="
+                f"{args.prefilter_dim or args.dim} packed, head D={args.dim}"
+            )
+        else:
+            pipeline = DetectionPipeline(
+                classifier=CyberHD(
+                    dim=args.dim,
+                    epochs=args.epochs,
+                    regeneration_rate=0.1,
+                    seed=args.seed,
+                    inference_bits=getattr(args, "inference_bits", None),
+                )
+            ).fit_packets(train_packets)
+            print(
+                f"trained on {len(train_packets)} packets "
+                f"({args.train_flows} flows) in {pipeline.train_seconds:.2f}s"
+            )
         start_time = train_packets[-1].timestamp + 60.0
-        print(
-            f"trained on {len(train_packets)} packets "
-            f"({args.train_flows} flows) in {pipeline.train_seconds:.2f}s"
-        )
 
     if args.scenario:
         from repro.cluster.loadgen import get_scenario
@@ -843,6 +917,14 @@ def _serve_cluster(args: argparse.Namespace) -> int:
             f"{worker.flow_throughput:.0f} flows/cpu-s, "
             f"{worker.online_updates} online updates"
         )
+    if getattr(args, "cascade", False):
+        escalated = sum(w.cascade.get("escalated_flows", 0) for w in report.workers)
+        screened = sum(w.cascade.get("prefilter_flows", 0) for w in report.workers)
+        if screened:
+            print(
+                f"cascade: {escalated}/{screened} flows escalated "
+                f"({100.0 * escalated / screened:.1f}%)"
+            )
     if report.recovery.failures:
         recovery = report.recovery
         print(
@@ -852,8 +934,14 @@ def _serve_cluster(args: argparse.Namespace) -> int:
             f"{recovery.unrecovered_batches} unrecovered"
         )
     if args.save:
-        path = save_pipeline(pipeline, args.save)
-        print(f"\ncluster-adapted pipeline saved to {path}")
+        if getattr(args, "cascade", False):
+            from repro.persistence import save_cascade
+
+            path = save_cascade(pipeline, args.save)
+            print(f"\ncascade saved to {path}")
+        else:
+            path = save_pipeline(pipeline, args.save)
+            print(f"\ncluster-adapted pipeline saved to {path}")
     if args.json:
         with open(args.json, "w") as fh:
             json_module.dump(report.to_dict(), fh, indent=2)
@@ -868,6 +956,16 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.cascade and args.online:
+        print(
+            "--cascade does not compose with --online (two heads, two label "
+            "spaces); adapt the heads individually and rebuild the cascade",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cascade and args.tenants > 0:
+        print("--cascade does not compose with --tenants", file=sys.stderr)
         return 2
     if args.tenants > 0:
         return _serve_fabric(args)
@@ -919,6 +1017,14 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"online: {learner.updates} partial_fit windows, "
             f"{learner.regenerations} drift regenerations"
         )
+    if args.cascade:
+        cascade_stats = pipeline.cascade_stats()
+        print(
+            f"cascade: {cascade_stats['escalated_flows']}/"
+            f"{cascade_stats['prefilter_flows']} flows escalated "
+            f"({100.0 * cascade_stats['escalation_fraction']:.1f}% at margin "
+            f"{cascade_stats['escalation_margin']})"
+        )
     print("\nper-stage telemetry:")
     print(detector.telemetry.summary())
     stats = detector.backpressure_stats
@@ -929,8 +1035,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     )
 
     if args.save:
-        path = save_pipeline(pipeline, args.save)
-        print(f"\npipeline saved to {path}")
+        if args.cascade:
+            from repro.persistence import save_cascade
+
+            path = save_cascade(pipeline, args.save)
+            print(f"\ncascade saved to {path}")
+        else:
+            path = save_pipeline(pipeline, args.save)
+            print(f"\npipeline saved to {path}")
     if args.json:
         payload = {
             "packets": detector.total_packets,
@@ -949,6 +1061,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             "interrupted": stop.triggered,
             "shutdown_signal": stop.signal_name,
         }
+        if args.cascade:
+            payload["cascade"] = pipeline.cascade_stats()
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"summary written to {args.json}")

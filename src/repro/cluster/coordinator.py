@@ -308,8 +308,27 @@ class ClusterCoordinator:
         self.pipeline = pipeline
         self.config = (config or ClusterConfig()).validate()
         self.policy = (self.config.retry or RetryPolicy()).validate()
+        # Cascade serving is detected from the pipeline itself (a
+        # CascadePipeline carries a cascade_stage); the pre-filter head is
+        # published next to the main (multiclass) publication at start().
+        # Duck typed: the cluster package never imports the cascade (the
+        # cascade builds on the cluster), mirroring the fabric layering.
+        self._cascade = hasattr(pipeline, "cascade_stage")
+        if self._cascade and self.config.online:
+            raise ConfigurationError(
+                "cascade serving does not compose with cluster-wide online "
+                "learning: the two heads disagree on the label space, so a "
+                "single merged delta stream is ambiguous"
+            )
+        if self._cascade and self.config.fabric_spec is not None:
+            raise ConfigurationError(
+                "cascade serving and the multi-tenant fabric both replace "
+                "the worker stage chain; serve one or the other"
+            )
         self.router = ShardRouter(self.config.n_workers, vnodes=self.config.vnodes)
         self.publication: Optional[ModelPublication] = None
+        #: Second publication carrying the cascade's pre-filter head.
+        self.prefilter_publication: Optional[ModelPublication] = None
         self._ctx: Optional[Any] = None
         self._processes: List[mp.process.BaseProcess] = []
         self._inboxes: List[Any] = []
@@ -393,6 +412,16 @@ class ClusterCoordinator:
         try:
             self.publication = ModelPublication(self.pipeline)
             spec = self.publication.spec()
+            cascade_spec = None
+            if self._cascade:
+                # Publish the pre-filter head as a second shared-memory
+                # publication; the main publication already carries the
+                # multiclass head (a CascadePipeline's classifier).
+                from repro.cascade.cluster import publish_prefilter
+
+                self.prefilter_publication, cascade_spec = publish_prefilter(
+                    self.pipeline
+                )
             self._outbox = ctx.Queue()
             self._heartbeats = ctx.Array("d", n, lock=False)
             self._inboxes = []
@@ -415,6 +444,7 @@ class ClusterCoordinator:
                     heartbeat_interval=self.policy.heartbeat_interval,
                     fabric_spec=cfg.fabric_spec,
                     tenant_keyer=cfg.tenant_keyer,
+                    cascade_spec=cascade_spec,
                 )
                 self._worker_configs.append(worker_config)
                 # Control-plane only (sync/chaos/stop): rare and small, so
@@ -619,6 +649,9 @@ class ClusterCoordinator:
                 process.join(timeout=5.0)
         self.publication.close()
         self.publication = None
+        if self.prefilter_publication is not None:
+            self.prefilter_publication.close()
+            self.prefilter_publication = None
         self._close_rings()
         self._started = False
         if self.config.capture_predictions:
@@ -1107,6 +1140,9 @@ class ClusterCoordinator:
         if self.publication is not None:
             self.publication.close()
             self.publication = None
+        if self.prefilter_publication is not None:
+            self.prefilter_publication.close()
+            self.prefilter_publication = None
         self._close_rings()
         self._processes = []
         self._inboxes = []

@@ -208,6 +208,9 @@ class WorkerSummary:
     #: Per-tenant serving report (fabric mode only): flows, alerts, the
     #: version served and hot-swaps followed, keyed by tenant id string.
     tenants: Dict[str, Any] = field(default_factory=dict)
+    #: Cascade counters (cascade mode only): flows through the pre-filter,
+    #: flows escalated to the multiclass head, the escalation fraction.
+    cascade: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def flow_throughput(self) -> float:
@@ -238,6 +241,7 @@ class WorkerSummary:
             "telemetry": self.telemetry,
             "severities": self.severities,
             "tenants": self.tenants,
+            "cascade": self.cascade,
         }
 
 
@@ -286,6 +290,12 @@ class WorkerConfig:
     #: for flows whose frames carry no tenant stamp (flushed flows,
     #: legacy packet batches).
     tenant_keyer: Optional[Any] = None
+    #: Cascade attach handle (:class:`repro.cascade.cluster.CascadeSpec`).
+    #: When set, the worker attaches the pre-filter's publication next to
+    #: the main (multiclass-head) one and serves every flow through the
+    #: two-stage cascade chain.  Typed ``Any`` to keep the cluster package
+    #: import-independent of the cascade (which builds on the cluster).
+    cascade_spec: Optional[Any] = None
 
 
 # ------------------------------------------------------------------- runtime
@@ -316,11 +326,33 @@ class WorkerRuntime:
         capture_predictions: bool = False,
         fabric_spec: Optional[Any] = None,
         tenant_keyer: Optional[Any] = None,
+        cascade_spec: Optional[Any] = None,
     ):
         self.worker_id = int(worker_id)
         self.attached = attached
         self.online = bool(online)
         self.pipeline = attached.build_replica()
+        self.cascade_attached = None
+        if cascade_spec is not None:
+            if self.online:
+                raise ConfigurationError(
+                    "cascade serving does not compose with cluster-wide "
+                    "online learning (the heads disagree on the label space)"
+                )
+            if fabric_spec is not None:
+                raise ConfigurationError(
+                    "cascade serving and the multi-tenant fabric both "
+                    "replace the worker stage chain; serve one or the other"
+                )
+            # Lazy import: the cascade package builds on cluster primitives,
+            # so the cluster package must not import it at module level.
+            from repro.cascade.cluster import attach_cascade
+
+            # The main publication carries the multiclass head; compose the
+            # cascade around it with a zero-copy pre-filter replica.
+            self.cascade_attached, self.pipeline = attach_cascade(
+                cascade_spec, self.pipeline
+            )
         self.classifier = self.pipeline.classifier
         router = ShardRouter(n_workers, vnodes=vnodes)
         guard = router.owns(self.worker_id) if enforce_shard_guard and n_workers > 1 else None
@@ -509,12 +541,19 @@ class WorkerRuntime:
                 report["live_version"] = self.fabric.live_version(tenant)
                 report["swaps"] = self.fabric.swaps(tenant)
             self.summary.tenants = tenants
+        if self.cascade_attached is not None:
+            self.summary.cascade = self.pipeline.cascade_stage.to_dict()
         return self.summary
 
     def close_fabric(self) -> None:
         """Release fabric leases (called by the worker loop on exit)."""
         if self.fabric is not None:
             self.fabric.close()
+
+    def close_cascade(self) -> None:
+        """Close the pre-filter attachment (never unlinks; owner does)."""
+        if self.cascade_attached is not None:
+            self.cascade_attached.close()
 
     # ------------------------------------------------------------- internals
     def _note_frame_tenants(self, frame) -> None:
@@ -653,6 +692,7 @@ def cluster_worker_main(
             capture_predictions=config.capture_predictions,
             fabric_spec=config.fabric_spec,
             tenant_keyer=config.tenant_keyer,
+            cascade_spec=config.cascade_spec,
         )
         stamp()
 
@@ -831,4 +871,5 @@ def cluster_worker_main(
             result_ring.close()
         if runtime is not None:
             runtime.close_fabric()
+            runtime.close_cascade()
         attached.close()

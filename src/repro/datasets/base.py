@@ -7,7 +7,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.datasets.schema import DatasetSchema
+from repro.datasets.schema import ClassSpec, DatasetSchema
 from repro.exceptions import DatasetError
 
 
@@ -93,10 +93,34 @@ class NIDSDataset:
         return float(np.mean(mask[y]))
 
     def to_binary(self) -> "NIDSDataset":
-        """Collapse labels to benign (0) vs attack (1) using the schema."""
+        """Collapse labels to benign (0) vs attack (1) using the schema.
+
+        The binary view keeps a real two-class schema (benign flagged
+        ``is_attack=False``, attack ``True``) so downstream attack-flag
+        queries (``attack_fraction``, ``schema.attack_mask``) keep working,
+        and records the source category names in ``metadata`` so escalated
+        flows can be mapped back to the original label space.
+        """
         if self.schema is None:
             raise DatasetError("to_binary requires a schema with attack flags")
         mask = np.asarray(self.schema.attack_mask).astype(np.int64)
+        benign_weight = sum(
+            c.weight for c in self.schema.classes if not c.is_attack
+        )
+        attack_weight = sum(c.weight for c in self.schema.classes if c.is_attack)
+        if benign_weight <= 0 or attack_weight <= 0:
+            raise DatasetError(
+                "to_binary needs at least one benign and one attack class"
+            )
+        binary_schema = DatasetSchema(
+            name=f"{self.schema.name}_binary",
+            features=self.schema.features,
+            classes=(
+                ClassSpec(name="benign", weight=benign_weight, is_attack=False),
+                ClassSpec(name="attack", weight=attack_weight, is_attack=True),
+            ),
+            description=f"Binary benign/attack view of {self.schema.name}",
+        )
         return NIDSDataset(
             name=f"{self.name}_binary",
             X_train=self.X_train,
@@ -105,17 +129,29 @@ class NIDSDataset:
             y_test=mask[self.y_test],
             feature_names=self.feature_names,
             class_names=("benign", "attack"),
-            schema=None,
-            metadata=dict(self.metadata, binary=True),
+            schema=binary_schema,
+            metadata=dict(
+                self.metadata,
+                binary=True,
+                source_class_names=tuple(self.class_names),
+                source_attack_mask=tuple(self.schema.attack_mask),
+            ),
         )
 
     def subsample(self, n_train: int, n_test: int, seed: int = 0) -> "NIDSDataset":
-        """Random stratification-free subsample (used for quick experiments)."""
+        """Seeded stratified subsample (used for quick experiments).
+
+        Rows are drawn per class proportionally to the class's share of the
+        split, with a minimum of one row per present class, so rare attack
+        families (e.g. NSL-KDD U2R) survive even aggressive downsampling.
+        Raises :class:`DatasetError` when the requested size cannot cover
+        every class present in the split.
+        """
         if n_train > self.n_train or n_test > self.n_test:
             raise DatasetError("cannot subsample more rows than available")
         rng = np.random.default_rng(seed)
-        train_idx = rng.choice(self.n_train, size=n_train, replace=False)
-        test_idx = rng.choice(self.n_test, size=n_test, replace=False)
+        train_idx = _stratified_indices(self.y_train, n_train, rng, "train")
+        test_idx = _stratified_indices(self.y_test, n_test, rng, "test")
         return NIDSDataset(
             name=self.name,
             X_train=self.X_train[train_idx],
@@ -141,3 +177,56 @@ class NIDSDataset:
             f"NIDSDataset(name={self.name!r}, n_train={self.n_train}, n_test={self.n_test}, "
             f"n_features={self.n_features}, n_classes={self.n_classes})"
         )
+
+
+def _stratified_indices(
+    y: np.ndarray, n: int, rng: np.random.Generator, split: str
+) -> np.ndarray:
+    """Pick ``n`` row indices from ``y`` stratified by class.
+
+    Allocation is proportional to each class's share of the split with a
+    min-1 floor per present class; leftover rows go to the classes with the
+    largest fractional remainders (largest-remainder rounding), capped at
+    each class's availability.
+    """
+    total = int(y.shape[0])
+    if n == total:
+        return np.arange(total)
+    labels, counts = np.unique(y, return_counts=True)
+    k = len(labels)
+    if n < k:
+        raise DatasetError(
+            f"cannot stratify {n} {split} rows over {k} classes: "
+            "need at least one row per class present in the split "
+            "(request a larger subsample or collapse the label space first)"
+        )
+    shares = counts.astype(np.float64) / total * n
+    alloc = np.maximum(np.floor(shares).astype(np.int64), 1)
+    alloc = np.minimum(alloc, counts)
+    remainder_order = np.argsort(-(shares - np.floor(shares)))
+    deficit = n - int(alloc.sum())
+    while deficit > 0:
+        # hand leftover rows to the largest remainders that still have spare
+        # rows; n <= total guarantees the spare capacity exists.
+        for i in remainder_order:
+            if deficit == 0:
+                break
+            if alloc[i] < counts[i]:
+                alloc[i] += 1
+                deficit -= 1
+    while deficit < 0:
+        # min-1 floors on rare classes can overshoot: trim the biggest
+        # allocations back (never below the floor).
+        for i in np.argsort(-alloc):
+            if deficit == 0:
+                break
+            if alloc[i] > 1:
+                alloc[i] -= 1
+                deficit += 1
+    parts = [
+        rng.choice(np.flatnonzero(y == label), size=int(take), replace=False)
+        for label, take in zip(labels, alloc)
+    ]
+    idx = np.concatenate(parts)
+    rng.shuffle(idx)
+    return idx

@@ -46,7 +46,8 @@ from repro.serving.stages import (
 from repro.serving.telemetry import TelemetryRecorder
 
 #: Stage names whose per-batch time constitutes the detection latency.
-_LATENCY_STAGES = ("extract", "encode", "classify", "alert")
+#: ``prefilter``/``escalate`` are the cascade's split classification stages.
+_LATENCY_STAGES = ("extract", "encode", "classify", "prefilter", "escalate", "alert")
 
 
 @dataclass

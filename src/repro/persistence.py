@@ -324,6 +324,11 @@ def save_pipeline(pipeline: DetectionPipeline, path: Union[str, Path]) -> Path:
     trained from flows), the ordered class-name table, and the benign class
     set.  Restore with :func:`load_pipeline`.
     """
+    if hasattr(pipeline, "cascade_stage"):
+        raise ConfigurationError(
+            "this pipeline is a cascade (two heads); save_pipeline would "
+            "silently drop the pre-filter -- use save_cascade()"
+        )
     payload = pipeline_state_dict(pipeline)
     path = Path(path)
     np.savez_compressed(path, **payload)
@@ -338,4 +343,78 @@ def load_pipeline(path: Union[str, Path]) -> DetectionPipeline:
     history) is not carried over.
     """
     archive = np.load(Path(path), allow_pickle=False)
+    if "artifact_kind" in archive and str(archive["artifact_kind"][0]) == "cascade":
+        raise ConfigurationError(
+            "this archive holds a cascaded detector; use load_cascade()"
+        )
     return pipeline_from_state(archive)
+
+
+def cascade_state_dict(cascade) -> Dict[str, np.ndarray]:
+    """The deployment state of a cascaded detector as one flat array dict.
+
+    Both heads' full pipeline states ride in the ``prefilter::`` and
+    ``multiclass::`` namespaces (:func:`pack_namespaced_states`); the
+    cascade-level knobs (escalation margin, benign naming) travel as flat
+    metadata arrays, which :func:`unpack_namespaced_states` ignores by
+    design.
+    """
+    if not hasattr(cascade, "cascade_stage"):
+        raise ConfigurationError(
+            f"cascade persistence expects a CascadePipeline, got "
+            f"{type(cascade).__name__}"
+        )
+    payload = pack_namespaced_states(
+        {
+            "prefilter": pipeline_state_dict(cascade.prefilter),
+            "multiclass": pipeline_state_dict(cascade.multiclass),
+        }
+    )
+    payload["artifact_kind"] = np.array(["cascade"])
+    payload["escalation_margin"] = np.array([cascade.escalation_margin])
+    payload["benign_class"] = np.array([cascade.benign_class])
+    return payload
+
+
+def save_cascade(cascade, path: Union[str, Path]) -> Path:
+    """Serialize a trained cascade (both heads + knobs) to one archive."""
+    payload = cascade_state_dict(cascade)
+    path = Path(path)
+    np.savez_compressed(path, **payload)
+    return _normalized_npz_path(path)
+
+
+def load_cascade(path: Union[str, Path]):
+    """Load a cascaded detector saved with :func:`save_cascade`.
+
+    The restored :class:`~repro.cascade.pipeline.CascadePipeline` serves
+    identically to the saved one: both heads' packed/quantized inference
+    artifacts are restored verbatim, and the escalation margin and benign
+    naming come back from the archive's flat metadata.
+    """
+    # Deferred import: the cascade package composes pipeline + persistence
+    # machinery, so persistence must not import it at module level.
+    from repro.cascade.pipeline import CascadeConfig, CascadePipeline
+
+    archive = np.load(Path(path), allow_pickle=False)
+    if "artifact_kind" not in archive or str(archive["artifact_kind"][0]) != "cascade":
+        raise ConfigurationError(
+            "this archive does not hold a cascaded detector; use "
+            "load_pipeline() or load_model()"
+        )
+    states = unpack_namespaced_states(archive)
+    missing = {"prefilter", "multiclass"} - set(states)
+    if missing:
+        raise ConfigurationError(
+            f"cascade archive is missing the {sorted(missing)} head state"
+        )
+    prefilter = pipeline_from_state(states["prefilter"])
+    multiclass = pipeline_from_state(states["multiclass"])
+    return CascadePipeline(
+        prefilter,
+        multiclass,
+        config=CascadeConfig(
+            escalation_margin=float(archive["escalation_margin"][0]),
+            benign_class=str(archive["benign_class"][0]),
+        ),
+    )

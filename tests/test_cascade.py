@@ -1,0 +1,447 @@
+"""Tests for the cascaded detector: packed pre-filter -> multiclass head.
+
+The load-bearing property is *escalated-slice parity*: every flow the
+pre-filter escalates must receive exactly the prediction the standalone
+multiclass head would have produced (bit-for-bit, not approximately).  The
+parity tests pin that down for the tabular path, the margin=1.0 limit, the
+persistence round trip and the cluster replica.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cascade import (
+    CascadeClassifyStage,
+    CascadeConfig,
+    CascadePipeline,
+    CascadeSpec,
+    attach_cascade,
+    cascade_with_margin,
+    classifier_scores,
+    publish_prefilter,
+    train_cascade_dataset,
+    train_cascade_flows,
+    train_cascade_packets,
+)
+from repro.cluster.shared_model import AttachedPublication, ModelPublication
+from repro.cluster.worker import WorkerRuntime
+from repro.exceptions import ConfigurationError
+from repro.nids.flow import FlowTable
+from repro.nids.packets import TrafficGenerator
+from repro.persistence import load_cascade, load_pipeline, save_cascade, save_pipeline
+from repro.serving.stages import ServingBatch
+from repro.serving.telemetry import TelemetryRecorder
+
+
+@pytest.fixture(scope="module")
+def dataset_cascade(small_dataset):
+    """A cascade trained on the shared NSL-KDD split (read-only heads).
+
+    Margin 0.01 escalates a meaningful benign tail on top of every
+    predicted attack, so both branches of the stage are exercised.
+    """
+    return train_cascade_dataset(
+        small_dataset,
+        config=CascadeConfig(escalation_margin=0.01, prefilter_dim=128),
+        dim=256,
+        epochs=4,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def packet_capture_small():
+    return TrafficGenerator(seed=0).generate(150)
+
+
+@pytest.fixture(scope="module")
+def packet_cascade(packet_capture_small):
+    """A cascade trained from labeled packets (flow-record feature space)."""
+    return train_cascade_packets(
+        packet_capture_small,
+        config=CascadeConfig(escalation_margin=0.01, prefilter_dim=128),
+        dim=128,
+        epochs=3,
+        seed=0,
+    )
+
+
+def _head_argmax(cascade, X):
+    """What the standalone multiclass head predicts, via the serving path."""
+    return np.argmax(classifier_scores(cascade.multiclass.classifier, X), axis=1)
+
+
+# ---------------------------------------------------------------- config
+class TestCascadeConfig:
+    def test_defaults_validate(self):
+        config = CascadeConfig().validate()
+        assert config.escalation_margin == 0.01
+        assert config.prefilter_bits == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"escalation_margin": -0.1},
+            {"escalation_margin": 1.5},
+            {"prefilter_dim": 32},
+            {"prefilter_bits": 0},
+            {"multiclass_bits": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CascadeConfig(**kwargs).validate()
+
+
+# ----------------------------------------------------------------- stage
+class TestCascadeStage:
+    def test_nonbinary_prefilter_rejected(self, dataset_cascade):
+        with pytest.raises(ConfigurationError, match="binary"):
+            CascadeClassifyStage(
+                prefilter=dataset_cascade.prefilter.classifier,
+                prefilter_class_names=("a", "b", "c"),
+                multiclass=dataset_cascade.multiclass.classifier,
+                class_names=dataset_cascade.class_names,
+                benign_class=dataset_cascade.benign_class,
+            )
+
+    def test_unknown_benign_names_rejected(self, dataset_cascade):
+        with pytest.raises(ConfigurationError, match="not one of"):
+            CascadeClassifyStage(
+                prefilter=dataset_cascade.prefilter.classifier,
+                prefilter_class_names=("benign", "attack"),
+                multiclass=dataset_cascade.multiclass.classifier,
+                class_names=dataset_cascade.class_names,
+                benign_class=dataset_cascade.benign_class,
+                prefilter_benign="nope",
+            )
+        with pytest.raises(ConfigurationError, match="label table"):
+            CascadeClassifyStage(
+                prefilter=dataset_cascade.prefilter.classifier,
+                prefilter_class_names=("benign", "attack"),
+                multiclass=dataset_cascade.multiclass.classifier,
+                class_names=dataset_cascade.class_names,
+                benign_class="nope",
+            )
+
+    def test_out_of_range_margin_rejected(self, dataset_cascade):
+        with pytest.raises(ConfigurationError, match="escalation_margin"):
+            CascadeClassifyStage(
+                prefilter=dataset_cascade.prefilter.classifier,
+                prefilter_class_names=("benign", "attack"),
+                multiclass=dataset_cascade.multiclass.classifier,
+                class_names=dataset_cascade.class_names,
+                benign_class=dataset_cascade.benign_class,
+                escalation_margin=2.0,
+            )
+
+    def test_empty_batch_contract(self, dataset_cascade):
+        stage = dataset_cascade.cascade_stage
+        for features in (None, np.zeros((0, 4))):
+            batch = ServingBatch(features=features)
+            stage.run(batch, None)
+            assert batch.scores is None
+            assert batch.predictions == []
+            assert batch.confidences.shape == (0,)
+            assert stage.last_escalation_mask.size == 0
+
+    def test_split_telemetry_and_counters(self, small_dataset, dataset_cascade):
+        # Fresh stage so lifetime counters start at zero.
+        cascade = cascade_with_margin(dataset_cascade, 0.01)
+        stage = cascade.cascade_stage
+        telemetry = TelemetryRecorder()
+        batch = ServingBatch(features=small_dataset.X_test)
+        stage.run(batch, telemetry)
+
+        n = small_dataset.X_test.shape[0]
+        escalated = int(stage.last_escalation_mask.sum())
+        assert stage.prefilter_flows == n
+        assert stage.escalated_flows == escalated
+        assert stage.escalation_fraction == pytest.approx(escalated / n)
+        # The pre-filter times every flow; escalation times only the slice.
+        assert set(batch.stage_seconds) >= {"prefilter", "escalate"}
+        assert telemetry.stage("prefilter").items == n
+        assert telemetry.stage("escalate").items == escalated
+        # Heads disagree on class count: no merged score matrix exists.
+        assert batch.scores is None
+        assert len(batch.predictions) == n
+
+        stats = stage.to_dict()
+        assert stats["prefilter_flows"] == n
+        assert stats["escalated_flows"] == escalated
+        assert stats["escalation_margin"] == pytest.approx(0.01)
+
+    def test_escalation_mask_matches_run(self, small_dataset, dataset_cascade):
+        stage = dataset_cascade.cascade_stage
+        X = small_dataset.X_test
+        pure = stage.escalation_mask(X)
+        batch = ServingBatch(features=X)
+        stage.run(batch, None)
+        assert np.array_equal(pure, stage.last_escalation_mask)
+
+
+# ---------------------------------------------------------------- parity
+class TestCascadeParity:
+    def test_escalated_slice_bit_matches_head(self, small_dataset, dataset_cascade):
+        """The tentpole property: escalated flows get exactly the head's
+        predictions -- same scores, same argmax, no tolerance."""
+        X = small_dataset.X_test
+        predictions, escalated = dataset_cascade.classify_matrix(X)
+        expected = _head_argmax(dataset_cascade, X)
+        assert escalated.any(), "margin 0.01 should escalate something"
+        assert np.array_equal(predictions[escalated], expected[escalated])
+
+    def test_cleared_flows_named_benign(self, small_dataset, dataset_cascade):
+        X = small_dataset.X_test
+        predictions, escalated = dataset_cascade.classify_matrix(X)
+        benign_index = dataset_cascade.class_names.index(
+            dataset_cascade.benign_class
+        )
+        cleared = predictions[~escalated]
+        assert cleared.size, "margin 0.01 should clear something"
+        assert np.all(cleared == benign_index)
+
+    def test_full_escalation_equals_standalone_head(
+        self, small_dataset, dataset_cascade
+    ):
+        """margin=1.0 escalates everything -> the cascade *is* the head."""
+        everything = cascade_with_margin(dataset_cascade, 1.0)
+        X = small_dataset.X_test
+        predictions, escalated = everything.classify_matrix(X)
+        assert escalated.all()
+        assert np.array_equal(predictions, _head_argmax(dataset_cascade, X))
+
+    def test_margin_widens_escalation_monotonically(
+        self, small_dataset, dataset_cascade
+    ):
+        X = small_dataset.X_test
+        counts = []
+        for margin in (0.0, 0.01, 1.0):
+            _, escalated = cascade_with_margin(
+                dataset_cascade, margin
+            ).classify_matrix(X)
+            counts.append(int(escalated.sum()))
+        assert counts[0] <= counts[1] <= counts[2]
+        assert counts[2] == X.shape[0]
+
+    def test_margin_zero_escalates_only_predicted_attacks(
+        self, small_dataset, dataset_cascade
+    ):
+        trusting = cascade_with_margin(dataset_cascade, 0.0)
+        X = small_dataset.X_test
+        _, escalated = trusting.classify_matrix(X)
+        pre = trusting.prefilter.classifier
+        pre_attack = np.argmax(classifier_scores(pre, X), axis=1) == 1
+        assert np.array_equal(escalated, pre_attack)
+
+    def test_cascade_with_margin_reuses_heads(self, dataset_cascade):
+        rewrapped = cascade_with_margin(dataset_cascade, 0.5)
+        assert rewrapped.prefilter is dataset_cascade.prefilter
+        assert rewrapped.multiclass is dataset_cascade.multiclass
+        assert rewrapped.escalation_margin == 0.5
+        assert dataset_cascade.escalation_margin == 0.01  # original untouched
+
+
+# -------------------------------------------------------------- pipeline
+class TestCascadePipeline:
+    def test_evaluate_cascade_reports(self, small_dataset, dataset_cascade):
+        evaluation = dataset_cascade.evaluate_cascade(small_dataset)
+        n = small_dataset.X_test.shape[0]
+        assert evaluation.predictions.shape == (n,)
+        assert evaluation.escalated.shape == (n,)
+        assert evaluation.escalation_fraction == pytest.approx(
+            float(np.mean(evaluation.escalated))
+        )
+        assert 0.0 < evaluation.report.accuracy <= 1.0
+        assert evaluation.escalated_report is not None
+        support = sum(
+            entry["support"] for entry in evaluation.escalated_report.per_class.values()
+        )
+        assert support == int(evaluation.escalated.sum())
+
+    def test_evaluate_rejects_foreign_label_table(
+        self, unsw_dataset, dataset_cascade
+    ):
+        with pytest.raises(ConfigurationError, match="label table"):
+            dataset_cascade.evaluate_cascade(unsw_dataset)
+
+    def test_refit_entry_points_blocked(self, small_dataset, dataset_cascade):
+        with pytest.raises(ConfigurationError, match="already-trained"):
+            dataset_cascade.fit_dataset(small_dataset)
+        with pytest.raises(ConfigurationError, match="already-trained"):
+            dataset_cascade.fit_flows([])
+        with pytest.raises(ConfigurationError, match="online learning"):
+            dataset_cascade.partial_fit_flows([])
+
+    def test_untrained_heads_rejected(self, dataset_cascade):
+        from repro.core.cyberhd import CyberHD
+        from repro.nids.pipeline import DetectionPipeline
+
+        blank = DetectionPipeline(CyberHD(dim=128, epochs=1, seed=0))
+        with pytest.raises(ConfigurationError, match="not trained"):
+            CascadePipeline(blank, dataset_cascade.multiclass)
+        with pytest.raises(ConfigurationError, match="not trained"):
+            CascadePipeline(dataset_cascade.prefilter, blank)
+
+    def test_multiclass_prefilter_rejected(self, dataset_cascade):
+        # The multiclass head is not a valid pre-filter (not binary).
+        with pytest.raises(ConfigurationError, match="binary"):
+            CascadePipeline(dataset_cascade.multiclass, dataset_cascade.multiclass)
+
+
+# -------------------------------------------------------------- training
+class TestCascadeTraining:
+    def test_dataset_training_requires_schema(self, small_dataset):
+        bare = dataclasses.replace(small_dataset, schema=None)
+        with pytest.raises(ConfigurationError, match="schema"):
+            train_cascade_dataset(bare, dim=128, epochs=1, seed=0)
+
+    def test_prefilter_is_packed_binary(self, dataset_cascade):
+        assert dataset_cascade.prefilter.class_names == ("benign", "attack")
+        assert dataset_cascade.prefilter.classifier.uses_packed_inference
+        assert dataset_cascade.prefilter.classifier.dim == 128
+
+    def test_flows_training_shares_one_scaler(self, packet_cascade):
+        assert packet_cascade.prefilter._scaler is packet_cascade.multiclass._scaler
+
+    def test_flows_training_rejects_degenerate_label_sets(self, packet_capture_small):
+        with pytest.raises(ConfigurationError, match="empty"):
+            train_cascade_flows([])
+        table = FlowTable(idle_timeout=5.0)
+        flows = table.add_packets(packet_capture_small) + table.flush()
+        benign_only = [f for f in flows if f.label == "benign"]
+        assert benign_only
+        with pytest.raises(ConfigurationError, match="two classes"):
+            train_cascade_flows(benign_only, dim=128, epochs=1, seed=0)
+        attacks_only = [f for f in flows if f.label != "benign"]
+        assert attacks_only
+        with pytest.raises(ConfigurationError, match="no benign label"):
+            train_cascade_flows(attacks_only, dim=128, epochs=1, seed=0)
+
+    def test_packet_cascade_serves_end_to_end(
+        self, packet_capture_small, packet_cascade
+    ):
+        cascade = cascade_with_margin(packet_cascade, 0.01)  # fresh counters
+        result = cascade.detect_packets(packet_capture_small)
+        assert result.predictions
+        stats = cascade.cascade_stats()
+        assert stats["prefilter_flows"] == len(result.predictions)
+        assert 0 <= stats["escalated_flows"] <= stats["prefilter_flows"]
+        assert set(result.predictions).issubset(set(cascade.class_names))
+        assert {"prefilter", "escalate"} <= set(result.stage_latencies)
+
+
+# ----------------------------------------------------------- persistence
+class TestCascadePersistence:
+    def test_round_trip_is_bit_exact(self, tmp_path, small_dataset, dataset_cascade):
+        path = save_cascade(dataset_cascade, tmp_path / "cascade.npz")
+        restored = load_cascade(path)
+        X = small_dataset.X_test
+        want_predictions, want_mask = dataset_cascade.classify_matrix(X)
+        got_predictions, got_mask = restored.classify_matrix(X)
+        assert np.array_equal(want_predictions, got_predictions)
+        assert np.array_equal(want_mask, got_mask)
+        assert restored.escalation_margin == dataset_cascade.escalation_margin
+        assert restored.benign_class == dataset_cascade.benign_class
+        assert restored.class_names == dataset_cascade.class_names
+
+    def test_save_pipeline_refuses_cascade(self, tmp_path, dataset_cascade):
+        with pytest.raises(ConfigurationError, match="save_cascade"):
+            save_pipeline(dataset_cascade, tmp_path / "wrong.npz")
+
+    def test_load_pipeline_refuses_cascade_archive(
+        self, tmp_path, dataset_cascade
+    ):
+        path = save_cascade(dataset_cascade, tmp_path / "cascade.npz")
+        with pytest.raises(ConfigurationError, match="load_cascade"):
+            load_pipeline(path)
+
+    def test_load_cascade_refuses_pipeline_archive(
+        self, tmp_path, dataset_cascade
+    ):
+        path = save_pipeline(
+            dataset_cascade.multiclass, tmp_path / "pipeline.npz"
+        )
+        with pytest.raises(ConfigurationError, match="does not hold"):
+            load_cascade(path)
+
+
+# --------------------------------------------------------------- cluster
+class TestCascadeCluster:
+    def test_attach_rebuilds_bit_identical_replica(
+        self, small_dataset, dataset_cascade
+    ):
+        """Both heads round-trip shared memory; predictions must not move."""
+        X = small_dataset.X_test
+        want_predictions, want_mask = dataset_cascade.classify_matrix(X)
+        with ModelPublication(dataset_cascade) as main:
+            prefilter_pub, spec = publish_prefilter(dataset_cascade)
+            try:
+                assert isinstance(spec, CascadeSpec)
+                attached_main = AttachedPublication(main.spec())
+                attached_pre, replica = attach_cascade(
+                    spec, attached_main.build_replica()
+                )
+                try:
+                    assert isinstance(replica, CascadePipeline)
+                    assert replica.escalation_margin == pytest.approx(
+                        dataset_cascade.escalation_margin
+                    )
+                    assert replica.benign_class == dataset_cascade.benign_class
+                    got_predictions, got_mask = replica.classify_matrix(X)
+                    assert np.array_equal(want_predictions, got_predictions)
+                    assert np.array_equal(want_mask, got_mask)
+                finally:
+                    attached_pre.close()
+                    attached_main.close()
+            finally:
+                prefilter_pub.close(unlink=True)
+
+    def test_worker_runtime_serves_cascade(self, packet_capture_small, packet_cascade):
+        table = FlowTable(idle_timeout=5.0)
+        flows = table.add_packets(packet_capture_small) + table.flush()
+        with ModelPublication(packet_cascade) as main:
+            prefilter_pub, spec = publish_prefilter(packet_cascade)
+            try:
+                attached = AttachedPublication(main.spec())
+                runtime = WorkerRuntime(
+                    0, 1, attached, cascade_spec=spec, capture_predictions=True
+                )
+                try:
+                    assert isinstance(runtime.pipeline, CascadePipeline)
+                    runtime.handle_flows(flows)
+                    summary = runtime.finalize()
+                    assert summary.cascade["prefilter_flows"] == len(flows)
+                    assert (
+                        summary.cascade["escalated_flows"]
+                        <= summary.cascade["prefilter_flows"]
+                    )
+                    assert summary.to_dict()["cascade"] == summary.cascade
+                    predicted = {
+                        record.prediction for _, record in runtime.predictions
+                    }
+                    assert predicted.issubset(set(packet_cascade.class_names))
+                finally:
+                    runtime.close_cascade()
+                    attached.close()
+            finally:
+                prefilter_pub.close(unlink=True)
+
+    def test_worker_runtime_rejects_cascade_plus_online(self, packet_cascade):
+        with ModelPublication(packet_cascade) as main:
+            prefilter_pub, spec = publish_prefilter(packet_cascade)
+            try:
+                attached = AttachedPublication(main.spec())
+                try:
+                    with pytest.raises(ConfigurationError, match="online"):
+                        WorkerRuntime(
+                            0, 1, attached, online=True, cascade_spec=spec
+                        )
+                finally:
+                    attached.close()
+            finally:
+                prefilter_pub.close(unlink=True)

@@ -193,11 +193,68 @@ class TestDatasetContainer:
         assert set(np.unique(binary.y_train)).issubset({0, 1})
         assert binary.n_train == small_dataset.n_train
 
+    def test_to_binary_synthesizes_schema(self, small_dataset):
+        """The binary view must carry a real two-class schema, not None."""
+        binary = small_dataset.to_binary()
+        assert binary.schema is not None
+        assert binary.schema.name == f"{small_dataset.schema.name}_binary"
+        assert tuple(c.name for c in binary.schema.classes) == ("benign", "attack")
+        assert binary.schema.attack_mask == (False, True)
+        assert binary.schema.features == small_dataset.schema.features
+        # Class weights mirror the source label mass on each side.
+        weights = {c.name: c.weight for c in binary.schema.classes}
+        assert weights["benign"] > 0 and weights["attack"] > 0
+        assert weights["benign"] + weights["attack"] == pytest.approx(
+            sum(c.weight for c in small_dataset.schema.classes)
+        )
+
+    def test_to_binary_keeps_source_class_names(self, small_dataset):
+        binary = small_dataset.to_binary()
+        assert binary.metadata["source_class_names"] == tuple(
+            small_dataset.class_names
+        )
+        assert binary.metadata["source_attack_mask"] == tuple(
+            small_dataset.schema.attack_mask
+        )
+        # Features pass through untouched: binary relabeling only.
+        np.testing.assert_array_equal(binary.X_train, small_dataset.X_train)
+        np.testing.assert_array_equal(binary.X_test, small_dataset.X_test)
+
     def test_subsample(self, small_dataset):
         sub = small_dataset.subsample(100, 50, seed=1)
         assert sub.n_train == 100 and sub.n_test == 50
         with pytest.raises(DatasetError):
             small_dataset.subsample(10**6, 10)
+
+    def test_subsample_is_stratified(self, small_dataset):
+        """Every class survives the subsample, rare ones with >= 1 row."""
+        sub = small_dataset.subsample(100, 50, seed=1)
+        for split, y_sub, y_full in (
+            ("train", sub.y_train, small_dataset.y_train),
+            ("test", sub.y_test, small_dataset.y_test),
+        ):
+            full_labels = set(np.unique(y_full))
+            assert set(np.unique(y_sub)) == full_labels, split
+            # Majority-class share must track the source distribution
+            # (the old unstratified head-slice could drift arbitrarily).
+            counts = np.bincount(y_sub, minlength=len(small_dataset.class_names))
+            full_counts = np.bincount(
+                y_full, minlength=len(small_dataset.class_names)
+            )
+            share = counts[0] / len(y_sub)
+            full_share = full_counts[0] / len(y_full)
+            assert abs(share - full_share) < 0.1, split
+
+    def test_subsample_deterministic(self, small_dataset):
+        a = small_dataset.subsample(80, 40, seed=7)
+        b = small_dataset.subsample(80, 40, seed=7)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_subsample_too_small_to_stratify_raises(self, small_dataset):
+        n_classes = len(set(np.unique(small_dataset.y_train)))
+        with pytest.raises(DatasetError, match="stratify"):
+            small_dataset.subsample(n_classes - 1, 50)
 
     def test_invalid_split_name(self, small_dataset):
         with pytest.raises(DatasetError):
@@ -247,3 +304,30 @@ class TestLoaders:
         assert dataset.n_train == 150 and dataset.n_test == 60
         assert dataset.schema is not None
         assert dataset.name == name
+
+    @pytest.mark.parametrize("name", ["nsl_kdd", "unsw_nb15"])
+    def test_multiclass_loader_label_table(self, name):
+        """Loader labels stay index-aligned with the schema's class table."""
+        dataset = load_dataset(name, n_train=300, n_test=120, seed=3)
+        schema_names = tuple(c.name for c in dataset.schema.classes)
+        assert tuple(dataset.class_names) == schema_names
+        assert len(schema_names) > 2  # genuinely multiclass
+        for y in (dataset.y_train, dataset.y_test):
+            assert y.min() >= 0 and y.max() < len(schema_names)
+        # At least one benign and one attack class must be populated.
+        mask = np.asarray(dataset.schema.attack_mask, dtype=bool)
+        assert mask[dataset.y_train].any() and (~mask[dataset.y_train]).any()
+
+    @pytest.mark.parametrize("name", ["nsl_kdd", "unsw_nb15"])
+    def test_loader_binary_round_trip(self, name):
+        """to_binary on loader output agrees row-for-row with the attack mask."""
+        dataset = load_dataset(name, n_train=200, n_test=80, seed=5)
+        binary = dataset.to_binary()
+        mask = np.asarray(dataset.schema.attack_mask, dtype=bool)
+        np.testing.assert_array_equal(
+            binary.y_train, mask[dataset.y_train].astype(binary.y_train.dtype)
+        )
+        np.testing.assert_array_equal(
+            binary.y_test, mask[dataset.y_test].astype(binary.y_test.dtype)
+        )
+        assert binary.metadata["source_class_names"] == tuple(dataset.class_names)

@@ -190,6 +190,50 @@ class TestMetrics:
         with pytest.raises(ConfigurationError):
             detection_report(np.array([0]), np.array([0]), ["a", "b"], attack_mask=[True])
 
+    def test_zero_support_class_reports_zero_metrics(self):
+        """A class absent from both truth and predictions must report 0.0
+        precision/recall/f1 with support 0 -- never NaN or a warning."""
+        y_true = np.array([0, 0, 1])
+        y_pred = np.array([0, 0, 1])
+        with np.errstate(divide="raise", invalid="raise"):
+            report = detection_report(y_true, y_pred, ["a", "b", "ghost"])
+        ghost = report.per_class["ghost"]
+        assert ghost == {"precision": 0.0, "recall": 0.0, "f1": 0.0, "support": 0.0}
+        # Macro averages must skip the unsupported class, not dilute with 0s.
+        assert report.macro_recall == 1.0
+
+    def test_never_predicted_class_has_zero_precision(self):
+        """Precision over an empty prediction set is defined as 0.0."""
+        y_true = np.array([0, 1, 1])
+        y_pred = np.array([0, 0, 0])
+        with np.errstate(divide="raise", invalid="raise"):
+            report = detection_report(y_true, y_pred, ["a", "b"])
+        assert report.per_class["b"]["precision"] == 0.0
+        assert report.per_class["b"]["recall"] == 0.0
+        assert report.per_class["b"]["f1"] == 0.0
+
+    def test_empty_report_is_all_zeros(self):
+        """Zero evaluated rows: every aggregate is 0.0, no division blows up."""
+        with np.errstate(divide="raise", invalid="raise"):
+            report = detection_report(
+                np.array([], dtype=int),
+                np.array([], dtype=int),
+                ["a", "b"],
+                attack_mask=[False, True],
+            )
+        assert report.accuracy == 0.0
+        assert report.macro_f1 == 0.0
+        assert report.detection_rate is None
+        assert report.false_alarm_rate is None
+
+    def test_all_attack_truth_leaves_false_alarm_rate_none(self):
+        """No benign rows -> a false-alarm rate is undefined, not 0/0."""
+        y = np.array([1, 1])
+        with np.errstate(divide="raise", invalid="raise"):
+            report = detection_report(y, y, ["a", "b"], attack_mask=[False, True])
+        assert report.detection_rate == 1.0
+        assert report.false_alarm_rate is None
+
 
 class TestAlerts:
     def _flow(self):

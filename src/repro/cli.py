@@ -74,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
             "chaos",
             "fabric",
             "cascade",
+            "loadgen",
+            "baselines",
         ),
         default="hdc",
         help="hdc: compute-backend primitives; streaming: packets->alerts "
@@ -86,7 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
         "capacity, hot-swap latency, shadow overhead and per-tenant recall "
         "isolation; cascade: packed pre-filter + multiclass escalation -- "
         "throughput vs the float32-only head, escalation fraction, "
-        "escalated-slice recall parity",
+        "escalated-slice recall parity; loadgen: scenario grading -- "
+        "per-attack-type recall across load points vs the closed-loop "
+        "baseline; baselines: HDC vs the numpy SVM/MLP learners "
+        "(train-time speedups + accuracy parity)",
     )
     bench.add_argument("--dim", type=int, default=None, help="hypervector dimensionality")
     bench.add_argument("--repeats", type=int, default=3, help="best-of repeat count")
@@ -431,6 +436,80 @@ def build_parser() -> argparse.ArgumentParser:
     fabric_status.add_argument("registry")
     fabric_status.add_argument("--json", metavar="PATH", default=None)
 
+    matrix = subparsers.add_parser(
+        "matrix",
+        help="declarative experiment matrix: run a spec through the bench "
+        "suites with content-addressed cell caching, then gate the report "
+        "against the checked-in baselines",
+    )
+    matrix_sub = matrix.add_subparsers(dest="matrix_command")
+
+    matrix_run = matrix_sub.add_parser(
+        "run",
+        help="execute every cell of a spec; unchanged cells (same params, "
+        "dataset digest and code fingerprint) are served from the cache",
+    )
+    matrix_run.add_argument("spec", help="matrix spec (.yaml or .json)")
+    matrix_run.add_argument(
+        "--cache-dir",
+        default=".matrix-cache",
+        help="content-addressed cell cache directory",
+    )
+    matrix_run.add_argument(
+        "--json",
+        metavar="PATH",
+        default="matrix-report.json",
+        help="report output path",
+    )
+    matrix_run.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override every cell's repeat count (nightly uses 3 for "
+        "significance testing)",
+    )
+    matrix_run.add_argument(
+        "--no-cache", action="store_true", help="execute every cell, never touch the cache"
+    )
+    matrix_run.add_argument(
+        "--refresh",
+        action="store_true",
+        help="execute every cell and overwrite its cache entry",
+    )
+    matrix_run.add_argument(
+        "--min-cache-hits",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit 2 unless at least this fraction of cells came from the "
+        "cache (the warm re-run assertion in CI)",
+    )
+
+    matrix_diff = matrix_sub.add_parser(
+        "diff",
+        help="gate a matrix report: per-cell bench-diff against the "
+        "checked-in BENCH_*.json baselines (tolerances + floors from the "
+        "spec) plus paired-significance comparisons",
+    )
+    matrix_diff.add_argument("spec", help="matrix spec the report was produced from")
+    matrix_diff.add_argument(
+        "--report",
+        default="matrix-report.json",
+        help="report produced by `matrix run`",
+    )
+    matrix_diff.add_argument(
+        "--baseline-dir",
+        default=".",
+        help="directory holding the checked-in BENCH_*.json baselines",
+    )
+
+    matrix_report = matrix_sub.add_parser(
+        "report", help="pretty-print a matrix report"
+    )
+    matrix_report.add_argument(
+        "report", nargs="?", default="matrix-report.json", help="report path"
+    )
+
     return parser
 
 
@@ -473,21 +552,25 @@ def _command_datasets(args: argparse.Namespace) -> int:
 
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
+        BENCH_BASELINES_JSON_NAME,
         BENCH_BITPACK_JSON_NAME,
         BENCH_CASCADE_JSON_NAME,
         BENCH_CHAOS_JSON_NAME,
         BENCH_CLUSTER_JSON_NAME,
         BENCH_FABRIC_JSON_NAME,
         BENCH_JSON_NAME,
+        BENCH_LOADGEN_JSON_NAME,
         BENCH_REPLAY_JSON_NAME,
         BENCH_STREAMING_JSON_NAME,
         format_table,
+        run_baseline_benchmarks,
         run_benchmarks,
         run_bitpack_benchmarks,
         run_cascade_benchmarks,
         run_chaos_benchmarks,
         run_cluster_benchmarks,
         run_fabric_benchmarks,
+        run_loadgen_benchmarks,
         run_replay_benchmarks,
         run_streaming_benchmarks,
         write_bench_json,
@@ -548,6 +631,19 @@ def _command_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
         )
         default_json = BENCH_CASCADE_JSON_NAME
+    elif args.suite == "loadgen":
+        records = run_loadgen_benchmarks(
+            dim=args.dim,
+            quick=args.quick,
+        )
+        default_json = BENCH_LOADGEN_JSON_NAME
+    elif args.suite == "baselines":
+        records = run_baseline_benchmarks(
+            dataset=args.dataset,
+            dim=args.dim,
+            quick=args.quick,
+        )
+        default_json = BENCH_BASELINES_JSON_NAME
     else:
         records = run_benchmarks(
             dim=args.dim or 500, repeats=args.repeats, quick=args.quick
@@ -1409,6 +1505,66 @@ def _serve_fabric(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_matrix(args: argparse.Namespace) -> int:
+    from repro.matrix import (
+        diff_matrix,
+        load_spec,
+        render_report,
+        run_matrix,
+        write_matrix_report,
+    )
+    from repro.matrix.runner import get_suites
+
+    if args.matrix_command == "run":
+        spec = load_spec(args.spec, known_suites=set(get_suites()))
+        report = run_matrix(
+            spec,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            refresh=args.refresh,
+            repeats_override=args.repeats,
+            progress=print,
+        )
+        write_matrix_report(report, args.json)
+        summary = report["summary"]
+        print(
+            f"\nmatrix '{spec.name}': {summary['n_cells']} cells "
+            f"({summary['n_cached']} cached, {summary['n_executed']} executed) "
+            f"in {summary['wall_seconds']:.2f}s -> {args.json}"
+        )
+        if args.min_cache_hits is not None:
+            fraction = summary["cache_hit_fraction"]
+            if fraction < args.min_cache_hits:
+                print(
+                    f"FAIL: cache hit fraction {fraction:.2f} below required "
+                    f"{args.min_cache_hits:.2f} (cache cold or keys unstable)"
+                )
+                return 2
+            print(
+                f"cache hit fraction {fraction:.2f} >= {args.min_cache_hits:.2f}"
+            )
+        return 0
+
+    if args.matrix_command == "diff":
+        spec = load_spec(args.spec, known_suites=set(get_suites()))
+        with open(args.report) as fh:
+            report = json.load(fh)
+        ok, lines = diff_matrix(report, spec, baseline_dir=args.baseline_dir)
+        for line in lines:
+            print(line)
+        print("matrix diff: OK" if ok else "matrix diff: FAIL")
+        return 0 if ok else 1
+
+    if args.matrix_command == "report":
+        with open(args.report) as fh:
+            report = json.load(fh)
+        print(render_report(report))
+        return 0
+
+    print("usage: repro matrix {run,diff,report} ...")
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -1429,6 +1585,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "fabric":
         return _command_fabric(args)
+    if args.command == "matrix":
+        return _command_matrix(args)
     parser.print_help()
     return 1
 

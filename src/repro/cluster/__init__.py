@@ -56,6 +56,7 @@ from repro.cluster.loadgen import (
     SCENARIOS,
     LoadScenario,
     ScenarioPhase,
+    compile_scenario_trace,
     get_scenario,
     interpolate_profile,
     scenario_names,
@@ -103,6 +104,7 @@ __all__ = [
     "WorkerRuntime",
     "WorkerSummary",
     "LoadScenario",
+    "compile_scenario_trace",
     "ScenarioPhase",
     "SCENARIOS",
     "get_scenario",

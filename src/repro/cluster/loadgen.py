@@ -308,3 +308,93 @@ def get_scenario(name: str) -> LoadScenario:
         raise ConfigurationError(
             f"unknown load scenario {name!r}; available: {scenario_names()}"
         ) from exc
+
+
+#: Benign label spellings (mirrors ``DetectionPipeline.DEFAULT_BENIGN_NAMES``).
+_BENIGN_LABELS = frozenset({"benign", "normal", "background"})
+
+
+def compile_scenario_trace(
+    scenario: LoadScenario,
+    flows_scale: float = 1.0,
+    seed: int = 0,
+    start_time: float = 0.0,
+    idle_timeout: float = 5.0,
+):
+    """Compile a load scenario into a replayable ground-truth trace.
+
+    The scenario's packet stream is assembled offline through the same
+    :class:`~repro.nids.flow.FlowTable` semantics the serving path uses
+    (same idle timeout, same any-attack-packet-taints-the-flow labeling),
+    giving every flow the canonical token replay predictions join against.
+    The result is a :class:`~repro.replay.CompiledTrace`, so the whole
+    replay toolchain — :class:`~repro.replay.TraceReplayer`,
+    :func:`~repro.replay.detection_metrics`,
+    :func:`~repro.replay.per_attack_type_recall` — grades scenario traffic
+    exactly the way it grades dataset traces.
+
+    Synthetic endpoint pairs can collide across phases (unlike the dataset
+    compiler, the traffic generator does not reserve unique 5-tuples), so
+    flows sharing a token are merged into one ground-truth entry; an attack
+    label wins over benign, matching the flow table's own tainting rule.
+    """
+    from repro.nids.flow import FlowTable
+    from repro.replay.compiler import CompiledTrace, TraceFlow
+
+    packets = scenario.build_packets(
+        seed=seed, flows_scale=flows_scale, start_time=start_time
+    )
+    table = FlowTable(idle_timeout=idle_timeout)
+    records = table.add_packets(packets) + table.flush()
+
+    merged: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        token = record.key.token
+        entry = merged.get(token)
+        if entry is None:
+            merged[token] = {
+                "label": record.label,
+                "protocol": record.key.protocol,
+                "n_packets": record.fwd_packets + record.bwd_packets,
+                "n_bytes": record.fwd_bytes + record.bwd_bytes,
+                "start_time": record.start_time,
+                "end_time": record.end_time,
+            }
+            continue
+        if (
+            entry["label"].lower() in _BENIGN_LABELS
+            and record.label.lower() not in _BENIGN_LABELS
+        ):
+            entry["label"] = record.label
+        entry["n_packets"] += record.fwd_packets + record.bwd_packets
+        entry["n_bytes"] += record.fwd_bytes + record.bwd_bytes
+        entry["start_time"] = min(entry["start_time"], record.start_time)
+        entry["end_time"] = max(entry["end_time"], record.end_time)
+
+    flows = [
+        TraceFlow(
+            token=token,
+            row_index=index,
+            label=str(entry["label"]),
+            is_attack=str(entry["label"]).lower() not in _BENIGN_LABELS,
+            protocol=str(entry["protocol"]),
+            n_packets=int(entry["n_packets"]),
+            n_bytes=int(entry["n_bytes"]),
+            start_time=float(entry["start_time"]),
+            end_time=float(entry["end_time"]),
+        )
+        for index, (token, entry) in enumerate(merged.items())
+    ]
+    class_names = tuple(sorted({flow.label for flow in flows}))
+    return CompiledTrace(
+        name=f"scenario:{scenario.name}",
+        dataset_name=scenario.name,
+        split="scenario",
+        seed=seed,
+        class_names=class_names,
+        attack_classes=frozenset(
+            name for name in class_names if name.lower() not in _BENIGN_LABELS
+        ),
+        packets=packets,
+        flows=flows,
+    )

@@ -1,0 +1,163 @@
+"""Content-addressed caching of matrix cell results.
+
+A cell's cache key hashes everything that could change its measurements:
+
+* the **cell parameters** (suite, forwarded runner kwargs, repeat count);
+* the **dataset digest** — a content hash of a small canonical sample of
+  the named dataset, so generator changes invalidate cells even when the
+  dataset *name* stays the same;
+* the **code fingerprint** — a content hash of the source files of the
+  modules the suite actually exercises, so editing the cascade cannot
+  resurrect a stale cascade cell while leaving untouched suites cached;
+* the **dtype policy** — the backend-wide default dtype is an implicit
+  parameter of every measurement.
+
+Keys are stable across processes and machines; the cache directory is a
+flat set of ``<key>.json`` files written atomically (temp file + rename),
+so concurrent writers and interrupted sweeps leave either a complete entry
+or none — which is exactly what makes a re-run resume mid-sweep.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+from hashlib import blake2b
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.matrix.spec import MatrixCell, canonical_json
+
+CELL_SCHEMA = "repro-matrix-cell/1"
+
+#: Canonical sample drawn to digest a dataset (small on purpose: the digest
+#: must witness the generator's content, not re-run the workload).
+_DIGEST_SAMPLE = {"n_train": 96, "n_test": 48, "seed": 0}
+
+_dataset_digests: Dict[str, str] = {}
+
+
+def _module_files(module_name: str) -> List[Path]:
+    """Source files of a module (every ``.py`` under it, for packages)."""
+    spec = importlib.util.find_spec(module_name)
+    if spec is None or spec.origin is None:
+        return []
+    origin = Path(spec.origin)
+    if origin.name == "__init__.py":
+        return sorted(origin.parent.rglob("*.py"))
+    return [origin]
+
+
+def code_fingerprint(modules: Sequence[str]) -> str:
+    """Content hash of the source of ``modules`` (packages recurse)."""
+    h = blake2b(digest_size=16)
+    for module_name in sorted(set(modules)):
+        for path in _module_files(module_name):
+            h.update(module_name.encode())
+            h.update(path.name.encode())
+            try:
+                h.update(path.read_bytes())
+            except OSError:
+                h.update(b"<unreadable>")
+    return h.hexdigest()
+
+
+def dataset_digest(name: str) -> str:
+    """Content hash of a canonical sample of dataset ``name``.
+
+    Synthetic datasets are deterministic functions of (name, size, seed), so
+    hashing a small fixed sample pins the generator's behaviour: any change
+    to the generation code or schema shifts the digest and invalidates every
+    cell that consumed the dataset.  Memoized per process.
+    """
+    cached = _dataset_digests.get(name)
+    if cached is not None:
+        return cached
+    from repro.datasets.loaders import load_dataset
+
+    ds = load_dataset(name, **_DIGEST_SAMPLE)
+    h = blake2b(digest_size=16)
+    h.update(ds.X_train.tobytes())
+    h.update(ds.y_train.tobytes())
+    h.update(ds.X_test.tobytes())
+    h.update(ds.y_test.tobytes())
+    h.update("|".join(ds.class_names).encode())
+    digest = h.hexdigest()
+    _dataset_digests[name] = digest
+    return digest
+
+
+def cell_key(
+    cell: MatrixCell,
+    code_fp: str,
+    *,
+    dtype_policy: Optional[str] = None,
+    dataset_fp: Optional[str] = None,
+) -> Tuple[str, Dict[str, Any]]:
+    """The cell's content-addressed key and its hashed components.
+
+    ``dataset_fp`` defaults to the digest of the cell's ``dataset`` param
+    (``None`` when the suite runs on synthetic traffic only — those
+    generators live in the fingerprinted modules, so the code fingerprint
+    already covers them).
+    """
+    if dtype_policy is None:
+        from repro.hdc.backend import DEFAULT_DTYPE
+
+        dtype_policy = DEFAULT_DTYPE
+    if dataset_fp is None:
+        dataset_name = cell.params_dict.get("dataset")
+        dataset_fp = dataset_digest(str(dataset_name)) if dataset_name else None
+    components = {
+        "schema": CELL_SCHEMA,
+        "suite": cell.suite,
+        "params": cell.params_dict,
+        "repeats": cell.repeats,
+        "dataset": dataset_fp,
+        "code": code_fp,
+        "dtype": dtype_policy,
+    }
+    key = blake2b(canonical_json(components).encode(), digest_size=16).hexdigest()
+    return key, components
+
+
+class ResultCache:
+    """A flat directory of atomically-written cell result files."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------- API
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached cell payload, or ``None`` on miss/corruption.
+
+        A truncated or unparsable entry (a writer killed mid-``rename`` can
+        not produce one, but a full disk can) reads as a miss — the cell
+        simply re-runs.
+        """
+        path = self.path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != CELL_SCHEMA:
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically persist a cell payload (concurrency-safe)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def keys(self) -> Iterable[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))

@@ -1,0 +1,466 @@
+"""Matrix execution: cells → cached results → one report artifact.
+
+``run_matrix`` walks a spec's cells in order, keys each against the
+:mod:`result cache <repro.matrix.cache>`, executes misses through the
+suite's ``run_*_benchmarks`` entry point in :mod:`repro.perf` (``repeats``
+times, aggregating per-repeat samples), and emits a single provenance-
+stamped report (schema ``repro-matrix/1``).
+
+``diff_matrix`` is the gate: per cell it reuses
+:func:`repro.perf.diff_bench_payloads` against the suite's checked-in
+``BENCH_*.json`` (parity, relative-speedup tolerance, absolute floors —
+exactly the checks the pre-matrix CI ran as seven separate jobs), then adds
+the spec's paired-significance comparisons on the per-repeat samples.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.matrix.cache import CELL_SCHEMA, ResultCache, cell_key, code_fingerprint
+from repro.matrix.spec import MatrixCell, MatrixSpec
+from repro.matrix.stats import aggregate_samples, compare_cells, find_samples
+
+REPORT_SCHEMA = "repro-matrix/1"
+
+#: Modules every suite exercises (the training/benchmark substrate).
+_COMMON_MODULES = (
+    "repro.perf",
+    "repro.hdc",
+    "repro.core",
+    "repro.models",
+    "repro.datasets",
+    "repro.utils",
+)
+
+#: Extra modules per suite, for the code fingerprint: a source edit outside
+#: a suite's set leaves its cached cells valid.
+_SUITE_MODULES: Dict[str, Tuple[str, ...]] = {
+    "hdc": (),
+    "streaming": ("repro.nids", "repro.serving"),
+    "cluster": ("repro.nids", "repro.serving", "repro.cluster"),
+    "replay": ("repro.nids", "repro.serving", "repro.cluster", "repro.replay"),
+    "bitpack": (
+        "repro.nids",
+        "repro.serving",
+        "repro.cluster",
+        "repro.replay",
+        "repro.persistence",
+    ),
+    "chaos": ("repro.nids", "repro.serving", "repro.cluster", "repro.replay"),
+    "fabric": ("repro.nids", "repro.serving", "repro.fabric", "repro.persistence"),
+    "cascade": ("repro.nids", "repro.serving", "repro.cascade", "repro.persistence"),
+    "loadgen": ("repro.nids", "repro.serving", "repro.cluster", "repro.replay"),
+    "baselines": ("repro.baselines",),
+}
+
+#: Record fields that are identity, not measurement: never averaged across
+#: repeats and never sampled into the aggregate block.
+_IDENTITY_FIELDS = frozenset({"D", "n"})
+
+
+@dataclass(frozen=True)
+class SuiteBinding:
+    """One runnable suite: entry point, default baseline, touched modules."""
+
+    name: str
+    runner: Callable[..., List[Dict[str, Any]]]
+    baseline_json: Optional[str]
+    modules: Tuple[str, ...]
+
+
+_suites_cache: Optional[Dict[str, SuiteBinding]] = None
+
+
+def get_suites() -> Dict[str, SuiteBinding]:
+    """The suite registry (lazy: importing the matrix stays cheap)."""
+    global _suites_cache
+    if _suites_cache is not None:
+        return _suites_cache
+    from repro import perf
+
+    def binding(name: str, runner: Callable[..., List[Dict[str, Any]]], baseline: str):
+        return SuiteBinding(
+            name=name,
+            runner=runner,
+            baseline_json=baseline,
+            modules=_COMMON_MODULES + _SUITE_MODULES.get(name, ()),
+        )
+
+    _suites_cache = {
+        "hdc": binding("hdc", perf.run_benchmarks, perf.BENCH_JSON_NAME),
+        "streaming": binding(
+            "streaming", perf.run_streaming_benchmarks, perf.BENCH_STREAMING_JSON_NAME
+        ),
+        "cluster": binding(
+            "cluster", perf.run_cluster_benchmarks, perf.BENCH_CLUSTER_JSON_NAME
+        ),
+        "replay": binding(
+            "replay", perf.run_replay_benchmarks, perf.BENCH_REPLAY_JSON_NAME
+        ),
+        "bitpack": binding(
+            "bitpack", perf.run_bitpack_benchmarks, perf.BENCH_BITPACK_JSON_NAME
+        ),
+        "chaos": binding("chaos", perf.run_chaos_benchmarks, perf.BENCH_CHAOS_JSON_NAME),
+        "fabric": binding(
+            "fabric", perf.run_fabric_benchmarks, perf.BENCH_FABRIC_JSON_NAME
+        ),
+        "cascade": binding(
+            "cascade", perf.run_cascade_benchmarks, perf.BENCH_CASCADE_JSON_NAME
+        ),
+        "loadgen": binding(
+            "loadgen", perf.run_loadgen_benchmarks, perf.BENCH_LOADGEN_JSON_NAME
+        ),
+        "baselines": binding(
+            "baselines", perf.run_baseline_benchmarks, perf.BENCH_BASELINES_JSON_NAME
+        ),
+    }
+    return _suites_cache
+
+
+# ------------------------------------------------------------- cell execution
+def _aggregate_runs(
+    runs: Sequence[List[Dict[str, Any]]],
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Fold per-repeat record lists into representative records + samples.
+
+    Records pair positionally within each op (suites emit a deterministic
+    record structure, so the i-th ``replay_open_loop`` of repeat 2 measures
+    the same operating point as the i-th of repeat 0).  Numeric measurement
+    fields become their across-repeat mean in the representative record —
+    except ``parity_ok``, which becomes the *minimum*: a parity bit that
+    drops in any repeat is a failure, not noise to average away.
+    """
+    representative = [dict(record) for record in runs[0]]
+    if len(runs) <= 1:
+        aggregates = [
+            {
+                "op": record["op"],
+                "index": _op_index(runs[0], i),
+                "fields": {
+                    key: aggregate_samples([value])
+                    for key, value in record.items()
+                    if _is_measurement(key, value)
+                },
+            }
+            for i, record in enumerate(runs[0])
+        ]
+        return representative, aggregates
+
+    aggregates = []
+    for i, record in enumerate(representative):
+        op = record["op"]
+        index = _op_index(runs[0], i)
+        peers: List[Dict[str, Any]] = []
+        for run in runs:
+            matches = [r for r in run if r.get("op") == op]
+            if index < len(matches):
+                peers.append(matches[index])
+        fields: Dict[str, Any] = {}
+        for key, value in record.items():
+            if not _is_measurement(key, value):
+                continue
+            samples = [
+                peer[key]
+                for peer in peers
+                if isinstance(peer.get(key), (int, float))
+                and not isinstance(peer.get(key), bool)
+            ]
+            if len(samples) != len(peers):
+                continue
+            fields[key] = aggregate_samples(samples)
+            if key == "parity_ok":
+                record[key] = int(min(samples))
+            else:
+                record[key] = fields[key]["mean"]
+        aggregates.append({"op": op, "index": index, "fields": fields})
+    return representative, aggregates
+
+
+def _op_index(records: Sequence[Dict[str, Any]], position: int) -> int:
+    """How many earlier records share ``records[position]``'s op."""
+    op = records[position]["op"]
+    return sum(1 for r in records[:position] if r.get("op") == op)
+
+
+def _is_measurement(key: str, value: Any) -> bool:
+    return (
+        key not in _IDENTITY_FIELDS
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    )
+
+
+def run_cell(
+    binding: SuiteBinding,
+    cell: MatrixCell,
+) -> Dict[str, Any]:
+    """Execute one cell (``cell.repeats`` suite runs) into a payload."""
+    runs: List[List[Dict[str, Any]]] = []
+    start = time.perf_counter()
+    for _ in range(cell.repeats):
+        try:
+            runs.append(binding.runner(**cell.params_dict))
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"cell {cell.cell_id!r}: suite {cell.suite!r} rejected its "
+                f"parameters {cell.params_dict!r}: {exc}"
+            ) from exc
+    wall_seconds = time.perf_counter() - start
+    records, aggregates = _aggregate_runs(runs)
+    return {
+        "schema": CELL_SCHEMA,
+        "cell_id": cell.cell_id,
+        "suite": cell.suite,
+        "params": cell.params_dict,
+        "repeats": cell.repeats,
+        "wall_seconds": wall_seconds,
+        "records": records,
+        "aggregates": aggregates,
+    }
+
+
+# ------------------------------------------------------------------ the sweep
+def run_matrix(
+    spec: MatrixSpec,
+    cache_dir: Union[str, Path] = ".matrix-cache",
+    *,
+    use_cache: bool = True,
+    refresh: bool = False,
+    repeats_override: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    suites: Optional[Dict[str, SuiteBinding]] = None,
+) -> Dict[str, Any]:
+    """Run every cell of ``spec``, reusing cached results, into a report.
+
+    Each completed cell is persisted to the cache *before* the next one
+    starts, so an interrupted sweep resumes where it stopped: the re-run
+    hits the cache for every finished cell and only executes the rest.
+    ``refresh`` forces re-execution but still writes fresh cache entries;
+    ``use_cache=False`` bypasses the cache entirely (read and write).
+    """
+    suites = suites if suites is not None else get_suites()
+    from repro.perf import bench_provenance
+
+    cache = ResultCache(cache_dir)
+    emit = progress or (lambda message: None)
+    fingerprints: Dict[str, str] = {}
+    cells_out: List[Dict[str, Any]] = []
+    n_cached = 0
+    start = time.perf_counter()
+    for cell in spec.cells:
+        binding = suites.get(cell.suite)
+        if binding is None:
+            raise ConfigurationError(
+                f"cell {cell.cell_id!r} names unknown suite {cell.suite!r} "
+                f"(known: {sorted(suites)})"
+            )
+        if repeats_override is not None:
+            cell = replace(cell, repeats=int(repeats_override))
+        if cell.suite not in fingerprints:
+            fingerprints[cell.suite] = code_fingerprint(binding.modules)
+        key, components = cell_key(cell, fingerprints[cell.suite])
+        if use_cache and not refresh:
+            cached = cache.get(key)
+            if cached is not None:
+                n_cached += 1
+                emit(f"[cache] {cell.cell_id}  key={key[:12]}")
+                entry = dict(cached)
+                entry["cell_id"] = cell.cell_id
+                entry["cached"] = True
+                cells_out.append(entry)
+                continue
+        emit(f"[run  ] {cell.cell_id}  repeats={cell.repeats}")
+        payload = run_cell(binding, cell)
+        payload["key"] = key
+        payload["key_components"] = components
+        if use_cache:
+            cache.put(key, payload)
+        entry = dict(payload)
+        entry["cached"] = False
+        cells_out.append(entry)
+    wall_seconds = time.perf_counter() - start
+    n_cells = len(cells_out)
+    return {
+        "schema": REPORT_SCHEMA,
+        "spec_name": spec.name,
+        "spec_hash": spec.spec_hash(),
+        "spec_source": str(spec.source) if spec.source else None,
+        "provenance": bench_provenance(),
+        "cells": cells_out,
+        "summary": {
+            "n_cells": n_cells,
+            "n_cached": n_cached,
+            "n_executed": n_cells - n_cached,
+            "cache_hit_fraction": n_cached / n_cells if n_cells else 0.0,
+            "wall_seconds": wall_seconds,
+        },
+    }
+
+
+def write_matrix_report(report: Dict[str, Any], path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+# ------------------------------------------------------------------ the gate
+def diff_matrix(
+    report: Dict[str, Any],
+    spec: MatrixSpec,
+    baseline_dir: Union[str, Path] = ".",
+    *,
+    suites: Optional[Dict[str, SuiteBinding]] = None,
+) -> Tuple[bool, List[str]]:
+    """Gate a matrix report: per-cell bench diffs + paired significance.
+
+    Per cell the fresh records diff against the suite's checked-in
+    ``BENCH_*.json`` via :func:`repro.perf.diff_bench_payloads` with the
+    spec's tolerance and floors — the same semantics ``repro bench-diff``
+    applies, which is what lets one ``matrix diff`` subsume the old
+    per-suite CI gates.  Spec comparisons then run
+    :func:`repro.matrix.stats.compare_cells` on the per-repeat samples;
+    only a significance-*confirmed* regression fails the gate.
+    """
+    from repro.perf import diff_bench_payloads
+
+    suites = suites if suites is not None else get_suites()
+    baseline_dir = Path(baseline_dir)
+    cells_by_id = {cell.get("cell_id"): cell for cell in report.get("cells", [])}
+    lines: List[str] = []
+    ok = True
+
+    for cell in spec.cells:
+        payload = cells_by_id.get(cell.cell_id)
+        if payload is None:
+            ok = False
+            lines.append(f"[FAIL] cell {cell.cell_id}: missing from the report")
+            continue
+        binding = suites.get(cell.suite)
+        baseline_name = spec.baselines.get(
+            cell.suite, binding.baseline_json if binding else None
+        )
+        if baseline_name is None:
+            lines.append(f"[skip] cell {cell.cell_id}: no baseline configured")
+            continue
+        baseline_path = baseline_dir / baseline_name
+        if not baseline_path.is_file():
+            ok = False
+            lines.append(
+                f"[FAIL] cell {cell.cell_id}: baseline {baseline_path} not found"
+            )
+            continue
+        baseline_payload = json.loads(baseline_path.read_text())
+        fresh_payload = {
+            "records": payload.get("records", []),
+            "provenance": report.get("provenance", {}),
+        }
+        cell_ok, cell_lines = diff_bench_payloads(
+            fresh_payload,
+            baseline_payload,
+            tolerance=spec.tolerance_for(cell),
+            floors=spec.floors_for(cell),
+        )
+        ok &= cell_ok
+        lines.extend(f"{cell.cell_id} :: {line}" for line in cell_lines)
+
+    for comparison in spec.comparisons:
+        candidate = cells_by_id.get(comparison.cell)
+        baseline = cells_by_id.get(comparison.baseline)
+        if candidate is None or baseline is None:
+            ok = False
+            missing = comparison.cell if candidate is None else comparison.baseline
+            lines.append(
+                f"[FAIL] comparison {comparison.name}: cell {missing!r} missing "
+                "from the report"
+            )
+            continue
+        cand_samples = find_samples(
+            candidate.get("aggregates", []), comparison.op, comparison.metric_field
+        )
+        base_samples = find_samples(
+            baseline.get("aggregates", []),
+            comparison.baseline_op,
+            comparison.baseline_field,
+        )
+        if not cand_samples or not base_samples:
+            ok = False
+            side = comparison.cell if not cand_samples else comparison.baseline
+            lines.append(
+                f"[FAIL] comparison {comparison.name}: metric "
+                f"{comparison.metric} not measured in cell {side!r}"
+            )
+            continue
+        verdict = compare_cells(
+            cand_samples,
+            base_samples,
+            alpha=spec.alpha if comparison.alpha is None else comparison.alpha,
+            min_ratio=comparison.min_ratio,
+        )
+        failed = verdict["verdict"] == "regression"
+        ok &= not failed
+        p_worse = verdict["p_worse"]
+        p_text = "n/a" if p_worse is None else f"{p_worse:.3f}"
+        lines.append(
+            f"[{'FAIL' if failed else 'ok'}] comparison {comparison.name}: "
+            f"{comparison.metric} ratio {verdict['ratio']:.3f} "
+            f"(floor {comparison.min_ratio}) p={p_text} "
+            f"alpha={verdict['alpha']} -> {verdict['verdict']}"
+        )
+    if not lines:
+        ok = False
+        lines.append("[FAIL] nothing compared: the spec gated no cells")
+    return ok, lines
+
+
+# -------------------------------------------------------------- presentation
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of a ``repro-matrix/1`` report."""
+    summary = report.get("summary", {})
+    lines = [
+        f"matrix {report.get('spec_name', '?')}  "
+        f"spec={report.get('spec_hash', '?')[:12]}  "
+        f"cells={summary.get('n_cells', 0)} "
+        f"(cached {summary.get('n_cached', 0)}, "
+        f"executed {summary.get('n_executed', 0)}, "
+        f"hit rate {summary.get('cache_hit_fraction', 0.0):.0%})  "
+        f"wall={summary.get('wall_seconds', 0.0):.1f}s"
+    ]
+    for cell in report.get("cells", []):
+        flag = "cache" if cell.get("cached") else "run  "
+        lines.append(
+            f"  [{flag}] {cell.get('cell_id')}  repeats={cell.get('repeats')}  "
+            f"wall={cell.get('wall_seconds', 0.0):.1f}s"
+        )
+        aggregates = {
+            (entry.get("op"), entry.get("index")): entry.get("fields", {})
+            for entry in cell.get("aggregates", [])
+        }
+        seen: Dict[str, int] = {}
+        for record in cell.get("records", []):
+            op = record.get("op")
+            index = seen.get(op, 0)
+            seen[op] = index + 1
+            parts = []
+            if "speedup" in record:
+                stats = aggregates.get((op, index), {}).get("speedup")
+                if stats and stats.get("n", 1) > 1:
+                    lo, hi = stats["ci95"]
+                    parts.append(
+                        f"speedup {stats['mean']:.2f}x (95% CI {lo:.2f}-{hi:.2f})"
+                    )
+                else:
+                    parts.append(f"speedup {float(record['speedup']):.2f}x")
+            if "parity_ok" in record:
+                parts.append(f"parity_ok={int(record['parity_ok'])}")
+            for extra_field in ("recall", "wall_speedup", "escalation_fraction"):
+                if extra_field in record:
+                    parts.append(f"{extra_field}={float(record[extra_field]):.3f}")
+            if parts:
+                lines.append(f"      {op}: " + "  ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,357 @@
+"""Declarative experiment-matrix specs.
+
+A spec is a small YAML (or JSON) document that names a grid of benchmark
+cells — suites crossed with parameter axes — plus the gates the resulting
+report must clear.  The grammar:
+
+.. code-block:: yaml
+
+    schema: repro-matrix-spec/1
+    name: ci-quick
+    defaults:            # merged into every grid entry (entry value wins)
+      quick: true
+      repeats: 1
+    grid:
+      - suite: hdc
+      - suite: replay    # list-valued params expand cartesian into cells
+        dataset: [nsl_kdd, unsw_nb15]
+        workers: 2
+      - suite: cascade   # an explicit id names the cell for comparisons
+        id: cascade-int8
+        multiclass_bits: 8
+    gates:
+      tolerance: 0.2     # relative-speedup tolerance vs the baseline JSON
+      alpha: 0.2         # significance level for comparisons
+      floors:            # keyed by suite or exact cell id
+        bitpack:
+          bitpack_score_speedup: 2.0
+      baselines:         # BENCH_*.json override per suite (null = no diff)
+        loadgen: BENCH_loadgen.json
+    comparisons:         # paired-significance gates between two cells
+      - name: int8-head-holds-throughput
+        cell: cascade-int8
+        baseline: cascade
+        metric: cascade_throughput.speedup
+        min_ratio: 0.5
+
+Every key except ``suite``, ``id``, ``repeats`` and ``tolerance`` is passed
+verbatim to the suite's ``run_*_benchmarks`` entry point, so the spec can
+express anything the CLI can.  Expansion is deterministic: cells appear in
+grid order, axes expand sorted by parameter name, and the derived cell ids
+(``suite/param=value,...``) are stable across runs — they are the join key
+for floors, comparisons and cache entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+SPEC_SCHEMA = "repro-matrix-spec/1"
+
+#: Grid-entry keys consumed by the matrix itself (never forwarded to suites).
+RESERVED_KEYS = ("suite", "id", "repeats", "tolerance")
+
+
+def _format_value(value: Any) -> str:
+    """Stable scalar rendering for cell ids (bools lowercase, floats bare)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace drift)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One fully-resolved grid point: a suite plus concrete parameters."""
+
+    cell_id: str
+    suite: str
+    params: Tuple[Tuple[str, Any], ...]
+    repeats: int = 1
+    tolerance: Optional[float] = None
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        """The suite-runner keyword arguments."""
+        return dict(self.params)
+
+
+def _split_metric(metric: str) -> Tuple[str, str]:
+    parts = metric.rsplit(".", 1)
+    return (parts[0], parts[1]) if len(parts) == 2 else (metric, "speedup")
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """A paired-significance gate between two named cells.
+
+    ``baseline_metric`` defaults to ``metric``; set it when the two sides
+    record the comparable quantity under different ops (e.g. the cascade
+    cell's ``cascade_int8_throughput.speedup`` against its own
+    ``cascade_throughput.speedup`` — both measured against the same
+    float32 reference path, so their ratio is the int8/float32 story).
+    """
+
+    name: str
+    cell: str
+    baseline: str
+    metric: str  # "op.field", e.g. "cascade_throughput.speedup"
+    baseline_metric: Optional[str] = None
+    min_ratio: float = 1.0
+    alpha: Optional[float] = None
+
+    @property
+    def op(self) -> str:
+        return _split_metric(self.metric)[0]
+
+    @property
+    def metric_field(self) -> str:
+        return _split_metric(self.metric)[1]
+
+    @property
+    def baseline_op(self) -> str:
+        return _split_metric(self.baseline_metric or self.metric)[0]
+
+    @property
+    def baseline_field(self) -> str:
+        return _split_metric(self.baseline_metric or self.metric)[1]
+
+
+@dataclass
+class MatrixSpec:
+    """A parsed, expanded experiment matrix."""
+
+    name: str
+    cells: List[MatrixCell]
+    tolerance: float = 0.2
+    alpha: float = 0.2
+    floors: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    baselines: Dict[str, Optional[str]] = field(default_factory=dict)
+    comparisons: List[CellComparison] = field(default_factory=list)
+    raw: Dict[str, Any] = field(default_factory=dict)
+    source: Optional[Path] = None
+
+    # ------------------------------------------------------------------- API
+    def cell(self, cell_id: str) -> MatrixCell:
+        """Look a cell up by id (raises on unknown ids)."""
+        for cell in self.cells:
+            if cell.cell_id == cell_id:
+                return cell
+        known = ", ".join(c.cell_id for c in self.cells)
+        raise ConfigurationError(f"unknown cell id {cell_id!r} (cells: {known})")
+
+    def spec_hash(self) -> str:
+        """Content hash of the whole spec document.
+
+        Any edit to the grid or the gates changes the hash; CI uses it (with
+        the code fingerprint) as the ``actions/cache`` key so a stale cell
+        cache can never answer for an edited spec.
+        """
+        return blake2b(canonical_json(self.raw).encode(), digest_size=16).hexdigest()
+
+    def floors_for(self, cell: MatrixCell) -> Dict[str, float]:
+        """Floors for a cell: exact cell-id entry first, then its suite's."""
+        if cell.cell_id in self.floors:
+            return dict(self.floors[cell.cell_id])
+        return dict(self.floors.get(cell.suite, {}))
+
+    def tolerance_for(self, cell: MatrixCell) -> float:
+        return self.tolerance if cell.tolerance is None else cell.tolerance
+
+
+def expand_grid_entry(
+    entry: Mapping[str, Any],
+    defaults: Mapping[str, Any],
+    default_repeats: int,
+) -> List[MatrixCell]:
+    """Expand one grid entry into cells (cartesian over list-valued params)."""
+    if "suite" not in entry:
+        raise ConfigurationError(f"grid entry missing 'suite': {dict(entry)!r}")
+    suite = str(entry["suite"])
+    explicit_id = entry.get("id")
+    merged: Dict[str, Any] = {
+        key: value for key, value in defaults.items() if key not in RESERVED_KEYS
+    }
+    merged.update(
+        {key: value for key, value in entry.items() if key not in RESERVED_KEYS}
+    )
+    repeats = int(entry.get("repeats", defaults.get("repeats", default_repeats)))
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1 (cell {suite!r})")
+    tolerance = entry.get("tolerance", None)
+
+    axes = sorted(
+        (key, list(value))
+        for key, value in merged.items()
+        if isinstance(value, (list, tuple))
+    )
+    scalars = {key: value for key, value in merged.items() if not isinstance(value, (list, tuple))}
+    for key, values in axes:
+        if not values:
+            raise ConfigurationError(f"axis {key!r} of {suite!r} expands to no values")
+
+    cells: List[MatrixCell] = []
+    for combo in itertools.product(*(values for _, values in axes)) if axes else [()]:
+        params = dict(scalars)
+        params.update({key: value for (key, _), value in zip(axes, combo)})
+        if explicit_id is not None:
+            # An explicit id names the whole entry; only the expanded axes
+            # need to disambiguate the individual cells.
+            suffix_params = {key: params[key] for key, _ in axes}
+            base = str(explicit_id)
+        else:
+            suffix_params = params
+            base = suite
+        suffix = ",".join(
+            f"{key}={_format_value(value)}" for key, value in sorted(suffix_params.items())
+        )
+        cell_id = f"{base}/{suffix}" if suffix else base
+        cells.append(
+            MatrixCell(
+                cell_id=cell_id,
+                suite=suite,
+                params=tuple(sorted(params.items())),
+                repeats=repeats,
+                tolerance=None if tolerance is None else float(tolerance),
+            )
+        )
+    return cells
+
+
+def parse_spec(
+    data: Mapping[str, Any],
+    *,
+    name: str = "matrix",
+    source: Optional[Path] = None,
+    known_suites: Optional[Sequence[str]] = None,
+) -> MatrixSpec:
+    """Build a :class:`MatrixSpec` from a parsed YAML/JSON document."""
+    if not isinstance(data, Mapping):
+        raise ConfigurationError("a matrix spec must be a mapping at top level")
+    schema = data.get("schema")
+    if schema != SPEC_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported matrix spec schema {schema!r} (expected {SPEC_SCHEMA!r})"
+        )
+    grid = data.get("grid")
+    if not isinstance(grid, list) or not grid:
+        raise ConfigurationError("a matrix spec needs a non-empty 'grid' list")
+    defaults = data.get("defaults") or {}
+    if not isinstance(defaults, Mapping):
+        raise ConfigurationError("'defaults' must be a mapping")
+    default_repeats = int(defaults.get("repeats", 1))
+
+    cells: List[MatrixCell] = []
+    for entry in grid:
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError(f"grid entries must be mappings, got {entry!r}")
+        cells.extend(expand_grid_entry(entry, defaults, default_repeats))
+    seen: Dict[str, int] = {}
+    for cell in cells:
+        seen[cell.cell_id] = seen.get(cell.cell_id, 0) + 1
+    duplicates = [cell_id for cell_id, count in seen.items() if count > 1]
+    if duplicates:
+        raise ConfigurationError(
+            f"duplicate cell ids after expansion: {sorted(duplicates)} "
+            "(give the colliding entries distinct 'id's)"
+        )
+    if known_suites is not None:
+        unknown = sorted({c.suite for c in cells} - set(known_suites))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown suites {unknown} (known: {sorted(known_suites)})"
+            )
+
+    gates = data.get("gates") or {}
+    if not isinstance(gates, Mapping):
+        raise ConfigurationError("'gates' must be a mapping")
+    floors_raw = gates.get("floors") or {}
+    floors = {
+        str(scope): {str(op): float(value) for op, value in (entry or {}).items()}
+        for scope, entry in floors_raw.items()
+    }
+    baselines = {
+        str(suite): (None if path is None else str(path))
+        for suite, path in (gates.get("baselines") or {}).items()
+    }
+
+    comparisons: List[CellComparison] = []
+    for entry in data.get("comparisons") or []:
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError(f"comparisons must be mappings, got {entry!r}")
+        missing = [key for key in ("name", "cell", "baseline", "metric") if key not in entry]
+        if missing:
+            raise ConfigurationError(
+                f"comparison {entry.get('name', '?')!r} missing keys {missing}"
+            )
+        comparisons.append(
+            CellComparison(
+                name=str(entry["name"]),
+                cell=str(entry["cell"]),
+                baseline=str(entry["baseline"]),
+                metric=str(entry["metric"]),
+                baseline_metric=(
+                    None
+                    if entry.get("baseline_metric") is None
+                    else str(entry["baseline_metric"])
+                ),
+                min_ratio=float(entry.get("min_ratio", 1.0)),
+                alpha=None if entry.get("alpha") is None else float(entry["alpha"]),
+            )
+        )
+    cell_ids = {cell.cell_id for cell in cells}
+    for comparison in comparisons:
+        for endpoint in (comparison.cell, comparison.baseline):
+            if endpoint not in cell_ids:
+                raise ConfigurationError(
+                    f"comparison {comparison.name!r} references unknown cell "
+                    f"{endpoint!r} (cells: {sorted(cell_ids)})"
+                )
+
+    return MatrixSpec(
+        name=str(data.get("name", name)),
+        cells=cells,
+        tolerance=float(gates.get("tolerance", 0.2)),
+        alpha=float(gates.get("alpha", 0.2)),
+        floors=floors,
+        baselines=baselines,
+        comparisons=comparisons,
+        raw=dict(data),
+        source=source,
+    )
+
+
+def load_spec(
+    path: Union[str, Path],
+    *,
+    known_suites: Optional[Sequence[str]] = None,
+) -> MatrixSpec:
+    """Load a spec file (YAML when PyYAML is available, JSON always)."""
+    path = Path(path)
+    text = path.read_text()
+    data: Any
+    if path.suffix.lower() == ".json":
+        data = json.loads(text)
+    else:
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - container ships pyyaml
+            raise ConfigurationError(
+                f"cannot parse {path.name}: PyYAML is not installed "
+                "(use a .json spec instead)"
+            ) from exc
+        data = yaml.safe_load(text)
+    return parse_spec(data, name=path.stem, source=path, known_suites=known_suites)

@@ -1,0 +1,180 @@
+"""Repeat-run statistics: confidence intervals and paired significance.
+
+Benchmark repeats are few (3–5) and nothing about wall-time noise is
+Gaussian, so the significance machinery is deliberately assumption-free:
+
+* **mean/CI** — Student-t intervals on the per-repeat samples (the t table
+  is hardcoded for the tiny degrees of freedom the matrix actually uses);
+* **paired sign-flip permutation test** — repeats of two cells measured on
+  the same host in the same sweep pair naturally by repeat index; under the
+  null (no difference) each paired difference is symmetric around zero, so
+  the exact distribution of the mean difference over all ``2^n`` sign
+  assignments gives a p-value with no distributional assumptions at all.
+
+With ``n`` repeats the smallest achievable one-sided p-value is ``1/2^n``
+(0.125 at n=3), so the default significance level must sit above that —
+the matrix uses ``alpha = 0.2``: nightly runs at ``--repeats 3`` can
+confirm a regression, single-shot PR runs never can (their verdicts stay
+``inconclusive`` and only floors/parity/tolerance gate).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 12: 2.179, 15: 2.131, 20: 2.086,
+    25: 2.060, 30: 2.042,
+}
+
+
+def _t95(df: int) -> float:
+    if df <= 0:
+        return 0.0
+    if df in _T95:
+        return _T95[df]
+    candidates = [d for d in _T95 if d <= df]
+    return _T95[max(candidates)] if candidates else 1.96
+
+
+def mean_ci(samples: Sequence[float]) -> Dict[str, Any]:
+    """Mean, sample std and 95% t-interval of ``samples``."""
+    values = [float(v) for v in samples]
+    n = len(values)
+    mean = sum(values) / n if n else 0.0
+    if n <= 1:
+        return {"mean": mean, "std": 0.0, "n": n, "ci95": [mean, mean]}
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(variance)
+    half = _t95(n - 1) * std / math.sqrt(n)
+    return {"mean": mean, "std": std, "n": n, "ci95": [mean - half, mean + half]}
+
+
+def paired_permutation_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    alternative: str = "two-sided",
+    max_exact: int = 4096,
+    resamples: int = 2048,
+) -> float:
+    """Sign-flip permutation p-value for paired samples ``a`` vs ``b``.
+
+    ``alternative`` is about the mean of ``a - b``: ``"greater"`` tests
+    whether ``a`` exceeds ``b``, ``"less"`` the reverse, ``"two-sided"``
+    any difference.  Exact enumeration of all ``2^n`` sign assignments when
+    that fits in ``max_exact``; a seeded Monte-Carlo sample otherwise (the
+    identity assignment is always included, so p is never 0).
+    """
+    if len(a) != len(b):
+        raise ValueError(f"paired samples differ in length: {len(a)} vs {len(b)}")
+    if alternative not in ("two-sided", "greater", "less"):
+        raise ValueError(f"unknown alternative {alternative!r}")
+    diffs = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    n = diffs.size
+    if n == 0 or not np.any(diffs):
+        return 1.0
+    observed = float(diffs.mean())
+
+    if 2**n <= max_exact:
+        signs = np.array(list(itertools.product((1.0, -1.0), repeat=n)))
+    else:
+        rng = np.random.default_rng(0)
+        signs = rng.choice((1.0, -1.0), size=(resamples - 1, n))
+        signs = np.vstack([np.ones((1, n)), signs])
+    permuted = (signs * diffs).mean(axis=1)
+    if alternative == "greater":
+        extreme = permuted >= observed
+    elif alternative == "less":
+        extreme = permuted <= observed
+    else:
+        extreme = np.abs(permuted) >= abs(observed)
+    # >= up to float noise: the identity assignment must always count.
+    return float(np.mean(extreme | np.isclose(permuted, observed)))
+
+
+def compare_cells(
+    candidate: Sequence[float],
+    baseline: Sequence[float],
+    *,
+    alpha: float = 0.2,
+    min_ratio: float = 1.0,
+    higher_is_better: bool = True,
+) -> Dict[str, Any]:
+    """Verdict for a candidate metric against a baseline cell's metric.
+
+    The verdict combines an *effect-size* condition (the mean ratio must
+    fall below ``min_ratio``, resp. above ``1/min_ratio`` for lower-is-
+    better metrics) with a *significance* condition (one-sided paired
+    permutation ``p <= alpha`` in the degradation direction).  Both must
+    hold for ``"regression"`` — a significant-but-tiny dip and a large-but-
+    noisy dip both stay ``"ok"``.  With a single repeat per cell no
+    permutation can reach significance and the verdict is
+    ``"inconclusive"``.
+    """
+    cand = [float(v) for v in candidate]
+    base = [float(v) for v in baseline]
+    n = min(len(cand), len(base))
+    cand, base = cand[:n], base[:n]
+    mean_candidate = sum(cand) / n if n else 0.0
+    mean_baseline = sum(base) / n if n else 0.0
+    ratio = mean_candidate / mean_baseline if mean_baseline else float("inf")
+
+    worse = "less" if higher_is_better else "greater"
+    better = "greater" if higher_is_better else "less"
+    result: Dict[str, Any] = {
+        "n": n,
+        "mean_candidate": mean_candidate,
+        "mean_baseline": mean_baseline,
+        "ratio": ratio,
+        "min_ratio": float(min_ratio),
+        "alpha": float(alpha),
+        "p_worse": None,
+        "p_better": None,
+        "verdict": "inconclusive",
+    }
+    if n < 2:
+        # One repeat cannot resolve significance; the ratio is still
+        # reported so floors/tolerance gates elsewhere can use it.
+        return result
+    p_worse = paired_permutation_pvalue(cand, base, alternative=worse)
+    p_better = paired_permutation_pvalue(cand, base, alternative=better)
+    result["p_worse"] = p_worse
+    result["p_better"] = p_better
+    degraded = ratio < min_ratio if higher_is_better else ratio > 1.0 / min_ratio
+    improved = ratio > 1.0 if higher_is_better else ratio < 1.0
+    if degraded and p_worse <= alpha:
+        result["verdict"] = "regression"
+    elif improved and p_better <= alpha:
+        result["verdict"] = "improvement"
+    else:
+        result["verdict"] = "ok"
+    return result
+
+
+def aggregate_samples(per_run_values: Sequence[float]) -> Dict[str, Any]:
+    """The stored aggregate for one record field across repeats."""
+    stats = mean_ci(per_run_values)
+    stats["samples"] = [float(v) for v in per_run_values]
+    return stats
+
+
+def find_samples(
+    aggregates: Sequence[Dict[str, Any]],
+    op: str,
+    field: str,
+    index: int = 0,
+) -> Optional[List[float]]:
+    """Per-repeat samples of ``op.field`` from a cell's aggregate block."""
+    matches = [entry for entry in aggregates if entry.get("op") == op]
+    if index >= len(matches):
+        return None
+    entry = matches[index].get("fields", {}).get(field)
+    if not entry:
+        return None
+    return [float(v) for v in entry.get("samples", [])]

@@ -2089,6 +2089,11 @@ def bench_cascade(
       (``parity_ok``), which pins every per-attack-type recall delta to
       zero; ``speedup`` carries the slice's attack detection rate so a
       floor gates absolute recall.
+    * **cascade_int8_throughput / cascade_int8_escalated_recall** -- the
+      same two measurements for a cascade whose escalation head runs 8-bit
+      quantized inference (the second head-precision operating point);
+      throughput is against the *same* float32-only batch path, so the
+      int8 and float32 speedups are directly comparable.
     """
     from repro.cascade import (
         CascadeConfig,
@@ -2271,6 +2276,108 @@ def bench_cascade(
             note="escalated-slice predictions vs the standalone float32 head",
         )
     )
+
+    # ---- int8 escalation-head operating point -----------------------------
+    # The second point on the head-precision axis: the same packed 1-bit
+    # pre-filter, but the escalation head quantized to 8-bit inference.
+    # Throughput is measured against the *same* float32-only batch path as
+    # cascade_throughput, so the two speedups are directly comparable (the
+    # matrix's int8-vs-float32 significance comparison rides on that).
+    int8_config = CascadeConfig(
+        escalation_margin=escalation_margin,
+        prefilter_dim=prefilter_dim,
+        prefilter_bits=1,
+        multiclass_bits=8,
+    )
+    start = time.perf_counter()
+    int8_cascade = train_cascade_dataset(
+        ds, config=int8_config, dim=dim, epochs=epochs, seed=seed
+    )
+    int8_train_seconds = time.perf_counter() - start
+    int8_head = int8_cascade.multiclass.classifier
+
+    def int8_batch():
+        return int8_cascade.classify_matrix(X_mix)
+
+    int8_batch()  # warm
+    int8_seconds = _best_of(int8_batch, repeats)
+    int8_predictions, int8_escalated = int8_cascade.classify_matrix(X_mix)
+    int8_fraction = float(np.mean(int8_escalated))
+    int8_served_attack = attack_mask[int8_predictions]
+    records.append(
+        make_record(
+            "cascade_int8_throughput",
+            int8_seconds,
+            "uint64",
+            dim,
+            mix_size,
+            dataset=dataset,
+            prefilter_dim=prefilter_dim,
+            multiclass_bits=8,
+            speedup=float_seconds / int8_seconds,
+            flows_per_second=mix_size / int8_seconds,
+            float32_flows_per_second=mix_size / float_seconds,
+            escalation_fraction=int8_fraction,
+            escalation_margin=int8_cascade.escalation_margin,
+            benign_fraction=benign_fraction,
+            detection_rate=float(np.mean(int8_served_attack[truth_attack])),
+            false_alarm_rate=float(np.mean(int8_served_attack[~truth_attack])),
+            train_seconds=int8_train_seconds,
+            note="int8 escalation head vs the same float32-only batch path",
+        )
+    )
+
+    int8_test_predictions, int8_test_escalated = int8_cascade.classify_matrix(ds.X_test)
+    int8_head_predictions = np.argmax(classifier_scores(int8_head, ds.X_test), axis=1)
+    int8_slice_truth = ds.y_test[int8_test_escalated]
+    int8_report = detection_report(
+        int8_slice_truth,
+        int8_test_predictions[int8_test_escalated],
+        ds.class_names,
+        attack_mask=ds.schema.attack_mask,
+    )
+    int8_standalone_report = detection_report(
+        int8_slice_truth,
+        int8_head_predictions[int8_test_escalated],
+        ds.class_names,
+        attack_mask=ds.schema.attack_mask,
+    )
+    int8_bit_match = bool(
+        np.array_equal(
+            int8_test_predictions[int8_test_escalated],
+            int8_head_predictions[int8_test_escalated],
+        )
+    )
+    int8_recall_delta = max(
+        (
+            abs(
+                int8_report.per_class[name]["recall"]
+                - int8_standalone_report.per_class[name]["recall"]
+            )
+            for name in ds.class_names
+        ),
+        default=0.0,
+    )
+    records.append(
+        make_record(
+            "cascade_int8_escalated_recall",
+            0.0,
+            "uint64",
+            dim,
+            int(np.sum(int8_test_escalated)),
+            dataset=dataset,
+            multiclass_bits=8,
+            parity_ok=int(int8_bit_match and int8_recall_delta <= 0.01),
+            speedup=float(int8_report.detection_rate or 0.0),
+            max_recall_delta=int8_recall_delta,
+            escalation_fraction=float(np.mean(int8_test_escalated)),
+            per_class_recall={
+                name: int8_report.per_class[name]["recall"]
+                for name in ds.class_names
+            },
+            note="escalated-slice predictions vs the standalone int8 head",
+        )
+    )
     return records
 
 
@@ -2296,6 +2403,309 @@ def run_cascade_benchmarks(
             repeats=3,
         )
     return bench_cascade(dim=dim if dim is not None else 4096)
+
+
+# ----------------------------------------------- loadgen scenario grading
+BENCH_LOADGEN_JSON_NAME = "BENCH_loadgen.json"
+
+
+def bench_loadgen(
+    scenarios: Sequence[str] = (
+        "ddos_burst",
+        "port_scan_sweep",
+        "low_and_slow_exfiltration",
+    ),
+    flows_scale: float = 1.0,
+    rates: Sequence[float] = (4_000.0, 20_000.0, 120_000.0),
+    dim: int = 256,
+    epochs: int = 5,
+    train_flows: int = 400,
+    window: int = 512,
+    recall_tolerance: float = 0.05,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """Loadgen scenario grading: per-attack-type recall across load points.
+
+    Each scenario's packet stream is compiled into a ground-truth trace
+    (:func:`repro.cluster.loadgen.compile_scenario_trace`), then replayed
+    through a pipeline trained on the default profile mix:
+
+    * **loadgen_closed_loop** -- the deterministic every-flow-served
+      baseline; carries aggregate recall/precision and the per-attack-type
+      recall breakdown the load points are graded against.
+    * **loadgen_load_point** -- open-loop replay at each rate in ``rates``
+      (packets/second, ``drop_oldest`` shedding), with the same per-type
+      breakdown: the recall-vs-load *curve per attack class*.
+    * **loadgen_recall_parity** -- the gate: at the gentlest load point
+      (an offered rate the detector can sustain) no attack type may lose
+      more than ``recall_tolerance`` of its closed-loop recall.
+      ``parity_ok`` carries the verdict; ``speedup`` carries the worst
+      per-type retention ratio, so an explicit floor gates retention.
+    """
+    from repro.cluster.loadgen import compile_scenario_trace, get_scenario
+    from repro.core.cyberhd import CyberHD
+    from repro.nids.pipeline import DetectionPipeline
+    from repro.replay import ReplayConfig, TraceReplayer
+    from repro.replay.replayer import per_attack_type_recall
+
+    records: List[Dict[str, Any]] = []
+    for name in scenarios:
+        scenario = get_scenario(name)
+        pipeline = DetectionPipeline(
+            classifier=CyberHD(dim=dim, epochs=epochs, seed=seed)
+        )
+        start = time.perf_counter()
+        pipeline.fit_packets(scenario.training_packets(n_flows=train_flows, seed=seed))
+        train_seconds = time.perf_counter() - start
+        trace = compile_scenario_trace(scenario, flows_scale=flows_scale, seed=seed + 1)
+
+        closed = TraceReplayer(
+            pipeline, ReplayConfig(mode="closed", window_size=window)
+        ).replay(trace)
+        closed_types = per_attack_type_recall(trace, closed.predictions)
+        records.append(
+            make_record(
+                "loadgen_closed_loop",
+                closed.wall_seconds,
+                "float32",
+                dim,
+                closed.n_packets_served,
+                dataset=name,
+                flows=closed.n_flows_served,
+                attack_flows=trace.n_attack_flows,
+                packets_per_second=closed.packets_per_second,
+                recall=closed.metrics["recall"],
+                precision=closed.metrics["precision"],
+                served_fraction=closed.metrics["served_fraction"],
+                per_attack_recall={
+                    label: entry["recall"]
+                    for label, entry in sorted(closed_types.items())
+                },
+                train_seconds=train_seconds,
+            )
+        )
+
+        curve: Dict[float, Dict[str, Dict[str, float]]] = {}
+        for rate in rates:
+            result = TraceReplayer(
+                pipeline,
+                ReplayConfig(
+                    mode="open",
+                    rate=float(rate),
+                    window_size=window,
+                    queue_capacity=2 * window,
+                ),
+            ).replay(trace)
+            types = per_attack_type_recall(trace, result.predictions)
+            curve[float(rate)] = types
+            records.append(
+                make_record(
+                    "loadgen_load_point",
+                    result.wall_seconds,
+                    "float32",
+                    dim,
+                    result.n_packets_submitted,
+                    dataset=name,
+                    offered_rate=float(rate),
+                    achieved_rate=result.packets_per_second,
+                    dropped_packets=result.dropped_packets,
+                    served_fraction=result.metrics["served_fraction"],
+                    recall=result.metrics["recall"],
+                    precision=result.metrics["precision"],
+                    per_attack_recall={
+                        label: entry["recall"]
+                        for label, entry in sorted(types.items())
+                    },
+                )
+            )
+
+        # ---- the gate: gentlest load point vs the closed loop -------------
+        gate_rate = min(curve)
+        gate_types = curve[gate_rate]
+        deltas: Dict[str, float] = {}
+        retention = 1.0
+        for label, entry in sorted(closed_types.items()):
+            open_recall = gate_types.get(label, {}).get("recall", 0.0)
+            deltas[label] = entry["recall"] - open_recall
+            if entry["recall"] > 0:
+                retention = min(retention, open_recall / entry["recall"])
+        max_delta = max((max(0.0, d) for d in deltas.values()), default=0.0)
+        records.append(
+            make_record(
+                "loadgen_recall_parity",
+                0.0,
+                "float32",
+                dim,
+                trace.n_flows,
+                dataset=name,
+                offered_rate=gate_rate,
+                parity_ok=int(max_delta <= recall_tolerance),
+                speedup=retention,
+                max_recall_delta=max_delta,
+                recall_delta_tolerance=recall_tolerance,
+                per_attack_recall_delta=deltas,
+                note=(
+                    "per-type recall at the gentlest load point vs closed "
+                    "loop; speedup carries the worst per-type retention"
+                ),
+            )
+        )
+    return records
+
+
+def run_loadgen_benchmarks(
+    scenario: Optional[str] = None,
+    flows_scale: Optional[float] = None,
+    dim: Optional[int] = None,
+    quick: bool = False,
+) -> List[Dict[str, Any]]:
+    """The ``bench --suite loadgen`` entry point.
+
+    ``quick`` shrinks flow counts and drops the middle load point but keeps
+    *every scenario*: the per-type parity gate is keyed per scenario, and a
+    smoke that skipped one would silently stop gating it.  An explicit
+    ``scenario`` narrows the run (exploration, not the gate).
+    """
+    scenarios: Sequence[str] = (
+        (scenario,)
+        if scenario is not None
+        else ("ddos_burst", "port_scan_sweep", "low_and_slow_exfiltration")
+    )
+    if quick:
+        return bench_loadgen(
+            scenarios=scenarios,
+            flows_scale=flows_scale if flows_scale is not None else 0.3,
+            rates=(4_000.0, 150_000.0),
+            dim=dim if dim is not None else 128,
+            epochs=3,
+            train_flows=250,
+            window=256,
+        )
+    return bench_loadgen(
+        scenarios=scenarios,
+        flows_scale=flows_scale if flows_scale is not None else 1.0,
+        dim=dim if dim is not None else 256,
+    )
+
+
+# -------------------------------------------------- SVM/MLP model baselines
+BENCH_BASELINES_JSON_NAME = "BENCH_baselines.json"
+
+
+def bench_model_baselines(
+    dataset: str = "nsl_kdd",
+    n_train: int = 4000,
+    n_test: int = 1000,
+    dim: int = 2048,
+    epochs: int = 5,
+    mlp_epochs: int = 30,
+    svm_epochs: int = 30,
+    accuracy_margin: float = 0.05,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """HDC vs the SVM/MLP baselines on one tabular dataset.
+
+    The paper's efficiency pitch as a regression gate: the HDC model must
+    train faster than each baseline (``baseline_train_speedup_*`` --
+    machine-relative ratios, so they transfer across hosts) while staying
+    within ``accuracy_margin`` of the best baseline's test accuracy
+    (``baseline_accuracy_parity``; its ``speedup`` carries the HDC/best
+    accuracy ratio).  Per-model ``baseline_model`` records are informative
+    only.  Everything is deterministic given the seed -- all three learners
+    are seeded numpy implementations -- so the parity bit is stable.
+    """
+    from repro.baselines.mlp import MLPClassifier
+    from repro.baselines.svm import LinearSVM
+    from repro.datasets.loaders import load_dataset
+
+    ds = load_dataset(dataset, n_train=n_train, n_test=n_test, seed=seed)
+    models = {
+        "hdc": CyberHD(dim=dim, epochs=epochs, seed=seed),
+        "svm": LinearSVM(epochs=svm_epochs, seed=seed),
+        "mlp": MLPClassifier(hidden_layers=(128, 64), epochs=mlp_epochs, seed=seed),
+    }
+    fit_seconds: Dict[str, float] = {}
+    predict_seconds: Dict[str, float] = {}
+    accuracy: Dict[str, float] = {}
+    records: List[Dict[str, Any]] = []
+    for name, model in models.items():
+        start = time.perf_counter()
+        model.fit(ds.X_train, ds.y_train)
+        fit_seconds[name] = time.perf_counter() - start
+        model.predict(ds.X_test)  # warm any lazy encode paths
+        start = time.perf_counter()
+        predictions = model.predict(ds.X_test)
+        predict_seconds[name] = max(time.perf_counter() - start, 1e-9)
+        accuracy[name] = float(np.mean(predictions == ds.y_test))
+        records.append(
+            make_record(
+                "baseline_model",
+                fit_seconds[name],
+                "float32",
+                dim if name == "hdc" else 0,
+                n_train,
+                dataset=dataset,
+                model=name,
+                accuracy=accuracy[name],
+                fit_seconds=fit_seconds[name],
+                predict_seconds=predict_seconds[name],
+                predict_flows_per_second=n_test / predict_seconds[name],
+            )
+        )
+    for name in ("svm", "mlp"):
+        records.append(
+            make_record(
+                f"baseline_train_speedup_{name}",
+                fit_seconds["hdc"],
+                "float32",
+                dim,
+                n_train,
+                dataset=dataset,
+                speedup=fit_seconds[name] / fit_seconds["hdc"],
+                baseline_fit_seconds=fit_seconds[name],
+                hdc_fit_seconds=fit_seconds["hdc"],
+            )
+        )
+    best_baseline = max(accuracy["svm"], accuracy["mlp"])
+    records.append(
+        make_record(
+            "baseline_accuracy_parity",
+            0.0,
+            "float32",
+            dim,
+            n_test,
+            dataset=dataset,
+            parity_ok=int(accuracy["hdc"] >= best_baseline - accuracy_margin),
+            speedup=accuracy["hdc"] / max(best_baseline, 1e-9),
+            hdc_accuracy=accuracy["hdc"],
+            svm_accuracy=accuracy["svm"],
+            mlp_accuracy=accuracy["mlp"],
+            accuracy_margin=accuracy_margin,
+            note="HDC test accuracy vs the best SVM/MLP baseline",
+        )
+    )
+    return records
+
+
+def run_baseline_benchmarks(
+    dataset: str = "nsl_kdd",
+    dim: Optional[int] = None,
+    quick: bool = False,
+) -> List[Dict[str, Any]]:
+    """The ``bench --suite baselines`` entry point."""
+    if quick:
+        return bench_model_baselines(
+            dataset=dataset,
+            n_train=1200,
+            n_test=400,
+            dim=dim if dim is not None else 1024,
+            epochs=5,
+            mlp_epochs=10,
+            svm_epochs=10,
+        )
+    return bench_model_baselines(
+        dataset=dataset, dim=dim if dim is not None else 2048
+    )
 
 
 # ------------------------------------------------------- baseline regression

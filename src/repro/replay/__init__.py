@@ -41,7 +41,13 @@ from repro.replay.golden import (
     ParityReport,
     diff_against_golden,
 )
-from repro.replay.replayer import ReplayConfig, ReplayResult, TraceReplayer
+from repro.replay.replayer import (
+    ReplayConfig,
+    ReplayResult,
+    TraceReplayer,
+    detection_metrics,
+    per_attack_type_recall,
+)
 
 __all__ = [
     "CompiledTrace",
@@ -55,4 +61,6 @@ __all__ = [
     "ReplayConfig",
     "ReplayResult",
     "TraceReplayer",
+    "detection_metrics",
+    "per_attack_type_recall",
 ]

@@ -189,6 +189,40 @@ def detection_metrics(
     }
 
 
+def per_attack_type_recall(
+    trace: CompiledTrace, predictions: Dict[str, FlowPrediction]
+) -> Dict[str, Dict[str, float]]:
+    """Detection recall broken out by ground-truth attack class.
+
+    The aggregate recall of :func:`detection_metrics` can hide a shed
+    attack class entirely — a loadgen scenario that drowns the queue in
+    syn-flood packets may keep aggregate recall respectable while every
+    low-and-slow exfiltration flow is dropped.  This breakdown makes the
+    per-class story explicit; like the aggregate, flows never served count
+    as missed (``detected`` requires a served *and flagged* prediction).
+    """
+    per_type: Dict[str, Dict[str, float]] = {}
+    for flow in trace.flows:
+        if not flow.is_attack:
+            continue
+        entry = per_type.setdefault(
+            flow.label, {"flows": 0.0, "served": 0.0, "detected": 0.0}
+        )
+        entry["flows"] += 1
+        record = predictions.get(flow.token)
+        if record is None:
+            continue
+        entry["served"] += 1
+        if record.flagged:
+            entry["detected"] += 1
+    for entry in per_type.values():
+        entry["recall"] = entry["detected"] / entry["flows"] if entry["flows"] else 0.0
+        entry["served_fraction"] = (
+            entry["served"] / entry["flows"] if entry["flows"] else 0.0
+        )
+    return per_type
+
+
 class TraceReplayer:
     """Replays compiled traces through a trained pipeline's serving path."""
 
